@@ -1,0 +1,73 @@
+"""Bench: design-choice ablations called out in DESIGN.md.
+
+* paper spacing multipliers vs auto-minimal multipliers (gate length),
+* lock-in vs FFT readout (decode agreement already asserted in fig4;
+  here: throughput),
+* phasor mode vs full trace mode (simulation cost).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.frequency_plan import FrequencyPlan
+from repro.core.layout import InlineGateLayout, PAPER_BYTE_MULTIPLIERS
+from repro.core.simulate import GateSimulator
+from repro import byte_majority_gate
+from repro.waveguide import Waveguide
+
+from conftest import print_report
+
+WORDS = [[1, 0, 1, 0, 1, 0, 1, 0], [0, 0, 1, 1, 0, 0, 1, 1], [0, 1, 0, 1, 0, 1, 0, 1]]
+
+
+def test_layout_multiplier_ablation(benchmark):
+    """Paper multipliers vs the auto search: who builds a shorter gate?"""
+    plan = FrequencyPlan.paper_byte_plan()
+    waveguide = Waveguide()
+
+    def build_both():
+        paper = InlineGateLayout(
+            waveguide, plan, multipliers=list(PAPER_BYTE_MULTIPLIERS)
+        )
+        auto = InlineGateLayout(waveguide, plan)
+        return paper, auto
+
+    paper, auto = benchmark(build_both)
+    lines = [
+        "Layout ablation: source-spacing multipliers",
+        f"  paper multipliers {paper.multipliers}: "
+        f"length {paper.total_length * 1e9:.1f} nm, "
+        f"area {paper.area * 1e12:.4f} um^2",
+        f"  auto multipliers  {auto.multipliers}: "
+        f"length {auto.total_length * 1e9:.1f} nm, "
+        f"area {auto.area * 1e12:.4f} um^2",
+    ]
+    print_report("\n".join(lines))
+    paper.validate()
+    auto.validate()
+
+
+def test_phasor_mode_throughput(benchmark, byte_gate):
+    simulator = GateSimulator(byte_gate)
+    simulator.calibration()  # exclude one-time cost
+    result = benchmark(simulator.run_phasor, WORDS)
+    assert result.correct
+
+
+def test_trace_mode_throughput(benchmark, byte_gate):
+    simulator = GateSimulator(byte_gate)
+    simulator.calibration()
+    result = benchmark(simulator.run, WORDS)
+    assert result.correct
+
+
+def test_lockin_readout_throughput(benchmark, byte_gate):
+    simulator = GateSimulator(byte_gate)
+    result = benchmark(simulator.run, WORDS, None, None, "lockin")
+    assert result.correct
+
+
+def test_fft_readout_throughput(benchmark, byte_gate):
+    simulator = GateSimulator(byte_gate)
+    result = benchmark(simulator.run, WORDS, None, None, "fft")
+    assert result.correct

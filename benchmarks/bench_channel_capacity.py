@@ -1,0 +1,17 @@
+"""Bench: channel-count scaling (beyond-paper extension of Section III).
+
+Workload: design, lay out and verify n-bit gates for n = 1..12 channels
+packed into the waveguide's usable band; report per-bit area.
+"""
+
+from repro.experiments import channel_capacity
+
+from conftest import print_report
+
+
+def test_channel_capacity_regeneration(benchmark):
+    results = benchmark(channel_capacity.run)
+    print_report(channel_capacity.report(results))
+    assert results["per_bit_area_decreasing"]
+    feasible = [r for r in results["rows"] if r.get("feasible")]
+    assert all(r["functional"] for r in feasible)

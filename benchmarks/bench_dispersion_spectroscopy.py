@@ -1,0 +1,46 @@
+"""Bench: numerical dispersion spectroscopy on the LLG solver.
+
+Workload: broadband-pulse excitation of a 1.2 um film, space-time FFT,
+ridge extraction, and comparison against the analytic exchange-branch
+dispersion -- the measurement that certifies the solver and the layout
+engine agree on wavelengths.  Slow (a full LLG movie).
+"""
+
+import numpy as np
+import pytest
+
+from repro.materials import FECOB_PMA
+from repro.mm.spectroscopy import extract_branch, measure_dispersion
+from repro.physics.dispersion import ExchangeDispersion
+
+from conftest import print_report
+
+
+def test_dispersion_spectroscopy(benchmark):
+    spectrum = benchmark.pedantic(
+        lambda: measure_dispersion(
+            FECOB_PMA, length=1.2e-6, duration=1.2e-9, dt=0.1e-12
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    ks, fs = extract_branch(
+        spectrum, k_min=2e7, k_max=2.5e8, threshold_ratio=0.03
+    )
+    analytic = ExchangeDispersion(FECOB_PMA, 4e-9)
+    predicted = np.array([analytic.frequency(k) for k in ks])
+    errors = np.abs(fs - predicted) / predicted
+    median_error = float(np.median(errors))
+
+    lines = [
+        "Numerical dispersion vs analytic exchange branch",
+        "  k [rad/um]   f_measured [GHz]   f_analytic [GHz]   error",
+    ]
+    for k, f, p in list(zip(ks, fs, predicted))[::4]:
+        lines.append(
+            f"  {k / 1e6:10.1f}   {f / 1e9:14.2f}   {p / 1e9:14.2f}   "
+            f"{abs(f - p) / p:6.1%}"
+        )
+    lines.append(f"  median relative error: {median_error:.1%}")
+    print_report("\n".join(lines))
+    assert median_error < 0.15

@@ -1,0 +1,15 @@
+"""Bench: regenerate the Section IV.B distance table.
+
+Workload: invert the FVMSW dispersion for the 8 channel frequencies and
+compose d_i = n_i * lambda_i against the paper's published values.
+"""
+
+from repro.experiments import distance_table
+
+from conftest import print_report
+
+
+def test_distance_table_regeneration(benchmark):
+    results = benchmark(distance_table.run)
+    print_report(distance_table.report(results))
+    assert results["worst_relative_error"] < 0.03

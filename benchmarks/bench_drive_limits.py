@@ -1,0 +1,17 @@
+"""Bench: nonlinear drive-amplitude limits (beyond-paper extension).
+
+Workload: byte-gate evaluation on the weakly nonlinear waveguide model
+across a drive sweep, with per-channel IM3 crosstalk accounting.
+"""
+
+from repro.experiments import drive_limits
+
+from conftest import print_report
+
+
+def test_drive_limits_regeneration(benchmark):
+    results = benchmark(drive_limits.run)
+    print_report(drive_limits.report(results))
+    by_amplitude = {r["amplitude"]: r for r in results["rows"]}
+    assert by_amplitude[drive_limits.PAPER_AMPLITUDE]["decodes_correctly"]
+    assert not results["rows"][-1]["decodes_correctly"]

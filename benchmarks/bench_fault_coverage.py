@@ -1,0 +1,18 @@
+"""Bench: manufacturing-test fault coverage (beyond-paper extension).
+
+Workload: 96 single-transducer faults x up to 8 exhaustive patterns on
+the byte majority gate, logic and parametric detection.
+"""
+
+from repro.experiments import fault_coverage
+
+from conftest import print_report
+
+
+def test_fault_coverage_regeneration(benchmark):
+    results = benchmark.pedantic(fault_coverage.run, rounds=1, iterations=1)
+    print_report(fault_coverage.report(results))
+    # Structural expectations: logic testing catches every dead/stuck
+    # fault and no weak fault; the parametric test catches everything.
+    assert results["logic_by_kind"]["weak-source"][1] == 0
+    assert results["parametric"]["coverage"] == 1.0

@@ -1,0 +1,18 @@
+"""Bench: regenerate Fig. 3 (byte MAJ gate time/frequency response).
+
+Workload: 8 input combinations x 3 ns traces of the 8-frequency byte
+majority gate on the linear backend, FFT analysis per combination.
+"""
+
+from repro.experiments import fig3
+
+from conftest import print_report
+
+
+def test_fig3_regeneration(benchmark):
+    results = benchmark(fig3.run)
+    print_report(fig3.report(results))
+    # Paper shape assertions (same as the test suite, kept here so the
+    # bench fails loudly if the reproduction regresses).
+    assert all(c["correct"] for c in results["combos"])
+    assert all(c["spurious_ratio"] < 0.01 for c in results["combos"])

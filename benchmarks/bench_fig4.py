@@ -1,0 +1,16 @@
+"""Bench: regenerate Fig. 4 (per-frequency majority outputs, a-h).
+
+Workload: decode all 8 channels for all 8 input combinations with both
+phase estimators (64 lock-in + 64 FFT decodes).
+"""
+
+from repro.experiments import fig4
+
+from conftest import print_report
+
+
+def test_fig4_regeneration(benchmark):
+    results = benchmark(fig4.run)
+    print_report(fig4.report(results))
+    assert results["all_correct"]
+    assert results["methods_agree"]

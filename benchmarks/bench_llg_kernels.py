@@ -1,0 +1,81 @@
+"""Bench: micromagnetic solver kernel throughput (ablation support).
+
+Not a paper artefact -- this keeps the OOMMF-substitute kernels honest
+and quantifies the ablation called out in DESIGN.md: the full Newell FFT
+demag versus the local thin-film approximation, and RK4 versus RKF45.
+"""
+
+import numpy as np
+import pytest
+
+from repro.materials import FECOB_PMA
+from repro.mm import (
+    DemagField,
+    ExchangeField,
+    Mesh,
+    State,
+    ThinFilmDemagField,
+    UniaxialAnisotropyField,
+    ZeemanField,
+)
+from repro.mm.integrators import rk4_step, rkf45_step
+from repro.mm.llg import effective_field, llg_rhs_from_field
+
+
+@pytest.fixture(scope="module")
+def film_state():
+    mesh = Mesh(128, 16, 1, 4e-9, 4e-9, 1e-9)
+    return State.random(mesh, FECOB_PMA, seed=0)
+
+
+def test_exchange_field_throughput(benchmark, film_state):
+    term = ExchangeField()
+    benchmark(term.field, film_state)
+
+
+def test_anisotropy_field_throughput(benchmark, film_state):
+    term = UniaxialAnisotropyField()
+    benchmark(term.field, film_state)
+
+
+def test_full_demag_throughput(benchmark, film_state):
+    term = DemagField(film_state.mesh)
+    benchmark(term.field, film_state)
+
+
+def test_thin_film_demag_throughput(benchmark, film_state):
+    term = ThinFilmDemagField()
+    benchmark(term.field, film_state)
+
+
+def test_demag_ablation_accuracy(film_state):
+    """The ablation itself: how far is the local approximation from the
+    full Newell solution on the paper-like film?  (Printed, not timed.)"""
+    full = DemagField(film_state.mesh).field(film_state)
+    local = ThinFilmDemagField().field(film_state)
+    scale = float(np.max(np.abs(full)))
+    error = float(np.max(np.abs(full - local))) / scale
+    print(f"\nthin-film demag max relative error vs Newell FFT: {error:.3f}")
+    assert error < 0.5  # same order; exact agreement is not expected
+
+
+def test_rk4_step_throughput(benchmark, film_state):
+    terms = [ExchangeField(), UniaxialAnisotropyField(), ThinFilmDemagField()]
+
+    def rhs(t, m):
+        film_state.m = m
+        h = effective_field(film_state, terms, t)
+        return llg_rhs_from_field(m, h, film_state.material)
+
+    benchmark(rk4_step, rhs, 0.0, film_state.m.copy(), 1e-14)
+
+
+def test_rkf45_step_throughput(benchmark, film_state):
+    terms = [ExchangeField(), UniaxialAnisotropyField(), ThinFilmDemagField()]
+
+    def rhs(t, m):
+        film_state.m = m
+        h = effective_field(film_state, terms, t)
+        return llg_rhs_from_field(m, h, film_state.material)
+
+    benchmark(rkf45_step, rhs, 0.0, film_state.m.copy(), 1e-14)

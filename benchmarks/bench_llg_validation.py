@@ -1,0 +1,24 @@
+"""Bench: LLG cross-validation (the paper's OOMMF role, reduced geometry).
+
+Workload: one full gate evaluation of the reduced single-channel 3-input
+majority gate on the finite-difference LLG solver (~10^4 RK4 steps on a
+~100-cell mesh) and agreement with the linear model.  This is the slow
+bench; the full 8-combination sweep lives in the slow test suite.
+"""
+
+import pytest
+
+from repro.experiments import llg_validation
+
+from conftest import print_report
+
+
+def test_llg_cross_validation(benchmark):
+    results = benchmark.pedantic(
+        lambda: llg_validation.run(combos=[(0, 0, 0), (1, 0, 1)]),
+        rounds=1,
+        iterations=1,
+    )
+    print_report(llg_validation.report(results))
+    assert results["all_agree"]
+    assert results["all_correct"]

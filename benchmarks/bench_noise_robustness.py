@@ -1,0 +1,21 @@
+"""Bench: transducer-noise robustness (beyond-paper extension).
+
+Workload: byte-gate word error rate versus phase, amplitude and
+placement noise (Monte Carlo over random word triples), plus the
+thermal phase-jitter estimate from the stochastic LLG model.
+"""
+
+from repro.experiments import noise_robustness
+
+from conftest import print_report
+
+
+def test_noise_robustness_regeneration(benchmark):
+    results = benchmark.pedantic(
+        lambda: noise_robustness.run(n_trials=20),
+        rounds=1,
+        iterations=1,
+    )
+    print_report(noise_robustness.report(results))
+    assert results["phase_rates"][0] == 0.0
+    assert results["position_rates"][-1] > 0.0

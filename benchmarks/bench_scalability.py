@@ -1,0 +1,16 @@
+"""Bench: regenerate the Section V scalability study.
+
+Workload: worst-case decode margin for fan-in 3..15 with uniform and
+damping-compensated drive, plus an end-to-end simulator cross-check.
+"""
+
+from repro.experiments import scalability
+
+from conftest import print_report
+
+
+def test_scalability_regeneration(benchmark):
+    results = benchmark(scalability.run)
+    print_report(scalability.report(results))
+    assert results["rows"][-1]["uncompensated_margin"] < 0
+    assert all(r["compensated_margin"] > 0 for r in results["rows"])

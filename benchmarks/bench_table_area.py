@@ -1,0 +1,16 @@
+"""Bench: regenerate the Section V.B area/delay/energy comparison.
+
+Workload: byte-parallel in-line layout + 8-gate scalar baseline through
+the transducer cost model; paper reference 0.116 / 0.0279 um^2 = 4.16x.
+"""
+
+from repro.experiments import area_table
+
+from conftest import print_report
+
+
+def test_area_comparison_regeneration(benchmark):
+    results = benchmark(area_table.run)
+    print_report(area_table.report(results))
+    assert 2.5 < results["area_ratio"] < 5.0
+    assert results["energy_ratio"] == 1.0

@@ -1,0 +1,16 @@
+"""Bench: regenerate the Section V waveguide-width study.
+
+Workload: re-layout and re-simulate the byte gate at widths 50..500 nm
+with lateral mode quantisation; check functionality and FMR trend.
+"""
+
+from repro.experiments import width_sweep
+
+from conftest import print_report
+
+
+def test_width_variation_regeneration(benchmark):
+    results = benchmark(width_sweep.run)
+    print_report(width_sweep.report(results))
+    assert results["monotonic_decreasing"]
+    assert all(r["functional"] for r in results["rows"])

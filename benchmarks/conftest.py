@@ -1,0 +1,24 @@
+"""Benchmark fixtures.
+
+Each benchmark regenerates one paper table/figure through the experiment
+harness and prints its paper-versus-measured report (visible with
+``pytest benchmarks/ --benchmark-only -s`` and always captured into the
+bench log).  pytest-benchmark measures the regeneration cost.
+"""
+
+import pytest
+
+
+def print_report(text):
+    """Print a report block with a separator, surviving capture."""
+    print()
+    print("=" * 72)
+    print(text)
+    print("=" * 72)
+
+
+@pytest.fixture(scope="session")
+def byte_gate():
+    from repro import byte_majority_gate
+
+    return byte_majority_gate()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Cascading byte-wide gates: a 9-input majority-of-majorities pipeline.
+
+Section III of the paper notes gate outputs can feed "potential
+following SW gates".  This example builds the canonical two-level
+structure MAJ3(MAJ3, MAJ3, MAJ3) from four byte-wide gates with
+transducer regeneration between stages, evaluates it on 9 byte operands,
+and then quantifies why the regeneration step is necessary: a direct
+(unregenerated) all-magnonic cascade has *negative* worst-case decode
+margin already at two stages.
+
+Run:  python examples/cascaded_logic.py
+"""
+
+import numpy as np
+
+from repro import byte_majority_gate
+from repro.core.cascade import direct_coupling_margin, majority_of_majorities
+from repro.core.encoding import bits_to_int, int_to_bits
+
+
+def main():
+    cascade = majority_of_majorities(byte_majority_gate, n_bits=8)
+    print(
+        f"pipeline: 4 byte-wide MAJ3 gates, "
+        f"{cascade.n_primary_inputs()} primary operands, 2 logic levels"
+    )
+
+    rng = np.random.default_rng(3)
+    operands = [int(rng.integers(256)) for _ in range(9)]
+    words = [int_to_bits(v, 8) for v in operands]
+    final, stage_results = cascade.run(words)
+    golden = cascade.expected(words)
+
+    printed = ", ".join(f"0x{v:02X}" for v in operands)
+    print(f"operands: {printed}")
+    print(f"MAJ9-of-3x3 result: 0x{bits_to_int(final):02X} "
+          f"(golden 0x{bits_to_int(golden):02X})")
+    for index, stage in enumerate(stage_results):
+        role = "first-level" if index < 3 else "combining"
+        print(
+            f"  stage {index} ({role}): word "
+            f"0x{bits_to_int(stage.decoded):02X}, "
+            f"min margin {stage.min_margin:.3f} rad"
+        )
+
+    print()
+    print("why stages regenerate (worst-case margin, no regeneration):")
+    for stages in (1, 2, 3):
+        margin = direct_coupling_margin(3, stages=stages)
+        verdict = "OK" if margin > 0 else "FAILS"
+        print(f"  {stages} stage(s): margin {margin:+.3f}  -> {verdict}")
+    print(
+        "A 2-vs-1 majority leaves only 1/3 of the unanimous wave "
+        "amplitude; two strong minority waves then outvote a weak "
+        "true-majority wave at the next stage.  Re-thresholding at each "
+        "transducer (as modelled here) or the paper's graded-drive "
+        "trick restores full margins."
+    )
+
+
+if __name__ == "__main__":
+    main()

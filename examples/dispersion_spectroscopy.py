@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Measure the spin-wave dispersion numerically and plot it in ASCII.
+
+Runs the standard micromagnetic spectroscopy experiment -- broadband
+pulse, space-time FFT -- on the paper's Fe60Co20B20 film using the
+from-scratch LLG solver, extracts the omega(k) ridge and compares it
+against the analytic exchange-branch dispersion the gate layout uses.
+
+Takes ~10 seconds.  Run:  python examples/dispersion_spectroscopy.py
+"""
+
+import numpy as np
+
+from repro.analysis.ascii_plot import line_plot
+from repro.materials import FECOB_PMA
+from repro.mm.spectroscopy import extract_branch, measure_dispersion
+from repro.physics.dispersion import ExchangeDispersion
+
+
+def main():
+    print("running LLG pulse spectroscopy (1.2 um film, 1.2 ns)...")
+    spectrum = measure_dispersion(
+        FECOB_PMA, length=1.2e-6, duration=1.2e-9, dt=0.1e-12
+    )
+    ks, fs = extract_branch(
+        spectrum, k_min=2e7, k_max=2.5e8, threshold_ratio=0.03
+    )
+
+    analytic = ExchangeDispersion(FECOB_PMA, 1e-9)
+    predicted = np.array([analytic.frequency(k) for k in ks])
+    errors = np.abs(fs - predicted) / predicted
+
+    print()
+    print(
+        line_plot(
+            ks / 1e6,
+            fs / 1e9,
+            width=60,
+            height=14,
+            title="measured spin-wave dispersion (LLG pulse spectroscopy)",
+            x_label="k [rad/um]",
+            y_label="f [GHz]",
+        )
+    )
+    print()
+    print("ridge vs analytic exchange dispersion:")
+    for k, f, p in list(zip(ks, fs, predicted))[::4]:
+        print(
+            f"  k = {k / 1e6:7.1f} rad/um: measured {f / 1e9:6.2f} GHz, "
+            f"analytic {p / 1e9:6.2f} GHz ({abs(f - p) / p:.1%})"
+        )
+    print(f"median relative error: {np.median(errors):.1%}")
+    print()
+    print(
+        "The gate layout engine places transducers using exactly this "
+        "dispersion -- the agreement above is why the LLG backend decodes "
+        "the same bits as the linear model."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Manufacturing test of a byte-wide spin-wave gate.
+
+Walks the production-test story for the paper's gate: enumerate the
+single-transducer fault universe, grade the exhaustive functional
+pattern set, and show why a logic-only test programme ships defective
+parts -- weak transducers keep the interference phasors colinear, so
+every majority vote still lands correctly and *no* logic pattern can
+expose them.  An amplitude (parametric) measurement catches all of them.
+
+Run:  python examples/manufacturing_test.py
+"""
+
+from repro import byte_majority_gate
+from repro.core.faults import (
+    TransducerFault,
+    default_patterns,
+    enumerate_faults,
+    fault_coverage,
+    parametric_coverage,
+    simulate_fault,
+)
+from repro.core.simulate import GateSimulator
+from repro.experiments import fault_coverage as experiment
+
+
+def main():
+    gate = byte_majority_gate()
+    results = experiment.run(gate=gate)
+    print(experiment.report(results))
+    print()
+
+    # Zoom in on one escaped fault: show its (absence of) logic footprint.
+    weak = TransducerFault("weak-source", channel=3, input_index=1, severity=0.5)
+    print(f"case study: {weak.describe()}")
+    golden_sim = GateSimulator(gate)
+    patterns = default_patterns(gate)
+    print("  pattern (I1 I2 I3) | fault-free word | faulty word | amplitudes ch3")
+    for words in patterns[:4]:
+        bits = tuple(w[0] for w in words)
+        golden_run = golden_sim.run_phasor(words)
+        faulty_word = simulate_fault(gate, weak, words)
+        from repro.core.faults import FaultySimulator
+
+        faulty_run = FaultySimulator(gate, weak).run_phasor(words)
+        print(
+            f"  {bits}          | "
+            f"{''.join(map(str, golden_run.decoded))}        | "
+            f"{''.join(map(str, faulty_word))}    | "
+            f"{golden_run.decodes[3].amplitude:.2f} -> "
+            f"{faulty_run.decodes[3].amplitude:.2f}"
+        )
+    print(
+        "  -> identical words on every pattern, but the channel-3 "
+        "amplitude drops measurably: parametric test territory."
+    )
+
+    # Test-time economics: patterns needed for full hard-fault coverage.
+    print()
+    faults = enumerate_faults(
+        gate, kinds=("dead-source", "stuck-phase-0", "stuck-phase-1")
+    )
+    for n_patterns in (2, 4, 8):
+        record = fault_coverage(
+            gate, faults=faults, patterns=patterns[:n_patterns]
+        )
+        print(
+            f"  {n_patterns} patterns: hard-fault logic coverage "
+            f"{record['coverage']:.0%}"
+        )
+
+
+if __name__ == "__main__":
+    main()

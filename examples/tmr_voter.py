@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Byte-wide triple-modular-redundancy (TMR) voter.
+
+The most direct application of a data-parallel majority gate: three
+redundant copies of a data word -- e.g. from radiation-hardened triple
+processors -- are majority-voted bit-by-bit in a single waveguide, all
+8 bits at once.  This example injects random single- and multi-bit
+upsets into the replicas and shows the voter masking every error that
+leaves two good copies per bit, exactly as TMR theory promises.
+
+Run:  python examples/tmr_voter.py
+"""
+
+import numpy as np
+
+from repro import GateSimulator, byte_majority_gate
+from repro.core.encoding import bits_to_int, int_to_bits
+
+
+def corrupt(value, n_flips, rng):
+    """Flip ``n_flips`` random distinct bits of an 8-bit value."""
+    positions = rng.choice(8, size=n_flips, replace=False)
+    for p in positions:
+        value ^= 1 << int(p)
+    return value
+
+
+def main():
+    gate = byte_majority_gate()
+    simulator = GateSimulator(gate)
+    rng = np.random.default_rng(42)
+
+    print("byte-wide spin-wave TMR voter")
+    print("true word | replica A | replica B | replica C | voted | recovered")
+    trials = 12
+    recovered = 0
+    for _ in range(trials):
+        truth = int(rng.integers(256))
+        # Upset up to two replicas, in different bit positions mostly.
+        replicas = [truth, truth, truth]
+        n_upsets = int(rng.integers(0, 3))
+        for _ in range(n_upsets):
+            victim = int(rng.integers(3))
+            replicas[victim] = corrupt(replicas[victim], 1, rng)
+        words = [int_to_bits(r, 8) for r in replicas]
+        result = simulator.run_phasor(words)
+        voted = bits_to_int(result.decoded)
+        # The voter recovers the truth whenever no bit position has two
+        # simultaneous upsets.
+        expected = bits_to_int(result.expected)
+        ok = voted == truth
+        recovered += ok
+        print(
+            f"  0x{truth:02X}    |   0x{replicas[0]:02X}    |   "
+            f"0x{replicas[1]:02X}    |   0x{replicas[2]:02X}    | "
+            f"0x{voted:02X}  | {'yes' if ok else 'no (double upset)'}"
+        )
+        assert voted == expected, "physics must match Boolean vote"
+    print(f"\nrecovered {recovered}/{trials} words "
+          "(misses require two upsets in the same bit position)")
+
+    # Show the double-fault limit explicitly.
+    truth = 0x0F
+    a = truth ^ 0x01  # bit 0 upset in replica A
+    b = truth ^ 0x01  # same bit upset in replica B: voter must fail there
+    words = [int_to_bits(v, 8) for v in (a, b, truth)]
+    voted = bits_to_int(simulator.run_phasor(words).decoded)
+    print(
+        f"\ndouble upset on one bit: vote(0x{a:02X}, 0x{b:02X}, "
+        f"0x{truth:02X}) = 0x{voted:02X} (truth was 0x{truth:02X}) -- "
+        "TMR correctly limited to single-fault masking"
+    )
+
+
+if __name__ == "__main__":
+    main()

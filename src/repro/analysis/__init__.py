@@ -1,0 +1,33 @@
+"""Signal analysis: spectra, phase demodulation, table rendering."""
+
+from repro.analysis.spectra import (
+    amplitude_spectrum,
+    spectrum_peaks,
+    amplitude_at,
+    spurious_power_ratio,
+)
+from repro.analysis.phase import lock_in, phase_at, fft_phasor
+from repro.analysis.tables import render_table, render_comparison
+from repro.analysis.ascii_plot import sparkline, line_plot, histogram
+from repro.analysis.goertzel import goertzel, goertzel_phasor
+from repro.analysis.filters import FilterBank, bandpass_kernel, apply_fir
+
+__all__ = [
+    "sparkline",
+    "line_plot",
+    "histogram",
+    "goertzel",
+    "goertzel_phasor",
+    "FilterBank",
+    "bandpass_kernel",
+    "apply_fir",
+    "amplitude_spectrum",
+    "spectrum_peaks",
+    "amplitude_at",
+    "spurious_power_ratio",
+    "lock_in",
+    "phase_at",
+    "fft_phasor",
+    "render_table",
+    "render_comparison",
+]

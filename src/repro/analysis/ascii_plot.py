@@ -1,0 +1,124 @@
+"""Terminal-friendly plotting: sparklines and block-character charts.
+
+The benchmark harness and CLI run in environments without matplotlib;
+these helpers render traces, spectra and sweep series as text so the
+"figures" of the reproduction are inspectable anywhere.
+"""
+
+import math
+
+_SPARK_LEVELS = " .:-=+*#%@"
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values, width=None):
+    """One-line block-character rendering of a series.
+
+    >>> sparkline([0, 1, 2, 3])
+    ' ▃▅█'
+    """
+    values = [float(v) for v in values]
+    if not values:
+        return ""
+    if width is not None and width > 0 and len(values) > width:
+        values = _resample(values, width)
+    lo = min(values)
+    hi = max(values)
+    span = hi - lo
+    if span == 0:
+        return _BLOCKS[0] * len(values)
+    chars = []
+    for v in values:
+        level = int((v - lo) / span * (len(_BLOCKS) - 1) + 0.5)
+        chars.append(_BLOCKS[level])
+    return "".join(chars)
+
+
+def _resample(values, width):
+    """Bucket-average ``values`` down to ``width`` points."""
+    bucket = len(values) / width
+    out = []
+    for i in range(width):
+        lo = int(i * bucket)
+        hi = max(int((i + 1) * bucket), lo + 1)
+        chunk = values[lo:hi]
+        out.append(sum(chunk) / len(chunk))
+    return out
+
+
+def line_plot(x, y, width=64, height=12, x_label="", y_label="", title=""):
+    """Multi-line ASCII scatter/line chart of y(x).
+
+    Points are marked with ``*``; axes carry min/max annotations.
+    Returns the rendered string.
+    """
+    x = [float(v) for v in x]
+    y = [float(v) for v in y]
+    if len(x) != len(y):
+        raise ValueError(f"x and y lengths differ: {len(x)} vs {len(y)}")
+    if not x:
+        return "(empty plot)"
+    x_lo, x_hi = min(x), max(x)
+    y_lo, y_hi = min(y), max(y)
+    x_span = x_hi - x_lo or 1.0
+    y_span = y_hi - y_lo or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for xv, yv in zip(x, y):
+        col = int((xv - x_lo) / x_span * (width - 1) + 0.5)
+        row = int((yv - y_lo) / y_span * (height - 1) + 0.5)
+        grid[height - 1 - row][col] = "*"
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_hi:.4g}"
+    bottom_label = f"{y_lo:.4g}"
+    label_width = max(len(top_label), len(bottom_label))
+    for index, row in enumerate(grid):
+        if index == 0:
+            prefix = top_label.rjust(label_width)
+        elif index == height - 1:
+            prefix = bottom_label.rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix} |{''.join(row)}")
+    axis = " " * label_width + " +" + "-" * width
+    lines.append(axis)
+    x_line = (
+        " " * label_width
+        + "  "
+        + f"{x_lo:.4g}".ljust(width - 10)
+        + f"{x_hi:.4g}".rjust(10)
+    )
+    lines.append(x_line)
+    footer = []
+    if x_label:
+        footer.append(f"x: {x_label}")
+    if y_label:
+        footer.append(f"y: {y_label}")
+    if footer:
+        lines.append(" " * label_width + "  " + ", ".join(footer))
+    return "\n".join(lines)
+
+
+def histogram(values, bins=10, width=40, title=""):
+    """Horizontal ASCII histogram; returns the rendered string."""
+    values = [float(v) for v in values]
+    if not values:
+        return "(no data)"
+    if bins < 1:
+        raise ValueError(f"bins must be >= 1, got {bins!r}")
+    lo, hi = min(values), max(values)
+    span = hi - lo or 1.0
+    counts = [0] * bins
+    for v in values:
+        index = min(int((v - lo) / span * bins), bins - 1)
+        counts[index] += 1
+    peak = max(counts)
+    lines = [title] if title else []
+    for i, count in enumerate(counts):
+        left = lo + i * span / bins
+        bar = "#" * (int(count / peak * width) if peak else 0)
+        lines.append(f"{left:>12.4g} | {bar} {count}")
+    return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""Goertzel single-bin DFT -- the hardware-friendly channel demodulator.
+
+A physical readout circuit would not compute a full FFT per channel; the
+Goertzel recursion evaluates one spectral bin with two multiplies per
+sample and O(1) state -- exactly what a per-channel detector ASIC would
+implement.  Provided as a third, independent phasor estimator next to
+the lock-in and FFT methods (the fig4 benchmark cross-checks all of
+them), and as the natural building block for streaming readout.
+"""
+
+import cmath
+import math
+
+import numpy as np
+
+from repro.errors import ReadoutError
+
+
+def goertzel(signal, sample_rate, frequency):
+    """Complex DFT coefficient of ``signal`` at ``frequency``.
+
+    Uses the generalised (non-integer-bin) Goertzel algorithm, so the
+    target frequency need not align with an FFT bin.  Returns the
+    normalised coefficient ``(2/N) * sum s[n] exp(-i*2*pi*f*n/fs)`` --
+    for ``s = a*sin(2*pi*f*t + phi)`` the magnitude approaches ``a``.
+    """
+    signal = np.asarray(signal, dtype=float)
+    if signal.ndim != 1 or len(signal) < 8:
+        raise ReadoutError("signal must be 1-D with at least 8 samples")
+    if sample_rate <= 0:
+        raise ReadoutError(f"sample_rate must be positive, got {sample_rate!r}")
+    if not 0 < frequency < sample_rate / 2:
+        raise ReadoutError(
+            f"frequency {frequency!r} outside (0, Nyquist={sample_rate / 2!r})"
+        )
+    n = len(signal)
+    omega = 2.0 * math.pi * frequency / sample_rate
+    coeff = 2.0 * math.cos(omega)
+
+    s_prev = 0.0
+    s_prev2 = 0.0
+    for sample in signal:
+        s = sample + coeff * s_prev - s_prev2
+        s_prev2 = s_prev
+        s_prev = s
+    # Standard Goertzel finalisation for the complex coefficient.
+    z = s_prev - s_prev2 * cmath.exp(-1j * omega)
+    # Remove the phase advance accumulated over N samples so the result
+    # is referenced to the first sample (like a DFT bin would be).
+    z *= cmath.exp(-1j * omega * (n - 1))
+    return 2.0 * z / n
+
+
+def goertzel_phasor(t, signal, frequency):
+    """Sine-referenced phasor at ``frequency`` (lock-in-compatible).
+
+    Returns ``a * exp(i*phi)`` for ``signal = a*sin(2*pi*f*t + phi)``,
+    accounting for the absolute time origin ``t[0]`` so it can be
+    compared directly against :func:`repro.analysis.phase.fft_phasor`.
+    """
+    t = np.asarray(t, dtype=float)
+    signal = np.asarray(signal, dtype=float)
+    if t.shape != signal.shape or t.ndim != 1:
+        raise ReadoutError("t and signal must be equal-length 1-D arrays")
+    if len(t) < 8:
+        raise ReadoutError("need at least 8 samples")
+    dt = t[1] - t[0]
+    if dt <= 0:
+        raise ReadoutError("time grid must be increasing")
+    sample_rate = 1.0 / dt
+    # Truncate to an integer number of carrier periods (leakage control).
+    period_samples = sample_rate / frequency
+    n_keep = int(int(len(t) / period_samples) * period_samples)
+    if n_keep < 8:
+        raise ReadoutError(
+            "window shorter than one carrier period at "
+            f"{frequency:.4g} Hz"
+        )
+    z = goertzel(signal[:n_keep], sample_rate, frequency)
+    # Reference the phasor to absolute time zero and convert the
+    # cosine-referenced DFT convention to sine reference (multiply i).
+    z *= cmath.exp(-2j * math.pi * frequency * t[0])
+    return complex(z * 1j)
+
+
+def goertzel_power(signal, sample_rate, frequency):
+    """Squared magnitude of the Goertzel coefficient (detector metric)."""
+    return abs(goertzel(signal, sample_rate, frequency)) ** 2

@@ -1,0 +1,51 @@
+"""Plain-text table rendering for benchmark and CLI output.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep that output aligned and consistent without pulling in
+plotting dependencies.
+"""
+
+
+def render_table(headers, rows, title=None):
+    """Render a list-of-rows table with aligned columns.
+
+    ``rows`` is an iterable of sequences; every cell is str()-ed.
+    Returns the rendered string (no trailing newline).
+    """
+    headers = [str(h) for h in headers]
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    n_cols = len(headers)
+    for row in str_rows:
+        if len(row) != n_cols:
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, expected {n_cols}"
+            )
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
+        for i in range(n_cols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    divider = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(divider)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_comparison(rows, title=None, paper_label="paper", measured_label="measured"):
+    """Render paper-vs-measured rows: (name, paper, measured, note)."""
+    headers = ["quantity", paper_label, measured_label, "note"]
+    normalised = []
+    for row in rows:
+        name, paper, measured = row[0], row[1], row[2]
+        note = row[3] if len(row) > 3 else ""
+        normalised.append((name, paper, measured, note))
+    return render_table(headers, normalised, title=title)
+
+
+def format_bits(bits):
+    """Render a bit sequence as a compact string, MSB first: [1,0,1] -> '101'."""
+    return "".join(str(int(b)) for b in bits)

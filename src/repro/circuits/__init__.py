@@ -1,0 +1,27 @@
+"""Circuit-level composition of spin-wave gates.
+
+Majority-inverter logic is the natural target of SW majority gates; this
+package provides a small netlist layer (networkx-backed), a cell library
+with cost models, MAJ-based synthesis of adders, and circuit-level
+area/delay/energy estimation contrasting data-parallel against scalar
+implementations -- the system-level extrapolation of the paper's
+Section V.B gate-level comparison.
+"""
+
+from repro.circuits.netlist import Netlist, Node
+from repro.circuits.library import CellLibrary, CellSpec, default_library
+from repro.circuits.synth import full_adder, ripple_carry_adder, majority_tree
+from repro.circuits.estimate import circuit_cost, parallel_vs_scalar
+
+__all__ = [
+    "Netlist",
+    "Node",
+    "CellLibrary",
+    "CellSpec",
+    "default_library",
+    "full_adder",
+    "ripple_carry_adder",
+    "majority_tree",
+    "circuit_cost",
+    "parallel_vs_scalar",
+]

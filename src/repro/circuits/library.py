@@ -1,0 +1,91 @@
+"""Spin-wave cell library with per-cell cost figures.
+
+Cell costs derive from the gate-level models in
+:mod:`repro.core.metrics`: a MAJ3 cell is one in-line 3-input gate,
+an XOR2 cell a 2-input amplitude-readout gate, an INV is free in the SW
+domain (read the complemented output by detector placement, Section III)
+apart from a detector-position constraint we charge nothing for.
+"""
+
+from dataclasses import dataclass
+
+from repro.errors import NetlistError
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """Area [m^2], delay [s] and energy [J] of one library cell."""
+
+    name: str
+    area: float
+    delay: float
+    energy: float
+
+    def __post_init__(self):
+        if self.area < 0 or self.delay < 0 or self.energy < 0:
+            raise NetlistError(f"cell {self.name!r} has negative cost")
+
+
+class CellLibrary:
+    """Maps netlist operations to :class:`CellSpec` cost entries."""
+
+    def __init__(self, cells):
+        self._cells = {}
+        for cell in cells:
+            if cell.name in self._cells:
+                raise NetlistError(f"duplicate cell {cell.name!r}")
+            self._cells[cell.name] = cell
+
+    def __contains__(self, name):
+        return name in self._cells
+
+    def get(self, name):
+        """CellSpec for ``name``; raises NetlistError when missing."""
+        try:
+            return self._cells[name]
+        except KeyError:
+            raise NetlistError(
+                f"cell {name!r} not in library "
+                f"(available: {sorted(self._cells)})"
+            ) from None
+
+    def names(self):
+        """Sorted cell names."""
+        return sorted(self._cells)
+
+
+def default_library(n_bits=1, waveguide=None, cost_model=None):
+    """Build the library from the physical gate models.
+
+    ``n_bits`` = 1 gives scalar cell costs; larger values give the
+    per-gate cost of an n-bit data-parallel cell (one cell then processes
+    n circuit instances at once -- divide system cost accordingly in
+    :func:`repro.circuits.estimate.parallel_vs_scalar`).
+    """
+    from repro.core.frequency_plan import FrequencyPlan
+    from repro.core.gate import GateKind
+    from repro.core.layout import InlineGateLayout
+    from repro.core.metrics import CostModel, gate_cost
+    from repro.units import GHZ
+    from repro.waveguide import Waveguide
+
+    waveguide = waveguide if waveguide is not None else Waveguide()
+    cost_model = cost_model if cost_model is not None else CostModel()
+    if n_bits == 1:
+        plan = FrequencyPlan([10.0 * GHZ])
+    else:
+        plan = FrequencyPlan.uniform(n_bits, 10.0 * GHZ, 10.0 * GHZ)
+
+    maj_layout = InlineGateLayout(waveguide, plan, n_inputs=3)
+    maj_cost = gate_cost(maj_layout, cost_model)
+    xor_layout = InlineGateLayout(waveguide, plan, n_inputs=2)
+    xor_cost = gate_cost(xor_layout, cost_model)
+
+    cells = [
+        CellSpec("MAJ3", maj_cost.area, maj_cost.delay, maj_cost.energy),
+        CellSpec("XOR2", xor_cost.area, xor_cost.delay, xor_cost.energy),
+        # Inversion is a detector-placement choice: no extra transducer.
+        CellSpec("INV", 0.0, 0.0, 0.0),
+        CellSpec("BUF", 0.0, 0.0, 0.0),
+    ]
+    return CellLibrary(cells)

@@ -1,0 +1,198 @@
+"""A minimal gate-level netlist with simulation and timing analysis.
+
+Nodes are primary inputs, constants, or cells (MAJ3, INV, XOR2); edges
+carry single bits.  The netlist is a DAG (combinational logic only);
+:meth:`Netlist.evaluate` computes outputs with plain Boolean semantics,
+and :meth:`Netlist.depth` / :meth:`Netlist.critical_path` feed the
+circuit cost model.
+"""
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.core.encoding import validate_bit
+from repro.errors import NetlistError
+
+#: Supported cell operations and their evaluators.
+_OPERATIONS = {
+    "MAJ3": lambda bits: int(sum(bits) >= 2),
+    "INV": lambda bits: 1 - bits[0],
+    "XOR2": lambda bits: bits[0] ^ bits[1],
+    "BUF": lambda bits: bits[0],
+}
+
+_ARITY = {"MAJ3": 3, "INV": 1, "XOR2": 2, "BUF": 1}
+
+
+@dataclass(frozen=True)
+class Node:
+    """One netlist node: a primary input, a constant, or a cell."""
+
+    name: str
+    kind: str  # "input", "const0", "const1", or an operation name
+    fanin: tuple = field(default_factory=tuple)
+
+
+class Netlist:
+    """A combinational majority-inverter-XOR netlist."""
+
+    def __init__(self, name="netlist"):
+        self.name = name
+        self._graph = nx.DiGraph()
+        self._outputs = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _check_fresh(self, name):
+        if name in self._graph:
+            raise NetlistError(f"node {name!r} already exists")
+
+    def add_input(self, name):
+        """Declare a primary input; returns its name."""
+        self._check_fresh(name)
+        self._graph.add_node(name, node=Node(name, "input"))
+        return name
+
+    def add_const(self, name, value):
+        """Declare a constant 0/1 node; returns its name."""
+        self._check_fresh(name)
+        value = validate_bit(value)
+        self._graph.add_node(name, node=Node(name, f"const{value}"))
+        return name
+
+    def add_cell(self, name, operation, fanin):
+        """Add a cell ``operation`` driven by existing nodes ``fanin``."""
+        self._check_fresh(name)
+        if operation not in _OPERATIONS:
+            raise NetlistError(
+                f"unknown operation {operation!r}; "
+                f"supported: {sorted(_OPERATIONS)}"
+            )
+        fanin = tuple(fanin)
+        if len(fanin) != _ARITY[operation]:
+            raise NetlistError(
+                f"{operation} takes {_ARITY[operation]} inputs, "
+                f"got {len(fanin)}"
+            )
+        for driver in fanin:
+            if driver not in self._graph:
+                raise NetlistError(f"fanin node {driver!r} does not exist")
+        self._graph.add_node(name, node=Node(name, operation, fanin))
+        for driver in fanin:
+            self._graph.add_edge(driver, name)
+        if not nx.is_directed_acyclic_graph(self._graph):
+            self._graph.remove_node(name)
+            raise NetlistError(
+                f"adding {name!r} would create a combinational loop"
+            )
+        return name
+
+    def mark_output(self, name):
+        """Register an existing node as a primary output."""
+        if name not in self._graph:
+            raise NetlistError(f"cannot mark unknown node {name!r} as output")
+        if name not in self._outputs:
+            self._outputs.append(name)
+        return name
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def inputs(self):
+        """Primary input names in insertion order."""
+        return [
+            n for n in self._graph.nodes
+            if self._graph.nodes[n]["node"].kind == "input"
+        ]
+
+    @property
+    def outputs(self):
+        """Primary output names in registration order."""
+        return list(self._outputs)
+
+    def cells(self, operation=None):
+        """Cell nodes, optionally filtered by operation."""
+        result = []
+        for n in self._graph.nodes:
+            node = self._graph.nodes[n]["node"]
+            if node.kind in _OPERATIONS and (
+                operation is None or node.kind == operation
+            ):
+                result.append(node)
+        return result
+
+    def cell_counts(self):
+        """Histogram {operation: count} over all cells."""
+        counts = {}
+        for node in self.cells():
+            counts[node.kind] = counts.get(node.kind, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # Evaluation and timing
+    # ------------------------------------------------------------------
+    def evaluate(self, assignments):
+        """Evaluate outputs for ``assignments`` {input name: bit}.
+
+        Returns {output name: bit}.  Raises on missing inputs.
+        """
+        values = {}
+        for name in nx.topological_sort(self._graph):
+            node = self._graph.nodes[name]["node"]
+            if node.kind == "input":
+                if name not in assignments:
+                    raise NetlistError(f"no value supplied for input {name!r}")
+                values[name] = validate_bit(assignments[name])
+            elif node.kind == "const0":
+                values[name] = 0
+            elif node.kind == "const1":
+                values[name] = 1
+            else:
+                bits = [values[d] for d in node.fanin]
+                values[name] = _OPERATIONS[node.kind](bits)
+        missing = [o for o in self._outputs if o not in values]
+        if missing:
+            raise NetlistError(f"outputs {missing!r} were never computed")
+        return {o: values[o] for o in self._outputs}
+
+    def depth(self):
+        """Logic depth in cell levels (inputs/constants are level 0)."""
+        levels = {}
+        for name in nx.topological_sort(self._graph):
+            node = self._graph.nodes[name]["node"]
+            if node.kind in ("input", "const0", "const1"):
+                levels[name] = 0
+            else:
+                levels[name] = 1 + max(levels[d] for d in node.fanin)
+        if not self._outputs:
+            return max(levels.values(), default=0)
+        return max(levels[o] for o in self._outputs)
+
+    def critical_path(self):
+        """One deepest input-to-output node path (list of names)."""
+        levels = {}
+        parent = {}
+        for name in nx.topological_sort(self._graph):
+            node = self._graph.nodes[name]["node"]
+            if node.kind in ("input", "const0", "const1"):
+                levels[name] = 0
+                parent[name] = None
+            else:
+                best = max(node.fanin, key=lambda d: levels[d])
+                levels[name] = 1 + levels[best]
+                parent[name] = best
+        if not levels:
+            return []
+        terminals = self._outputs or list(levels)
+        end = max(terminals, key=lambda n: levels[n])
+        path = [end]
+        while parent[path[-1]] is not None:
+            path.append(parent[path[-1]])
+        return list(reversed(path))
+
+    def graph(self):
+        """A copy of the underlying networkx DiGraph."""
+        return self._graph.copy()

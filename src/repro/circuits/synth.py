@@ -1,0 +1,155 @@
+"""MAJ/XOR-based synthesis of standard arithmetic blocks.
+
+Spin-wave logic favours majority-inverter graphs: a full adder is two
+majority gates plus XORs (carry = MAJ3(a, b, cin); sum = a ^ b ^ cin),
+and wider adders chain full adders.  These constructors return
+:class:`~repro.circuits.netlist.Netlist` objects ready for evaluation
+and cost estimation.
+"""
+
+from repro.core.encoding import int_to_bits
+from repro.errors import NetlistError
+from repro.circuits.netlist import Netlist
+
+
+def full_adder(netlist=None, a="a", b="b", cin="cin", prefix="fa"):
+    """One-bit full adder: returns (netlist, sum_name, carry_name).
+
+    carry = MAJ3(a, b, cin); sum = (a XOR b) XOR cin.  When ``netlist``
+    is given the nodes are appended (inputs must already exist).
+    """
+    fresh = netlist is None
+    if fresh:
+        netlist = Netlist(name=f"{prefix}_adder")
+        for name in (a, b, cin):
+            netlist.add_input(name)
+    carry = netlist.add_cell(f"{prefix}_carry", "MAJ3", (a, b, cin))
+    half = netlist.add_cell(f"{prefix}_axb", "XOR2", (a, b))
+    total = netlist.add_cell(f"{prefix}_sum", "XOR2", (half, cin))
+    if fresh:
+        netlist.mark_output(total)
+        netlist.mark_output(carry)
+    return netlist, total, carry
+
+
+def ripple_carry_adder(width, name="rca"):
+    """``width``-bit ripple-carry adder netlist.
+
+    Inputs ``a0..a{w-1}``, ``b0..b{w-1}``; outputs ``s0..s{w-1}`` and the
+    final ``cout``.  Carry-in is the constant 0.
+    """
+    if width < 1:
+        raise NetlistError(f"width must be >= 1, got {width!r}")
+    netlist = Netlist(name=f"{name}{width}")
+    a_bits = [netlist.add_input(f"a{i}") for i in range(width)]
+    b_bits = [netlist.add_input(f"b{i}") for i in range(width)]
+    carry = netlist.add_const("cin0", 0)
+    for i in range(width):
+        _, total, carry = full_adder(
+            netlist, a_bits[i], b_bits[i], carry, prefix=f"{name}_fa{i}"
+        )
+        netlist.mark_output(total)
+    netlist.mark_output(carry)
+    return netlist
+
+
+def majority_tree(n_leaves, name="majtree"):
+    """Balanced MAJ3 reduction tree over ``n_leaves`` inputs.
+
+    ``n_leaves`` must be a power of 3; the tree computes the recursive
+    majority-of-majorities (a standard SW-logic benchmark structure, not
+    the true n-input majority for n > 3).
+    """
+    if n_leaves < 3 or 3 ** round(_log3(n_leaves)) != n_leaves:
+        raise NetlistError(
+            f"n_leaves must be a power of 3 >= 3, got {n_leaves!r}"
+        )
+    netlist = Netlist(name=f"{name}{n_leaves}")
+    layer = [netlist.add_input(f"x{i}") for i in range(n_leaves)]
+    level = 0
+    while len(layer) > 1:
+        next_layer = []
+        for j in range(0, len(layer), 3):
+            cell = netlist.add_cell(
+                f"{name}_l{level}_{j // 3}", "MAJ3", tuple(layer[j : j + 3])
+            )
+            next_layer.append(cell)
+        layer = next_layer
+        level += 1
+    netlist.mark_output(layer[0])
+    return netlist
+
+
+def multiplexer2(netlist=None, a="a", b="b", select="s", prefix="mux"):
+    """2:1 multiplexer in MAJ/INV logic; returns (netlist, out_name).
+
+    out = (a AND ~s) OR (b AND s)
+        = MAJ3( MAJ3(a, ~s, 0), MAJ3(b, s, 0), 1 ).
+    """
+    fresh = netlist is None
+    if fresh:
+        netlist = Netlist(name=f"{prefix}2")
+        for name in (a, b, select):
+            netlist.add_input(name)
+    zero = netlist.add_const(f"{prefix}_c0", 0)
+    one = netlist.add_const(f"{prefix}_c1", 1)
+    not_select = netlist.add_cell(f"{prefix}_ns", "INV", (select,))
+    a_branch = netlist.add_cell(
+        f"{prefix}_and_a", "MAJ3", (a, not_select, zero)
+    )
+    b_branch = netlist.add_cell(f"{prefix}_and_b", "MAJ3", (b, select, zero))
+    out = netlist.add_cell(f"{prefix}_or", "MAJ3", (a_branch, b_branch, one))
+    if fresh:
+        netlist.mark_output(out)
+    return netlist, out
+
+
+def equality_comparator(width, name="cmp"):
+    """``width``-bit equality comparator: XNOR per bit, AND reduction.
+
+    XNOR = INV(XOR2); the AND reduction is a chain of MAJ3(x, y, 0).
+    Output is 1 iff a == b.
+    """
+    if width < 1:
+        raise NetlistError(f"width must be >= 1, got {width!r}")
+    netlist = Netlist(name=f"{name}{width}")
+    a_bits = [netlist.add_input(f"a{i}") for i in range(width)]
+    b_bits = [netlist.add_input(f"b{i}") for i in range(width)]
+    zero = netlist.add_const(f"{name}_c0", 0)
+    equal_bits = []
+    for i in range(width):
+        xor = netlist.add_cell(f"{name}_x{i}", "XOR2", (a_bits[i], b_bits[i]))
+        equal_bits.append(netlist.add_cell(f"{name}_e{i}", "INV", (xor,)))
+    accumulator = equal_bits[0]
+    for i, bit in enumerate(equal_bits[1:], start=1):
+        accumulator = netlist.add_cell(
+            f"{name}_and{i}", "MAJ3", (accumulator, bit, zero)
+        )
+    netlist.mark_output(accumulator)
+    return netlist
+
+
+def _log3(n):
+    import math
+
+    return math.log(n) / math.log(3.0)
+
+
+def evaluate_adder(netlist, a_value, b_value, width):
+    """Drive an adder netlist with integers; returns the integer sum.
+
+    Convenience for tests/examples: converts values to little-endian bit
+    assignments and assembles the output word (including carry-out).
+    """
+    assignments = {}
+    for i, bit in enumerate(int_to_bits(a_value, width)):
+        assignments[f"a{i}"] = bit
+    for i, bit in enumerate(int_to_bits(b_value, width)):
+        assignments[f"b{i}"] = bit
+    outputs = netlist.evaluate(assignments)
+    total = 0
+    for i in range(width):
+        total |= outputs[f"rca_fa{i}_sum"] << i
+    carry_name = netlist.outputs[-1]
+    total |= outputs[carry_name] << width
+    return total

@@ -1,0 +1,278 @@
+"""``swgate`` -- command-line interface to the reproduction.
+
+Subcommands::
+
+    swgate list                      # available experiments
+    swgate run fig3                  # run one experiment, print its table
+    swgate run all                   # every fast experiment
+    swgate majority 0xA5 0x3C 0x0F   # evaluate the byte MAJ gate on words
+    swgate layout                    # print the byte gate placement
+    swgate export-mif out.mif        # OOMMF MIF 2.1 export
+"""
+
+import argparse
+import sys
+
+from repro.core.encoding import bits_to_int, int_to_bits
+
+
+def _cmd_list(args):
+    from repro.experiments.runner import EXPERIMENTS
+
+    for name in sorted(EXPERIMENTS):
+        _, description = EXPERIMENTS[name]
+        print(f"{name:12s} {description}")
+    return 0
+
+
+def _cmd_run(args):
+    from repro.experiments.runner import EXPERIMENTS, run_experiment
+
+    if args.experiment == "all":
+        names = [n for n in sorted(EXPERIMENTS) if n != "llg-x"]
+    else:
+        names = [args.experiment]
+    for name in names:
+        _, text = run_experiment(name)
+        print(text)
+        print()
+    return 0
+
+
+def _parse_word(text):
+    return int(text, 0)
+
+
+def _cmd_majority(args):
+    from repro import GateSimulator, byte_majority_gate
+
+    gate = byte_majority_gate()
+    words = [int_to_bits(_parse_word(w), gate.n_bits) for w in args.words]
+    simulator = GateSimulator(gate)
+    result = simulator.run_phasor(words) if args.fast else simulator.run(words)
+    value = bits_to_int(result.decoded)
+    expected = bits_to_int(result.expected)
+    inputs = ", ".join(f"0x{_parse_word(w):02X}" for w in args.words)
+    print(f"MAJ3({inputs}) = 0x{value:02X} "
+          f"(expected 0x{expected:02X}, "
+          f"{'correct' if result.correct else 'WRONG'})")
+    print(f"min decode margin: {result.min_margin:.3f}")
+    return 0 if result.correct else 1
+
+
+def _cmd_layout(args):
+    from repro.core.layout import InlineGateLayout
+
+    layout = InlineGateLayout.paper_byte_layout()
+    layout.validate()
+    print(layout.describe())
+    return 0
+
+
+def _cmd_xor(args):
+    from repro import GateSimulator, byte_xor_gate
+
+    gate = byte_xor_gate()
+    words = [int_to_bits(_parse_word(w), gate.n_bits) for w in args.words]
+    result = GateSimulator(gate).run_phasor(words)
+    value = bits_to_int(result.decoded)
+    a, b = (_parse_word(w) for w in args.words)
+    print(
+        f"XOR(0x{a:02X}, 0x{b:02X}) = 0x{value:02X} "
+        f"({'correct' if result.correct else 'WRONG'}, "
+        f"amplitude readout)"
+    )
+    return 0 if result.correct else 1
+
+
+def _cmd_adder(args):
+    from repro.circuits import parallel_vs_scalar, ripple_carry_adder
+    from repro.circuits.synth import evaluate_adder
+
+    a = _parse_word(args.a)
+    b = _parse_word(args.b)
+    width = args.width
+    netlist = ripple_carry_adder(width)
+    total = evaluate_adder(netlist, a, b, width)
+    print(f"{width}-bit MAJ/XOR ripple-carry adder: "
+          f"0x{a:X} + 0x{b:X} = 0x{total:X}")
+    result = parallel_vs_scalar(netlist, n_words=args.words)
+    print(
+        f"implementing {args.words} instances: scalar "
+        f"{result.scalar_total.area * 1e12:.3f} um^2 vs parallel "
+        f"{result.parallel_total.area * 1e12:.3f} um^2 "
+        f"({result.area_ratio:.2f}x area saving, "
+        f"energy ratio {result.energy_ratio:.2f})"
+    )
+    return 0 if total == a + b else 1
+
+
+def _cmd_design(args):
+    from repro.core.designer import design_gate
+    from repro.core.gate import GateKind
+    from repro.waveguide import Waveguide
+
+    waveguide = Waveguide(
+        width=args.width * 1e-9,
+        include_width_modes=args.width != 50.0,
+    )
+    design = design_gate(
+        waveguide,
+        n_bits=args.bits,
+        n_inputs=args.inputs,
+        kind=GateKind(args.kind),
+        verify=args.verify,
+    )
+    print(design.summary())
+    return 0
+
+
+def _cmd_export_mif(args):
+    from repro import byte_majority_gate
+    from repro.oommf import gate_to_mif
+
+    gate = byte_majority_gate()
+    words = [int_to_bits(_parse_word(w), gate.n_bits) for w in args.words]
+    text = gate_to_mif(gate, words)
+    with open(args.output, "w", encoding="ascii") as handle:
+        handle.write(text)
+    print(f"wrote {args.output} ({len(text)} bytes)")
+    return 0
+
+
+def _cmd_save_design(args):
+    from repro import byte_majority_gate
+    from repro.core.design_io import save_gate
+
+    gate = byte_majority_gate()
+    save_gate(gate, args.output)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_check_design(args):
+    from repro.core.design_io import load_gate
+    from repro.core.simulate import GateSimulator
+
+    gate = load_gate(args.design)
+    print(gate.describe())
+    gate.layout.validate()
+    words = [[0] * gate.n_bits for _ in range(gate.n_data_inputs)]
+    result = GateSimulator(gate).run_phasor(words)
+    print(
+        f"layout valid; all-zeros evaluation "
+        f"{'correct' if result.correct else 'WRONG'}"
+    )
+    return 0 if result.correct else 1
+
+
+def build_parser():
+    """The argparse command tree (exposed for the CLI tests)."""
+    parser = argparse.ArgumentParser(
+        prog="swgate",
+        description="n-bit data parallel spin wave logic gate reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments").set_defaults(func=_cmd_list)
+
+    run_parser = sub.add_parser("run", help="run an experiment")
+    run_parser.add_argument(
+        "experiment", help="experiment id from 'swgate list', or 'all'"
+    )
+    run_parser.set_defaults(func=_cmd_run)
+
+    maj_parser = sub.add_parser(
+        "majority", help="evaluate the byte majority gate on three words"
+    )
+    maj_parser.add_argument("words", nargs=3, help="three 8-bit values (e.g. 0xA5)")
+    maj_parser.add_argument(
+        "--fast", action="store_true", help="phasor mode (no traces)"
+    )
+    maj_parser.set_defaults(func=_cmd_majority)
+
+    sub.add_parser(
+        "layout", help="print the byte gate placement"
+    ).set_defaults(func=_cmd_layout)
+
+    xor_parser = sub.add_parser(
+        "xor", help="evaluate the byte XOR gate on two words"
+    )
+    xor_parser.add_argument("words", nargs=2, help="two 8-bit values")
+    xor_parser.set_defaults(func=_cmd_xor)
+
+    adder_parser = sub.add_parser(
+        "adder", help="evaluate and price a MAJ/XOR ripple-carry adder"
+    )
+    adder_parser.add_argument("a", help="first operand")
+    adder_parser.add_argument("b", help="second operand")
+    adder_parser.add_argument(
+        "--width", type=int, default=8, help="adder width in bits"
+    )
+    adder_parser.add_argument(
+        "--words",
+        type=int,
+        default=8,
+        help="parallel data words for the cost comparison",
+    )
+    adder_parser.set_defaults(func=_cmd_adder)
+
+    design_parser = sub.add_parser(
+        "design", help="design and verify a custom data-parallel gate"
+    )
+    design_parser.add_argument(
+        "--bits", type=int, default=8, help="data width (channel count)"
+    )
+    design_parser.add_argument(
+        "--inputs", type=int, default=3, help="fan-in m"
+    )
+    design_parser.add_argument(
+        "--width", type=float, default=50.0, help="waveguide width [nm]"
+    )
+    design_parser.add_argument(
+        "--kind",
+        default="majority",
+        choices=["majority", "xor", "xnor", "and", "or"],
+        help="gate function",
+    )
+    design_parser.add_argument(
+        "--verify",
+        default="corners",
+        choices=["corners", "exhaustive", "none"],
+        help="functional verification depth",
+    )
+    design_parser.set_defaults(func=_cmd_design)
+
+    mif_parser = sub.add_parser("export-mif", help="export an OOMMF MIF file")
+    mif_parser.add_argument("output", help="output .mif path")
+    mif_parser.add_argument(
+        "--words",
+        nargs=3,
+        default=["0xFF", "0x0F", "0x55"],
+        help="three 8-bit input values",
+    )
+    mif_parser.set_defaults(func=_cmd_export_mif)
+
+    save_parser = sub.add_parser(
+        "save-design", help="save the byte gate as a JSON design document"
+    )
+    save_parser.add_argument("output", help="output .json path")
+    save_parser.set_defaults(func=_cmd_save_design)
+
+    check_parser = sub.add_parser(
+        "check-design", help="load and re-verify a JSON design document"
+    )
+    check_parser.add_argument("design", help="design .json path")
+    check_parser.set_defaults(func=_cmd_check_design)
+    return parser
+
+
+def main(argv=None):
+    """Console entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""Physical constants used throughout the library.
+
+All quantities are in SI units.  The gyromagnetic conventions follow the
+micromagnetic literature (and OOMMF): the Landau-Lifshitz-Gilbert equation
+is written with the *positive* constant ``GAMMA_LL`` multiplying the
+``m x H`` torque term, i.e.
+
+    dm/dt = -GAMMA_LL * mu0 * (m x H_eff) + alpha * (m x dm/dt)
+
+so that precession around a field pointing along +z is counter-clockwise
+when viewed from +z for electrons (negative charge carriers).
+"""
+
+import math
+
+#: Vacuum permeability [T*m/A].
+MU0 = 4.0e-7 * math.pi
+
+#: Electron gyromagnetic ratio magnitude [rad/(s*T)] (CODATA value for the
+#: free electron, the default used by OOMMF examples).
+GAMMA_LL = 1.760859644e11
+
+#: Gyromagnetic ratio expressed in [Hz/T]; ``f = GAMMA_HZ_PER_T * B`` is the
+#: Larmor frequency of a free spin in induction ``B``.
+GAMMA_HZ_PER_T = GAMMA_LL / (2.0 * math.pi)
+
+#: Boltzmann constant [J/K], used by the thermal-noise model.
+KB = 1.380649e-23
+
+#: Reduced Planck constant [J*s].
+HBAR = 1.054571817e-34
+
+#: Bohr magneton [J/T].
+MU_B = 9.2740100783e-24

@@ -1,0 +1,88 @@
+"""The paper's contribution: n-bit data parallel spin-wave logic gates.
+
+Data parallelism (Section III): *n* independent bit-slices are encoded in
+spin waves of *n* distinct frequencies travelling in one waveguide.  Waves
+of the same frequency interfere -- constructively for equal phases,
+destructively for opposite phases, majority-decided for three or more --
+while waves of different frequencies coexist untouched.  One physical
+in-line gate therefore evaluates an m-input Boolean function on n input
+words simultaneously.
+
+Public surface:
+
+* :class:`~repro.core.encoding.PhaseEncoding` -- logic values <-> phases,
+* :class:`~repro.core.frequency_plan.FrequencyPlan` -- the n channels,
+* :class:`~repro.core.layout.InlineGateLayout` -- the Fig. 2 geometry,
+* :class:`~repro.core.gate.DataParallelGate` -- gate specification,
+* :class:`~repro.core.simulate.GateSimulator` -- run a gate on the linear
+  or micromagnetic backend,
+* :mod:`~repro.core.readout` -- traces back to bits,
+* :mod:`~repro.core.metrics` -- the Section V.B area/delay/energy model,
+* :mod:`~repro.core.scaling` -- the Section V damping-compensation scheme.
+"""
+
+from repro.core.encoding import PhaseEncoding, int_to_bits, bits_to_int
+from repro.core.frequency_plan import FrequencyPlan
+from repro.core.layout import InlineGateLayout, TransducerSpec
+from repro.core.gate import DataParallelGate, GateKind
+from repro.core.simulate import GateSimulator, GateRunResult
+from repro.core.readout import decode_channel, decode_all_channels
+from repro.core.metrics import (
+    CostModel,
+    gate_cost,
+    scalar_baseline_cost,
+    comparison,
+)
+from repro.core.scaling import (
+    compensation_amplitudes,
+    decode_margin,
+    margin_vs_inputs,
+)
+from repro.core.cascade import (
+    GateCascade,
+    direct_coupling_margin,
+    majority_of_majorities,
+)
+from repro.core.designer import GateDesign, design_gate
+from repro.core.design_io import save_gate, load_gate, gate_to_dict, gate_from_dict
+from repro.core.faults import (
+    TransducerFault,
+    enumerate_faults,
+    fault_coverage,
+    parametric_coverage,
+)
+
+__all__ = [
+    "PhaseEncoding",
+    "int_to_bits",
+    "bits_to_int",
+    "FrequencyPlan",
+    "InlineGateLayout",
+    "TransducerSpec",
+    "DataParallelGate",
+    "GateKind",
+    "GateSimulator",
+    "GateRunResult",
+    "decode_channel",
+    "decode_all_channels",
+    "CostModel",
+    "gate_cost",
+    "scalar_baseline_cost",
+    "comparison",
+    "compensation_amplitudes",
+    "decode_margin",
+    "margin_vs_inputs",
+    "GateCascade",
+    "direct_coupling_margin",
+    "majority_of_majorities",
+    "GateDesign",
+    "design_gate",
+    "save_gate",
+    "load_gate",
+    "gate_to_dict",
+    "gate_from_dict",
+    "TransducerFault",
+    "enumerate_faults",
+    "fault_coverage",
+    "parametric_coverage",
+]

@@ -1,0 +1,235 @@
+"""Cascading data-parallel gates into multi-stage pipelines.
+
+Section III notes the gate outputs "can be read by transducers ... or
+passed to potential following SW gates".  This module models both
+options at the phasor level:
+
+* **transduced cascade** (:class:`GateCascade`): each stage's outputs
+  are detected, re-thresholded and re-excited into the next stage --
+  the robust option, equivalent to logic with signal regeneration.  Any
+  feed-forward majority network expressible stage-by-stage works.
+* **direct (all-magnonic) coupling** (:func:`direct_coupling_margin`):
+  the wave continues into the next stage without regeneration, so the
+  amplitude asymmetry produced by the first stage's interference
+  (|sum| in {1, 3} wave units for MAJ3) propagates.  The helper
+  quantifies the decode margin loss, motivating why regeneration (or
+  the paper's graded-drive trick) is needed for deep pipelines.
+
+Stages share a frequency plan; the per-stage physical structure is an
+independent waveguide segment (Fig. 2 structure per stage).
+"""
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import EncodingError, SimulationError
+from repro.core.simulate import GateSimulator
+
+
+@dataclass
+class StageResult:
+    """Decoded words and margins of one cascade stage."""
+
+    decoded: list  # output word of the stage
+    min_margin: float
+    amplitudes: list  # per-channel detected amplitude
+
+
+class GateCascade:
+    """A feed-forward pipeline of data-parallel gates with regeneration.
+
+    Parameters
+    ----------
+    stages:
+        List of :class:`~repro.core.gate.DataParallelGate`, all with the
+        same bit width.
+    wiring:
+        For each stage after the first, a list of ``n_data_inputs``
+        selectors saying where each input word comes from: the string
+        ``"primary:<j>"`` (the j-th primary input word) or
+        ``"stage:<s>"`` (the output word of earlier stage s).
+        The first stage always consumes the first
+        ``stages[0].n_data_inputs`` primary words.
+    """
+
+    def __init__(self, stages, wiring):
+        if not stages:
+            raise EncodingError("a cascade needs at least one stage")
+        widths = {g.n_bits for g in stages}
+        if len(widths) != 1:
+            raise EncodingError(
+                f"all stages must share one bit width, got {sorted(widths)}"
+            )
+        if len(wiring) != len(stages) - 1:
+            raise EncodingError(
+                f"wiring must cover stages 1..{len(stages) - 1}, "
+                f"got {len(wiring)} entries"
+            )
+        self.stages = list(stages)
+        self.wiring = [list(w) for w in wiring]
+        for index, stage_wiring in enumerate(self.wiring, start=1):
+            expected = self.stages[index].n_data_inputs
+            if len(stage_wiring) != expected:
+                raise EncodingError(
+                    f"stage {index} needs {expected} input selectors, "
+                    f"got {len(stage_wiring)}"
+                )
+            for selector in stage_wiring:
+                self._parse_selector(selector, max_stage=index - 1)
+        self._simulators = [GateSimulator(gate) for gate in self.stages]
+
+    @staticmethod
+    def _parse_selector(selector, max_stage):
+        kind, _, arg = str(selector).partition(":")
+        if kind not in ("primary", "stage") or not arg:
+            raise EncodingError(
+                f"bad wiring selector {selector!r}; use 'primary:<j>' "
+                "or 'stage:<s>'"
+            )
+        index = int(arg)
+        if kind == "stage" and not 0 <= index <= max_stage:
+            raise EncodingError(
+                f"selector {selector!r} references a not-yet-computed stage"
+            )
+        return kind, index
+
+    @property
+    def n_bits(self):
+        """Shared data width of the pipeline."""
+        return self.stages[0].n_bits
+
+    def n_primary_inputs(self):
+        """How many primary input words the cascade consumes."""
+        needed = self.stages[0].n_data_inputs
+        for stage_wiring in self.wiring:
+            for selector in stage_wiring:
+                kind, index = self._parse_selector(selector, len(self.stages))
+                if kind == "primary":
+                    needed = max(needed, index + 1)
+        return needed
+
+    def run(self, primary_words):
+        """Evaluate the pipeline; returns (final word, [StageResult...]).
+
+        Each stage runs in phasor mode; its decoded word (regenerated,
+        full-amplitude) feeds the selectors of later stages.
+        """
+        primary_words = [list(w) for w in primary_words]
+        if len(primary_words) < self.n_primary_inputs():
+            raise EncodingError(
+                f"cascade needs {self.n_primary_inputs()} primary words, "
+                f"got {len(primary_words)}"
+            )
+        stage_outputs = []
+        results = []
+        for index, (gate, simulator) in enumerate(
+            zip(self.stages, self._simulators)
+        ):
+            if index == 0:
+                words = primary_words[: gate.n_data_inputs]
+            else:
+                words = []
+                for selector in self.wiring[index - 1]:
+                    kind, sel_index = self._parse_selector(selector, index - 1)
+                    source = (
+                        primary_words[sel_index]
+                        if kind == "primary"
+                        else stage_outputs[sel_index]
+                    )
+                    words.append(list(source))
+            run = simulator.run_phasor(words)
+            if not run.correct:
+                raise SimulationError(
+                    f"stage {index} physics disagreed with Boolean logic "
+                    f"(decoded {run.decoded}, expected {run.expected})"
+                )
+            stage_outputs.append(run.decoded)
+            results.append(
+                StageResult(
+                    decoded=run.decoded,
+                    min_margin=run.min_margin,
+                    amplitudes=[d.amplitude for d in run.decodes],
+                )
+            )
+        return stage_outputs[-1], results
+
+    def expected(self, primary_words):
+        """Golden Boolean evaluation of the same wiring."""
+        primary_words = [list(w) for w in primary_words]
+        stage_outputs = []
+        for index, gate in enumerate(self.stages):
+            if index == 0:
+                words = primary_words[: gate.n_data_inputs]
+            else:
+                words = []
+                for selector in self.wiring[index - 1]:
+                    kind, sel_index = self._parse_selector(selector, index - 1)
+                    words.append(
+                        list(
+                            primary_words[sel_index]
+                            if kind == "primary"
+                            else stage_outputs[sel_index]
+                        )
+                    )
+            stage_outputs.append(gate.expected_output(words))
+        return stage_outputs[-1]
+
+
+def direct_coupling_margin(n_inputs=3, stages=2):
+    """Worst-case relative margin of an unregenerated MAJ cascade.
+
+    In a direct all-magnonic cascade the stage-1 output wave keeps its
+    interference amplitude: a 2-vs-1 majority leaves |sum| = 1 wave unit
+    while a unanimous input leaves |sum| = n.  At the next stage a weak
+    (amplitude 1) true-majority wave can be outvoted by two strong
+    (amplitude up to n) minority waves -- unless amplitudes are
+    renormalised.  This helper returns the worst-case margin (negative
+    = failure) after ``stages`` unregenerated MAJ-``n_inputs`` stages,
+    assuming worst-case amplitude assignments.
+
+    The result is the quantitative argument for regeneration: already at
+    two stages the margin is negative for any odd n >= 3.
+    """
+    if n_inputs < 3 or n_inputs % 2 == 0:
+        raise EncodingError("n_inputs must be odd and >= 3")
+    if stages < 1:
+        raise EncodingError("stages must be >= 1")
+    weak = 1.0
+    strong = float(n_inputs)
+    for _ in range(stages - 1):
+        majority_count = (n_inputs + 1) // 2
+        minority_count = n_inputs - majority_count
+        # Worst case: the majority arrives weak, the minority strong.
+        resultant = majority_count * weak - minority_count * strong
+        full_scale = majority_count * weak + minority_count * strong
+        margin = resultant / full_scale
+        if margin <= 0:
+            return margin
+        weak, strong = abs(resultant), n_inputs * strong
+    return weak / (weak + strong)
+
+
+def majority_of_majorities(gate_factory, n_bits):
+    """Build the canonical 2-level cascade: MAJ3(MAJ3 x 3).
+
+    ``gate_factory()`` must return a fresh 3-input majority
+    :class:`DataParallelGate` of width ``n_bits`` per call.  The cascade
+    consumes 9 primary words; stage 3 combines the three first-level
+    outputs.  Returns the :class:`GateCascade`.
+    """
+    stages = [gate_factory() for _ in range(4)]
+    for gate in stages:
+        if gate.n_bits != n_bits or gate.n_data_inputs != 3:
+            raise EncodingError(
+                "gate_factory must build 3-input gates of the stated width"
+            )
+    # Stages 1 and 2 consume primary words 3..5 and 6..8; the final
+    # stage consumes the three stage outputs.
+    wiring = [
+        ["primary:3", "primary:4", "primary:5"],
+        ["primary:6", "primary:7", "primary:8"],
+        ["stage:0", "stage:1", "stage:2"],
+    ]
+    return GateCascade(stages, wiring)

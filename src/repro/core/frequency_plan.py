@@ -1,0 +1,111 @@
+"""Frequency channel planning for data-parallel gates.
+
+A :class:`FrequencyPlan` assigns one carrier frequency to each of the n
+bit positions.  The plan is validated against a waveguide's dispersion:
+every channel must lie above the band edge (so a propagating wave
+exists) and channels must be spectrally separated enough for the readout
+filters to isolate them.
+
+The paper's byte plan is 10, 20, ..., 80 GHz (Section IV.B), available
+as :meth:`FrequencyPlan.paper_byte_plan`.
+"""
+
+import numpy as np
+
+from repro.errors import DispersionError, EncodingError
+from repro.physics.solve import wavenumber_for_frequency
+from repro.units import GHZ
+
+
+class FrequencyPlan:
+    """An ordered set of distinct carrier frequencies, one per bit."""
+
+    def __init__(self, frequencies):
+        freqs = [float(f) for f in frequencies]
+        if not freqs:
+            raise EncodingError("a frequency plan needs at least one channel")
+        if any(f <= 0 for f in freqs):
+            raise EncodingError(f"frequencies must be positive: {freqs!r}")
+        if len(set(freqs)) != len(freqs):
+            raise EncodingError(
+                f"frequencies must be distinct, got {freqs!r}"
+            )
+        self.frequencies = freqs
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def paper_byte_plan(cls):
+        """The paper's 8-channel plan: 10 to 80 GHz in 10 GHz steps."""
+        return cls([(i + 1) * 10.0 * GHZ for i in range(8)])
+
+    @classmethod
+    def uniform(cls, n_bits, f_start, f_step):
+        """``n_bits`` channels at ``f_start + i*f_step``."""
+        if n_bits < 1:
+            raise EncodingError(f"n_bits must be >= 1, got {n_bits!r}")
+        if f_step <= 0:
+            raise EncodingError(f"f_step must be positive, got {f_step!r}")
+        return cls([f_start + i * f_step for i in range(n_bits)])
+
+    # ------------------------------------------------------------------
+    @property
+    def n_bits(self):
+        """Number of channels (= parallel bit width)."""
+        return len(self.frequencies)
+
+    def channel(self, index):
+        """Frequency [Hz] of channel ``index`` (0-based)."""
+        return self.frequencies[index]
+
+    def min_spacing(self):
+        """Smallest spectral gap between adjacent channels [Hz]."""
+        if self.n_bits == 1:
+            return float("inf")
+        ordered = sorted(self.frequencies)
+        return float(min(np.diff(ordered)))
+
+    # ------------------------------------------------------------------
+    def wavelengths(self, dispersion):
+        """Wavelength [m] of every channel under ``dispersion``."""
+        from repro.physics.solve import wavelength_for_frequency
+
+        return [
+            wavelength_for_frequency(dispersion, f) for f in self.frequencies
+        ]
+
+    def wavenumbers(self, dispersion):
+        """Wavenumber [rad/m] of every channel under ``dispersion``."""
+        return [
+            wavenumber_for_frequency(dispersion, f) for f in self.frequencies
+        ]
+
+    def validate_against(self, dispersion, min_relative_spacing=0.02):
+        """Check every channel propagates and channels are separable.
+
+        Raises :class:`~repro.errors.DispersionError` when a channel sits
+        below the band edge, or :class:`~repro.errors.EncodingError` when
+        two channels are closer than ``min_relative_spacing`` times the
+        lower of the two (readout filters could not separate them).
+        Returns self for chaining.
+        """
+        band_edge = dispersion.frequency(0.0)
+        for f in self.frequencies:
+            if f <= band_edge:
+                raise DispersionError(
+                    f"channel at {f:.4g} Hz is below the band edge "
+                    f"{band_edge:.4g} Hz: no propagating spin wave"
+                )
+            # Raises if not invertible for any other reason.
+            wavenumber_for_frequency(dispersion, f)
+        ordered = sorted(self.frequencies)
+        for low, high in zip(ordered, ordered[1:]):
+            if (high - low) < min_relative_spacing * low:
+                raise EncodingError(
+                    f"channels {low:.4g} and {high:.4g} Hz are too close "
+                    f"to separate (spacing < {min_relative_spacing:.2%})"
+                )
+        return self
+
+    def describe(self):
+        """Comma-separated channel list in GHz."""
+        return ", ".join(f"{f / GHZ:g} GHz" for f in self.frequencies)

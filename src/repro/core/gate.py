@@ -1,0 +1,182 @@
+"""Data-parallel gate specification and Boolean semantics.
+
+A :class:`DataParallelGate` binds a logic function (majority, XOR, ...)
+to a frequency plan and an in-line layout.  Its Boolean semantics are
+bit-sliced: input j is an n-bit word; channel i computes the function of
+bit i of every input word.  :meth:`expected_output` gives the golden
+result the physical simulation must reproduce.
+"""
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.encoding import validate_word
+from repro.errors import EncodingError
+
+
+class GateKind(enum.Enum):
+    """Supported in-line gate functions.
+
+    MAJORITY requires an odd fan-in (phase interference implements the
+    majority decision directly, Section II).  AND and OR are majority
+    gates with one input tied to constant 0 / 1 respectively.  XOR and
+    XNOR use 2 data inputs and decode wave *amplitude* instead of phase:
+    opposite phases cancel, so low amplitude marks unequal inputs.
+    """
+
+    MAJORITY = "majority"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    XNOR = "xnor"
+
+    @property
+    def uses_amplitude_readout(self):
+        """True for kinds decoded from amplitude (XOR family)."""
+        return self in (GateKind.XOR, GateKind.XNOR)
+
+
+def majority(bits):
+    """Majority of an odd-length bit sequence."""
+    bits = validate_word(bits)
+    if len(bits) % 2 == 0:
+        raise EncodingError(
+            f"majority needs an odd number of inputs, got {len(bits)}"
+        )
+    return int(sum(bits) * 2 > len(bits))
+
+
+def parity(bits):
+    """XOR (odd parity) of a bit sequence."""
+    bits = validate_word(bits)
+    return int(sum(bits) % 2 == 1)
+
+
+@dataclass(frozen=True)
+class _KindSpec:
+    data_inputs: int
+    constant_inputs: tuple  # bits appended to the data inputs
+
+
+def _kind_spec(kind, n_inputs):
+    if kind is GateKind.MAJORITY:
+        if n_inputs % 2 == 0:
+            raise EncodingError(
+                f"majority gates need odd fan-in, got {n_inputs}"
+            )
+        return _KindSpec(n_inputs, ())
+    if kind is GateKind.AND:
+        if n_inputs != 3:
+            raise EncodingError("AND is implemented as MAJ3(a, b, 0)")
+        return _KindSpec(2, (0,))
+    if kind is GateKind.OR:
+        if n_inputs != 3:
+            raise EncodingError("OR is implemented as MAJ3(a, b, 1)")
+        return _KindSpec(2, (1,))
+    if kind in (GateKind.XOR, GateKind.XNOR):
+        if n_inputs != 2:
+            raise EncodingError(
+                f"{kind.value} gates use exactly 2 inputs, got {n_inputs}"
+            )
+        return _KindSpec(2, ())
+    raise EncodingError(f"unsupported gate kind {kind!r}")
+
+
+class DataParallelGate:
+    """An n-bit data-parallel m-input spin-wave logic gate.
+
+    Parameters
+    ----------
+    layout:
+        :class:`~repro.core.layout.InlineGateLayout`; fixes the frequency
+        plan, fan-in and geometry.
+    kind:
+        :class:`GateKind`, default MAJORITY (the paper's validated gate).
+    """
+
+    def __init__(self, layout, kind=GateKind.MAJORITY):
+        self.layout = layout
+        self.kind = GateKind(kind)
+        self.spec = _kind_spec(self.kind, layout.n_inputs)
+        physical_inputs = self.spec.data_inputs + len(self.spec.constant_inputs)
+        if physical_inputs != layout.n_inputs:
+            raise EncodingError(
+                f"{self.kind.value} uses {physical_inputs} physical inputs "
+                f"but the layout has {layout.n_inputs}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_bits(self):
+        """Parallel data width (number of frequency channels)."""
+        return self.layout.plan.n_bits
+
+    @property
+    def n_data_inputs(self):
+        """Number of user-facing input words."""
+        return self.spec.data_inputs
+
+    # ------------------------------------------------------------------
+    def physical_input_bits(self, words):
+        """Expand data words to per-channel physical input bit tuples.
+
+        ``words`` is a sequence of ``n_data_inputs`` words, each ``n_bits``
+        long (little-endian lists).  Returns, per channel, the tuple of
+        ``layout.n_inputs`` bits actually driven onto the waveguide
+        (data bits plus any tied constants).
+        """
+        if len(words) != self.n_data_inputs:
+            raise EncodingError(
+                f"expected {self.n_data_inputs} input words, got {len(words)}"
+            )
+        validated = [validate_word(w, width=self.n_bits) for w in words]
+        per_channel = []
+        for channel in range(self.n_bits):
+            bits = tuple(w[channel] for w in validated) + self.spec.constant_inputs
+            per_channel.append(bits)
+        return per_channel
+
+    def channel_output(self, bits):
+        """Boolean output of one channel for its physical input bits."""
+        bits = validate_word(bits, width=self.layout.n_inputs)
+        if self.kind in (GateKind.MAJORITY, GateKind.AND, GateKind.OR):
+            return majority(bits)
+        if self.kind is GateKind.XOR:
+            return parity(bits)
+        return 1 - parity(bits)  # XNOR
+
+    def expected_output(self, words, apply_inversion=True):
+        """Golden n-bit output word for the given data words.
+
+        ``apply_inversion=True`` accounts for channels whose detector is
+        placed at a half-integer multiple (complemented read-out).
+        """
+        outputs = []
+        for channel, bits in enumerate(self.physical_input_bits(words)):
+            value = self.channel_output(bits)
+            if apply_inversion and self.layout.inverted_outputs[channel]:
+                value = 1 - value
+            outputs.append(value)
+        return outputs
+
+    def truth_table(self):
+        """All (input bit tuple -> output bit) pairs for one channel.
+
+        Enumerates the ``2**n_data_inputs`` data combinations, ignoring
+        per-channel inversion (which is a placement choice, not logic).
+        """
+        from itertools import product
+
+        rows = []
+        for bits in product((0, 1), repeat=self.n_data_inputs):
+            physical = tuple(bits) + self.spec.constant_inputs
+            rows.append((bits, self.channel_output(physical)))
+        return rows
+
+    def describe(self):
+        """One-line summary."""
+        return (
+            f"{self.n_bits}-bit data parallel {self.kind.value.upper()} gate, "
+            f"{self.n_data_inputs} data inputs "
+            f"({self.layout.n_inputs} physical sources/channel)"
+        )

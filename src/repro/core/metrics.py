@@ -1,0 +1,161 @@
+"""Area, delay and energy model (Section V.B).
+
+The paper assumes the 10 nm x 50 nm excitation/detection cells dominate
+delay and energy; since the byte-parallel gate and the 8-gate scalar
+baseline use the *same number* of transducers, their delay and energy are
+equal and the comparison reduces to area:
+
+* scalar baseline: 8 single-frequency majority gates, 0.116 um^2 total;
+* byte-parallel in-line gate: one waveguide, 0.0279 um^2;
+* ratio 4.16x.
+
+The models here regenerate those numbers from the geometry: the parallel
+gate's area comes from the layout engine, the scalar gate's from a
+single-channel layout at the lowest frequency (wavelength-pitched
+transducers).  Delay and energy are parameterised per transducer event so
+users can plug in their own ME-cell technology numbers.
+"""
+
+from dataclasses import dataclass
+
+from repro.errors import LayoutError
+from repro.units import NS, AJ
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Technology constants for transducer-dominated cost accounting.
+
+    Defaults follow common ME-cell assumptions in the SW-logic
+    literature: ~0.42 ns and ~10 aJ per excitation or detection event.
+    Propagation delay is computed from the physics, not assumed.
+    """
+
+    transducer_delay: float = 0.42 * NS
+    transducer_energy: float = 10.0 * AJ
+
+    def __post_init__(self):
+        if self.transducer_delay <= 0:
+            raise LayoutError("transducer_delay must be positive")
+        if self.transducer_energy <= 0:
+            raise LayoutError("transducer_energy must be positive")
+
+
+@dataclass(frozen=True)
+class GateCost:
+    """Cost figures of one implementation."""
+
+    area: float  # [m^2]
+    delay: float  # [s], excite + worst-case propagation + detect
+    energy: float  # [J] per evaluation
+    n_transducers: int
+    waveguide_length: float  # [m] total waveguide metal (sum over guides)
+
+    def as_row(self, label):
+        """(label, area um^2, delay ns, energy aJ, transducers) tuple."""
+        return (
+            label,
+            f"{self.area * 1e12:.4f}",
+            f"{self.delay * 1e9:.3f}",
+            f"{self.energy * 1e18:.1f}",
+            str(self.n_transducers),
+        )
+
+
+def _worst_propagation_delay(layout):
+    """Longest source-to-detector group delay in ``layout`` [s]."""
+    from repro.waveguide.linear_model import LinearWaveguideModel
+
+    model = LinearWaveguideModel(layout.waveguide)
+    worst = 0.0
+    for channel in range(layout.plan.n_bits):
+        frequency = layout.plan.frequencies[channel]
+        _, v_g, _ = model.wave_parameters(frequency)
+        detector = layout.detector_positions[channel]
+        for position in layout.source_positions[channel]:
+            worst = max(worst, abs(detector - position) / v_g)
+    return worst
+
+
+def gate_cost(layout, cost_model=None):
+    """Cost of the data-parallel in-line gate described by ``layout``."""
+    cost_model = cost_model if cost_model is not None else CostModel()
+    n_transducers = layout.n_sources + layout.n_detectors
+    delay = (
+        2.0 * cost_model.transducer_delay + _worst_propagation_delay(layout)
+    )
+    energy = n_transducers * cost_model.transducer_energy
+    return GateCost(
+        area=layout.area,
+        delay=delay,
+        energy=energy,
+        n_transducers=n_transducers,
+        waveguide_length=layout.total_length,
+    )
+
+
+def scalar_baseline_cost(layout, cost_model=None, scalar_frequency=None):
+    """Cost of the conventional equivalent: n scalar gates.
+
+    Each scalar gate evaluates one bit with ``layout.n_inputs`` sources
+    plus one detector on its own waveguide, all operating at a single
+    frequency (``scalar_frequency``, default the plan's lowest --
+    scalar gates have no reason to use anything else).  Transducers are
+    pitched one wavelength apart, the natural constructive spacing.
+    """
+    from repro.core.frequency_plan import FrequencyPlan
+    from repro.core.layout import InlineGateLayout
+
+    cost_model = cost_model if cost_model is not None else CostModel()
+    if scalar_frequency is None:
+        scalar_frequency = min(layout.plan.frequencies)
+    scalar_plan = FrequencyPlan([scalar_frequency])
+    scalar_layout = InlineGateLayout(
+        layout.waveguide,
+        scalar_plan,
+        n_inputs=layout.n_inputs,
+        transducer=layout.transducer,
+        multipliers=[1],
+    )
+    n_gates = layout.plan.n_bits
+    per_gate = gate_cost(scalar_layout, cost_model)
+    return GateCost(
+        area=n_gates * per_gate.area,
+        delay=per_gate.delay,  # gates operate in parallel
+        energy=n_gates * per_gate.energy,
+        n_transducers=n_gates * per_gate.n_transducers,
+        waveguide_length=n_gates * per_gate.waveguide_length,
+    )
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Parallel-vs-scalar comparison summary."""
+
+    parallel: GateCost
+    scalar: GateCost
+
+    @property
+    def area_ratio(self):
+        """Scalar area / parallel area (the paper's 4.16x)."""
+        return self.scalar.area / self.parallel.area
+
+    @property
+    def delay_ratio(self):
+        """Scalar delay / parallel delay (~1: same transducer count)."""
+        return self.scalar.delay / self.parallel.delay
+
+    @property
+    def energy_ratio(self):
+        """Scalar energy / parallel energy (exactly 1 in this model)."""
+        return self.scalar.energy / self.parallel.energy
+
+
+def comparison(layout, cost_model=None, scalar_frequency=None):
+    """Build the Section V.B comparison for ``layout``."""
+    return Comparison(
+        parallel=gate_cost(layout, cost_model),
+        scalar=scalar_baseline_cost(
+            layout, cost_model, scalar_frequency=scalar_frequency
+        ),
+    )

@@ -1,0 +1,174 @@
+"""Decoding detector traces back to logic bits.
+
+Phase readout (majority family): the channel's phase is extracted from
+the steady-state portion of the trace by lock-in demodulation (or an
+FFT-bin phasor) and compared against the channel's *reference phase* --
+the phase an all-zeros input would produce at that detector, which folds
+in the propagation phase ``k * distance``.  A measured phase near the
+reference decodes to 0; near reference + pi decodes to 1.
+
+Amplitude readout (XOR family): opposite-phase wave pairs cancel, so the
+channel amplitude relative to the equal-inputs calibration level carries
+the result.
+"""
+
+import cmath
+import math
+from dataclasses import dataclass
+
+from repro.errors import ReadoutError
+from repro.analysis.phase import fft_phasor, lock_in
+
+
+def _wrap(phase):
+    return (phase + math.pi) % (2.0 * math.pi) - math.pi
+
+
+@dataclass(frozen=True)
+class ChannelDecode:
+    """Result of decoding one frequency channel.
+
+    Attributes
+    ----------
+    bit:
+        The decoded logic value.
+    phase:
+        Measured phase relative to the channel reference [rad].
+    amplitude:
+        Measured carrier amplitude (same units as the trace).
+    margin:
+        Distance from the decision boundary: radians for phase readout,
+        relative amplitude for amplitude readout.  Larger is safer.
+    """
+
+    bit: int
+    phase: float
+    amplitude: float
+    margin: float
+
+
+def measure_phasor(t, trace, frequency, t_start, method="lockin"):
+    """Complex sine-referenced phasor of ``frequency`` in ``trace``.
+
+    ``method`` selects the estimator: ``"lockin"`` (default, accurate
+    off-grid), ``"fft"`` (raw FFT bin) or ``"goertzel"`` (single-bin
+    recursion, the hardware-friendly detector) -- three independent
+    implementations of the same measurement.
+    """
+    if method == "lockin":
+        z = lock_in(t, trace, frequency, t_start=t_start)
+        return z * cmath.exp(0.5j * math.pi)  # sine-referenced
+    if method == "fft":
+        mask = t >= t_start
+        return fft_phasor(t[mask], trace[mask], frequency)
+    if method == "goertzel":
+        from repro.analysis.goertzel import goertzel_phasor
+
+        mask = t >= t_start
+        return goertzel_phasor(t[mask], trace[mask], frequency)
+    raise ReadoutError(f"unknown phasor method {method!r}")
+
+
+def decode_channel(
+    t,
+    trace,
+    frequency,
+    reference_phase=0.0,
+    reference_amplitude=None,
+    t_start=0.0,
+    method="lockin",
+    amplitude_readout=False,
+    amplitude_threshold=0.5,
+    min_amplitude_ratio=0.05,
+):
+    """Decode one channel from a detector trace.
+
+    Parameters
+    ----------
+    t, trace:
+        Time grid [s] and Mx/Ms samples.
+    frequency:
+        Channel carrier [Hz].
+    reference_phase:
+        Phase of the logic-0 steady state at this detector [rad].
+    reference_amplitude:
+        Calibration amplitude (all inputs equal); required for amplitude
+        readout, optional for phase readout (enables a dead-channel check).
+    t_start:
+        Start of the steady-state analysis window [s].
+    method:
+        Phasor estimator, ``"lockin"`` or ``"fft"``.
+    amplitude_readout:
+        True for the XOR family.
+    amplitude_threshold:
+        Decision level as a fraction of ``reference_amplitude``.
+    min_amplitude_ratio:
+        Below this fraction of the reference, phase readout refuses to
+        decode (the carrier is effectively absent).
+
+    Returns a :class:`ChannelDecode`.
+    """
+    z = measure_phasor(t, trace, frequency, t_start, method=method)
+    amplitude = abs(z)
+
+    if amplitude_readout:
+        if reference_amplitude is None or reference_amplitude <= 0:
+            raise ReadoutError(
+                "amplitude readout requires a positive reference_amplitude"
+            )
+        ratio = amplitude / reference_amplitude
+        bit = int(ratio < amplitude_threshold)
+        margin = abs(ratio - amplitude_threshold)
+        phase = _wrap(cmath.phase(z) - reference_phase) if amplitude > 0 else 0.0
+        return ChannelDecode(bit=bit, phase=phase, amplitude=amplitude, margin=margin)
+
+    if reference_amplitude is not None and reference_amplitude > 0:
+        if amplitude < min_amplitude_ratio * reference_amplitude:
+            raise ReadoutError(
+                f"carrier at {frequency:.4g} Hz too weak to decode a phase "
+                f"({amplitude:.3g} < {min_amplitude_ratio} * "
+                f"{reference_amplitude:.3g})"
+            )
+    relative = _wrap(cmath.phase(z) - reference_phase)
+    bit = int(abs(relative) > 0.5 * math.pi)
+    margin = abs(abs(relative) - 0.5 * math.pi)
+    return ChannelDecode(bit=bit, phase=relative, amplitude=amplitude, margin=margin)
+
+
+def decode_all_channels(
+    t,
+    trace,
+    frequencies,
+    reference_phases=None,
+    reference_amplitudes=None,
+    t_start=0.0,
+    method="lockin",
+    amplitude_readout=False,
+    amplitude_threshold=0.5,
+):
+    """Decode every channel of a shared multi-frequency trace.
+
+    Returns a list of :class:`ChannelDecode`, one per entry of
+    ``frequencies``.  Per-channel references default to 0 / None.
+    """
+    n = len(frequencies)
+    if reference_phases is None:
+        reference_phases = [0.0] * n
+    if reference_amplitudes is None:
+        reference_amplitudes = [None] * n
+    if len(reference_phases) != n or len(reference_amplitudes) != n:
+        raise ReadoutError("reference arrays must match the channel count")
+    return [
+        decode_channel(
+            t,
+            trace,
+            frequency,
+            reference_phase=reference_phases[i],
+            reference_amplitude=reference_amplitudes[i],
+            t_start=t_start,
+            method=method,
+            amplitude_readout=amplitude_readout,
+            amplitude_threshold=amplitude_threshold,
+        )
+        for i, frequency in enumerate(frequencies)
+    ]

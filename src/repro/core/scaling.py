@@ -1,0 +1,146 @@
+"""Scalability under damping (Section V, "Scalability").
+
+In a long in-line gate the wave from the first source travels further
+than the wave from the last, so Gilbert damping attenuates it more.  The
+paper prescribes graded excitation intensities,
+``E(I_n) < E(I_{n-1}) < ... < E(I_1)``, to equalise the amplitudes at the
+interference/detection point.  These helpers compute:
+
+* the per-source amplitude grading that exactly compensates damping
+  (:func:`compensation_amplitudes`),
+* the worst-case majority decision margin of a gate with or without
+  compensation (:func:`decode_margin`), and
+* the margin trend versus input count (:func:`margin_vs_inputs`) -- the
+  quantitative version of the paper's qualitative scalability argument.
+"""
+
+import math
+from itertools import product
+
+import numpy as np
+
+from repro.errors import LayoutError
+from repro.physics.damping import attenuation_length
+from repro.physics.solve import wavenumber_for_frequency
+
+
+def _channel_attenuations(layout, channel):
+    """exp(-distance/L) factor of each source of ``channel`` at its detector."""
+    dispersion = layout.waveguide.dispersion()
+    frequency = layout.plan.frequencies[channel]
+    k = wavenumber_for_frequency(dispersion, frequency)
+    length = attenuation_length(dispersion, k)
+    detector = layout.detector_positions[channel]
+    return [
+        math.exp(-abs(detector - position) / length)
+        for position in layout.source_positions[channel]
+    ]
+
+
+def compensation_amplitudes(layout, normalize="max"):
+    """Per-(channel, input) source amplitudes that equalise arrivals.
+
+    Amplitude A_j proportional to exp(+distance_j / L) cancels the
+    propagation loss, so every input of a channel lands at the detector
+    with the same magnitude.  ``normalize`` fixes the overall scale:
+    ``"max"`` caps the largest source at 1 (all others weaker -- matching
+    the paper's E(I_n) < ... < E(I_1) with I_1 farthest), ``"last"``
+    fixes the source nearest the detector at 1.
+
+    Returns an array of shape ``(n_bits, n_inputs)`` directly pluggable
+    into :class:`~repro.core.simulate.GateSimulator`.
+    """
+    n_bits = layout.plan.n_bits
+    n_inputs = layout.n_inputs
+    amplitudes = np.empty((n_bits, n_inputs))
+    for channel in range(n_bits):
+        attenuation = np.asarray(_channel_attenuations(layout, channel))
+        gain = 1.0 / attenuation
+        if normalize == "max":
+            gain = gain / gain.max()
+        elif normalize == "last":
+            gain = gain / gain[-1]
+        else:
+            raise LayoutError(f"unknown normalize mode {normalize!r}")
+        amplitudes[channel] = gain
+    return amplitudes
+
+
+def excitation_energies(amplitudes):
+    """Relative excitation energies (proportional to amplitude^2)."""
+    amplitudes = np.asarray(amplitudes, dtype=float)
+    return amplitudes**2
+
+
+def decode_margin(layout, channel=0, amplitudes=None):
+    """Worst-case majority phasor margin of one channel.
+
+    For every input combination, the arriving contributions are
+    ``+w_j`` (logic 0) or ``-w_j`` (logic 1) with weights
+    ``w_j = A_j * exp(-x_j/L)``; the detected phase is the sign of the
+    sum, and the decision is correct when the sign matches the majority.
+    The margin is the worst (smallest) |sum| over all combinations,
+    *negative* when some combination decodes incorrectly -- the gate is
+    then non-functional, the failure mode the paper's grading scheme
+    repairs.
+
+    Returns ``(margin, worst_combination)`` with the margin normalised to
+    the all-equal-weights sum.
+    """
+    attenuation = np.asarray(_channel_attenuations(layout, channel))
+    if amplitudes is None:
+        weights = attenuation
+    else:
+        amplitudes = np.asarray(amplitudes, dtype=float)
+        weights = amplitudes * attenuation
+    n = len(weights)
+    if n % 2 == 0:
+        raise LayoutError("decode_margin applies to odd (majority) fan-in")
+    full_scale = weights.sum()
+    worst = math.inf
+    worst_bits = None
+    for bits in product((0, 1), repeat=n):
+        signs = np.where(np.asarray(bits) == 0, 1.0, -1.0)
+        resultant = float(np.dot(signs, weights))
+        majority_bit = int(sum(bits) * 2 > n)
+        # Correct sign: positive resultant for majority 0, negative for 1.
+        signed_margin = resultant if majority_bit == 0 else -resultant
+        if signed_margin < worst:
+            worst = signed_margin
+            worst_bits = bits
+    return worst / full_scale, worst_bits
+
+
+def margin_vs_inputs(
+    waveguide,
+    frequency,
+    input_counts,
+    compensated=False,
+    multiplier=None,
+):
+    """Worst-case margin for m-input single-channel gates, m in ``input_counts``.
+
+    Builds a single-frequency in-line layout for each (odd) m and reports
+    the worst-case decode margin with uniform drive
+    (``compensated=False``) or the paper's graded drive.  Returns a list
+    of ``(m, margin)`` tuples.
+    """
+    from repro.core.frequency_plan import FrequencyPlan
+    from repro.core.layout import InlineGateLayout
+
+    results = []
+    for m in input_counts:
+        if m % 2 == 0:
+            raise LayoutError(f"input counts must be odd, got {m}")
+        layout = InlineGateLayout(
+            waveguide,
+            FrequencyPlan([frequency]),
+            n_inputs=m,
+            multipliers=[multiplier] if multiplier is not None else None,
+        )
+        amplitudes = (
+            compensation_amplitudes(layout)[0] if compensated else None
+        )
+        margin, _ = decode_margin(layout, channel=0, amplitudes=amplitudes)
+        results.append((m, margin))
+    return results

@@ -1,0 +1,415 @@
+"""Binding gates to physical backends and running them.
+
+:class:`GateSimulator` drives a :class:`~repro.core.gate.DataParallelGate`
+on the fast linear waveguide model: it converts input words into
+phase-encoded :class:`~repro.waveguide.WaveSource` transducers at the
+layout positions, generates detector traces, and decodes them back to an
+output word.  Reference phases/amplitudes are calibrated analytically
+from the all-zeros steady state, so the decoder is agnostic to detector
+placement (direct and complemented outputs both decode correctly).
+
+For cross-validation against the full micromagnetic solver,
+:func:`build_micromagnetic_simulation` materialises the same gate as a
+1-D LLG problem with localised sinusoidal excitation fields -- the
+numerical twin of the paper's OOMMF setup (used on reduced geometries by
+the ``llg-x`` experiment).
+"""
+
+import cmath
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.encoding import PhaseEncoding
+from repro.core.readout import decode_channel
+from repro.errors import SimulationError
+from repro.waveguide.linear_model import Detector, LinearWaveguideModel, WaveSource
+
+
+@dataclass
+class GateRunResult:
+    """Everything produced by one gate evaluation.
+
+    Attributes
+    ----------
+    words:
+        The input data words (little-endian bit lists).
+    decoded:
+        The n-bit output word read from the physics.
+    expected:
+        The golden output word from Boolean semantics.
+    decodes:
+        Per-channel :class:`~repro.core.readout.ChannelDecode` detail.
+    t:
+        Time grid [s] (None for phasor-mode runs).
+    traces:
+        Mapping channel index -> Mx/Ms trace at that channel's detector
+        (empty for phasor-mode runs).
+    """
+
+    words: list
+    decoded: list
+    expected: list
+    decodes: list
+    t: object = None
+    traces: dict = field(default_factory=dict)
+
+    @property
+    def correct(self):
+        """True when every decoded bit matches the golden output."""
+        return self.decoded == self.expected
+
+    @property
+    def min_margin(self):
+        """Smallest per-channel decision margin of this run."""
+        return min(d.margin for d in self.decodes)
+
+
+class GateSimulator:
+    """Runs a gate on the linear travelling-wave backend."""
+
+    def __init__(
+        self,
+        gate,
+        encoding=None,
+        amplitudes=None,
+        noise=None,
+        front_smoothing=0.0,
+        settle_periods=4.0,
+    ):
+        """
+        Parameters
+        ----------
+        gate:
+            :class:`~repro.core.gate.DataParallelGate`.
+        encoding:
+            :class:`~repro.core.encoding.PhaseEncoding` (default standard).
+        amplitudes:
+            Optional per-(channel, input) source amplitude array of shape
+            ``(n_bits, n_inputs)``; defaults to all ones.  The damping
+            compensation of Section V plugs in here.
+        noise:
+            Optional :class:`~repro.waveguide.NoiseModel`.
+        front_smoothing:
+            Turn-on smoothing of the linear model [s].
+        settle_periods:
+            How many periods of the slowest channel to wait after the
+            last wavefront arrival before the analysis window opens.
+        """
+        self.gate = gate
+        self.layout = gate.layout
+        self.encoding = encoding if encoding is not None else PhaseEncoding()
+        self.model = LinearWaveguideModel(
+            self.layout.waveguide, front_smoothing=front_smoothing
+        )
+        n_bits = gate.n_bits
+        n_inputs = self.layout.n_inputs
+        if amplitudes is None:
+            amplitudes = np.ones((n_bits, n_inputs))
+        else:
+            amplitudes = np.asarray(amplitudes, dtype=float)
+            if amplitudes.shape != (n_bits, n_inputs):
+                raise SimulationError(
+                    f"amplitudes shape {amplitudes.shape} != "
+                    f"{(n_bits, n_inputs)}"
+                )
+        self.amplitudes = amplitudes
+        self.noise = noise
+        self.settle_periods = float(settle_periods)
+        self._calibration = None
+
+    # ------------------------------------------------------------------
+    # Source construction
+    # ------------------------------------------------------------------
+    def build_sources(self, words):
+        """Phase-encoded :class:`WaveSource` list for the input words."""
+        per_channel = self.gate.physical_input_bits(words)
+        sources = []
+        for channel, bits in enumerate(per_channel):
+            frequency = self.layout.plan.frequencies[channel]
+            for input_index, bit in enumerate(bits):
+                sources.append(
+                    WaveSource(
+                        position=self.layout.source_positions[channel][input_index],
+                        frequency=frequency,
+                        amplitude=float(self.amplitudes[channel, input_index]),
+                        phase=self.encoding.encode(bit),
+                    )
+                )
+        if self.noise is not None:
+            sources = self.noise.perturb_sources(sources)
+        return sources
+
+    def _zero_words(self):
+        return [[0] * self.gate.n_bits for _ in range(self.gate.n_data_inputs)]
+
+    def calibration(self):
+        """Per-channel (reference_phase, reference_amplitude) tuples.
+
+        The reference is the phase the all-zeros steady state produces at
+        each detector, *minus* pi on channels with an inverted (half-
+        integer-multiple) detector placement -- subtracting the intended
+        inversion makes those channels decode the complemented function,
+        exactly as the paper's Section III placement rule promises.
+        Computed without noise; cached.
+        """
+        if self._calibration is None:
+            # Calibration is noiseless by construction.
+            noise, self.noise = self.noise, None
+            try:
+                sources = self.build_sources(self._zero_words())
+            finally:
+                self.noise = noise
+            result = []
+            for channel in range(self.gate.n_bits):
+                z = self.model.steady_state_phasor(
+                    sources,
+                    self.layout.detector_positions[channel],
+                    self.layout.plan.frequencies[channel],
+                )
+                if abs(z) == 0:
+                    raise SimulationError(
+                        f"calibration produced zero amplitude on channel "
+                        f"{channel}; check the layout"
+                    )
+                phase = cmath.phase(z)
+                if self.layout.inverted_outputs[channel]:
+                    phase -= math.pi
+                result.append((phase, abs(z)))
+            self._calibration = result
+        return self._calibration
+
+    # ------------------------------------------------------------------
+    # Timing
+    # ------------------------------------------------------------------
+    def settle_time(self):
+        """Earliest safe start of the steady-state analysis window [s]."""
+        latest = 0.0
+        for channel in range(self.gate.n_bits):
+            frequency = self.layout.plan.frequencies[channel]
+            _, v_g, _ = self.model.wave_parameters(frequency)
+            detector = self.layout.detector_positions[channel]
+            for position in self.layout.source_positions[channel]:
+                latest = max(latest, abs(detector - position) / v_g)
+        slowest_period = 1.0 / min(self.layout.plan.frequencies)
+        return latest + self.settle_periods * slowest_period
+
+    def default_duration(self, analysis_periods=20.0):
+        """Trace duration covering settling plus an analysis window [s]."""
+        slowest_period = 1.0 / min(self.layout.plan.frequencies)
+        return self.settle_time() + analysis_periods * slowest_period
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, words, duration=None, sample_rate=None, method="lockin"):
+        """Full time-domain evaluation: traces + decoded output word."""
+        sources = self.build_sources(words)
+        detectors = [
+            Detector(position=p, label=str(i))
+            for i, p in enumerate(self.layout.detector_positions)
+        ]
+        if duration is None:
+            duration = self.default_duration()
+        t_start = self.settle_time()
+        if t_start >= duration:
+            raise SimulationError(
+                f"duration {duration:.4g} s too short: settling alone needs "
+                f"{t_start:.4g} s"
+            )
+        result = self.model.run(sources, detectors, duration, sample_rate=sample_rate)
+        t = result["t"]
+        calibration = self.calibration()
+        decodes = []
+        traces = {}
+        for channel in range(self.gate.n_bits):
+            trace = result["traces"][str(channel)]
+            if self.noise is not None:
+                trace = self.noise.perturb_trace(trace)
+            traces[channel] = trace
+            reference_phase, reference_amplitude = calibration[channel]
+            decodes.append(
+                decode_channel(
+                    t,
+                    trace,
+                    self.layout.plan.frequencies[channel],
+                    reference_phase=reference_phase,
+                    reference_amplitude=reference_amplitude,
+                    t_start=t_start,
+                    method=method,
+                    amplitude_readout=self.gate.kind.uses_amplitude_readout,
+                )
+            )
+        decoded = [d.bit for d in decodes]
+        return GateRunResult(
+            words=[list(w) for w in words],
+            decoded=decoded,
+            expected=self.gate.expected_output(words),
+            decodes=decodes,
+            t=t,
+            traces=traces,
+        )
+
+    def run_phasor(self, words):
+        """Fast steady-state evaluation (no traces): phasor arithmetic only.
+
+        Orders of magnitude faster than :meth:`run`; used by the
+        scalability sweeps.  Noise (if any) applies to the sources.
+        """
+        from repro.core.readout import ChannelDecode
+
+        sources = self.build_sources(words)
+        calibration = self.calibration()
+        decodes = []
+        for channel in range(self.gate.n_bits):
+            frequency = self.layout.plan.frequencies[channel]
+            z = self.model.steady_state_phasor(
+                sources, self.layout.detector_positions[channel], frequency
+            )
+            reference_phase, reference_amplitude = calibration[channel]
+            amplitude = abs(z)
+            if self.gate.kind.uses_amplitude_readout:
+                ratio = amplitude / reference_amplitude
+                bit = int(ratio < 0.5)
+                margin = abs(ratio - 0.5)
+                phase = (
+                    _wrap(cmath.phase(z) - reference_phase) if amplitude else 0.0
+                )
+            else:
+                if amplitude == 0:
+                    raise SimulationError(
+                        f"zero steady-state amplitude on channel {channel}"
+                    )
+                phase = _wrap(cmath.phase(z) - reference_phase)
+                bit = int(abs(phase) > 0.5 * math.pi)
+                margin = abs(abs(phase) - 0.5 * math.pi)
+            decodes.append(
+                ChannelDecode(bit=bit, phase=phase, amplitude=amplitude, margin=margin)
+            )
+        decoded = [d.bit for d in decodes]
+        return GateRunResult(
+            words=[list(w) for w in words],
+            decoded=decoded,
+            expected=self.gate.expected_output(words),
+            decodes=decodes,
+        )
+
+
+def _wrap(phase):
+    return (phase + math.pi) % (2.0 * math.pi) - math.pi
+
+
+def build_micromagnetic_simulation(
+    gate,
+    words,
+    cell_size=4e-9,
+    field_amplitude=5e3,
+    margin=60e-9,
+    absorber=40e-9,
+    absorber_alpha=0.5,
+    encoding=None,
+    terms=None,
+    ramp_periods=1.0,
+    resolve_width=False,
+    cell_size_y=None,
+):
+    """Materialise a gate evaluation as a micromagnetic problem.
+
+    Builds a :class:`~repro.mm.Simulation` whose mesh spans the layout
+    (plus ``margin`` at each end, the outer ``absorber`` of which ramps
+    the damping up to ``absorber_alpha`` to suppress end reflections),
+    with one sinusoidal :class:`~repro.mm.AppliedField` per source --
+    phase-encoded exactly like the linear model -- and one region probe
+    per detector.  Default field terms are exchange + PMA anisotropy +
+    thin-film demag; their small-signal dynamics follow the *exchange*
+    dispersion branch, so gates intended for LLG cross-validation should
+    be laid out on a ``Waveguide(dispersion_model="exchange")``.
+
+    ``resolve_width=True`` discretises the waveguide width with cells of
+    ``cell_size_y`` (default ``cell_size``): transducer fields and
+    detector probes then span the full width, and the transverse mode
+    profile becomes part of the dynamics (2-D simulation).  The default
+    1-D mode collapses the width into one cell -- the cheap
+    configuration the cross-validation tests use.
+
+    Returns ``(sim, probes)`` where ``probes[channel]`` records the
+    detector of that channel.  Intended for *small* gates (1-2 channels,
+    sub-micron lengths); the byte-wide gate belongs on the linear model.
+    """
+    from repro.mm import (
+        ExchangeField,
+        Mesh,
+        Simulation,
+        SineWaveform,
+        State,
+        ThinFilmDemagField,
+        UniaxialAnisotropyField,
+    )
+    from repro.mm.fields.applied import AppliedField
+
+    layout = gate.layout
+    encoding = encoding if encoding is not None else PhaseEncoding()
+    if absorber >= margin:
+        raise SimulationError(
+            f"absorber ({absorber!r}) must be smaller than margin ({margin!r})"
+        )
+    length = layout.total_length + 2.0 * margin
+    nx = max(int(round(length / cell_size)), 8)
+    if resolve_width:
+        dy = cell_size_y if cell_size_y is not None else cell_size
+        ny = max(int(round(layout.waveguide.width / dy)), 2)
+    else:
+        dy = layout.waveguide.width
+        ny = 1
+    mesh = Mesh(nx, ny, 1, cell_size, dy, layout.waveguide.thickness)
+    material = layout.waveguide.material
+    state = State.uniform(mesh, material, direction=(0.0, 0.0, 1.0))
+    if terms is None:
+        terms = [
+            ExchangeField(),
+            UniaxialAnisotropyField(),
+            ThinFilmDemagField(),
+        ]
+
+    alpha_profile = None
+    if absorber > 0:
+        x = mesh.cell_centers(0)
+        total = nx * cell_size
+        ramp_left = np.clip((absorber - x) / absorber, 0.0, 1.0)
+        ramp_right = np.clip((x - (total - absorber)) / absorber, 0.0, 1.0)
+        ramp = np.maximum(ramp_left, ramp_right)
+        profile = material.alpha + (absorber_alpha - material.alpha) * ramp**2
+        alpha_profile = profile.reshape(nx, 1, 1) * np.ones(mesh.shape)
+    sim = Simulation(state, terms=list(terms), alpha_profile=alpha_profile)
+
+    offset = margin  # layout coordinate 0 maps to x = margin
+    half = layout.transducer.length / 2.0
+    per_channel = gate.physical_input_bits(words)
+    for channel, bits in enumerate(per_channel):
+        frequency = layout.plan.frequencies[channel]
+        for input_index, bit in enumerate(bits):
+            centre = offset + layout.source_positions[channel][input_index]
+            mask = mesh.region_mask(x=(centre - half, centre + half))
+            if not mask.any():
+                raise SimulationError(
+                    "source transducer narrower than one mesh cell; "
+                    "reduce cell_size"
+                )
+            waveform = SineWaveform(
+                field_amplitude,
+                frequency,
+                phase=encoding.encode(bit),
+                ramp=ramp_periods / frequency,
+            )
+            sim.add_term(AppliedField(mask, (1.0, 0.0, 0.0), waveform))
+
+    probes = []
+    for channel in range(gate.n_bits):
+        centre = offset + layout.detector_positions[channel]
+        probes.append(
+            sim.add_region_probe(
+                label=f"ch{channel}", x=(centre - half, centre + half)
+            )
+        )
+    return sim, probes

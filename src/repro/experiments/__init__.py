@@ -1,0 +1,39 @@
+"""Experiment harness: one module per paper table/figure.
+
+Each experiment module exposes a ``run(...)`` function returning a plain
+dict of results plus a ``report(results)`` function rendering the same
+rows/series the paper presents.  The ``benchmarks/`` suite and the
+``swgate`` CLI both drive these entry points, so the numbers in the
+paper-versus-measured tables always come from the same code path.
+"""
+
+from repro.experiments import (
+    area_table,
+    channel_capacity,
+    distance_table,
+    drive_limits,
+    fault_coverage,
+    fig3,
+    fig4,
+    llg_validation,
+    noise_robustness,
+    scalability,
+    width_sweep,
+)
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+
+__all__ = [
+    "fig3",
+    "fig4",
+    "distance_table",
+    "area_table",
+    "width_sweep",
+    "scalability",
+    "llg_validation",
+    "channel_capacity",
+    "noise_robustness",
+    "fault_coverage",
+    "drive_limits",
+    "EXPERIMENTS",
+    "run_experiment",
+]

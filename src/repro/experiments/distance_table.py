@@ -1,0 +1,81 @@
+"""Section IV.B distance table -- d_i = n_i * lambda_i from the dispersion.
+
+The paper reports the distances between same-frequency sources for the
+byte gate: d = 166, 100, 117, 165, 174, 130, 168, 176 nm for 10-80 GHz.
+These derive from the FVMSW dispersion of the Fe60Co20B20 film; this
+experiment recomputes every wavelength from our dispersion module and
+compares n_i * lambda_i against the published values.
+"""
+
+from repro.analysis.tables import render_table
+from repro.core.frequency_plan import FrequencyPlan
+from repro.core.layout import PAPER_BYTE_DISTANCES, PAPER_BYTE_MULTIPLIERS
+from repro.units import GHZ, NM
+from repro.waveguide import Waveguide
+
+
+def run(waveguide=None):
+    """Compute lambda_i and d_i; returns the comparison dict."""
+    waveguide = waveguide if waveguide is not None else Waveguide()
+    plan = FrequencyPlan.paper_byte_plan()
+    dispersion = waveguide.dispersion()
+    wavelengths = plan.wavelengths(dispersion)
+    rows = []
+    for i, frequency in enumerate(plan.frequencies):
+        multiplier = PAPER_BYTE_MULTIPLIERS[i]
+        measured = multiplier * wavelengths[i]
+        paper = PAPER_BYTE_DISTANCES[i]
+        rows.append(
+            {
+                "frequency": frequency,
+                "wavelength": wavelengths[i],
+                "multiplier": multiplier,
+                "measured_distance": measured,
+                "paper_distance": paper,
+                "relative_error": (measured - paper) / paper,
+            }
+        )
+    worst = max(abs(r["relative_error"]) for r in rows)
+    return {
+        "rows": rows,
+        "worst_relative_error": worst,
+        "band_edge": dispersion.frequency(0.0),
+    }
+
+
+def report(results):
+    """Render the paper-vs-measured distance table."""
+    headers = [
+        "f [GHz]",
+        "lambda [nm]",
+        "n",
+        "d = n*lambda [nm]",
+        "paper d [nm]",
+        "error",
+    ]
+    rows = []
+    for r in results["rows"]:
+        rows.append(
+            [
+                f"{r['frequency'] / GHZ:g}",
+                f"{r['wavelength'] / NM:.2f}",
+                str(r["multiplier"]),
+                f"{r['measured_distance'] / NM:.1f}",
+                f"{r['paper_distance'] / NM:.0f}",
+                f"{r['relative_error']:+.1%}",
+            ]
+        )
+    table = render_table(
+        headers,
+        rows,
+        title=(
+            "Section IV.B -- same-frequency source distances from the "
+            "FVMSW dispersion"
+        ),
+    )
+    footer = [
+        "",
+        f"band edge (k=0 FMR): {results['band_edge'] / GHZ:.2f} GHz",
+        f"worst |error| vs paper: {results['worst_relative_error']:.1%}",
+    ]
+    return table + "\n" + "\n".join(footer)

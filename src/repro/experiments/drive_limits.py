@@ -1,0 +1,152 @@
+"""Drive-amplitude limits of data parallelism (nonlinearity study).
+
+The paper operates at Mx/Ms ~ 0.005 and observes no inter-frequency
+interaction (Fig. 3).  This experiment maps how far that can be pushed:
+with the weakly nonlinear waveguide model it sweeps the source amplitude
+and reports, for the byte majority gate,
+
+* the worst-channel nonlinear phase error (converts into decode-margin
+  erosion and eventually bit flips), and
+* the worst in-band four-magnon intermodulation (2*f_i - f_j collisions
+  -- with the paper's uniform 10 GHz grid *every* interior channel has
+  IM3 collisions, e.g. 2x20-30 = 10 GHz), as signal-to-crosstalk.
+
+The outcome justifies the paper's small-signal operating point and
+quantifies the headroom: decoding survives to a few times the paper's
+amplitude, with SXR degrading 40 dB per decade of drive (IM3 ~ a^3
+against a linear signal).
+"""
+
+import math
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.core.simulate import GateSimulator
+from repro.waveguide.nonlinear import NonlinearWaveguideModel
+
+DEFAULT_AMPLITUDES = (0.001, 0.005, 0.02, 0.05, 0.1, 0.2)
+
+#: The paper's nominal operating amplitude (Mx/Ms units).
+PAPER_AMPLITUDE = 0.005
+
+
+def run(gate=None, amplitudes=DEFAULT_AMPLITUDES, t_shift=-5.0, chi3=0.25):
+    """Sweep drive amplitude; returns phase error, SXR and decode status."""
+    from repro import byte_majority_gate
+
+    gate = gate if gate is not None else byte_majority_gate()
+    layout = gate.layout
+    model = NonlinearWaveguideModel(
+        layout.waveguide, t_shift=t_shift, chi3=chi3
+    )
+    simulator = GateSimulator(gate)
+    simulator.model = model  # swap in the nonlinear backend
+    simulator._calibration = None  # recalibrate on the new model
+
+    test_words = [
+        [1, 0, 1, 0, 1, 0, 1, 0],
+        [0, 0, 1, 1, 0, 0, 1, 1],
+        [0, 1, 0, 1, 0, 1, 0, 1],
+    ]
+
+    # Calibrate once at the paper's small-signal operating point: a real
+    # device is characterised there, so driving harder exposes the
+    # *differential* nonlinear phase shift.  (The self-shift at constant
+    # drive is common-mode and would be absorbed by recalibration --
+    # phase encoding at fixed amplitude is first-order immune to it.)
+    simulator.amplitudes = np.ones(
+        (gate.n_bits, layout.n_inputs)
+    ) * PAPER_AMPLITUDE
+    calibration = simulator.calibration()
+
+    rows = []
+    for amplitude in amplitudes:
+        simulator.amplitudes = np.ones(
+            (gate.n_bits, layout.n_inputs)
+        ) * amplitude
+        simulator._calibration = calibration  # keep small-signal cal
+
+        # Worst-case *differential* phase error vs the small-signal
+        # calibration, over (channel, source) pairs.
+        worst_phase = 0.0
+        for channel in range(gate.n_bits):
+            frequency = layout.plan.frequencies[channel]
+            detector = layout.detector_positions[channel]
+            for position in layout.source_positions[channel]:
+                distance = abs(detector - position)
+                error = abs(
+                    model.nonlinear_phase_error(amplitude, frequency, distance)
+                    - model.nonlinear_phase_error(
+                        PAPER_AMPLITUDE, frequency, distance
+                    )
+                )
+                worst_phase = max(worst_phase, error)
+
+        # Worst in-band signal-to-crosstalk over channels.
+        sources = simulator.build_sources(test_words)
+        worst_sxr = math.inf
+        for channel in range(gate.n_bits):
+            frequency = layout.plan.frequencies[channel]
+            detector = layout.detector_positions[channel]
+            sxr = model.signal_to_crosstalk_db(sources, detector, frequency)
+            worst_sxr = min(worst_sxr, sxr)
+
+        result = simulator.run_phasor(test_words)
+        rows.append(
+            {
+                "amplitude": amplitude,
+                "worst_phase_error": worst_phase,
+                "worst_sxr_db": worst_sxr,
+                "decodes_correctly": result.correct,
+                "min_margin": result.min_margin,
+            }
+        )
+    return {
+        "rows": rows,
+        "t_shift": t_shift,
+        "chi3": chi3,
+        "paper_amplitude": PAPER_AMPLITUDE,
+    }
+
+
+def report(results):
+    """Render the drive-limit sweep."""
+    headers = [
+        "drive Mx/Ms",
+        "worst NL phase [rad]",
+        "worst in-band SXR [dB]",
+        "decodes",
+        "min margin [rad]",
+    ]
+    rows = []
+    for r in results["rows"]:
+        sxr = r["worst_sxr_db"]
+        rows.append(
+            [
+                f"{r['amplitude']:.3f}"
+                + (" (paper)" if r["amplitude"] == results["paper_amplitude"] else ""),
+                f"{r['worst_phase_error']:.4f}",
+                "inf" if math.isinf(sxr) else f"{sxr:.1f}",
+                "yes" if r["decodes_correctly"] else "NO",
+                f"{r['min_margin']:+.3f}",
+            ]
+        )
+    table = render_table(
+        headers,
+        rows,
+        title=(
+            "Drive-amplitude limits of the byte MAJ gate "
+            f"(T = {results['t_shift']:g}, chi3 = {results['chi3']:g})"
+        ),
+    )
+    footer = [
+        "",
+        "The uniform 10..80 GHz grid makes every interior channel an IM3 "
+        "collision target (2*f_i - f_j lands on the grid), so the "
+        "signal-to-crosstalk ratio is the real ceiling on drive level.",
+        "Paper shape: at the Mx/Ms ~ 0.005 operating point nonlinear "
+        "phase error and crosstalk are negligible -- the Fig. 3 'no "
+        "inter-frequency interference' observation.",
+    ]
+    return table + "\n" + "\n".join(footer)

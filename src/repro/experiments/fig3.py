@@ -1,0 +1,104 @@
+"""Fig. 3 -- byte-based majority gate response in time and frequency.
+
+The paper drives the byte-wide 3-input majority gate with all eight
+(I1, I2, I3) combinations (each input replicated across the 8 frequency
+channels), records the Mx/Ms trace at the output region, and shows:
+
+* time traces with amplitude ~0.005 Mx/Ms,
+* an |FFT| with peaks at exactly the excitation frequencies 10-80 GHz
+  and *no* peaks elsewhere -- the no-inter-frequency-interference
+  observation that underpins the whole data-parallel scheme.
+
+``run()`` regenerates both: for every input combination it simulates the
+gate, extracts the FFT peak amplitude at each channel and the spurious
+(out-of-band) power ratio.
+"""
+
+from itertools import product
+
+from repro.analysis.spectra import amplitude_at, spectrum_peaks, spurious_power_ratio
+from repro.analysis.tables import render_table
+from repro.core.simulate import GateSimulator
+from repro.units import GHZ
+
+#: Source amplitude chosen so trace levels land near the paper's
+#: ~0.005 Mx/Ms at the detectors (each source contributes ~1.7e-3).
+DEFAULT_SOURCE_AMPLITUDE = 1.7e-3
+
+
+def run(gate=None, duration=3e-9, source_amplitude=DEFAULT_SOURCE_AMPLITUDE):
+    """Simulate all 8 input combinations; returns the fig3 result dict.
+
+    Keys: ``combos`` (list of dicts with bits, trace, peak amplitudes,
+    spurious ratio), ``frequencies``, ``t``.
+    """
+    import numpy as np
+
+    from repro import byte_majority_gate
+
+    gate = gate if gate is not None else byte_majority_gate()
+    simulator = GateSimulator(gate)
+    simulator.amplitudes = simulator.amplitudes * source_amplitude
+    frequencies = gate.layout.plan.frequencies
+
+    combos = []
+    t = None
+    for bits in product((0, 1), repeat=3):
+        words = [[b] * gate.n_bits for b in bits]
+        result = simulator.run(words, duration=duration)
+        t = result.t
+        # The paper's Fig. 3 probes one output location; the first
+        # channel's detector sees every frequency in the shared guide.
+        trace = result.traces[0]
+        peaks = [amplitude_at(t, trace, f) for f in frequencies]
+        combos.append(
+            {
+                "inputs": bits,
+                "trace": trace,
+                "max_mx": float(np.max(np.abs(trace))),
+                "peak_amplitudes": peaks,
+                "spurious_ratio": spurious_power_ratio(t, trace, frequencies),
+                "detected_peaks": spectrum_peaks(t, trace, threshold_ratio=0.2),
+                "decoded": result.decoded,
+                "expected": result.expected,
+                "correct": result.correct,
+            }
+        )
+    return {"t": t, "frequencies": list(frequencies), "combos": combos}
+
+
+def report(results):
+    """Render the fig3 rows: per-combination peak table + cleanliness."""
+    frequencies = results["frequencies"]
+    headers = ["I1 I2 I3"] + [
+        f"{f / GHZ:g} GHz" for f in frequencies
+    ] + ["max|Mx/Ms|", "spurious", "MAJ ok"]
+    rows = []
+    for combo in results["combos"]:
+        bits = " ".join(str(b) for b in combo["inputs"])
+        peak_cells = [f"{a:.4f}" for a in combo["peak_amplitudes"]]
+        rows.append(
+            [bits]
+            + peak_cells
+            + [
+                f"{combo['max_mx']:.4f}",
+                f"{combo['spurious_ratio']:.2e}",
+                "yes" if combo["correct"] else "NO",
+            ]
+        )
+    table = render_table(
+        headers,
+        rows,
+        title=(
+            "Fig. 3 -- byte MAJ gate |FFT| peak amplitude per excitation "
+            "frequency (Mx/Ms units)"
+        ),
+    )
+    notes = [
+        "",
+        "Paper shape: peaks only at the 8 excitation frequencies, "
+        "time-domain amplitude ~0.005 Mx/Ms.",
+        "Spurious column = fraction of spectral power outside the 8 "
+        "carrier bands (paper: no visible off-carrier peaks).",
+    ]
+    return table + "\n" + "\n".join(notes)

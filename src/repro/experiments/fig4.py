@@ -1,0 +1,116 @@
+"""Fig. 4(a-h) -- per-frequency majority outputs of the byte gate.
+
+The paper shows the time trace at each of the 8 output detectors for all
+8 (I1, I2, I3) combinations: every channel obeys the 3-input majority
+truth table (constructive interference and phase 0 when the majority of
+inputs is 0; phase pi when two or more inputs are 1).
+
+``run()`` decodes every (channel, input combination) pair with both the
+lock-in and FFT phasor estimators and checks the full 8x8 truth map.
+"""
+
+from itertools import product
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.core.simulate import GateSimulator
+from repro.units import GHZ
+from repro.experiments.fig3 import DEFAULT_SOURCE_AMPLITUDE
+
+
+def run(gate=None, duration=3e-9, source_amplitude=DEFAULT_SOURCE_AMPLITUDE):
+    """Decode all channels for all combos; returns the fig4 result dict."""
+    from repro import byte_majority_gate
+    from repro.core.readout import decode_channel
+
+    gate = gate if gate is not None else byte_majority_gate()
+    simulator = GateSimulator(gate)
+    simulator.amplitudes = simulator.amplitudes * source_amplitude
+    frequencies = gate.layout.plan.frequencies
+
+    combos = []
+    for bits in product((0, 1), repeat=3):
+        words = [[b] * gate.n_bits for b in bits]
+        result = simulator.run(words, duration=duration)
+        channels = []
+        calibration = simulator.calibration()
+        t_start = simulator.settle_time()
+        for channel in range(gate.n_bits):
+            trace = result.traces[channel]
+            lockin = result.decodes[channel]
+            reference_phase, reference_amplitude = calibration[channel]
+            fft = decode_channel(
+                result.t,
+                trace,
+                frequencies[channel],
+                reference_phase=reference_phase,
+                reference_amplitude=reference_amplitude,
+                t_start=t_start,
+                method="fft",
+            )
+            channels.append(
+                {
+                    "frequency": frequencies[channel],
+                    "trace_amplitude": float(np.max(np.abs(trace))),
+                    "lockin_bit": lockin.bit,
+                    "fft_bit": fft.bit,
+                    "phase": lockin.phase,
+                    "margin": lockin.margin,
+                    "expected": result.expected[channel],
+                }
+            )
+        combos.append(
+            {
+                "inputs": bits,
+                "channels": channels,
+                "decoded": result.decoded,
+                "expected": result.expected,
+                "correct": result.correct,
+            }
+        )
+
+    methods_agree = all(
+        ch["lockin_bit"] == ch["fft_bit"]
+        for combo in combos
+        for ch in combo["channels"]
+    )
+    all_correct = all(combo["correct"] for combo in combos)
+    return {
+        "frequencies": list(frequencies),
+        "combos": combos,
+        "methods_agree": methods_agree,
+        "all_correct": all_correct,
+    }
+
+
+def report(results):
+    """Render the fig4 truth map: decoded bit per (combo, channel)."""
+    frequencies = results["frequencies"]
+    headers = ["I1 I2 I3", "MAJ"] + [
+        f"{f / GHZ:g}G" for f in frequencies
+    ] + ["min margin [rad]"]
+    rows = []
+    for combo in results["combos"]:
+        bits = " ".join(str(b) for b in combo["inputs"])
+        expected = str(combo["expected"][0])
+        decoded_cells = [str(ch["lockin_bit"]) for ch in combo["channels"]]
+        min_margin = min(ch["margin"] for ch in combo["channels"])
+        rows.append([bits, expected] + decoded_cells + [f"{min_margin:.3f}"])
+    table = render_table(
+        headers,
+        rows,
+        title=(
+            "Fig. 4 -- decoded majority bit at each frequency channel "
+            "(a-h = 10..80 GHz), all input combinations"
+        ),
+    )
+    footer = [
+        "",
+        f"all 64 channel decodes correct: {'yes' if results['all_correct'] else 'NO'}",
+        "lock-in vs FFT phasor estimators agree: "
+        f"{'yes' if results['methods_agree'] else 'NO'}",
+        "Paper shape: every detector reproduces the MAJ3 truth table; "
+        "phase 0 when <=1 input is 1, phase pi when >=2 inputs are 1.",
+    ]
+    return table + "\n" + "\n".join(footer)

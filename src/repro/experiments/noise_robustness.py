@@ -1,0 +1,138 @@
+"""Noise robustness of the byte gate (beyond-paper extension).
+
+The paper's OOMMF runs are noiseless; any physical realisation sees
+transducer amplitude spread, phase jitter, placement error and thermal
+agitation.  This experiment measures the byte majority gate's word error
+rate versus each non-ideality in isolation, and converts the thermal
+phase-noise model of :mod:`repro.mm.thermal` into an operating
+temperature statement.
+"""
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.core.encoding import int_to_bits
+from repro.core.simulate import GateSimulator
+from repro.errors import ReproError
+from repro.mm.thermal import thermal_phase_noise_sigma
+from repro.waveguide import NoiseModel
+
+DEFAULT_SIGMAS = (0.0, 0.05, 0.1, 0.2, 0.4, 0.8)
+
+
+def _word_error_rate(gate, noise_builder, sigmas, n_trials, rng):
+    rates = []
+    for sigma in sigmas:
+        errors = 0
+        for trial in range(n_trials):
+            words = [
+                int_to_bits(int(rng.integers(1 << gate.n_bits)), gate.n_bits)
+                for _ in range(gate.n_data_inputs)
+            ]
+            simulator = GateSimulator(
+                gate, noise=noise_builder(sigma, seed=trial)
+            )
+            try:
+                correct = simulator.run_phasor(words).correct
+            except ReproError:
+                # e.g. every source of a channel noise-clipped to zero
+                # amplitude: the gate has failed outright.
+                correct = False
+            if not correct:
+                errors += 1
+        rates.append(errors / n_trials)
+    return rates
+
+
+def run(gate=None, sigmas=DEFAULT_SIGMAS, n_trials=30, seed=7):
+    """Word error rate vs phase / amplitude / placement noise."""
+    from repro import byte_majority_gate
+
+    gate = gate if gate is not None else byte_majority_gate()
+    rng = np.random.default_rng(seed)
+
+    phase_rates = _word_error_rate(
+        gate,
+        lambda s, seed: NoiseModel(phase_sigma=s, seed=seed),
+        sigmas,
+        n_trials,
+        rng,
+    )
+    amplitude_rates = _word_error_rate(
+        gate,
+        lambda s, seed: NoiseModel(amplitude_sigma=s, seed=seed),
+        sigmas,
+        n_trials,
+        rng,
+    )
+    # Placement sigma in fractions of the shortest wavelength.
+    shortest = min(gate.layout.wavelengths)
+    position_rates = _word_error_rate(
+        gate,
+        lambda s, seed: NoiseModel(position_sigma=s * shortest, seed=seed),
+        sigmas,
+        n_trials,
+        rng,
+    )
+
+    # Thermal phase jitter of a 10x50x1 nm ME cell at 300 K, using the
+    # internal field of the PMA film as the restoring stiffness.
+    material = gate.layout.waveguide.material
+    transducer = gate.layout.transducer
+    volume = (
+        transducer.length
+        * transducer.width
+        * gate.layout.waveguide.thickness
+    )
+    h_int = material.internal_field_perpendicular()
+    thermal_sigma = thermal_phase_noise_sigma(material, h_int, volume, 300.0)
+
+    return {
+        "sigmas": list(sigmas),
+        "phase_rates": phase_rates,
+        "amplitude_rates": amplitude_rates,
+        "position_rates": position_rates,
+        "position_unit": shortest,
+        "thermal_phase_sigma_300k": thermal_sigma,
+        "n_trials": n_trials,
+    }
+
+
+def report(results):
+    """Render error rate vs noise tables plus the thermal statement."""
+    headers = [
+        "sigma",
+        "phase noise [rad]",
+        "amplitude noise [rel]",
+        "placement [x lambda_min]",
+    ]
+    rows = []
+    for i, sigma in enumerate(results["sigmas"]):
+        rows.append(
+            [
+                f"{sigma:.2f}",
+                f"{results['phase_rates'][i]:.0%}",
+                f"{results['amplitude_rates'][i]:.0%}",
+                f"{results['position_rates'][i]:.0%}",
+            ]
+        )
+    table = render_table(
+        headers,
+        rows,
+        title=(
+            "Word error rate of the byte MAJ gate vs transducer "
+            f"non-idealities ({results['n_trials']} random word triples "
+            "per point)"
+        ),
+    )
+    thermal = results["thermal_phase_sigma_300k"]
+    footer = [
+        "",
+        f"thermal phase jitter of one 10x50x1 nm ME cell at 300 K: "
+        f"{thermal:.4f} rad "
+        "(equipartition estimate; compare against the phase column).",
+        "Majority decoding absorbs per-channel phase errors below "
+        "pi/2; the byte gate is limited by its *worst* channel, so "
+        "errors appear well before the single-channel threshold.",
+    ]
+    return table + "\n" + "\n".join(footer)

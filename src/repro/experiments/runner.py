@@ -1,0 +1,45 @@
+"""Registry and uniform driver for the experiment modules."""
+
+from repro.errors import ReproError
+from repro.experiments import (
+    area_table,
+    channel_capacity,
+    distance_table,
+    drive_limits,
+    fault_coverage,
+    fig3,
+    fig4,
+    llg_validation,
+    noise_robustness,
+    scalability,
+    width_sweep,
+)
+
+#: Experiment id -> (module, description).  Ids match DESIGN.md; the
+#: last two are beyond-paper extensions.
+EXPERIMENTS = {
+    "fig3": (fig3, "Fig. 3: byte MAJ gate time/frequency response"),
+    "fig4": (fig4, "Fig. 4: per-frequency majority outputs"),
+    "table-dist": (distance_table, "Section IV.B: source distance table"),
+    "table-area": (area_table, "Section V.B: area/delay/energy comparison"),
+    "width": (width_sweep, "Section V: waveguide width variation"),
+    "scale": (scalability, "Section V: scalability under damping"),
+    "llg-x": (llg_validation, "LLG solver cross-validation (slow)"),
+    "capacity": (channel_capacity, "extension: channel count scaling"),
+    "noise": (noise_robustness, "extension: transducer noise robustness"),
+    "faults": (fault_coverage, "extension: manufacturing-test coverage"),
+    "drive": (drive_limits, "extension: nonlinear drive-amplitude limits"),
+}
+
+
+def run_experiment(name, **kwargs):
+    """Run experiment ``name``; returns ``(results, report_text)``."""
+    try:
+        module, _ = EXPERIMENTS[name]
+    except KeyError:
+        available = ", ".join(sorted(EXPERIMENTS))
+        raise ReproError(
+            f"unknown experiment {name!r}; available: {available}"
+        ) from None
+    results = module.run(**kwargs)
+    return results, module.report(results)

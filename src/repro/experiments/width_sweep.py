@@ -1,0 +1,107 @@
+"""Section V -- waveguide width variation.
+
+The paper scaled the waveguide width to 500 nm and observed (i) the gate
+still functions, (ii) no crosstalk appears, and (iii) the ferromagnetic
+resonance frequency decreases with width, so wider guides admit lower
+first frequencies.
+
+``run()`` sweeps the width, recomputes the width-quantised band edge,
+re-lays-out and re-simulates the byte majority gate at each width, and
+reports functionality plus the n=1/n=2 width-mode isolation.
+"""
+
+from itertools import product
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.core.frequency_plan import FrequencyPlan
+from repro.core.gate import DataParallelGate
+from repro.core.layout import InlineGateLayout
+from repro.core.simulate import GateSimulator
+from repro.physics.width_modes import crosstalk_isolation_db
+from repro.units import GHZ, NM
+from repro.waveguide import Waveguide
+
+DEFAULT_WIDTHS = tuple(w * 1e-9 for w in (50, 100, 150, 200, 300, 400, 500))
+
+
+def run(widths=DEFAULT_WIDTHS, check_all_combos=True):
+    """Sweep widths; returns per-width band edge, functionality, isolation."""
+    plan = FrequencyPlan.paper_byte_plan()
+    rows = []
+    for width in widths:
+        waveguide = Waveguide(width=width, include_width_modes=True)
+        band_edge = waveguide.band_edge()
+        layout = InlineGateLayout(waveguide, plan, n_inputs=3)
+        gate = DataParallelGate(layout)
+        simulator = GateSimulator(gate)
+        combos = (
+            list(product((0, 1), repeat=3)) if check_all_combos else [(1, 0, 1)]
+        )
+        functional = True
+        min_margin = np.inf
+        for bits in combos:
+            words = [[b] * gate.n_bits for b in bits]
+            result = simulator.run_phasor(words)
+            functional &= result.correct
+            min_margin = min(min_margin, result.min_margin)
+        isolation = crosstalk_isolation_db(
+            waveguide.dispersion(), width, plan.frequencies[0]
+        )
+        rows.append(
+            {
+                "width": width,
+                "band_edge": band_edge,
+                "functional": functional,
+                "min_margin": float(min_margin),
+                "mode_isolation_db": isolation,
+                "gate_length": layout.total_length,
+                "area": layout.area,
+            }
+        )
+    edges = [r["band_edge"] for r in rows]
+    return {
+        "rows": rows,
+        "monotonic_decreasing": all(a >= b for a, b in zip(edges, edges[1:])),
+    }
+
+
+def report(results):
+    """Render the width sweep series."""
+    headers = [
+        "width [nm]",
+        "band edge [GHz]",
+        "gate works",
+        "min margin [rad]",
+        "mode-2 isolation [dB]",
+        "area [um^2]",
+    ]
+    rows = []
+    for r in results["rows"]:
+        isolation = r["mode_isolation_db"]
+        isolation_text = "inf" if np.isinf(isolation) else f"{isolation:.1f}"
+        rows.append(
+            [
+                f"{r['width'] / NM:.0f}",
+                f"{r['band_edge'] / GHZ:.2f}",
+                "yes" if r["functional"] else "NO",
+                f"{r['min_margin']:.3f}",
+                isolation_text,
+                f"{r['area'] * 1e12:.4f}",
+            ]
+        )
+    table = render_table(
+        headers,
+        rows,
+        title="Section V -- waveguide width variation (50..500 nm)",
+    )
+    footer = [
+        "",
+        "band edge decreases monotonically with width: "
+        f"{'yes' if results['monotonic_decreasing'] else 'NO'} "
+        "(paper: FMR decreases as width increases)",
+        "Paper shape: gate functional at every width, no crosstalk "
+        "(here: large spectral isolation of the n=2 width mode).",
+    ]
+    return table + "\n" + "\n".join(footer)

@@ -1,0 +1,13 @@
+"""Magnetic material parameter sets and derived quantities."""
+
+from repro.materials.material import Material
+from repro.materials.library import FECOB_PMA, YIG, PERMALLOY, COFEB_IP, get_material
+
+__all__ = [
+    "Material",
+    "FECOB_PMA",
+    "YIG",
+    "PERMALLOY",
+    "COFEB_IP",
+    "get_material",
+]

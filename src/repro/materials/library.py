@@ -1,0 +1,74 @@
+"""Built-in material parameter sets.
+
+``FECOB_PMA`` carries exactly the parameters of Section IV.B of the paper
+(values originally from Devolder et al., PRB 93, 024420 (2016)).  The
+other entries are common magnonic materials included for contrast in the
+examples and width-scaling studies.
+"""
+
+from repro.errors import MaterialError
+from repro.materials.material import Material
+
+#: The paper's waveguide material: Fe60Co20B20 with perpendicular magnetic
+#: anisotropy.  H_ani = 2*Ku/(mu0*Ms) ~ 1.20e6 A/m > Ms = 1.1e6 A/m, so no
+#: external bias field is required (Section IV.B).
+FECOB_PMA = Material(
+    name="Fe60Co20B20 (PMA)",
+    ms=1.1e6,
+    aex=18.5e-12,
+    ku=8.3177e5,
+    alpha=0.004,
+)
+
+#: Yttrium iron garnet -- the canonical low-damping magnonic material.
+YIG = Material(
+    name="YIG",
+    ms=1.4e5,
+    aex=3.5e-12,
+    ku=0.0,
+    alpha=2e-4,
+)
+
+#: Ni80Fe20 (permalloy) -- soft, in-plane, moderate damping.
+PERMALLOY = Material(
+    name="Permalloy",
+    ms=8.0e5,
+    aex=13.0e-12,
+    ku=0.0,
+    alpha=0.008,
+)
+
+#: CoFeB without PMA (thick-film limit), in-plane magnetised.
+COFEB_IP = Material(
+    name="CoFeB (in-plane)",
+    ms=1.25e6,
+    aex=19.0e-12,
+    ku=0.0,
+    alpha=0.004,
+)
+
+_REGISTRY = {
+    "fecob": FECOB_PMA,
+    "fecob_pma": FECOB_PMA,
+    "fe60co20b20": FECOB_PMA,
+    "yig": YIG,
+    "permalloy": PERMALLOY,
+    "py": PERMALLOY,
+    "cofeb_ip": COFEB_IP,
+}
+
+
+def get_material(name):
+    """Look up a built-in material by (case-insensitive) name.
+
+    Raises :class:`~repro.errors.MaterialError` for unknown names, listing
+    the available keys.
+    """
+    key = name.strip().lower().replace("-", "_").replace(" ", "_")
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        available = ", ".join(sorted(set(_REGISTRY)))
+        raise MaterialError(
+            f"unknown material {name!r}; available: {available}"
+        ) from None

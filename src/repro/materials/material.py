@@ -1,0 +1,136 @@
+"""Material parameter container and derived magnetic quantities.
+
+A :class:`Material` bundles the handful of parameters that enter both the
+analytic spin-wave theory (:mod:`repro.physics`) and the micromagnetic
+solver (:mod:`repro.mm`): saturation magnetisation ``ms``, exchange
+stiffness ``aex``, first-order uniaxial anisotropy constant ``ku``,
+Gilbert damping ``alpha``, and the gyromagnetic ratio ``gamma``.
+
+Derived quantities (anisotropy field, exchange length, characteristic
+frequencies) are exposed as properties so that the two halves of the
+library cannot drift apart on their definitions.
+"""
+
+import math
+from dataclasses import dataclass, field, replace
+
+from repro.constants import GAMMA_LL, MU0
+from repro.errors import MaterialError
+
+
+@dataclass(frozen=True)
+class Material:
+    """Magnetic material parameters, SI units throughout.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier used in tables and exported MIF files.
+    ms:
+        Saturation magnetisation [A/m]; must be positive.
+    aex:
+        Exchange stiffness [J/m]; must be positive.
+    ku:
+        First-order uniaxial (perpendicular) anisotropy constant [J/m^3].
+        Zero for soft in-plane materials.
+    alpha:
+        Dimensionless Gilbert damping; must lie in (0, 1].
+    gamma:
+        Gyromagnetic ratio [rad/(s*T)].  Defaults to the free-electron
+        value used by OOMMF.
+    anisotropy_axis:
+        Unit vector of the uniaxial easy axis.  Defaults to +z, the
+        perpendicular-magnetic-anisotropy (PMA) configuration of the paper.
+    """
+
+    name: str
+    ms: float
+    aex: float
+    ku: float = 0.0
+    alpha: float = 0.004
+    gamma: float = GAMMA_LL
+    anisotropy_axis: tuple = field(default=(0.0, 0.0, 1.0))
+
+    def __post_init__(self):
+        if self.ms <= 0:
+            raise MaterialError(f"ms must be positive, got {self.ms!r}")
+        if self.aex <= 0:
+            raise MaterialError(f"aex must be positive, got {self.aex!r}")
+        if self.ku < 0:
+            raise MaterialError(f"ku must be non-negative, got {self.ku!r}")
+        if not 0.0 < self.alpha <= 1.0:
+            raise MaterialError(f"alpha must lie in (0, 1], got {self.alpha!r}")
+        if self.gamma <= 0:
+            raise MaterialError(f"gamma must be positive, got {self.gamma!r}")
+        axis = tuple(float(c) for c in self.anisotropy_axis)
+        norm = math.sqrt(sum(c * c for c in axis))
+        if norm == 0:
+            raise MaterialError("anisotropy_axis must be a non-zero vector")
+        object.__setattr__(
+            self, "anisotropy_axis", tuple(c / norm for c in axis)
+        )
+
+    # ------------------------------------------------------------------
+    # Derived fields and lengths
+    # ------------------------------------------------------------------
+    @property
+    def anisotropy_field(self):
+        """Uniaxial anisotropy field H_ani = 2*Ku / (mu0*Ms) [A/m]."""
+        return 2.0 * self.ku / (MU0 * self.ms)
+
+    @property
+    def exchange_length(self):
+        """Magnetostatic exchange length sqrt(2*Aex / (mu0*Ms^2)) [m]."""
+        return math.sqrt(self.lambda_ex)
+
+    @property
+    def lambda_ex(self):
+        """Squared exchange length 2*Aex / (mu0*Ms^2) [m^2].
+
+        This is the quantity that multiplies ``k^2`` in dispersion
+        relations, often written ``lambda_ex^2`` in the literature.
+        """
+        return 2.0 * self.aex / (MU0 * self.ms**2)
+
+    @property
+    def is_pma(self):
+        """True when the anisotropy field exceeds Ms.
+
+        With H_ani > Ms, a thin film magnetises out of plane with no
+        external bias field -- the regime the paper's Fe60Co20B20 film
+        operates in (Section IV.B).
+        """
+        return self.anisotropy_field > self.ms
+
+    # ------------------------------------------------------------------
+    # Characteristic angular frequencies
+    # ------------------------------------------------------------------
+    @property
+    def omega_m(self):
+        """omega_M = gamma * mu0 * Ms [rad/s]."""
+        return self.gamma * MU0 * self.ms
+
+    def omega_h(self, h_field):
+        """omega_H = gamma * mu0 * H for a field ``h_field`` [A/m]."""
+        return self.gamma * MU0 * h_field
+
+    def internal_field_perpendicular(self, h_ext=0.0):
+        """Static internal field of a perpendicularly magnetised thin film.
+
+        For an out-of-plane film the demagnetising factor is ~1, so
+        H_int = H_ext + H_ani - Ms.  The result may be negative, meaning
+        the film cannot remain perpendicular -- callers should check.
+        """
+        return h_ext + self.anisotropy_field - self.ms
+
+    def with_(self, **overrides):
+        """Return a copy with ``overrides`` applied (e.g. a damping sweep)."""
+        return replace(self, **overrides)
+
+    def summary(self):
+        """One-line human-readable parameter summary."""
+        return (
+            f"{self.name}: Ms={self.ms:.4g} A/m, Aex={self.aex:.4g} J/m, "
+            f"Ku={self.ku:.4g} J/m^3, alpha={self.alpha:.4g}, "
+            f"H_ani={self.anisotropy_field:.4g} A/m"
+        )

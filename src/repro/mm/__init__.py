@@ -1,0 +1,69 @@
+"""Finite-difference micromagnetics: the OOMMF substitute.
+
+This package numerically integrates the Landau-Lifshitz-Gilbert equation
+on a rectangular finite-difference mesh, exactly the computation OOMMF
+performs for the paper's validation runs.  It provides:
+
+* :class:`~repro.mm.mesh.Mesh` -- the discretisation,
+* :class:`~repro.mm.state.State` -- the unit magnetisation field,
+* effective-field terms in :mod:`repro.mm.fields` (exchange, uniaxial
+  anisotropy, Zeeman, demagnetisation via the Newell tensor, and
+  time-dependent excitation fields),
+* fixed-step RK4 and adaptive RKF45 integrators,
+* :class:`~repro.mm.sim.Simulation` -- the driver that wires everything
+  together with probes recording time series.
+"""
+
+from repro.mm.mesh import Mesh
+from repro.mm.state import State
+from repro.mm.llg import llg_rhs
+from repro.mm.integrators import rk4_step, rkf45_step, integrate
+from repro.mm.sim import Simulation
+from repro.mm.probes import PointProbe, RegionProbe
+from repro.mm.sources import (
+    SineWaveform,
+    ToneBurstWaveform,
+    GaussianPulseWaveform,
+    Source,
+)
+from repro.mm.fields import (
+    ExchangeField,
+    UniaxialAnisotropyField,
+    ZeemanField,
+    DemagField,
+    ThinFilmDemagField,
+    AppliedField,
+)
+from repro.mm.thermal import ThermalLangevinRun, thermal_field_sigma
+from repro.mm.spectroscopy import (
+    measure_dispersion,
+    space_time_spectrum,
+    extract_branch,
+)
+
+__all__ = [
+    "Mesh",
+    "State",
+    "llg_rhs",
+    "rk4_step",
+    "rkf45_step",
+    "integrate",
+    "Simulation",
+    "PointProbe",
+    "RegionProbe",
+    "SineWaveform",
+    "ToneBurstWaveform",
+    "GaussianPulseWaveform",
+    "Source",
+    "ExchangeField",
+    "UniaxialAnisotropyField",
+    "ZeemanField",
+    "DemagField",
+    "ThinFilmDemagField",
+    "AppliedField",
+    "ThermalLangevinRun",
+    "thermal_field_sigma",
+    "measure_dispersion",
+    "space_time_spectrum",
+    "extract_branch",
+]

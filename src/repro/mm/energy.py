@@ -1,0 +1,33 @@
+"""Energy accounting helpers.
+
+Convenience functions over the per-term ``energy`` methods: a labelled
+breakdown and the thermal stability ratio used in the transducer cost
+discussion.
+"""
+
+from repro.constants import KB
+
+
+def energy_breakdown(state, terms, t=0.0):
+    """Per-term energies [J], keyed by term name (duplicates numbered)."""
+    table = {}
+    for term in terms:
+        key = term.name
+        index = 2
+        while key in table:
+            key = f"{term.name}_{index}"
+            index += 1
+        table[key] = term.energy(state, t)
+    return table
+
+
+def total_energy(state, terms, t=0.0):
+    """Sum of all term energies [J]."""
+    return float(sum(energy_breakdown(state, terms, t).values()))
+
+
+def thermal_stability(energy_barrier, temperature=300.0):
+    """Energy barrier in units of k_B * T (the Delta of device papers)."""
+    if temperature <= 0:
+        raise ValueError(f"temperature must be positive, got {temperature!r}")
+    return energy_barrier / (KB * temperature)

@@ -1,0 +1,23 @@
+"""Effective-field terms for the LLG equation.
+
+Each term implements the :class:`~repro.mm.fields.base.FieldTerm`
+interface: ``field(state, t)`` returns its contribution to H_eff [A/m]
+and ``energy(state, t)`` the corresponding total energy [J].
+"""
+
+from repro.mm.fields.base import FieldTerm
+from repro.mm.fields.exchange import ExchangeField
+from repro.mm.fields.anisotropy import UniaxialAnisotropyField
+from repro.mm.fields.zeeman import ZeemanField
+from repro.mm.fields.demag import DemagField, ThinFilmDemagField
+from repro.mm.fields.applied import AppliedField
+
+__all__ = [
+    "FieldTerm",
+    "ExchangeField",
+    "UniaxialAnisotropyField",
+    "ZeemanField",
+    "DemagField",
+    "ThinFilmDemagField",
+    "AppliedField",
+]

@@ -1,0 +1,52 @@
+"""First-order uniaxial magnetocrystalline anisotropy.
+
+H_ani = (2*Ku / (mu0*Ms)) * (m . u) * u
+
+for easy axis ``u``; this is the PMA term that keeps the paper's
+Fe60Co20B20 film perpendicular without external bias.
+"""
+
+import numpy as np
+
+from repro.constants import MU0
+from repro.errors import FieldError
+from repro.mm.fields.base import FieldTerm
+
+
+class UniaxialAnisotropyField(FieldTerm):
+    """Uniaxial anisotropy with easy axis ``axis`` and constant ``ku``.
+
+    Both default to the material's values.
+    """
+
+    def __init__(self, ku=None, axis=None):
+        self.ku = ku
+        if axis is not None:
+            axis = np.asarray(axis, dtype=float)
+            norm = np.linalg.norm(axis)
+            if norm == 0:
+                raise FieldError("anisotropy axis must be non-zero")
+            axis = axis / norm
+        self.axis = axis
+
+    def _params(self, state):
+        ku = state.material.ku if self.ku is None else self.ku
+        axis = (
+            np.asarray(state.material.anisotropy_axis)
+            if self.axis is None
+            else self.axis
+        )
+        return ku, axis
+
+    def field(self, state, t=0.0):
+        ku, axis = self._params(state)
+        prefactor = 2.0 * ku / (MU0 * state.material.ms)
+        projection = np.einsum("...i,i->...", state.m, axis)
+        return prefactor * projection[..., np.newaxis] * axis
+
+    def energy(self, state, t=0.0):
+        """E = Ku * sum (1 - (m.u)^2) * V_cell  (zero when aligned)."""
+        ku, axis = self._params(state)
+        projection = np.einsum("...i,i->...", state.m, axis)
+        density = ku * (1.0 - projection**2)
+        return float(density.sum() * state.mesh.cell_volume)

@@ -1,0 +1,56 @@
+"""Time-dependent applied (excitation) fields.
+
+An :class:`AppliedField` applies a waveform-modulated local field inside
+a masked region of the mesh -- the numerical model of an ME cell or
+microwave antenna transducer.  Waveform objects live in
+:mod:`repro.mm.sources`; anything callable ``waveform(t) -> float``
+works.
+"""
+
+import numpy as np
+
+from repro.errors import FieldError
+from repro.mm.fields.base import FieldTerm
+
+
+class AppliedField(FieldTerm):
+    """Localised time-varying field h(r, t) = mask(r) * amplitude(t) * u.
+
+    Parameters
+    ----------
+    mask:
+        Boolean array of mesh shape selecting the excited cells (e.g.
+        from :meth:`repro.mm.mesh.Mesh.region_mask`).
+    direction:
+        Unit vector of the applied field (normalised automatically).
+    waveform:
+        Callable ``t -> float`` giving the instantaneous amplitude [A/m].
+    """
+
+    energy_prefactor = 1.0  # linear (Zeeman-like) term
+    time_dependent = True
+
+    def __init__(self, mask, direction, waveform):
+        self.mask = np.asarray(mask, dtype=bool)
+        if not self.mask.any():
+            raise FieldError("excitation mask selects no cells")
+        direction = np.asarray(direction, dtype=float)
+        norm = np.linalg.norm(direction)
+        if norm == 0:
+            raise FieldError("excitation direction must be non-zero")
+        self.direction = direction / norm
+        if not callable(waveform):
+            raise FieldError("waveform must be callable t -> amplitude")
+        self.waveform = waveform
+
+    def field(self, state, t=0.0):
+        if self.mask.shape != state.mesh.shape:
+            raise FieldError(
+                f"mask shape {self.mask.shape} does not match mesh "
+                f"{state.mesh.shape}"
+            )
+        h = np.zeros(state.mesh.shape + (3,), dtype=float)
+        amplitude = float(self.waveform(t))
+        if amplitude != 0.0:
+            h[self.mask] = amplitude * self.direction
+        return h

@@ -1,0 +1,46 @@
+"""Field-term interface shared by all effective-field contributions."""
+
+import numpy as np
+
+from repro.constants import MU0
+
+
+class FieldTerm:
+    """One contribution to the effective field H_eff.
+
+    Subclasses implement :meth:`field`.  The default :meth:`energy` uses
+    the generic linear-term expression
+
+        E = -(mu0 * Ms / 2) * sum_cells (m . H) * V_cell
+
+    which is correct for self-consistent bilinear terms (exchange,
+    anisotropy, demag); terms linear in ``m`` (Zeeman, applied) override
+    the prefactor via :attr:`energy_prefactor` = 1.
+    """
+
+    #: 0.5 for bilinear terms (double counting), 1.0 for linear terms.
+    energy_prefactor = 0.5
+
+    #: Set True on terms that depend on time (excitation sources).
+    time_dependent = False
+
+    def field(self, state, t=0.0):
+        """Return this term's H contribution, shape ``(nx, ny, nz, 3)`` [A/m]."""
+        raise NotImplementedError
+
+    def energy(self, state, t=0.0):
+        """Total energy of this term [J]."""
+        h = self.field(state, t)
+        dot = np.einsum("...i,...i->...", state.m, h)
+        return float(
+            -self.energy_prefactor
+            * MU0
+            * state.material.ms
+            * dot.sum()
+            * state.mesh.cell_volume
+        )
+
+    @property
+    def name(self):
+        """Term name used in energy tables."""
+        return type(self).__name__

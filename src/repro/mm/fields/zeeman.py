@@ -1,0 +1,21 @@
+"""Static Zeeman field term: a uniform external field."""
+
+import numpy as np
+
+from repro.mm.fields.base import FieldTerm
+
+
+class ZeemanField(FieldTerm):
+    """Uniform external field ``h`` [A/m] (3-vector)."""
+
+    energy_prefactor = 1.0  # linear in m: no double-counting factor
+
+    def __init__(self, h):
+        self.h = np.asarray(h, dtype=float)
+        if self.h.shape != (3,):
+            raise ValueError(f"h must be a 3-vector, got shape {self.h.shape}")
+
+    def field(self, state, t=0.0):
+        out = np.empty(state.mesh.shape + (3,), dtype=float)
+        out[...] = self.h
+        return out

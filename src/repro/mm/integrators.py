@@ -1,0 +1,119 @@
+"""Time integrators for the LLG equation.
+
+Two schemes are provided:
+
+* :func:`rk4_step` -- classic fixed-step fourth-order Runge-Kutta, the
+  default for driven (excited) simulations where the forcing frequency
+  fixes the natural step anyway;
+* :func:`rkf45_step` -- Runge-Kutta-Fehlberg 4(5) with an embedded error
+  estimate, used by the adaptive :func:`integrate` driver for relaxation
+  runs where the stiffness varies over time.
+
+Integrators operate on plain arrays through a right-hand-side callable
+``rhs(t, m) -> dm/dt`` so they are independently testable on scalar ODEs.
+"""
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+# Runge-Kutta-Fehlberg 4(5) Butcher tableau.
+_RKF_A = (
+    (),
+    (1.0 / 4.0,),
+    (3.0 / 32.0, 9.0 / 32.0),
+    (1932.0 / 2197.0, -7200.0 / 2197.0, 7296.0 / 2197.0),
+    (439.0 / 216.0, -8.0, 3680.0 / 513.0, -845.0 / 4104.0),
+    (-8.0 / 27.0, 2.0, -3544.0 / 2565.0, 1859.0 / 4104.0, -11.0 / 40.0),
+)
+_RKF_C = (0.0, 1.0 / 4.0, 3.0 / 8.0, 12.0 / 13.0, 1.0, 1.0 / 2.0)
+_RKF_B5 = (16.0 / 135.0, 0.0, 6656.0 / 12825.0, 28561.0 / 56430.0, -9.0 / 50.0, 2.0 / 55.0)
+_RKF_B4 = (25.0 / 216.0, 0.0, 1408.0 / 2565.0, 2197.0 / 4104.0, -1.0 / 5.0, 0.0)
+
+
+def rk4_step(rhs, t, y, dt):
+    """One classic RK4 step; returns ``y(t + dt)``."""
+    k1 = rhs(t, y)
+    k2 = rhs(t + 0.5 * dt, y + 0.5 * dt * k1)
+    k3 = rhs(t + 0.5 * dt, y + 0.5 * dt * k2)
+    k4 = rhs(t + dt, y + dt * k3)
+    return y + (dt / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
+
+
+def rkf45_step(rhs, t, y, dt):
+    """One RKF45 step; returns ``(y5, error_estimate)``.
+
+    ``y5`` is the fifth-order solution, ``error_estimate`` the max-norm
+    difference between the embedded fourth- and fifth-order results.
+    """
+    ks = []
+    for stage in range(6):
+        yi = y
+        for coeff, k in zip(_RKF_A[stage], ks):
+            yi = yi + dt * coeff * k
+        ks.append(rhs(t + _RKF_C[stage] * dt, yi))
+    y5 = y
+    y4 = y
+    for b5, b4, k in zip(_RKF_B5, _RKF_B4, ks):
+        y5 = y5 + dt * b5 * k
+        y4 = y4 + dt * b4 * k
+    error = float(np.max(np.abs(y5 - y4)))
+    return y5, error
+
+
+def integrate(
+    rhs,
+    t0,
+    y0,
+    t_end,
+    dt,
+    adaptive=False,
+    tol=1e-4,
+    dt_min=None,
+    dt_max=None,
+    callback=None,
+    max_steps=50_000_000,
+):
+    """Integrate ``dy/dt = rhs(t, y)`` from ``t0`` to ``t_end``.
+
+    With ``adaptive=False``, fixed RK4 steps of ``dt`` are taken (the last
+    step is shortened to land exactly on ``t_end``).  With
+    ``adaptive=True``, RKF45 with standard step-size control targeting a
+    local max-norm error of ``tol`` per step is used; ``dt`` is the
+    initial step.
+
+    ``callback(t, y)`` is invoked after every accepted step.  Returns the
+    final ``(t, y)``.
+    """
+    if t_end < t0:
+        raise SimulationError(f"t_end ({t_end!r}) before t0 ({t0!r})")
+    if dt <= 0:
+        raise SimulationError(f"dt must be positive, got {dt!r}")
+    dt_min = dt * 1e-6 if dt_min is None else dt_min
+    dt_max = (t_end - t0) if dt_max is None else dt_max
+
+    t, y = t0, y0
+    steps = 0
+    while t < t_end:
+        if steps >= max_steps:
+            raise SimulationError(
+                f"integration exceeded max_steps={max_steps} "
+                f"(t={t:.4g} of {t_end:.4g})"
+            )
+        step = min(dt, t_end - t)
+        if adaptive:
+            y_new, error = rkf45_step(rhs, t, y, step)
+            scale = max(error / tol, 1e-10)
+            if error > tol and step > dt_min:
+                # Reject and retry with a smaller step.
+                dt = max(0.9 * step * scale ** (-0.25), dt_min)
+                continue
+            t, y = t + step, y_new
+            dt = min(max(0.9 * step * scale ** (-0.2), dt_min), dt_max)
+        else:
+            y = rk4_step(rhs, t, y, step)
+            t = t + step
+        steps += 1
+        if callback is not None:
+            callback(t, y)
+    return t, y

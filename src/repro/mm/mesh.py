@@ -1,0 +1,151 @@
+"""Rectangular finite-difference mesh.
+
+The mesh is a regular grid of ``nx * ny * nz`` cuboidal cells of size
+``(dx, dy, dz)``.  Magnetisation fields live on cell centres; array
+storage convention throughout the package is ``(nx, ny, nz, 3)``.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MeshError
+
+
+@dataclass(frozen=True)
+class Mesh:
+    """A regular rectangular mesh of cuboidal cells.
+
+    Parameters
+    ----------
+    nx, ny, nz:
+        Number of cells along each axis (all >= 1).
+    dx, dy, dz:
+        Cell edge lengths [m] (all > 0).
+    origin:
+        Coordinates of the *corner* of cell (0, 0, 0) [m]; cell centres
+        are offset by half a cell.
+    """
+
+    nx: int
+    ny: int
+    nz: int
+    dx: float
+    dy: float
+    dz: float
+    origin: tuple = (0.0, 0.0, 0.0)
+
+    def __post_init__(self):
+        for label, n in (("nx", self.nx), ("ny", self.ny), ("nz", self.nz)):
+            if not isinstance(n, (int, np.integer)) or n < 1:
+                raise MeshError(f"{label} must be a positive integer, got {n!r}")
+        for label, d in (("dx", self.dx), ("dy", self.dy), ("dz", self.dz)):
+            if d <= 0:
+                raise MeshError(f"{label} must be positive, got {d!r}")
+        if len(self.origin) != 3:
+            raise MeshError(f"origin must have 3 components, got {self.origin!r}")
+        object.__setattr__(self, "origin", tuple(float(c) for c in self.origin))
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self):
+        """Grid shape ``(nx, ny, nz)``."""
+        return (self.nx, self.ny, self.nz)
+
+    @property
+    def n_cells(self):
+        """Total number of cells."""
+        return self.nx * self.ny * self.nz
+
+    @property
+    def cell_volume(self):
+        """Volume of one cell [m^3]."""
+        return self.dx * self.dy * self.dz
+
+    @property
+    def volume(self):
+        """Total mesh volume [m^3]."""
+        return self.n_cells * self.cell_volume
+
+    @property
+    def extent(self):
+        """Physical size ``(Lx, Ly, Lz)`` [m]."""
+        return (self.nx * self.dx, self.ny * self.dy, self.nz * self.dz)
+
+    # ------------------------------------------------------------------
+    def cell_centers(self, axis):
+        """Cell-centre coordinates along ``axis`` (0, 1 or 2) [m]."""
+        n = self.shape[axis]
+        d = (self.dx, self.dy, self.dz)[axis]
+        o = self.origin[axis]
+        return o + (np.arange(n) + 0.5) * d
+
+    def coordinate_arrays(self):
+        """Broadcastable ``(X, Y, Z)`` cell-centre coordinate arrays."""
+        x = self.cell_centers(0).reshape(-1, 1, 1)
+        y = self.cell_centers(1).reshape(1, -1, 1)
+        z = self.cell_centers(2).reshape(1, 1, -1)
+        return np.broadcast_arrays(
+            x * np.ones(self.shape),
+            y * np.ones(self.shape),
+            z * np.ones(self.shape),
+        )
+
+    def index_of(self, point):
+        """Grid index ``(i, j, k)`` of the cell containing ``point`` [m].
+
+        Raises :class:`~repro.errors.MeshError` when the point is outside
+        the mesh.
+        """
+        idx = []
+        sizes = (self.dx, self.dy, self.dz)
+        for axis in range(3):
+            rel = (point[axis] - self.origin[axis]) / sizes[axis]
+            i = int(np.floor(rel))
+            if not 0 <= i < self.shape[axis]:
+                raise MeshError(
+                    f"point {tuple(point)!r} lies outside the mesh "
+                    f"(axis {axis}: index {i} not in [0, {self.shape[axis]}))"
+                )
+            idx.append(i)
+        return tuple(idx)
+
+    def region_mask(self, x=None, y=None, z=None):
+        """Boolean mask of cells whose centres fall inside an axis box.
+
+        Each of ``x``, ``y``, ``z`` is an optional ``(lo, hi)`` interval
+        in metres; ``None`` selects everything along that axis.
+
+        >>> mesh = Mesh(10, 1, 1, 1e-9, 1e-9, 1e-9)
+        >>> int(mesh.region_mask(x=(0, 3e-9)).sum())
+        3
+        """
+        mask = np.ones(self.shape, dtype=bool)
+        bounds = (x, y, z)
+        for axis, interval in enumerate(bounds):
+            if interval is None:
+                continue
+            lo, hi = interval
+            if hi < lo:
+                raise MeshError(
+                    f"empty interval on axis {axis}: ({lo!r}, {hi!r})"
+                )
+            centers = self.cell_centers(axis)
+            axis_mask = (centers >= lo) & (centers <= hi)
+            shape = [1, 1, 1]
+            shape[axis] = -1
+            mask &= axis_mask.reshape(shape)
+        return mask
+
+    def zeros_vector_field(self):
+        """A fresh ``(nx, ny, nz, 3)`` array of zeros."""
+        return np.zeros(self.shape + (3,), dtype=float)
+
+    def describe(self):
+        """Human-readable one-line summary."""
+        lx, ly, lz = self.extent
+        return (
+            f"{self.nx}x{self.ny}x{self.nz} cells of "
+            f"{self.dx:.3g}x{self.dy:.3g}x{self.dz:.3g} m "
+            f"({lx:.3g}x{ly:.3g}x{lz:.3g} m)"
+        )

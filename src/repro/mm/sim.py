@@ -1,0 +1,169 @@
+"""The micromagnetic simulation driver.
+
+:class:`Simulation` wires a state, a list of effective-field terms,
+sources and probes to the time integrators: the same role OOMMF's
+problem-specification + evolver pair plays.  Typical use::
+
+    sim = Simulation(state, terms=[ExchangeField(), UniaxialAnisotropyField(),
+                                   ThinFilmDemagField()])
+    sim.add_source(Source(region={"x": (0, 10e-9)},
+                          waveform=SineWaveform(3e4, 10e9)))
+    probe = sim.add_region_probe(x=(500e-9, 510e-9))
+    sim.run(3e-9, dt=20e-15)
+    mx = probe.component(0)
+"""
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.mm.fields.exchange import ExchangeField
+from repro.mm.integrators import integrate
+from repro.mm.llg import effective_field, llg_rhs_from_field, max_torque
+from repro.mm.probes import PointProbe, RegionProbe
+
+
+class Simulation:
+    """Drives the LLG dynamics of one :class:`~repro.mm.state.State`."""
+
+    def __init__(self, state, terms=None, renormalize_every=100, alpha_profile=None):
+        """``alpha_profile`` optionally replaces the scalar material
+        damping with a per-cell array (mesh shape) -- used to build
+        absorbing boundary regions that suppress end reflections."""
+        self.state = state
+        self.terms = list(terms) if terms is not None else []
+        self.probes = []
+        self.t = 0.0
+        if renormalize_every < 1:
+            raise SimulationError(
+                f"renormalize_every must be >= 1, got {renormalize_every!r}"
+            )
+        self.renormalize_every = int(renormalize_every)
+        if alpha_profile is not None:
+            alpha_profile = np.asarray(alpha_profile, dtype=float)
+            if alpha_profile.shape != state.mesh.shape:
+                raise SimulationError(
+                    f"alpha_profile shape {alpha_profile.shape} != mesh "
+                    f"{state.mesh.shape}"
+                )
+            if np.any(alpha_profile <= 0) or np.any(alpha_profile > 1):
+                raise SimulationError("alpha_profile values must lie in (0, 1]")
+        self.alpha_profile = alpha_profile
+        self._steps_accepted = 0
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def add_term(self, term):
+        """Append an effective-field term; returns it for chaining."""
+        self.terms.append(term)
+        return term
+
+    def add_source(self, source):
+        """Materialise a :class:`~repro.mm.sources.Source` onto the mesh."""
+        return self.add_term(source.to_field(self.state.mesh))
+
+    def add_point_probe(self, point, label=""):
+        """Attach a single-cell probe at physical ``point`` [m]."""
+        probe = PointProbe(self.state.mesh, point, label=label)
+        self.probes.append(probe)
+        return probe
+
+    def add_region_probe(self, label="", **region):
+        """Attach an averaging probe over ``mesh.region_mask(**region)``."""
+        mask = self.state.mesh.region_mask(**region)
+        probe = RegionProbe(mask, label=label)
+        self.probes.append(probe)
+        return probe
+
+    # ------------------------------------------------------------------
+    # Dynamics
+    # ------------------------------------------------------------------
+    def _rhs(self, t, m):
+        self.state.m = m
+        h = effective_field(self.state, self.terms, t)
+        return llg_rhs_from_field(
+            m, h, self.state.material, alpha=self.alpha_profile
+        )
+
+    def _after_step(self, t, m):
+        self.state.m = m
+        self._steps_accepted += 1
+        if self._steps_accepted % self.renormalize_every == 0:
+            self.state.normalize()
+        self.t = t
+        for probe in self.probes:
+            probe.record(self.state, t)
+
+    def suggest_dt(self, safety=0.1):
+        """Step suggestion from the stiffest (exchange) term, if present."""
+        for term in self.terms:
+            if isinstance(term, ExchangeField):
+                return term.max_stable_dt(self.state, safety=safety)
+        return None
+
+    def run(self, duration, dt, adaptive=False, tol=1e-4):
+        """Integrate for ``duration`` seconds from the current time.
+
+        Probes record after every accepted step.  Returns self.
+        """
+        if duration <= 0:
+            raise SimulationError(f"duration must be positive, got {duration!r}")
+        if not self.terms:
+            raise SimulationError("no field terms configured")
+        t_end = self.t + duration
+        _, m = integrate(
+            self._rhs,
+            self.t,
+            self.state.m,
+            t_end,
+            dt,
+            adaptive=adaptive,
+            tol=tol,
+            callback=self._after_step,
+        )
+        self.state.m = m
+        self.state.normalize()
+        self.t = t_end
+        return self
+
+    def relax(self, torque_tol=1.0, dt=None, max_duration=50e-9, chunk=0.25e-9):
+        """Evolve with high damping until |m x H| falls below ``torque_tol``.
+
+        Temporarily raises the damping to 0.5 to reach the metastable
+        state quickly, then restores the material.  Returns the final
+        maximum torque [A/m].
+        """
+        original = self.state.material
+        self.state.material = original.with_(alpha=0.5)
+        try:
+            if dt is None:
+                dt = self.suggest_dt() or 1e-13
+            elapsed = 0.0
+            while elapsed < max_duration:
+                self.run(chunk, dt=dt)
+                elapsed += chunk
+                torque = max_torque(self.state, self.terms, self.t)
+                if torque < torque_tol:
+                    return torque
+            raise SimulationError(
+                f"relaxation did not converge below {torque_tol} A/m in "
+                f"{max_duration:.3g} s (last torque {torque:.4g} A/m)"
+            )
+        finally:
+            self.state.material = original
+
+    def energies(self):
+        """Energy of every term [J], keyed by term name (duplicates numbered)."""
+        table = {}
+        for term in self.terms:
+            key = term.name
+            index = 2
+            while key in table:
+                key = f"{term.name}_{index}"
+                index += 1
+            table[key] = term.energy(self.state, self.t)
+        return table
+
+    def total_energy(self):
+        """Sum of all term energies [J]."""
+        return float(sum(self.energies().values()))

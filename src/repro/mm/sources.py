@@ -1,0 +1,105 @@
+"""Excitation waveforms and transducer source descriptions.
+
+The paper's gates are driven by ME-cell transducers that convert logic
+voltages into phase-encoded microwave fields; here a :class:`Source`
+couples a mesh region to a :class:`SineWaveform` (or burst/pulse
+variants) whose phase carries the logic value.
+"""
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.mm.fields.applied import AppliedField
+
+
+class SineWaveform:
+    """Continuous sinusoid ``a * sin(2*pi*f*t + phase)``.
+
+    An optional linear ``ramp`` time [s] fades the amplitude in from zero
+    to avoid the broadband transient of a hard turn-on.
+    """
+
+    def __init__(self, amplitude, frequency, phase=0.0, ramp=0.0):
+        if frequency <= 0:
+            raise SimulationError(f"frequency must be positive, got {frequency!r}")
+        if ramp < 0:
+            raise SimulationError(f"ramp must be non-negative, got {ramp!r}")
+        self.amplitude = float(amplitude)
+        self.frequency = float(frequency)
+        self.phase = float(phase)
+        self.ramp = float(ramp)
+
+    def __call__(self, t):
+        envelope = 1.0
+        if self.ramp > 0 and t < self.ramp:
+            envelope = max(t, 0.0) / self.ramp
+        return (
+            self.amplitude
+            * envelope
+            * math.sin(2.0 * math.pi * self.frequency * t + self.phase)
+        )
+
+
+class ToneBurstWaveform:
+    """Sinusoid gated to the window [t_on, t_off] with linear edges."""
+
+    def __init__(self, amplitude, frequency, t_on, t_off, edge=0.0, phase=0.0):
+        if t_off <= t_on:
+            raise SimulationError(
+                f"t_off ({t_off!r}) must exceed t_on ({t_on!r})"
+            )
+        if edge < 0 or 2 * edge > (t_off - t_on):
+            raise SimulationError(f"invalid edge time {edge!r}")
+        self._carrier = SineWaveform(amplitude, frequency, phase=phase)
+        self.t_on = float(t_on)
+        self.t_off = float(t_off)
+        self.edge = float(edge)
+
+    def __call__(self, t):
+        if t < self.t_on or t > self.t_off:
+            return 0.0
+        envelope = 1.0
+        if self.edge > 0:
+            if t < self.t_on + self.edge:
+                envelope = (t - self.t_on) / self.edge
+            elif t > self.t_off - self.edge:
+                envelope = (self.t_off - t) / self.edge
+        return envelope * self._carrier(t)
+
+
+class GaussianPulseWaveform:
+    """Broadband Gaussian field pulse, used to map dispersion spectra.
+
+    ``a * exp(-(t - t0)^2 / (2*sigma^2))`` -- exciting all frequencies up
+    to ~1/(2*pi*sigma), which lets a single simulation trace out omega(k).
+    """
+
+    def __init__(self, amplitude, t0, sigma):
+        if sigma <= 0:
+            raise SimulationError(f"sigma must be positive, got {sigma!r}")
+        self.amplitude = float(amplitude)
+        self.t0 = float(t0)
+        self.sigma = float(sigma)
+
+    def __call__(self, t):
+        arg = (t - self.t0) / self.sigma
+        return self.amplitude * math.exp(-0.5 * arg * arg)
+
+
+@dataclass
+class Source:
+    """A transducer: spatial region + direction + waveform.
+
+    ``region`` is a dict of keyword arguments for
+    :meth:`repro.mm.mesh.Mesh.region_mask` (e.g. ``{"x": (0, 10e-9)}``).
+    """
+
+    region: dict
+    waveform: object
+    direction: tuple = (1.0, 0.0, 0.0)
+
+    def to_field(self, mesh):
+        """Materialise this source as an :class:`AppliedField` on ``mesh``."""
+        mask = mesh.region_mask(**self.region)
+        return AppliedField(mask, self.direction, self.waveform)

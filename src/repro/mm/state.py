@@ -1,0 +1,85 @@
+"""Magnetisation state on a mesh.
+
+A :class:`State` couples a unit-vector field ``m`` of shape
+``(nx, ny, nz, 3)`` to its :class:`~repro.mm.mesh.Mesh` and
+:class:`~repro.materials.Material`.  The LLG equation preserves ``|m|=1``
+exactly; numerical integration drifts, so :meth:`normalize` is applied
+periodically by the simulation driver.
+"""
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+class State:
+    """Unit magnetisation field plus its mesh and material."""
+
+    def __init__(self, mesh, material, m=None):
+        self.mesh = mesh
+        self.material = material
+        if m is None:
+            m = np.zeros(mesh.shape + (3,), dtype=float)
+            m[..., 2] = 1.0
+        else:
+            m = np.array(m, dtype=float, copy=True)
+            if m.shape != mesh.shape + (3,):
+                raise SimulationError(
+                    f"m has shape {m.shape}, expected {mesh.shape + (3,)}"
+                )
+        self.m = m
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform(cls, mesh, material, direction=(0.0, 0.0, 1.0)):
+        """Uniformly magnetised state along ``direction`` (normalised)."""
+        direction = np.asarray(direction, dtype=float)
+        norm = np.linalg.norm(direction)
+        if norm == 0:
+            raise SimulationError("direction must be a non-zero vector")
+        m = np.empty(mesh.shape + (3,), dtype=float)
+        m[...] = direction / norm
+        return cls(mesh, material, m)
+
+    @classmethod
+    def random(cls, mesh, material, seed=None):
+        """Random unit vectors, uniformly distributed on the sphere."""
+        rng = np.random.default_rng(seed)
+        v = rng.normal(size=mesh.shape + (3,))
+        norms = np.linalg.norm(v, axis=-1, keepdims=True)
+        return cls(mesh, material, v / norms)
+
+    # ------------------------------------------------------------------
+    def copy(self):
+        """Deep copy of the state."""
+        return State(self.mesh, self.material, self.m)
+
+    def normalize(self):
+        """Rescale every cell's vector back to unit length, in place."""
+        norms = np.linalg.norm(self.m, axis=-1, keepdims=True)
+        if np.any(norms == 0):
+            raise SimulationError("cannot normalise a zero magnetisation vector")
+        self.m /= norms
+        return self
+
+    def norm_error(self):
+        """Maximum deviation of ``|m|`` from 1 over the mesh."""
+        norms = np.linalg.norm(self.m, axis=-1)
+        return float(np.max(np.abs(norms - 1.0)))
+
+    def average(self, mask=None):
+        """Spatially averaged magnetisation ``<m>`` (3-vector).
+
+        ``mask`` optionally restricts the average to a boolean cell
+        selection (e.g. a detector region).
+        """
+        if mask is None:
+            return self.m.reshape(-1, 3).mean(axis=0)
+        selected = self.m[mask]
+        if selected.size == 0:
+            raise SimulationError("mask selects no cells")
+        return selected.mean(axis=0)
+
+    def magnetisation(self):
+        """Full magnetisation field M = Ms * m [A/m]."""
+        return self.material.ms * self.m

@@ -1,0 +1,24 @@
+"""OOMMF interoperability: MIF 2.1 export and OVF 2.0 files.
+
+The paper validated its gates with OOMMF; this package keeps the
+reproduction interoperable with that toolchain.  :mod:`repro.oommf.mif`
+exports any in-line gate layout as a runnable MIF 2.1 problem
+specification, and :mod:`repro.oommf.ovf` reads/writes the OVF vector
+field format OOMMF emits, so OOMMF results can be compared against this
+library's solvers sample-for-sample.
+"""
+
+from repro.oommf.mif import MifDocument, gate_to_mif
+from repro.oommf.ovf import OvfField, read_ovf, write_ovf
+from repro.oommf.odt import OdtTable, read_odt, write_odt
+
+__all__ = [
+    "MifDocument",
+    "gate_to_mif",
+    "OvfField",
+    "read_ovf",
+    "write_ovf",
+    "OdtTable",
+    "read_odt",
+    "write_odt",
+]

@@ -1,0 +1,172 @@
+"""ODT (OOMMF Data Table) reader/writer.
+
+OOMMF's mmArchive records scalar time series -- energies, average
+magnetisation, stage counts -- as ``.odt`` tables.  This module writes
+our probe records in the same format and parses OOMMF-produced tables,
+completing the interop story next to MIF (input) and OVF (fields).
+"""
+
+import io
+
+import numpy as np
+
+from repro.errors import OommfFormatError
+
+
+class OdtTable:
+    """A named-column numeric table with units, ODT-compatible."""
+
+    def __init__(self, columns, units=None, title=""):
+        self.column_names = [str(c) for c in columns]
+        if not self.column_names:
+            raise OommfFormatError("an ODT table needs at least one column")
+        if len(set(self.column_names)) != len(self.column_names):
+            raise OommfFormatError("duplicate column names")
+        if units is None:
+            units = [""] * len(self.column_names)
+        units = [str(u) for u in units]
+        if len(units) != len(self.column_names):
+            raise OommfFormatError(
+                f"{len(units)} units for {len(self.column_names)} columns"
+            )
+        self.units = units
+        self.title = title
+        self._rows = []
+
+    def add_row(self, values):
+        """Append one row (sequence matching the column count)."""
+        values = [float(v) for v in values]
+        if len(values) != len(self.column_names):
+            raise OommfFormatError(
+                f"row has {len(values)} values, expected "
+                f"{len(self.column_names)}"
+            )
+        self._rows.append(values)
+
+    def __len__(self):
+        return len(self._rows)
+
+    def column(self, name):
+        """One column as a 1-D array; raises on unknown names."""
+        try:
+            index = self.column_names.index(name)
+        except ValueError:
+            raise OommfFormatError(
+                f"no column {name!r}; available: {self.column_names}"
+            ) from None
+        return np.array([row[index] for row in self._rows])
+
+    def as_array(self):
+        """The full table as an (n_rows, n_columns) array."""
+        return np.array(self._rows, dtype=float).reshape(
+            len(self._rows), len(self.column_names)
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_probe(cls, probe, title="repro probe"):
+        """Build a 4-column table (t, mx, my, mz) from a probe record."""
+        table = cls(
+            ["Time", "mx", "my", "mz"],
+            units=["s", "", "", ""],
+            title=title,
+        )
+        times = probe.times()
+        components = probe.components()
+        for t, (mx, my, mz) in zip(times, components):
+            table.add_row([t, mx, my, mz])
+        return table
+
+
+def write_odt(table, path_or_file):
+    """Write ``table`` in ODT v1.0 format."""
+    out = io.StringIO()
+    out.write("# ODT 1.0\n")
+    out.write("# Table Start\n")
+    if table.title:
+        out.write(f"# Title: {table.title}\n")
+    quoted = " ".join(_quote(name) for name in table.column_names)
+    out.write(f"# Columns: {quoted}\n")
+    quoted_units = " ".join(_quote(u) if u else "{}" for u in table.units)
+    out.write(f"# Units: {quoted_units}\n")
+    for row in table.as_array():
+        out.write(" ".join(f"{v:.12e}" for v in row) + "\n")
+    out.write("# Table End\n")
+    text = out.getvalue()
+    if hasattr(path_or_file, "write"):
+        path_or_file.write(text)
+    else:
+        with open(path_or_file, "w", encoding="ascii") as handle:
+            handle.write(text)
+
+
+def _quote(token):
+    return "{" + token + "}" if (" " in token or not token) else token
+
+
+def _split_braced(text):
+    """Split an ODT header payload on spaces, honouring {braced tokens}."""
+    tokens = []
+    current = []
+    depth = 0
+    for ch in text:
+        if ch == "{":
+            depth += 1
+            if depth == 1:
+                continue
+        elif ch == "}":
+            depth -= 1
+            if depth < 0:
+                raise OommfFormatError(f"unbalanced braces in {text!r}")
+            if depth == 0:
+                tokens.append("".join(current))
+                current = []
+                continue
+        elif ch == " " and depth == 0:
+            if current:
+                tokens.append("".join(current))
+                current = []
+            continue
+        current.append(ch)
+    if depth != 0:
+        raise OommfFormatError(f"unbalanced braces in {text!r}")
+    if current:
+        tokens.append("".join(current))
+    return tokens
+
+
+def read_odt(path_or_file):
+    """Parse an ODT file into an :class:`OdtTable` (first table only)."""
+    if hasattr(path_or_file, "read"):
+        text = path_or_file.read()
+    else:
+        with open(path_or_file, "r", encoding="ascii") as handle:
+            text = handle.read()
+    if isinstance(text, bytes):
+        text = text.decode("ascii")
+
+    columns = None
+    units = None
+    title = ""
+    rows = []
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if stripped.startswith("#"):
+            payload = stripped.lstrip("#").strip()
+            if payload.startswith("Columns:"):
+                columns = _split_braced(payload[len("Columns:") :].strip())
+            elif payload.startswith("Units:"):
+                units = _split_braced(payload[len("Units:") :].strip())
+            elif payload.startswith("Title:"):
+                title = payload[len("Title:") :].strip()
+            continue
+        rows.append([float(v) for v in stripped.split()])
+
+    if columns is None:
+        raise OommfFormatError("no '# Columns:' header found")
+    table = OdtTable(columns, units=units, title=title)
+    for row in rows:
+        table.add_row(row)
+    return table

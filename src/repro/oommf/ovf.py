@@ -1,0 +1,230 @@
+"""OVF 2.0 vector-field file reader/writer.
+
+OOMMF archives magnetisation snapshots as OVF files; this module writes
+our solver states in the same format and reads OOMMF output back, so the
+two solvers can be compared sample-for-sample.  Supports the ``text``
+and ``Binary 4`` / ``Binary 8`` data sections of OVF 2.0 on rectangular
+meshes.
+"""
+
+import io
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import OommfFormatError
+
+_BINARY4_CHECK = 1234567.0
+_BINARY8_CHECK = 123456789012345.0
+
+
+@dataclass
+class OvfField:
+    """A rectangular-mesh vector field with its OVF geometry metadata.
+
+    ``data`` has shape ``(nx, ny, nz, 3)``; steps and bases are metres.
+    """
+
+    data: np.ndarray
+    xstepsize: float
+    ystepsize: float
+    zstepsize: float
+    xbase: float = 0.0
+    ybase: float = 0.0
+    zbase: float = 0.0
+    title: str = ""
+    valueunits: str = "A/m"
+
+    @property
+    def shape(self):
+        """(nx, ny, nz)."""
+        return self.data.shape[:3]
+
+    @classmethod
+    def from_state(cls, state, title="repro state", scale_to_ms=True):
+        """Build from a :class:`repro.mm.State` (full M or unit m)."""
+        data = state.magnetisation() if scale_to_ms else state.m.copy()
+        mesh = state.mesh
+        return cls(
+            data=np.asarray(data, dtype=float),
+            xstepsize=mesh.dx,
+            ystepsize=mesh.dy,
+            zstepsize=mesh.dz,
+            xbase=mesh.origin[0] + mesh.dx / 2.0,
+            ybase=mesh.origin[1] + mesh.dy / 2.0,
+            zbase=mesh.origin[2] + mesh.dz / 2.0,
+            title=title,
+            valueunits="A/m" if scale_to_ms else "",
+        )
+
+
+def write_ovf(field, path_or_file, representation="text"):
+    """Write ``field`` as OVF 2.0; representation in {text, binary4, binary8}."""
+    if representation not in ("text", "binary4", "binary8"):
+        raise OommfFormatError(
+            f"unsupported representation {representation!r}"
+        )
+    nx, ny, nz = field.shape
+    header = io.StringIO()
+    header.write("# OOMMF OVF 2.0\n")
+    header.write("# Segment count: 1\n")
+    header.write("# Begin: Segment\n")
+    header.write("# Begin: Header\n")
+    header.write(f"# Title: {field.title}\n")
+    header.write("# meshtype: rectangular\n")
+    header.write("# meshunit: m\n")
+    header.write(f"# xbase: {field.xbase:.9e}\n")
+    header.write(f"# ybase: {field.ybase:.9e}\n")
+    header.write(f"# zbase: {field.zbase:.9e}\n")
+    header.write(f"# xstepsize: {field.xstepsize:.9e}\n")
+    header.write(f"# ystepsize: {field.ystepsize:.9e}\n")
+    header.write(f"# zstepsize: {field.zstepsize:.9e}\n")
+    header.write(f"# xnodes: {nx}\n")
+    header.write(f"# ynodes: {ny}\n")
+    header.write(f"# znodes: {nz}\n")
+    header.write(f"# xmin: {field.xbase - field.xstepsize / 2:.9e}\n")
+    header.write(f"# ymin: {field.ybase - field.ystepsize / 2:.9e}\n")
+    header.write(f"# zmin: {field.zbase - field.zstepsize / 2:.9e}\n")
+    header.write(
+        f"# xmax: {field.xbase + (nx - 0.5) * field.xstepsize:.9e}\n"
+    )
+    header.write(
+        f"# ymax: {field.ybase + (ny - 0.5) * field.ystepsize:.9e}\n"
+    )
+    header.write(
+        f"# zmax: {field.zbase + (nz - 0.5) * field.zstepsize:.9e}\n"
+    )
+    header.write("# valuedim: 3\n")
+    header.write(f"# valueunits: {field.valueunits} {field.valueunits} {field.valueunits}\n")
+    header.write("# valuelabels: m_x m_y m_z\n")
+    header.write("# End: Header\n")
+
+    # OVF orders data x fastest, then y, then z.
+    ordered = np.transpose(field.data, (2, 1, 0, 3)).reshape(-1, 3)
+
+    if representation == "text":
+        body = io.StringIO()
+        body.write("# Begin: Data Text\n")
+        for vx, vy, vz in ordered:
+            body.write(f"{vx:.17e} {vy:.17e} {vz:.17e}\n")
+        body.write("# End: Data Text\n")
+        payload = (header.getvalue() + body.getvalue()).encode("ascii")
+        payload += b"# End: Segment\n"
+    else:
+        nbytes = 4 if representation == "binary4" else 8
+        dtype = "<f4" if nbytes == 4 else "<f8"
+        check = _BINARY4_CHECK if nbytes == 4 else _BINARY8_CHECK
+        chunks = [
+            header.getvalue().encode("ascii"),
+            f"# Begin: Data Binary {nbytes}\n".encode("ascii"),
+            np.asarray([check], dtype=dtype).tobytes(),
+            ordered.astype(dtype).tobytes(),
+            f"\n# End: Data Binary {nbytes}\n".encode("ascii"),
+            b"# End: Segment\n",
+        ]
+        payload = b"".join(chunks)
+
+    if hasattr(path_or_file, "write"):
+        path_or_file.write(payload)
+    else:
+        with open(path_or_file, "wb") as handle:
+            handle.write(payload)
+
+
+def _parse_header(lines):
+    meta = {}
+    for line in lines:
+        stripped = line.strip()
+        if not stripped.startswith("#"):
+            continue
+        content = stripped.lstrip("#").strip()
+        if ":" not in content:
+            continue
+        key, _, value = content.partition(":")
+        meta[key.strip().lower()] = value.strip()
+    return meta
+
+
+def read_ovf(path_or_file):
+    """Read an OVF 2.0 file (text or binary4/8) into an :class:`OvfField`."""
+    if hasattr(path_or_file, "read"):
+        raw = path_or_file.read()
+    else:
+        with open(path_or_file, "rb") as handle:
+            raw = handle.read()
+    if not isinstance(raw, bytes):
+        raw = raw.encode("ascii")
+
+    begin_markers = {
+        b"# Begin: Data Text": "text",
+        b"# Begin: Data Binary 4": "binary4",
+        b"# Begin: Data Binary 8": "binary8",
+    }
+    representation = None
+    marker_pos = -1
+    marker_used = None
+    for marker, rep in begin_markers.items():
+        pos = raw.find(marker)
+        if pos >= 0:
+            representation = rep
+            marker_pos = pos
+            marker_used = marker
+            break
+    if representation is None:
+        raise OommfFormatError("no OVF data section found")
+
+    header_text = raw[:marker_pos].decode("ascii", errors="replace")
+    meta = _parse_header(header_text.splitlines())
+    try:
+        nx = int(meta["xnodes"])
+        ny = int(meta["ynodes"])
+        nz = int(meta["znodes"])
+        xstep = float(meta["xstepsize"])
+        ystep = float(meta["ystepsize"])
+        zstep = float(meta["zstepsize"])
+    except KeyError as missing:
+        raise OommfFormatError(f"OVF header missing {missing}") from None
+    valuedim = int(meta.get("valuedim", "3"))
+    if valuedim != 3:
+        raise OommfFormatError(f"only valuedim 3 supported, got {valuedim}")
+    count = nx * ny * nz
+
+    data_start = marker_pos + len(marker_used) + 1  # skip marker + newline
+    if representation == "text":
+        end = raw.find(b"# End: Data Text", data_start)
+        if end < 0:
+            raise OommfFormatError("unterminated text data section")
+        text = raw[data_start:end].decode("ascii")
+        values = np.array(text.split(), dtype=float)
+        if values.size != count * 3:
+            raise OommfFormatError(
+                f"expected {count * 3} values, found {values.size}"
+            )
+        ordered = values.reshape(count, 3)
+    else:
+        nbytes = 4 if representation == "binary4" else 8
+        dtype = "<f4" if nbytes == 4 else "<f8"
+        check_expected = _BINARY4_CHECK if nbytes == 4 else _BINARY8_CHECK
+        check = np.frombuffer(raw, dtype=dtype, count=1, offset=data_start)[0]
+        if not np.isclose(check, check_expected, rtol=1e-6):
+            raise OommfFormatError(
+                f"binary check value mismatch: {check!r} != {check_expected!r}"
+            )
+        ordered = np.frombuffer(
+            raw, dtype=dtype, count=count * 3, offset=data_start + nbytes
+        ).reshape(count, 3).astype(float)
+
+    data = np.transpose(ordered.reshape(nz, ny, nx, 3), (2, 1, 0, 3))
+    return OvfField(
+        data=np.ascontiguousarray(data),
+        xstepsize=xstep,
+        ystepsize=ystep,
+        zstepsize=zstep,
+        xbase=float(meta.get("xbase", "0")),
+        ybase=float(meta.get("ybase", "0")),
+        zbase=float(meta.get("zbase", "0")),
+        title=meta.get("title", ""),
+        valueunits=meta.get("valueunits", "").split()[0]
+        if meta.get("valueunits")
+        else "",
+    )

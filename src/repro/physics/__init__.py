@@ -1,0 +1,56 @@
+"""Analytic spin-wave physics: dispersion relations, FMR, damping.
+
+This package implements the thin-film spin-wave theory that underpins the
+gate design: the Kalinikos-Slavin dispersion of forward volume
+magnetostatic spin waves (FVMSW) used by the paper, plus the other common
+geometries for comparison, wavelength/wavenumber inversion, group
+velocity, lifetime, attenuation length, and lateral width-mode
+quantisation for the waveguide-width study of Section V.
+"""
+
+from repro.physics.dispersion import (
+    DispersionRelation,
+    ExchangeDispersion,
+    FvmswDispersion,
+    BvmswDispersion,
+    MsswDispersion,
+)
+from repro.physics.kittel import (
+    fmr_frequency_perpendicular,
+    fmr_frequency_in_plane,
+    kittel_sphere_frequency,
+)
+from repro.physics.solve import wavelength_for_frequency, wavenumber_for_frequency
+from repro.physics.damping import (
+    relaxation_rate,
+    lifetime,
+    attenuation_length,
+    amplitude_after,
+)
+from repro.physics.width_modes import (
+    width_mode_wavenumber,
+    band_edge_frequency,
+    fmr_vs_width,
+    crosstalk_isolation_db,
+)
+
+__all__ = [
+    "DispersionRelation",
+    "ExchangeDispersion",
+    "FvmswDispersion",
+    "BvmswDispersion",
+    "MsswDispersion",
+    "fmr_frequency_perpendicular",
+    "fmr_frequency_in_plane",
+    "kittel_sphere_frequency",
+    "wavelength_for_frequency",
+    "wavenumber_for_frequency",
+    "relaxation_rate",
+    "lifetime",
+    "attenuation_length",
+    "amplitude_after",
+    "width_mode_wavenumber",
+    "band_edge_frequency",
+    "fmr_vs_width",
+    "crosstalk_isolation_db",
+]

@@ -1,0 +1,50 @@
+"""Spin-wave damping: lifetimes and attenuation lengths.
+
+The paper's scalability discussion (Section V) hinges on these: Gilbert
+damping attenuates each wave as it propagates, so in long many-input
+gates the earlier sources must be driven harder.  The compensation scheme
+in :mod:`repro.core.scaling` is built directly on
+:func:`attenuation_length` / :func:`amplitude_after`.
+"""
+
+import math
+
+
+def relaxation_rate(dispersion, k):
+    """Amplitude relaxation rate Gamma(k) [rad/s] (delegates to dispersion)."""
+    return float(dispersion.relaxation_rate(k))
+
+
+def lifetime(dispersion, k):
+    """Amplitude lifetime tau = 1/Gamma [s]."""
+    gamma_k = relaxation_rate(dispersion, k)
+    if gamma_k <= 0:
+        raise ValueError(f"non-positive relaxation rate {gamma_k!r}")
+    return 1.0 / gamma_k
+
+def attenuation_length(dispersion, k):
+    """Amplitude decay length L = v_g * tau [m].
+
+    A wave packet's amplitude falls as exp(-x / L) while it travels a
+    distance ``x``.
+    """
+    v_g = abs(dispersion.group_velocity(k))
+    return v_g * lifetime(dispersion, k)
+
+
+def amplitude_after(dispersion, k, distance, amplitude=1.0):
+    """Amplitude remaining after propagating ``distance`` [m]."""
+    if distance < 0:
+        raise ValueError(f"distance must be non-negative, got {distance!r}")
+    length = attenuation_length(dispersion, k)
+    return amplitude * math.exp(-distance / length)
+
+
+def propagation_delay(dispersion, k, distance):
+    """Group-velocity travel time over ``distance`` [s]."""
+    if distance < 0:
+        raise ValueError(f"distance must be non-negative, got {distance!r}")
+    v_g = abs(dispersion.group_velocity(k))
+    if v_g == 0:
+        raise ValueError("zero group velocity: wave does not propagate")
+    return distance / v_g

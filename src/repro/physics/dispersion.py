@@ -1,0 +1,284 @@
+"""Thin-film spin-wave dispersion relations.
+
+The workhorse is :class:`FvmswDispersion`, the lowest-thickness-mode
+Kalinikos-Slavin dispersion for Forward Volume Magnetostatic Spin Waves --
+the geometry the paper uses because its in-plane propagation is isotropic
+(Section II).  For a film of thickness ``d`` magnetised along the normal,
+
+    omega(k)^2 = (w0 + wM*lam*k^2) * (w0 + wM*lam*k^2 + wM*F00(kd))
+
+with
+
+    w0  = gamma*mu0*H_int          (H_int = H_ext + H_ani - Ms),
+    wM  = gamma*mu0*Ms,
+    lam = 2*Aex/(mu0*Ms^2),
+    F00 = 1 - (1 - exp(-kd)) / (kd).
+
+``BvmswDispersion`` and ``MsswDispersion`` implement the in-plane
+backward-volume and surface (Damon-Eshbach) geometries in the same
+lowest-mode approximation; ``ExchangeDispersion`` drops the dipolar term
+entirely, which is also the dispersion realised by the local (demag-free)
+1-D micromagnetic model, making it the right comparison curve for solver
+validation tests.
+
+All classes share the :class:`DispersionRelation` interface:
+``omega(k)``, ``frequency(k)``, ``group_velocity(k)`` and
+``relaxation_rate(k)``.
+"""
+
+import math
+
+import numpy as np
+
+from repro.constants import MU0
+from repro.errors import DispersionError
+
+
+def _f00(kd):
+    """Lowest dipole-dipole matrix element F00 = 1 - (1-exp(-kd))/(kd).
+
+    Uses the series expansion for small ``kd`` to stay accurate near
+    ``k = 0`` (the direct formula suffers catastrophic cancellation).
+    Accepts scalars or arrays.
+    """
+    kd = np.asarray(kd, dtype=float)
+    small = np.abs(kd) < 1e-6
+    safe = np.where(small, 1.0, kd)
+    exact = 1.0 - (1.0 - np.exp(-safe)) / safe
+    series = kd / 2.0 - kd**2 / 6.0
+    result = np.where(small, series, exact)
+    if result.ndim == 0:
+        return float(result)
+    return result
+
+
+class DispersionRelation:
+    """Base class: omega(k) for a given material/film configuration.
+
+    Parameters
+    ----------
+    material:
+        A :class:`repro.materials.Material`.
+    thickness:
+        Film thickness [m]; must be positive.
+    h_ext:
+        External bias field magnitude [A/m] applied along the equilibrium
+        direction of the particular geometry.
+    """
+
+    #: Human-readable geometry label, overridden by subclasses.
+    geometry = "generic"
+
+    def __init__(self, material, thickness, h_ext=0.0):
+        if thickness <= 0:
+            raise DispersionError(
+                f"thickness must be positive, got {thickness!r}"
+            )
+        self.material = material
+        self.thickness = float(thickness)
+        self.h_ext = float(h_ext)
+
+    # -- internal field, overridden per geometry ------------------------
+    def internal_field(self):
+        """Static internal field H_int [A/m] for this geometry."""
+        raise NotImplementedError
+
+    @property
+    def omega_0(self):
+        """gamma*mu0*H_int [rad/s]."""
+        return self.material.gamma * MU0 * self.internal_field()
+
+    @property
+    def omega_m(self):
+        """gamma*mu0*Ms [rad/s]."""
+        return self.material.omega_m
+
+    def _omega_exchange(self, k):
+        """Exchange contribution wM*lambda_ex*k^2 [rad/s]."""
+        return self.omega_m * self.material.lambda_ex * np.square(k)
+
+    # -- public API ------------------------------------------------------
+    def omega(self, k):
+        """Angular frequency omega(k) [rad/s] for wavenumber ``k`` [rad/m]."""
+        raise NotImplementedError
+
+    def frequency(self, k):
+        """Frequency f(k) = omega(k)/2*pi [Hz]."""
+        return self.omega(k) / (2.0 * math.pi)
+
+    def group_velocity(self, k, dk=None):
+        """Group velocity d(omega)/dk [m/s] via central differences.
+
+        ``dk`` defaults to a relative step of 1e-6*k (absolute floor of
+        1 rad/m) which is plenty for the smooth dispersions here.
+        """
+        k = float(k)
+        if dk is None:
+            dk = max(abs(k) * 1e-6, 1.0)
+        lo = max(k - dk, 0.0)
+        hi = k + dk
+        return float((self.omega(hi) - self.omega(lo)) / (hi - lo))
+
+    def relaxation_rate(self, k):
+        """Amplitude relaxation rate Gamma(k) [rad/s].
+
+        Generic Gilbert form Gamma = alpha * omega * (w1 + w2)/(2*omega)
+        = alpha*(w1 + w2)/2 for dispersions of the form
+        omega = sqrt(w1*w2); subclasses with a plain omega = w1 form use
+        Gamma = alpha * omega.
+        """
+        return self.material.alpha * self.omega(k)
+
+    def describe(self):
+        """Short configuration summary for tables and logs."""
+        return (
+            f"{self.geometry} on {self.material.name}, "
+            f"d={self.thickness:.3g} m, H_ext={self.h_ext:.3g} A/m"
+        )
+
+
+class ExchangeDispersion(DispersionRelation):
+    """Pure exchange spin waves: omega = w0 + wM*lam*k^2.
+
+    This neglects dynamic dipolar fields.  It is the dispersion realised
+    exactly by a local (no-demag) micromagnetic model with the effective
+    internal field folded into ``w0``, so the LLG solver validation tests
+    compare against this curve.
+    """
+
+    geometry = "exchange"
+
+    def internal_field(self):
+        return self.material.internal_field_perpendicular(self.h_ext)
+
+    def omega(self, k):
+        return self.omega_0 + self._omega_exchange(k)
+
+    def relaxation_rate(self, k):
+        return self.material.alpha * self.omega(k)
+
+
+class FvmswDispersion(DispersionRelation):
+    """Forward volume magnetostatic spin waves (out-of-plane M).
+
+    The paper's geometry: film magnetised along the normal by PMA
+    (H_ani > Ms, no external field needed), in-plane propagation is
+    isotropic.  Lowest thickness mode of Kalinikos-Slavin.
+    """
+
+    geometry = "FVMSW"
+
+    def internal_field(self):
+        h_int = self.material.internal_field_perpendicular(self.h_ext)
+        if h_int <= 0:
+            raise DispersionError(
+                "perpendicular configuration unstable: "
+                f"H_ext + H_ani - Ms = {h_int:.4g} A/m <= 0 "
+                f"for {self.material.name}"
+            )
+        return h_int
+
+    def _branches(self, k):
+        """The two factors w1, w2 with omega = sqrt(w1*w2)."""
+        k = np.asarray(k, dtype=float)
+        w_ex = self.omega_0 + self._omega_exchange(k)
+        f00 = _f00(k * self.thickness)
+        return w_ex, w_ex + self.omega_m * f00
+
+    def omega(self, k):
+        w1, w2 = self._branches(k)
+        result = np.sqrt(w1 * w2)
+        if np.ndim(result) == 0:
+            return float(result)
+        return result
+
+    def relaxation_rate(self, k):
+        w1, w2 = self._branches(k)
+        result = self.material.alpha * 0.5 * (w1 + w2)
+        if np.ndim(result) == 0:
+            return float(result)
+        return result
+
+
+class BvmswDispersion(DispersionRelation):
+    """Backward volume magnetostatic spin waves (in-plane M, k || M).
+
+    omega^2 = (w0 + wM*lam*k^2) * (w0 + wM*lam*k^2 + wM*(1 - F00(kd)))
+    with the in-plane internal field H_int = H_ext + H_ani (no shape
+    demagnetisation along the in-plane easy axis of an extended film).
+    The dipolar factor decreases with ``k``, producing the characteristic
+    negative group velocity at small ``k``.
+    """
+
+    geometry = "BVMSW"
+
+    def internal_field(self):
+        h_int = self.h_ext + self.material.anisotropy_field
+        if h_int <= 0:
+            raise DispersionError(
+                "in-plane configuration needs a positive internal field; "
+                f"got {h_int:.4g} A/m"
+            )
+        return h_int
+
+    def _branches(self, k):
+        k = np.asarray(k, dtype=float)
+        w_ex = self.omega_0 + self._omega_exchange(k)
+        kd = k * self.thickness
+        # P(kd) = (1 - exp(-kd))/kd, so the dipolar factor is 1 - F00.
+        p_factor = 1.0 - _f00(kd)
+        return w_ex, w_ex + self.omega_m * p_factor
+
+    def omega(self, k):
+        w1, w2 = self._branches(k)
+        result = np.sqrt(w1 * w2)
+        if np.ndim(result) == 0:
+            return float(result)
+        return result
+
+    def relaxation_rate(self, k):
+        w1, w2 = self._branches(k)
+        result = self.material.alpha * 0.5 * (w1 + w2)
+        if np.ndim(result) == 0:
+            return float(result)
+        return result
+
+
+class MsswDispersion(DispersionRelation):
+    """Magnetostatic surface (Damon-Eshbach) waves (in-plane M, k perp M).
+
+    omega^2 = (w0 + wM*lam*k^2) * (w0 + wM*lam*k^2 + wM)
+              + (wM^2/4) * (1 - exp(-2*kd))
+    """
+
+    geometry = "MSSW"
+
+    def internal_field(self):
+        h_int = self.h_ext + self.material.anisotropy_field
+        if h_int <= 0:
+            raise DispersionError(
+                "in-plane configuration needs a positive internal field; "
+                f"got {h_int:.4g} A/m"
+            )
+        return h_int
+
+    def omega(self, k):
+        k = np.asarray(k, dtype=float)
+        w_ex = self.omega_0 + self._omega_exchange(k)
+        kd = k * self.thickness
+        omega_sq = w_ex * (w_ex + self.omega_m) + (
+            self.omega_m**2 / 4.0
+        ) * (1.0 - np.exp(-2.0 * kd))
+        result = np.sqrt(omega_sq)
+        if np.ndim(result) == 0:
+            return float(result)
+        return result
+
+    def relaxation_rate(self, k):
+        # Use the generic Gilbert estimate Gamma ~ alpha*(w_ex + wM/2).
+        k = np.asarray(k, dtype=float)
+        w_ex = self.omega_0 + self._omega_exchange(k)
+        result = self.material.alpha * (w_ex + self.omega_m / 2.0)
+        if np.ndim(result) == 0:
+            return float(result)
+        return result

@@ -1,0 +1,49 @@
+"""Ferromagnetic resonance (Kittel) frequencies.
+
+These closed forms anchor the micromagnetic solver tests: a macrospin in
+the solver must precess at exactly these frequencies, and the ``k -> 0``
+limits of the dispersion relations must agree with them.
+"""
+
+import math
+
+from repro.constants import MU0
+
+
+def fmr_frequency_perpendicular(material, h_ext=0.0):
+    """FMR of a thin film magnetised along its normal [Hz].
+
+    f = (gamma*mu0 / 2*pi) * (H_ext + H_ani - Ms)
+
+    which is also the ``k = 0`` limit of the FVMSW dispersion.  Returns a
+    negative value when the perpendicular state is unstable, which callers
+    may treat as "needs bias field".
+    """
+    h_int = material.internal_field_perpendicular(h_ext)
+    return material.gamma * MU0 * h_int / (2.0 * math.pi)
+
+
+def fmr_frequency_in_plane(material, h_ext):
+    """Kittel FMR of an in-plane magnetised thin film [Hz].
+
+    f = (gamma*mu0 / 2*pi) * sqrt(H * (H + Ms)),  H = H_ext + H_ani.
+    """
+    h_int = h_ext + material.anisotropy_field
+    if h_int < 0:
+        raise ValueError(f"in-plane internal field negative: {h_int:.4g} A/m")
+    return (
+        material.gamma
+        * MU0
+        * math.sqrt(h_int * (h_int + material.ms))
+        / (2.0 * math.pi)
+    )
+
+
+def kittel_sphere_frequency(material, h_ext):
+    """FMR of a uniformly magnetised sphere: f = gamma*mu0*H_ext / 2*pi [Hz].
+
+    For a sphere the demagnetising tensor is isotropic (N = 1/3) and drops
+    out of the resonance condition.  This is the cleanest macrospin test
+    case for the LLG integrators.
+    """
+    return material.gamma * MU0 * h_ext / (2.0 * math.pi)

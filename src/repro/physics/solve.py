@@ -1,0 +1,77 @@
+"""Inversion of dispersion relations: k(f) and lambda(f).
+
+The gate layout engine needs the wavelength of each frequency channel to
+place same-frequency sources at integer (or half-integer) multiples of
+``lambda_i`` (Section III of the paper).  Dispersions here are strictly
+monotonic in the propagating band, so a bracketed Brent solve is robust.
+"""
+
+import math
+
+import numpy as np
+from scipy.optimize import brentq
+
+from repro.errors import DispersionError
+
+#: Default upper bound on the wavenumber search [rad/m]; corresponds to a
+#: wavelength of ~0.6 nm, far below anything resolvable on a real mesh.
+_K_MAX_DEFAULT = 1e10
+
+
+def wavenumber_for_frequency(dispersion, frequency, k_max=_K_MAX_DEFAULT):
+    """Return the wavenumber k [rad/m] with ``dispersion.frequency(k) == frequency``.
+
+    Raises :class:`~repro.errors.DispersionError` when ``frequency`` lies
+    below the band edge (no propagating wave exists) or above the
+    representable range.
+    """
+    if frequency <= 0:
+        raise DispersionError(f"frequency must be positive, got {frequency!r}")
+    f_edge = dispersion.frequency(0.0)
+    if frequency <= f_edge:
+        raise DispersionError(
+            f"frequency {frequency:.4g} Hz is at or below the band edge "
+            f"{f_edge:.4g} Hz of {dispersion.describe()}; "
+            "no propagating spin wave exists"
+        )
+    if dispersion.frequency(k_max) < frequency:
+        raise DispersionError(
+            f"frequency {frequency:.4g} Hz above the searchable band "
+            f"(k_max = {k_max:.3g} rad/m)"
+        )
+
+    def objective(k):
+        return dispersion.frequency(k) - frequency
+
+    # brentq needs a sign change; f(0) < 0 by the band-edge check above.
+    k = brentq(objective, 0.0, k_max, xtol=1e-6, rtol=1e-12, maxiter=200)
+    return float(k)
+
+
+def wavelength_for_frequency(dispersion, frequency, k_max=_K_MAX_DEFAULT):
+    """Return the wavelength lambda = 2*pi/k [m] for ``frequency`` [Hz]."""
+    k = wavenumber_for_frequency(dispersion, frequency, k_max=k_max)
+    return 2.0 * math.pi / k
+
+
+def dispersion_table(dispersion, frequencies, k_max=_K_MAX_DEFAULT):
+    """Vector helper: (k, lambda, v_g, Gamma) arrays for many frequencies.
+
+    Returns a dict of NumPy arrays keyed by ``"frequency"``, ``"k"``,
+    ``"wavelength"``, ``"group_velocity"`` and ``"relaxation_rate"``.
+    """
+    frequencies = np.asarray(list(frequencies), dtype=float)
+    ks = np.array(
+        [wavenumber_for_frequency(dispersion, f, k_max=k_max) for f in frequencies]
+    )
+    return {
+        "frequency": frequencies,
+        "k": ks,
+        "wavelength": 2.0 * math.pi / ks,
+        "group_velocity": np.array(
+            [dispersion.group_velocity(k) for k in ks]
+        ),
+        "relaxation_rate": np.array(
+            [float(dispersion.relaxation_rate(k)) for k in ks]
+        ),
+    }

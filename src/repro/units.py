@@ -1,0 +1,69 @@
+"""Small unit helpers.
+
+The library computes internally in SI units (metres, seconds, A/m, joules).
+These constants make call sites read naturally, e.g. ``50 * NM`` or
+``10 * GHZ``, and the formatting helpers render SI quantities with an
+engineering prefix for tables and logs.
+"""
+
+#: One nanometre in metres.
+NM = 1e-9
+#: One micrometre in metres.
+UM = 1e-6
+#: One picosecond in seconds.
+PS = 1e-12
+#: One nanosecond in seconds.
+NS = 1e-9
+#: One gigahertz in hertz.
+GHZ = 1e9
+#: One millitesla in tesla.
+MT = 1e-3
+#: One femtojoule in joules.
+FJ = 1e-15
+#: One attojoule in joules.
+AJ = 1e-18
+
+_PREFIXES = (
+    (1e12, "T"),
+    (1e9, "G"),
+    (1e6, "M"),
+    (1e3, "k"),
+    (1.0, ""),
+    (1e-3, "m"),
+    (1e-6, "u"),
+    (1e-9, "n"),
+    (1e-12, "p"),
+    (1e-15, "f"),
+    (1e-18, "a"),
+)
+
+
+def si_format(value, unit="", digits=4):
+    """Format ``value`` with an engineering SI prefix.
+
+    >>> si_format(166e-9, "m")
+    '166 nm'
+    >>> si_format(1.0e10, "Hz")
+    '10 GHz'
+    """
+    if value == 0:
+        return f"0 {unit}".strip()
+    magnitude = abs(value)
+    for scale, prefix in _PREFIXES:
+        if magnitude >= scale:
+            scaled = value / scale
+            text = f"{scaled:.{digits}g}"
+            return f"{text} {prefix}{unit}".strip()
+    scale, prefix = _PREFIXES[-1]
+    scaled = value / scale
+    return f"{scaled:.{digits}g} {prefix}{unit}".strip()
+
+
+def nm(value_m):
+    """Express a length given in metres as nanometres."""
+    return value_m / NM
+
+
+def ghz(value_hz):
+    """Express a frequency given in hertz as gigahertz."""
+    return value_hz / GHZ

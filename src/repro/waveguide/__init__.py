@@ -1,0 +1,26 @@
+"""Waveguide geometry and the fast linear travelling-wave model.
+
+In the linear (small-signal) regime the paper's gates operate in
+(Mx/Ms ~ 0.005), LLG dynamics reduce to the superposition of damped
+travelling waves.  This package computes detector signals directly from
+the analytic dispersion -- retardation, attenuation, phase accumulation
+and multi-frequency superposition -- at a cost per trace that is
+independent of the waveguide length, enabling the byte-wide parameter
+sweeps the micromagnetic solver would need hours for.
+"""
+
+from repro.waveguide.geometry import Waveguide, WidthModeDispersion
+from repro.waveguide.linear_model import LinearWaveguideModel, WaveSource, Detector
+from repro.waveguide.signal import time_grid, superpose
+from repro.waveguide.noise import NoiseModel
+
+__all__ = [
+    "Waveguide",
+    "WidthModeDispersion",
+    "LinearWaveguideModel",
+    "WaveSource",
+    "Detector",
+    "time_grid",
+    "superpose",
+    "NoiseModel",
+]

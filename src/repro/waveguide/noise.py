@@ -1,0 +1,82 @@
+"""Noise injection for robustness studies.
+
+The paper's simulations are noiseless (OOMMF at T = 0); real devices see
+thermal magnon background, transducer amplitude spread and phase jitter.
+:class:`NoiseModel` perturbs linear-model runs so the decode-margin
+experiments can report how much non-ideality the majority decision
+tolerates before output bits flip.
+"""
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Gaussian non-idealities applied to sources and traces.
+
+    Parameters
+    ----------
+    amplitude_sigma:
+        Relative (fractional) std-dev of each source amplitude.
+    phase_sigma:
+        Std-dev of each source phase [rad].
+    position_sigma:
+        Std-dev of each source/detector placement [m] (lithography error).
+    trace_sigma:
+        Std-dev of additive white noise on the Mx/Ms traces.
+    seed:
+        RNG seed for reproducibility.
+    """
+
+    amplitude_sigma: float = 0.0
+    phase_sigma: float = 0.0
+    position_sigma: float = 0.0
+    trace_sigma: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self):
+        for name in ("amplitude_sigma", "phase_sigma", "position_sigma", "trace_sigma"):
+            if getattr(self, name) < 0:
+                raise SimulationError(f"{name} must be non-negative")
+
+    def rng(self):
+        """A fresh deterministic generator for this model."""
+        return np.random.default_rng(self.seed)
+
+    def perturb_sources(self, sources, rng=None):
+        """Return new sources with amplitude/phase/position perturbations."""
+        rng = self.rng() if rng is None else rng
+        perturbed = []
+        for source in sources:
+            amplitude = source.amplitude
+            if self.amplitude_sigma > 0:
+                amplitude *= max(
+                    1.0 + rng.normal(0.0, self.amplitude_sigma), 0.0
+                )
+            phase = source.phase
+            if self.phase_sigma > 0:
+                phase += rng.normal(0.0, self.phase_sigma)
+            position = source.position
+            if self.position_sigma > 0:
+                position += rng.normal(0.0, self.position_sigma)
+            perturbed.append(
+                replace(
+                    source,
+                    amplitude=amplitude,
+                    phase=phase,
+                    position=position,
+                )
+            )
+        return perturbed
+
+    def perturb_trace(self, trace, rng=None):
+        """Return ``trace`` plus additive white Gaussian noise."""
+        if self.trace_sigma == 0:
+            return np.array(trace, dtype=float, copy=True)
+        rng = self.rng() if rng is None else rng
+        trace = np.asarray(trace, dtype=float)
+        return trace + rng.normal(0.0, self.trace_sigma, size=trace.shape)

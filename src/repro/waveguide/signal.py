@@ -1,0 +1,40 @@
+"""Time-grid and superposition helpers shared by the signal models."""
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+def time_grid(duration, sample_rate):
+    """Uniform sample times [0, duration) at ``sample_rate`` [Hz]."""
+    if duration <= 0:
+        raise SimulationError(f"duration must be positive, got {duration!r}")
+    if sample_rate <= 0:
+        raise SimulationError(
+            f"sample_rate must be positive, got {sample_rate!r}"
+        )
+    n_samples = int(round(duration * sample_rate))
+    if n_samples < 2:
+        raise SimulationError("time grid would have fewer than 2 samples")
+    return np.arange(n_samples) / sample_rate
+
+
+def superpose(components):
+    """Sum an iterable of equal-length signal arrays."""
+    components = list(components)
+    if not components:
+        raise SimulationError("nothing to superpose")
+    total = np.zeros_like(np.asarray(components[0], dtype=float))
+    for component in components:
+        component = np.asarray(component, dtype=float)
+        if component.shape != total.shape:
+            raise SimulationError(
+                f"component shape {component.shape} != {total.shape}"
+            )
+        total += component
+    return total
+
+
+def nyquist_ok(sample_rate, frequency, margin=2.5):
+    """True when ``sample_rate`` resolves ``frequency`` with ``margin``x Nyquist."""
+    return sample_rate >= margin * 2.0 * frequency

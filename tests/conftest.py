@@ -1,0 +1,44 @@
+"""Shared fixtures.
+
+Session-scoped fixtures cache the expensive-to-build objects (layouts
+trigger dispersion root-finding per channel) so the suite stays fast.
+"""
+
+import pytest
+
+from repro import byte_majority_gate
+from repro.core.layout import InlineGateLayout
+from repro.core.simulate import GateSimulator
+from repro.materials import FECOB_PMA
+from repro.physics import FvmswDispersion
+from repro.waveguide import Waveguide
+
+
+@pytest.fixture(scope="session")
+def paper_waveguide():
+    """The paper's 50 nm x 1 nm Fe60Co20B20 strip."""
+    return Waveguide()
+
+
+@pytest.fixture(scope="session")
+def paper_dispersion():
+    """FVMSW dispersion of the paper's film."""
+    return FvmswDispersion(FECOB_PMA, 1e-9)
+
+
+@pytest.fixture(scope="session")
+def paper_layout():
+    """The byte-gate layout with the paper's multipliers."""
+    return InlineGateLayout.paper_byte_layout()
+
+
+@pytest.fixture(scope="session")
+def byte_gate():
+    """The paper's 8-bit 3-input majority gate."""
+    return byte_majority_gate()
+
+
+@pytest.fixture(scope="session")
+def byte_simulator(byte_gate):
+    """A shared simulator for the byte gate (calibration cached)."""
+    return GateSimulator(byte_gate)

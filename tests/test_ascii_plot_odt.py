@@ -1,0 +1,162 @@
+"""Tests for repro.analysis.ascii_plot and repro.oommf.odt."""
+
+import io
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import OommfFormatError
+from repro.analysis.ascii_plot import histogram, line_plot, sparkline
+from repro.oommf.odt import OdtTable, read_odt, write_odt
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        text = sparkline([0, 1, 2, 3])
+        assert len(text) == 4
+        assert text[0] == " "
+        assert text[-1] == "█"
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "   "
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_resampled_width(self):
+        text = sparkline(list(range(100)), width=10)
+        assert len(text) == 10
+
+    def test_levels_monotone_for_monotone_input(self):
+        text = sparkline(list(range(9)))
+        order = " ▁▂▃▄▅▆▇█"
+        levels = [order.index(c) for c in text]
+        assert levels == sorted(levels)
+
+
+class TestLinePlot:
+    def test_contains_extremes(self):
+        text = line_plot([0, 1, 2], [10, 20, 30], width=20, height=5)
+        assert "30" in text and "10" in text
+        assert "*" in text
+
+    def test_labels_and_title(self):
+        text = line_plot(
+            [0, 1], [0, 1], title="T", x_label="xs", y_label="ys"
+        )
+        assert text.splitlines()[0] == "T"
+        assert "x: xs" in text and "y: ys" in text
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            line_plot([0, 1], [0])
+
+    def test_empty(self):
+        assert line_plot([], []) == "(empty plot)"
+
+    def test_sine_occupies_full_height(self):
+        x = np.linspace(0, 2 * math.pi, 100)
+        text = line_plot(x, np.sin(x), width=40, height=9)
+        rows = [line for line in text.splitlines() if "|" in line]
+        starred = [i for i, row in enumerate(rows) if "*" in row]
+        assert starred[0] == 0
+        assert starred[-1] == len(rows) - 1
+
+
+class TestHistogram:
+    def test_counts_sum(self):
+        text = histogram([1, 1, 2, 3, 3, 3], bins=3)
+        counts = [int(line.rsplit(" ", 1)[-1]) for line in text.splitlines()]
+        assert sum(counts) == 6
+
+    def test_empty(self):
+        assert histogram([]) == "(no data)"
+
+    def test_bad_bins(self):
+        with pytest.raises(ValueError):
+            histogram([1.0], bins=0)
+
+
+class TestOdtTable:
+    def test_construction_validation(self):
+        with pytest.raises(OommfFormatError):
+            OdtTable([])
+        with pytest.raises(OommfFormatError):
+            OdtTable(["a", "a"])
+        with pytest.raises(OommfFormatError):
+            OdtTable(["a"], units=["s", "m"])
+
+    def test_row_width_enforced(self):
+        table = OdtTable(["t", "mx"])
+        with pytest.raises(OommfFormatError):
+            table.add_row([1.0])
+
+    def test_column_access(self):
+        table = OdtTable(["t", "mx"])
+        table.add_row([0.0, 0.5])
+        table.add_row([1.0, -0.5])
+        np.testing.assert_allclose(table.column("mx"), [0.5, -0.5])
+        with pytest.raises(OommfFormatError):
+            table.column("my")
+
+    def test_as_array_shape(self):
+        table = OdtTable(["a", "b", "c"])
+        table.add_row([1, 2, 3])
+        assert table.as_array().shape == (1, 3)
+
+    def test_roundtrip(self):
+        table = OdtTable(
+            ["Time", "Total energy"],
+            units=["s", "J"],
+            title="run 1",
+        )
+        for i in range(5):
+            table.add_row([i * 1e-12, math.exp(-i)])
+        buffer = io.StringIO()
+        write_odt(table, buffer)
+        buffer.seek(0)
+        loaded = read_odt(buffer)
+        assert loaded.column_names == ["Time", "Total energy"]
+        assert loaded.units == ["s", "J"]
+        assert loaded.title == "run 1"
+        np.testing.assert_allclose(loaded.as_array(), table.as_array())
+
+    def test_file_roundtrip(self, tmp_path):
+        table = OdtTable(["t"])
+        table.add_row([1.5])
+        path = tmp_path / "run.odt"
+        write_odt(table, str(path))
+        loaded = read_odt(str(path))
+        assert loaded.column("t")[0] == pytest.approx(1.5)
+
+    def test_read_rejects_headerless(self):
+        with pytest.raises(OommfFormatError, match="Columns"):
+            read_odt(io.StringIO("1.0 2.0\n"))
+
+    def test_braced_column_names(self):
+        payload = (
+            "# ODT 1.0\n# Columns: {Total energy} Time\n"
+            "1.0 2.0\n"
+        )
+        table = read_odt(io.StringIO(payload))
+        assert table.column_names == ["Total energy", "Time"]
+
+    def test_unbalanced_braces_rejected(self):
+        payload = "# ODT 1.0\n# Columns: {Total energy\n1.0\n"
+        with pytest.raises(OommfFormatError, match="unbalanced"):
+            read_odt(io.StringIO(payload))
+
+    def test_from_probe(self):
+        from repro.materials import PERMALLOY
+        from repro.mm import Mesh, Simulation, State, ZeemanField
+
+        mesh = Mesh(1, 1, 1, 2e-9, 2e-9, 2e-9)
+        state = State.uniform(mesh, PERMALLOY, direction=(0.1, 0, 1))
+        sim = Simulation(state, terms=[ZeemanField((0, 0, 1e5))])
+        probe = sim.add_point_probe((1e-9, 1e-9, 1e-9))
+        sim.run(5e-12, dt=1e-12)
+        table = OdtTable.from_probe(probe)
+        assert len(table) == 5
+        assert table.column_names == ["Time", "mx", "my", "mz"]
+        np.testing.assert_allclose(table.column("Time"), probe.times())

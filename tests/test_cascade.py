@@ -1,0 +1,126 @@
+"""Tests for repro.core.cascade (multi-stage gate pipelines)."""
+
+from itertools import product
+
+import pytest
+
+from repro.errors import EncodingError
+from repro.core.cascade import (
+    GateCascade,
+    direct_coupling_margin,
+    majority_of_majorities,
+)
+from repro.core.frequency_plan import FrequencyPlan
+from repro.core.gate import DataParallelGate
+from repro.core.layout import InlineGateLayout
+from repro.units import GHZ
+from repro.waveguide import Waveguide
+
+
+def _maj_gate(n_bits=2):
+    plan = FrequencyPlan.uniform(n_bits, 10 * GHZ, 10 * GHZ)
+    layout = InlineGateLayout(Waveguide(), plan, n_inputs=3)
+    return DataParallelGate(layout)
+
+
+class TestCascadeConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(EncodingError):
+            GateCascade([], [])
+
+    def test_mixed_widths_rejected(self):
+        with pytest.raises(EncodingError):
+            GateCascade([_maj_gate(2), _maj_gate(4)], [["primary:0"] * 3])
+
+    def test_wiring_length_mismatch(self):
+        with pytest.raises(EncodingError):
+            GateCascade([_maj_gate(), _maj_gate()], [])
+
+    def test_bad_selector_syntax(self):
+        with pytest.raises(EncodingError):
+            GateCascade(
+                [_maj_gate(), _maj_gate()],
+                [["primary:0", "primary:1", "banana"]],
+            )
+
+    def test_forward_reference_rejected(self):
+        with pytest.raises(EncodingError):
+            GateCascade(
+                [_maj_gate(), _maj_gate()],
+                [["stage:1", "primary:0", "primary:1"]],
+            )
+
+    def test_primary_input_count(self):
+        cascade = GateCascade(
+            [_maj_gate(), _maj_gate()],
+            [["stage:0", "primary:3", "primary:4"]],
+        )
+        assert cascade.n_primary_inputs() == 5
+
+
+class TestCascadeEvaluation:
+    def test_two_stage_maj_chain(self):
+        # stage1 = MAJ(w0, w1, w2); final = MAJ(stage1, w3, w4).
+        cascade = GateCascade(
+            [_maj_gate(), _maj_gate()],
+            [["stage:0", "primary:3", "primary:4"]],
+        )
+        for bits in product((0, 1), repeat=5):
+            words = [[b, 1 - b] for b in bits]
+            final, results = cascade.run(words)
+            assert final == cascade.expected(words)
+            assert len(results) == 2
+            assert all(r.min_margin > 0 for r in results)
+
+    def test_missing_primary_words(self):
+        cascade = GateCascade(
+            [_maj_gate(), _maj_gate()],
+            [["stage:0", "primary:3", "primary:4"]],
+        )
+        with pytest.raises(EncodingError):
+            cascade.run([[0, 0]] * 3)
+
+    def test_majority_of_majorities_full_truth(self):
+        cascade = majority_of_majorities(_maj_gate, n_bits=2)
+        assert cascade.n_primary_inputs() == 9
+        # Sample the 2^9 space (81 random + corners).
+        import random
+
+        rng = random.Random(0)
+        patterns = [tuple(rng.randint(0, 1) for _ in range(9)) for _ in range(40)]
+        patterns += [(0,) * 9, (1,) * 9]
+        for bits in patterns:
+            words = [[b, b] for b in bits]
+            final, _ = cascade.run(words)
+            # Golden: MAJ(MAJ(b0..b2), MAJ(b3..b5), MAJ(b6..b8)) per channel.
+            maj = lambda triple: int(sum(triple) >= 2)
+            golden = maj(
+                (
+                    maj(bits[0:3]),
+                    maj(bits[3:6]),
+                    maj(bits[6:9]),
+                )
+            )
+            assert final == [golden, golden]
+
+    def test_majority_of_majorities_validates_factory(self):
+        with pytest.raises(EncodingError):
+            majority_of_majorities(lambda: _maj_gate(4), n_bits=2)
+
+
+class TestDirectCoupling:
+    def test_single_stage_healthy(self):
+        assert direct_coupling_margin(3, stages=1) > 0
+
+    def test_two_stages_fail_without_regeneration(self):
+        # The quantitative argument for regeneration between stages.
+        assert direct_coupling_margin(3, stages=2) < 0
+
+    def test_wider_fanin_also_fails(self):
+        assert direct_coupling_margin(5, stages=2) < 0
+
+    def test_validation(self):
+        with pytest.raises(EncodingError):
+            direct_coupling_margin(4)
+        with pytest.raises(EncodingError):
+            direct_coupling_margin(3, stages=0)

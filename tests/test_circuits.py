@@ -1,0 +1,230 @@
+"""Tests for repro.circuits (netlist, library, synthesis, estimation)."""
+
+from itertools import product
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.circuits import (
+    CellLibrary,
+    CellSpec,
+    Netlist,
+    circuit_cost,
+    default_library,
+    full_adder,
+    majority_tree,
+    parallel_vs_scalar,
+    ripple_carry_adder,
+)
+from repro.circuits.synth import evaluate_adder
+
+
+class TestNetlistConstruction:
+    def test_duplicate_node_rejected(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        with pytest.raises(NetlistError):
+            netlist.add_input("a")
+
+    def test_unknown_fanin_rejected(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        with pytest.raises(NetlistError):
+            netlist.add_cell("g", "INV", ("ghost",))
+
+    def test_wrong_arity_rejected(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        with pytest.raises(NetlistError):
+            netlist.add_cell("g", "MAJ3", ("a", "a"))
+
+    def test_unknown_operation_rejected(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        with pytest.raises(NetlistError):
+            netlist.add_cell("g", "NAND9", ("a",))
+
+    def test_const_validation(self):
+        netlist = Netlist()
+        netlist.add_const("zero", 0)
+        with pytest.raises(Exception):
+            netlist.add_const("two", 2)
+
+    def test_mark_unknown_output_rejected(self):
+        with pytest.raises(NetlistError):
+            Netlist().mark_output("nope")
+
+    def test_cycle_rejected(self):
+        # A cell cannot feed itself (the only way to build a cycle here).
+        netlist = Netlist()
+        netlist.add_input("a")
+        netlist.add_cell("g1", "INV", ("a",))
+        with pytest.raises(NetlistError):
+            netlist.add_cell("g1b", "INV", ("g1b",))
+
+
+class TestNetlistEvaluation:
+    def test_simple_inverter(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        netlist.add_cell("n", "INV", ("a",))
+        netlist.mark_output("n")
+        assert netlist.evaluate({"a": 0}) == {"n": 1}
+        assert netlist.evaluate({"a": 1}) == {"n": 0}
+
+    def test_missing_input_raises(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        netlist.add_cell("n", "INV", ("a",))
+        netlist.mark_output("n")
+        with pytest.raises(NetlistError):
+            netlist.evaluate({})
+
+    def test_constants(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        netlist.add_const("one", 1)
+        netlist.add_const("zero", 0)
+        netlist.add_cell("g", "MAJ3", ("a", "one", "zero"))
+        netlist.mark_output("g")
+        assert netlist.evaluate({"a": 1})["g"] == 1
+        assert netlist.evaluate({"a": 0})["g"] == 0
+
+    def test_depth_and_critical_path(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        netlist.add_cell("g1", "INV", ("a",))
+        netlist.add_cell("g2", "INV", ("g1",))
+        netlist.add_cell("g3", "BUF", ("a",))
+        netlist.mark_output("g2")
+        netlist.mark_output("g3")
+        assert netlist.depth() == 2
+        assert netlist.critical_path() == ["a", "g1", "g2"]
+
+    def test_cell_counts(self):
+        netlist, _, _ = full_adder()
+        counts = netlist.cell_counts()
+        assert counts == {"MAJ3": 1, "XOR2": 2}
+
+    def test_inputs_outputs_ordering(self):
+        netlist = ripple_carry_adder(2)
+        assert netlist.inputs[:2] == ["a0", "a1"]
+        assert netlist.outputs[-1].endswith("carry")
+
+
+class TestSynthesis:
+    def test_full_adder_truth_table(self):
+        netlist, total, carry = full_adder()
+        for a, b, cin in product((0, 1), repeat=3):
+            outputs = netlist.evaluate({"a": a, "b": b, "cin": cin})
+            assert outputs[total] == (a + b + cin) % 2
+            assert outputs[carry] == (a + b + cin) // 2
+
+    @pytest.mark.parametrize("width", [1, 4, 8])
+    def test_ripple_adder_exhaustive_small_random_large(self, width):
+        netlist = ripple_carry_adder(width)
+        if width <= 4:
+            pairs = product(range(2**width), repeat=2)
+        else:
+            import random
+
+            rng = random.Random(0)
+            pairs = [
+                (rng.randrange(2**width), rng.randrange(2**width))
+                for _ in range(25)
+            ]
+        for a, b in pairs:
+            assert evaluate_adder(netlist, a, b, width) == a + b
+
+    def test_ripple_adder_width_validation(self):
+        with pytest.raises(NetlistError):
+            ripple_carry_adder(0)
+
+    def test_majority_tree_structure(self):
+        netlist = majority_tree(9)
+        assert netlist.cell_counts() == {"MAJ3": 4}
+        assert netlist.depth() == 2
+
+    def test_majority_tree_unanimous(self):
+        netlist = majority_tree(9)
+        for value in (0, 1):
+            outputs = netlist.evaluate({f"x{i}": value for i in range(9)})
+            assert list(outputs.values())[0] == value
+
+    def test_majority_tree_power_check(self):
+        with pytest.raises(NetlistError):
+            majority_tree(6)
+
+
+class TestLibrary:
+    def test_default_library_cells(self):
+        library = default_library()
+        assert set(library.names()) == {"MAJ3", "XOR2", "INV", "BUF"}
+
+    def test_inv_is_free(self):
+        # SW inversion = detector placement, no transducer cost.
+        library = default_library()
+        inv = library.get("INV")
+        assert inv.area == 0.0 and inv.energy == 0.0
+
+    def test_missing_cell_raises(self):
+        library = default_library()
+        with pytest.raises(NetlistError):
+            library.get("NAND2")
+
+    def test_duplicate_cell_rejected(self):
+        with pytest.raises(NetlistError):
+            CellLibrary([CellSpec("A", 1, 1, 1), CellSpec("A", 1, 1, 1)])
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(NetlistError):
+            CellSpec("A", -1.0, 1.0, 1.0)
+
+    def test_nbit_cells_larger_but_sublinear(self):
+        scalar = default_library(1).get("MAJ3")
+        parallel = default_library(8).get("MAJ3")
+        assert parallel.area > scalar.area
+        assert parallel.area < 8 * scalar.area  # the whole point
+
+
+class TestEstimation:
+    def test_circuit_cost_sums_cells(self):
+        netlist, _, _ = full_adder()
+        library = CellLibrary(
+            [
+                CellSpec("MAJ3", 10.0, 1.0, 2.0),
+                CellSpec("XOR2", 5.0, 1.0, 1.0),
+            ]
+        )
+        cost = circuit_cost(netlist, library)
+        assert cost.area == pytest.approx(10 + 2 * 5)
+        assert cost.energy == pytest.approx(2 + 2 * 1)
+        assert cost.n_cells == 3
+        # Critical path: a -> axb -> sum = two XOR2 cells.
+        assert cost.delay == pytest.approx(2.0)
+
+    def test_per_word_division(self):
+        netlist, _, _ = full_adder()
+        library = CellLibrary(
+            [CellSpec("MAJ3", 8.0, 1.0, 8.0), CellSpec("XOR2", 8.0, 1.0, 8.0)]
+        )
+        cost = circuit_cost(netlist, library)
+        per_word = cost.per_word(8)
+        assert per_word.area == pytest.approx(cost.area / 8)
+        assert per_word.delay == cost.delay
+        with pytest.raises(NetlistError):
+            cost.per_word(0)
+
+    def test_parallel_vs_scalar_adder(self):
+        netlist = ripple_carry_adder(4)
+        result = parallel_vs_scalar(netlist, n_words=8)
+        # The paper's conclusion, lifted to circuits: big area win,
+        # energy parity (same transducers per processed word).
+        assert result.area_ratio > 2.0
+        assert result.energy_ratio == pytest.approx(1.0, rel=0.3)
+        assert result.n_words == 8
+
+    def test_parallel_vs_scalar_validation(self):
+        netlist, _, _ = full_adder()
+        with pytest.raises(NetlistError):
+            parallel_vs_scalar(netlist, n_words=0)

@@ -1,0 +1,130 @@
+"""Tests for the swgate command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_subcommands(self):
+        parser = build_parser()
+        for args in (
+            ["list"],
+            ["run", "fig3"],
+            ["majority", "1", "2", "3"],
+            ["layout"],
+            ["export-mif", "out.mif"],
+        ):
+            parsed = parser.parse_args(args)
+            assert callable(parsed.func)
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out and "table-area" in out
+
+    def test_run_distance_table(self, capsys):
+        assert main(["run", "table-dist"]) == 0
+        out = capsys.readouterr().out
+        assert "lambda" in out
+
+    def test_run_unknown_experiment(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            main(["run", "nope"])
+
+    def test_majority_fast(self, capsys):
+        assert main(["majority", "0xA5", "0x3C", "0x0F", "--fast"]) == 0
+        out = capsys.readouterr().out
+        # MAJ3(0xA5, 0x3C, 0x0F) = bitwise majority = 0x2D.
+        assert "0x2D" in out
+        assert "correct" in out
+
+    def test_majority_trace_mode(self, capsys):
+        assert main(["majority", "0xFF", "0x00", "0xFF"]) == 0
+        assert "0xFF" in capsys.readouterr().out
+
+    def test_layout(self, capsys):
+        assert main(["layout"]) == 0
+        assert "ch0" in capsys.readouterr().out
+
+    def test_export_mif(self, tmp_path, capsys):
+        target = tmp_path / "gate.mif"
+        assert main(["export-mif", str(target)]) == 0
+        text = target.read_text()
+        assert "Specify Oxs_TimeDriver" in text
+        assert "proc Excitation" in text
+
+    def test_xor(self, capsys):
+        assert main(["xor", "0xA5", "0x3C"]) == 0
+        assert "0x99" in capsys.readouterr().out
+
+    def test_adder(self, capsys):
+        assert main(["adder", "0xA5", "0x3C"]) == 0
+        out = capsys.readouterr().out
+        assert "0xE1" in out
+        assert "area saving" in out
+
+    def test_adder_custom_width(self, capsys):
+        assert main(["adder", "0x3", "0x4", "--width", "4"]) == 0
+        assert "0x7" in capsys.readouterr().out
+
+    def test_design_default(self, capsys):
+        assert main(["design", "--bits", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "4-bit" in out and "verified" in out
+
+    def test_design_wide_guide(self, capsys):
+        assert main(["design", "--bits", "2", "--width", "200"]) == 0
+        assert "2-bit" in capsys.readouterr().out
+
+    def test_design_xor(self, capsys):
+        assert (
+            main(
+                [
+                    "design",
+                    "--bits",
+                    "2",
+                    "--inputs",
+                    "2",
+                    "--kind",
+                    "xor",
+                    "--verify",
+                    "exhaustive",
+                ]
+            )
+            == 0
+        )
+        assert "XOR" in capsys.readouterr().out
+
+    def test_save_and_check_design(self, tmp_path, capsys):
+        path = tmp_path / "design.json"
+        assert main(["save-design", str(path)]) == 0
+        assert path.exists()
+        assert main(["check-design", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "layout valid" in out and "correct" in out
+
+    def test_export_mif_custom_words(self, tmp_path):
+        target = tmp_path / "gate.mif"
+        assert (
+            main(
+                [
+                    "export-mif",
+                    str(target),
+                    "--words",
+                    "0x01",
+                    "0x02",
+                    "0x04",
+                ]
+            )
+            == 0
+        )
+        assert target.exists()

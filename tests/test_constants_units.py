@@ -1,0 +1,57 @@
+"""Tests for repro.constants and repro.units."""
+
+import math
+
+import pytest
+
+from repro import constants
+from repro.units import GHZ, NM, NS, ghz, nm, si_format
+
+
+class TestConstants:
+    def test_mu0_value(self):
+        assert constants.MU0 == pytest.approx(4e-7 * math.pi)
+
+    def test_gamma_consistency(self):
+        # GAMMA_HZ_PER_T is GAMMA_LL expressed per cycle.
+        assert constants.GAMMA_HZ_PER_T == pytest.approx(
+            constants.GAMMA_LL / (2 * math.pi)
+        )
+
+    def test_gamma_is_28_ghz_per_tesla(self):
+        assert constants.GAMMA_HZ_PER_T == pytest.approx(28.02e9, rel=1e-3)
+
+    def test_kb_positive(self):
+        assert constants.KB > 0
+
+
+class TestUnits:
+    def test_scales(self):
+        assert NM == 1e-9
+        assert GHZ == 1e9
+        assert NS == 1e-9
+
+    def test_nm_roundtrip(self):
+        assert nm(166 * NM) == pytest.approx(166.0)
+
+    def test_ghz_roundtrip(self):
+        assert ghz(10 * GHZ) == pytest.approx(10.0)
+
+    def test_si_format_nanometres(self):
+        assert si_format(166e-9, "m") == "166 nm"
+
+    def test_si_format_gigahertz(self):
+        assert si_format(1.0e10, "Hz") == "10 GHz"
+
+    def test_si_format_zero(self):
+        assert si_format(0, "J") == "0 J"
+
+    def test_si_format_negative(self):
+        assert si_format(-2.5e-9, "s") == "-2.5 ns"
+
+    def test_si_format_plain_units(self):
+        assert si_format(3.0, "V") == "3 V"
+
+    def test_si_format_tiny_value_clamps_to_atto(self):
+        text = si_format(5e-19, "J")
+        assert text.endswith("aJ")

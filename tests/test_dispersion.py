@@ -1,0 +1,164 @@
+"""Tests for repro.physics.dispersion."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import DispersionError
+from repro.materials import FECOB_PMA, PERMALLOY, YIG
+from repro.physics.dispersion import (
+    BvmswDispersion,
+    ExchangeDispersion,
+    FvmswDispersion,
+    MsswDispersion,
+    _f00,
+)
+from repro.physics.kittel import fmr_frequency_perpendicular
+
+
+class TestF00:
+    def test_zero_limit(self):
+        assert _f00(0.0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_small_argument_series(self):
+        # F00 ~ kd/2 for small kd.
+        assert _f00(1e-4) == pytest.approx(5e-5, rel=1e-3)
+
+    def test_large_argument_limit(self):
+        # F00 -> 1 as kd -> infinity.
+        assert _f00(100.0) == pytest.approx(1.0 - 1.0 / 100.0, rel=1e-6)
+
+    def test_monotonic_increasing(self):
+        kd = np.linspace(0, 10, 200)
+        values = _f00(kd)
+        assert np.all(np.diff(values) > 0)
+
+    def test_bounded_between_0_and_1(self):
+        values = _f00(np.linspace(0, 1000, 500))
+        assert np.all(values >= 0)
+        assert np.all(values < 1)
+
+    def test_array_and_scalar_agree(self):
+        assert _f00(np.array([0.5]))[0] == pytest.approx(_f00(0.5))
+
+
+class TestFvmsw:
+    def setup_method(self):
+        self.dispersion = FvmswDispersion(FECOB_PMA, 1e-9)
+
+    def test_band_edge_equals_perpendicular_fmr(self):
+        assert self.dispersion.frequency(0.0) == pytest.approx(
+            fmr_frequency_perpendicular(FECOB_PMA), rel=1e-9
+        )
+
+    def test_band_edge_value(self):
+        # ~3.64 GHz for the paper's film.
+        assert self.dispersion.frequency(0.0) == pytest.approx(3.64e9, rel=1e-2)
+
+    def test_monotonic_in_k(self):
+        ks = np.linspace(0, 5e8, 300)
+        freqs = self.dispersion.frequency(ks)
+        assert np.all(np.diff(freqs) > 0)
+
+    def test_positive_group_velocity(self):
+        # "Forward volume": omega increases with k.
+        for k in (1e7, 5e7, 1e8, 3e8):
+            assert self.dispersion.group_velocity(k) > 0
+
+    def test_exchange_dominates_at_large_k(self):
+        # At large k the FVMSW curve approaches the exchange parabola.
+        exchange = ExchangeDispersion(FECOB_PMA, 1e-9)
+        k = 5e8
+        assert self.dispersion.frequency(k) == pytest.approx(
+            exchange.frequency(k), rel=0.05
+        )
+
+    def test_relaxation_rate_positive_and_increasing(self):
+        rates = [float(self.dispersion.relaxation_rate(k)) for k in (0, 1e8, 3e8)]
+        assert all(r > 0 for r in rates)
+        assert rates[0] < rates[1] < rates[2]
+
+    def test_relaxation_scales_with_alpha(self):
+        lossier = FvmswDispersion(FECOB_PMA.with_(alpha=0.008), 1e-9)
+        assert float(lossier.relaxation_rate(1e8)) == pytest.approx(
+            2.0 * float(self.dispersion.relaxation_rate(1e8)), rel=1e-9
+        )
+
+    def test_non_pma_material_rejected(self):
+        with pytest.raises(DispersionError, match="unstable"):
+            FvmswDispersion(PERMALLOY, 1e-9).internal_field()
+
+    def test_bias_field_raises_band_edge(self):
+        biased = FvmswDispersion(FECOB_PMA, 1e-9, h_ext=1e5)
+        assert biased.frequency(0.0) > self.dispersion.frequency(0.0)
+
+    def test_invalid_thickness(self):
+        with pytest.raises(DispersionError):
+            FvmswDispersion(FECOB_PMA, 0.0)
+
+    def test_array_evaluation(self):
+        ks = np.array([1e7, 1e8])
+        freqs = self.dispersion.frequency(ks)
+        assert freqs.shape == (2,)
+        assert freqs[0] == pytest.approx(self.dispersion.frequency(1e7))
+
+    def test_describe_mentions_geometry(self):
+        assert "FVMSW" in self.dispersion.describe()
+
+
+class TestExchangeDispersion:
+    def test_parabolic_form(self):
+        dispersion = ExchangeDispersion(FECOB_PMA, 1e-9)
+        w0 = dispersion.omega(0.0)
+        k = 2e8
+        expected = w0 + FECOB_PMA.omega_m * FECOB_PMA.lambda_ex * k**2
+        assert dispersion.omega(k) == pytest.approx(expected)
+
+    def test_below_fvmsw_at_same_k(self):
+        # Dropping the (positive) dipolar term lowers the frequency.
+        exchange = ExchangeDispersion(FECOB_PMA, 1e-9)
+        fvmsw = FvmswDispersion(FECOB_PMA, 1e-9)
+        k = 8e7
+        assert exchange.frequency(k) < fvmsw.frequency(k)
+
+    def test_group_velocity_linear_in_k(self):
+        dispersion = ExchangeDispersion(FECOB_PMA, 1e-9)
+        v1 = dispersion.group_velocity(1e8)
+        v2 = dispersion.group_velocity(2e8)
+        assert v2 == pytest.approx(2.0 * v1, rel=1e-3)
+
+
+class TestBvmsw:
+    def test_backward_character_at_small_k(self):
+        # The defining feature: negative group velocity at small k for a
+        # thick enough film.
+        dispersion = BvmswDispersion(YIG, 5e-6, h_ext=3e4)
+        assert dispersion.group_velocity(1e4) < 0
+
+    def test_band_edge_above_zero(self):
+        dispersion = BvmswDispersion(YIG, 100e-9, h_ext=3e4)
+        assert dispersion.frequency(0.0) > 0
+
+    def test_needs_positive_internal_field(self):
+        with pytest.raises(DispersionError):
+            BvmswDispersion(YIG, 100e-9, h_ext=-1e6).internal_field()
+
+
+class TestMssw:
+    def test_above_bvmsw_at_same_k(self):
+        # Surface waves run above the backward-volume band.
+        mssw = MsswDispersion(YIG, 100e-9, h_ext=3e4)
+        bvmsw = BvmswDispersion(YIG, 100e-9, h_ext=3e4)
+        k = 1e6
+        assert mssw.frequency(k) > bvmsw.frequency(k)
+
+    def test_monotonic_increasing(self):
+        mssw = MsswDispersion(YIG, 100e-9, h_ext=3e4)
+        ks = np.linspace(1e4, 1e7, 100)
+        freqs = mssw.frequency(ks)
+        assert np.all(np.diff(freqs) > 0)
+
+    def test_relaxation_rate_positive(self):
+        mssw = MsswDispersion(YIG, 100e-9, h_ext=3e4)
+        assert float(mssw.relaxation_rate(1e6)) > 0

@@ -1,0 +1,24 @@
+"""Run the doctests embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.analysis.ascii_plot
+import repro.core.encoding
+import repro.mm.mesh
+import repro.units
+
+MODULES = [
+    repro.units,
+    repro.core.encoding,
+    repro.mm.mesh,
+    repro.analysis.ascii_plot,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures"
+    assert results.attempted > 0, "no doctests found (docstring rot?)"

@@ -1,0 +1,204 @@
+"""Integration tests: the experiment harness reproduces the paper's shapes.
+
+These are the acceptance tests of the reproduction -- each asserts the
+qualitative (and loosely quantitative) claims of the corresponding paper
+artefact, exactly as catalogued in DESIGN.md and EXPERIMENTS.md.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments import (
+    area_table,
+    distance_table,
+    fig3,
+    fig4,
+    scalability,
+    width_sweep,
+)
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+
+
+class TestDistanceTable:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return distance_table.run()
+
+    def test_all_channels_present(self, results):
+        assert len(results["rows"]) == 8
+
+    def test_distances_within_3_percent(self, results):
+        # Paper: d = 166, 100, 117, 165, 174, 130, 168, 176 nm.
+        assert results["worst_relative_error"] < 0.03
+
+    def test_band_edge_below_first_channel(self, results):
+        assert results["band_edge"] < 10e9
+
+    def test_report_renders(self, results):
+        text = distance_table.report(results)
+        assert "166" in text and "worst" in text
+
+
+class TestAreaTable:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return area_table.run()
+
+    def test_parallel_smaller_than_scalar(self, results):
+        assert results["parallel"].area < results["scalar"].area
+
+    def test_area_ratio_shape(self, results):
+        # Paper: 4.16x; accept the same "several-x" magnitude.
+        assert 2.5 < results["area_ratio"] < 5.0
+
+    def test_energy_parity(self, results):
+        assert results["energy_ratio"] == pytest.approx(1.0)
+
+    def test_parallel_area_near_paper(self, results):
+        # Paper: 0.0279 um^2; ours should be within ~40%.
+        assert results["parallel"].area == pytest.approx(
+            results["paper"]["parallel_area"], rel=0.4
+        )
+
+    def test_report_renders(self, results):
+        text = area_table.report(results)
+        assert "4.16" in text and "um^2" in text
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return fig3.run()
+
+    def test_all_combos_simulated(self, results):
+        assert len(results["combos"]) == 8
+
+    def test_majority_correct_everywhere(self, results):
+        assert all(c["correct"] for c in results["combos"])
+
+    def test_no_spurious_frequencies(self, results):
+        # The headline Fig. 3 observation: different-frequency SWs do
+        # not interact -- spectral power stays in the carrier bands.
+        for combo in results["combos"]:
+            assert combo["spurious_ratio"] < 0.01
+
+    def test_all_eight_peaks_present(self, results):
+        for combo in results["combos"]:
+            assert all(a > 1e-4 for a in combo["peak_amplitudes"])
+
+    def test_amplitude_order_of_magnitude(self, results):
+        # Paper traces: Mx/Ms ~ 0.005.
+        unanimous = results["combos"][0]
+        assert 1e-3 < max(unanimous["peak_amplitudes"]) < 3e-2
+
+    def test_complement_symmetry(self, results):
+        # (0,0,0) and (1,1,1) differ only by a global phase flip, so
+        # their spectra match.
+        first = results["combos"][0]["peak_amplitudes"]
+        last = results["combos"][-1]["peak_amplitudes"]
+        np.testing.assert_allclose(first, last, rtol=0.05)
+
+    def test_report_renders(self, results):
+        assert "10 GHz" in fig3.report(results)
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return fig4.run()
+
+    def test_all_64_decodes_correct(self, results):
+        assert results["all_correct"]
+
+    def test_estimators_agree(self, results):
+        assert results["methods_agree"]
+
+    def test_margins_healthy(self, results):
+        for combo in results["combos"]:
+            for channel in combo["channels"]:
+                assert channel["margin"] > 0.5
+
+    def test_report_renders(self, results):
+        text = fig4.report(results)
+        assert "all 64 channel decodes correct: yes" in text
+
+
+class TestWidthSweep:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return width_sweep.run()
+
+    def test_band_edge_monotonic_decreasing(self, results):
+        assert results["monotonic_decreasing"]
+
+    def test_functional_at_every_width(self, results):
+        # Paper: width scaling up to 500 nm does not affect functionality.
+        assert all(r["functional"] for r in results["rows"])
+
+    def test_mode_isolation_stays_strong(self, results):
+        for row in results["rows"]:
+            assert row["mode_isolation_db"] > 10.0
+
+    def test_covers_paper_range(self, results):
+        widths = [r["width"] for r in results["rows"]]
+        assert min(widths) == pytest.approx(50e-9)
+        assert max(widths) == pytest.approx(500e-9)
+
+    def test_report_renders(self, results):
+        assert "500" in width_sweep.report(results)
+
+
+class TestScalability:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return scalability.run()
+
+    def test_margin_decreases_with_inputs(self, results):
+        margins = [r["uncompensated_margin"] for r in results["rows"]]
+        assert all(a > b for a, b in zip(margins, margins[1:]))
+
+    def test_eventually_fails_without_compensation(self, results):
+        assert results["rows"][-1]["uncompensated_margin"] < 0
+
+    def test_compensation_always_positive(self, results):
+        assert all(r["compensated_margin"] > 0 for r in results["rows"])
+
+    def test_grading_monotone(self, results):
+        # E(I_n) < E(I_{n-1}) < ... < E(I_1).
+        for row in results["rows"]:
+            energies = row["energy_grading"]
+            assert all(a > b for a, b in zip(energies, energies[1:]))
+
+    def test_end_to_end_consistency(self, results):
+        check = results["end_to_end"]
+        assert check["margin_predicts_failure"]
+        assert not check["uncompensated_correct"]
+        assert check["compensated_correct"]
+
+    def test_report_renders(self, results):
+        assert "graded" in scalability.report(results)
+
+
+class TestRunner:
+    def test_registry_covers_design_md_ids(self):
+        paper_ids = {
+            "fig3",
+            "fig4",
+            "table-dist",
+            "table-area",
+            "width",
+            "scale",
+            "llg-x",
+        }
+        extension_ids = {"capacity", "noise", "faults", "drive"}
+        assert set(EXPERIMENTS) == paper_ids | extension_ids
+
+    def test_run_experiment_returns_report(self):
+        results, text = run_experiment("table-dist")
+        assert "rows" in results
+        assert isinstance(text, str) and text
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ReproError, match="available"):
+            run_experiment("fig99")

@@ -1,0 +1,133 @@
+"""Tests for the beyond-paper extension experiments."""
+
+import pytest
+
+from repro.core.layout import TransducerSpec
+from repro.errors import ReproError
+from repro.experiments import channel_capacity, noise_robustness
+from repro.waveguide import Waveguide
+
+
+class TestChannelCapacity:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return channel_capacity.run(channel_counts=(1, 2, 4, 8, 12))
+
+    def test_usable_band_ordering(self):
+        f_low, f_high = channel_capacity.usable_band(Waveguide())
+        assert 0 < f_low < f_high
+        # The paper's 10-80 GHz plan must fit inside the usable band.
+        assert f_low < 10e9
+        assert f_high > 80e9
+
+    def test_usable_band_shrinks_with_long_transducers(self):
+        _, f_high_short = channel_capacity.usable_band(
+            Waveguide(), TransducerSpec(length=10e-9)
+        )
+        _, f_high_long = channel_capacity.usable_band(
+            Waveguide(), TransducerSpec(length=20e-9)
+        )
+        assert f_high_long < f_high_short
+
+    def test_oversized_transducer_rejected(self):
+        with pytest.raises(ReproError, match="transducer too long"):
+            channel_capacity.usable_band(
+                Waveguide(), TransducerSpec(length=2e-6)
+            )
+
+    def test_paper_scale_designs_feasible(self, results):
+        by_n = {r["n_bits"]: r for r in results["rows"]}
+        for n in (2, 4, 8):
+            assert by_n[n]["feasible"]
+            assert by_n[n]["functional"]
+
+    def test_per_bit_area_win_grows(self, results):
+        assert results["per_bit_area_decreasing"]
+
+    def test_design_plan_spacing(self):
+        plan = channel_capacity.design_plan(5, 10e9, 50e9)
+        assert plan.n_bits == 5
+        assert plan.frequencies[0] == pytest.approx(10e9)
+        assert plan.frequencies[-1] == pytest.approx(50e9)
+
+    def test_report_renders(self, results):
+        text = channel_capacity.report(results)
+        assert "usable band" in text
+        assert "area/bit" in text
+
+
+class TestFaultCoverageExperiment:
+    @pytest.fixture(scope="class")
+    def results(self):
+        from repro.experiments import fault_coverage
+
+        # A 2-bit gate keeps the fault universe small and fast.
+        from repro.core.frequency_plan import FrequencyPlan
+        from repro.core.gate import DataParallelGate
+        from repro.core.layout import InlineGateLayout
+
+        plan = FrequencyPlan.uniform(2, 10e9, 10e9)
+        gate = DataParallelGate(
+            InlineGateLayout(Waveguide(), plan, n_inputs=3)
+        )
+        return fault_coverage.run(gate=gate)
+
+    def test_fault_universe_size(self, results):
+        # 4 kinds x 2 channels x 3 inputs.
+        assert results["n_faults"] == 24
+
+    def test_logic_catches_hard_faults_only(self, results):
+        by_kind = results["logic_by_kind"]
+        assert by_kind["dead-source"] == (6, 6)
+        assert by_kind["stuck-phase-0"] == (6, 6)
+        assert by_kind["stuck-phase-1"] == (6, 6)
+        assert by_kind["weak-source"] == (6, 0)
+
+    def test_parametric_catches_everything(self, results):
+        assert results["parametric"]["coverage"] == 1.0
+
+    def test_report_renders(self, results):
+        from repro.experiments import fault_coverage
+
+        text = fault_coverage.report(results)
+        assert "weak-source" in text
+        assert "TOTAL" in text
+
+
+class TestNoiseRobustness:
+    @pytest.fixture(scope="class")
+    def results(self):
+        # Small trial count: statistics checked loosely, trends strictly.
+        return noise_robustness.run(
+            sigmas=(0.0, 0.2, 0.8), n_trials=10, seed=1
+        )
+
+    def test_noiseless_is_perfect(self, results):
+        assert results["phase_rates"][0] == 0.0
+        assert results["amplitude_rates"][0] == 0.0
+        assert results["position_rates"][0] == 0.0
+
+    def test_error_rate_grows_with_noise(self, results):
+        for key in ("phase_rates", "amplitude_rates", "position_rates"):
+            rates = results[key]
+            assert rates[-1] >= rates[0]
+        # The largest sigma must actually break something somewhere.
+        assert (
+            results["phase_rates"][-1]
+            + results["amplitude_rates"][-1]
+            + results["position_rates"][-1]
+        ) > 0
+
+    def test_placement_noise_most_damaging(self, results):
+        # Placement errors scale with k*x and hit the highest channels
+        # hardest; at equal sigma they dominate phase jitter.
+        assert results["position_rates"][-1] >= results["phase_rates"][-1]
+
+    def test_thermal_estimate_positive_and_subcritical(self, results):
+        sigma = results["thermal_phase_sigma_300k"]
+        assert 0 < sigma < 1.0
+
+    def test_report_renders(self, results):
+        text = noise_robustness.report(results)
+        assert "Word error rate" in text
+        assert "300 K" in text

@@ -1,0 +1,168 @@
+"""Tests for repro.core.faults (fault models and coverage)."""
+
+import pytest
+
+from repro.errors import EncodingError
+from repro.core.faults import (
+    FaultySimulator,
+    TransducerFault,
+    default_patterns,
+    enumerate_faults,
+    fault_coverage,
+    simulate_fault,
+)
+from repro.core.frequency_plan import FrequencyPlan
+from repro.core.gate import DataParallelGate
+from repro.core.layout import InlineGateLayout
+from repro.core.simulate import GateSimulator
+from repro.units import GHZ
+from repro.waveguide import Waveguide
+
+
+@pytest.fixture(scope="module")
+def small_gate():
+    plan = FrequencyPlan.uniform(2, 10 * GHZ, 10 * GHZ)
+    layout = InlineGateLayout(Waveguide(), plan, n_inputs=3)
+    return DataParallelGate(layout)
+
+
+class TestFaultModel:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(EncodingError):
+            TransducerFault("open-circuit", 0, 0)
+
+    def test_weak_severity_range(self):
+        with pytest.raises(EncodingError):
+            TransducerFault("weak-source", 0, 0, severity=1.0)
+        with pytest.raises(EncodingError):
+            TransducerFault("weak-source", 0, 0, severity=0.0)
+
+    def test_describe(self):
+        fault = TransducerFault("dead-source", 1, 2)
+        assert fault.describe() == "dead-source@ch1.in2"
+        weak = TransducerFault("weak-source", 0, 0, severity=0.3)
+        assert "0.3" in weak.describe()
+
+    def test_enumerate_counts(self, small_gate):
+        faults = enumerate_faults(small_gate)
+        # 4 kinds x 2 channels x 3 inputs.
+        assert len(faults) == 24
+
+    def test_enumerate_kind_filter(self, small_gate):
+        faults = enumerate_faults(small_gate, kinds=("dead-source",))
+        assert len(faults) == 6
+        assert all(f.kind == "dead-source" for f in faults)
+
+    def test_enumerate_rejects_unknown_kind(self, small_gate):
+        with pytest.raises(EncodingError):
+            enumerate_faults(small_gate, kinds=("gremlin",))
+
+    def test_out_of_range_fault_site(self, small_gate):
+        with pytest.raises(EncodingError):
+            FaultySimulator(small_gate, TransducerFault("dead-source", 9, 0))
+        with pytest.raises(EncodingError):
+            FaultySimulator(small_gate, TransducerFault("dead-source", 0, 7))
+
+
+class TestFaultySimulation:
+    def test_dead_source_zeroes_amplitude(self, small_gate):
+        fault = TransducerFault("dead-source", 0, 1)
+        simulator = FaultySimulator(small_gate, fault)
+        sources = simulator.build_sources([[0, 0]] * 3)
+        assert sources[1].amplitude == 0.0
+        assert sources[0].amplitude == 1.0  # neighbours untouched
+
+    def test_stuck_phase_overrides_input(self, small_gate):
+        fault = TransducerFault("stuck-phase-1", 1, 0)
+        simulator = FaultySimulator(small_gate, fault)
+        sources = simulator.build_sources([[0, 0]] * 3)
+        victim = sources[1 * 3 + 0]
+        assert victim.phase == pytest.approx(3.14159, rel=1e-3)
+
+    def test_stuck_fault_flips_output(self, small_gate):
+        # With inputs (0, 1, 0) the majority is 0; a stuck-1 on input 0
+        # makes it (1, 1, 0) -> 1 on the faulty channel.
+        fault = TransducerFault("stuck-phase-1", 0, 0)
+        words = [[0, 0], [1, 1], [0, 0]]
+        faulty = simulate_fault(small_gate, fault, words)
+        golden = GateSimulator(small_gate).run_phasor(words).decoded
+        assert golden == [0, 0]
+        assert faulty[0] == 1  # (1,1,0) majority on the faulty channel
+        assert faulty[1] == golden[1]
+
+    def test_weak_source_below_threshold_is_logically_silent(self, small_gate):
+        # A mildly weak source changes no logic decision on any pattern.
+        fault = TransducerFault("weak-source", 0, 0, severity=0.8)
+        for words in default_patterns(small_gate):
+            golden = GateSimulator(small_gate).run_phasor(words).decoded
+            assert simulate_fault(small_gate, fault, words) == golden
+
+
+class TestCoverage:
+    @pytest.fixture(scope="class")
+    def coverage(self, small_gate):
+        return fault_coverage(small_gate)
+
+    def test_patterns_are_exhaustive(self, small_gate):
+        patterns = default_patterns(small_gate)
+        assert len(patterns) == 8  # 2^3 input combinations
+
+    def test_phase_and_dead_faults_detected(self, coverage):
+        undetected_kinds = {f.kind for f in coverage["undetected"]}
+        assert "stuck-phase-0" not in undetected_kinds
+        assert "stuck-phase-1" not in undetected_kinds
+        assert "dead-source" not in undetected_kinds
+
+    def test_weak_faults_escape_logic_testing(self, coverage):
+        # The analogue-margin lesson: sub-threshold weak sources cannot
+        # be caught by logic patterns.
+        assert all(
+            f.kind == "weak-source" for f in coverage["undetected"]
+        )
+        assert coverage["undetected"]  # and there is at least one
+
+    def test_coverage_fraction_consistent(self, coverage):
+        total = len(coverage["detected"]) + len(coverage["undetected"])
+        assert total == coverage["n_faults"]
+        assert coverage["coverage"] == pytest.approx(
+            len(coverage["detected"]) / total
+        )
+
+    def test_detected_faults_record_pattern(self, coverage):
+        for fault, pattern_index in coverage["detected"]:
+            assert 0 <= pattern_index < coverage["n_patterns"]
+
+    def test_weak_faults_fundamentally_logic_undetectable(self, small_gate):
+        # Even a severe (5% amplitude) weak source never flips majority
+        # logic in the noiseless model: when the other two inputs tie,
+        # the weak source still casts the deciding vote correctly.
+        faults = [TransducerFault("weak-source", 0, 0, severity=0.05)]
+        result = fault_coverage(small_gate, faults=faults)
+        assert result["coverage"] == 0.0
+
+    def test_parametric_test_catches_weak_faults(self, small_gate):
+        from repro.core.faults import parametric_coverage
+
+        faults = [TransducerFault("weak-source", 0, 0, severity=0.05)]
+        result = parametric_coverage(small_gate, faults=faults)
+        assert result["coverage"] == 1.0
+
+    def test_parametric_ignores_benign_weak_faults(self, small_gate):
+        from repro.core.faults import parametric_coverage
+
+        # 95% amplitude barely moves the margin: below-threshold only
+        # with an absurdly tight threshold.
+        faults = [TransducerFault("weak-source", 0, 0, severity=0.95)]
+        result = parametric_coverage(small_gate, faults=faults)
+        assert result["coverage"] == 0.0
+
+    def test_parametric_detects_dead_source(self, small_gate):
+        from repro.core.faults import parametric_coverage
+
+        faults = [TransducerFault("dead-source", 1, 2)]
+        result = parametric_coverage(small_gate, faults=faults)
+        assert result["coverage"] == 1.0
+
+    def test_empty_patterns_rejected(self, small_gate):
+        with pytest.raises(EncodingError):
+            fault_coverage(small_gate, patterns=[])

@@ -1,0 +1,190 @@
+"""Tests for the effective-field terms (exchange, anisotropy, Zeeman, applied)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import MU0
+from repro.errors import FieldError
+from repro.materials import FECOB_PMA, PERMALLOY
+from repro.mm import (
+    AppliedField,
+    ExchangeField,
+    Mesh,
+    SineWaveform,
+    State,
+    UniaxialAnisotropyField,
+    ZeemanField,
+)
+
+
+class TestExchange:
+    def test_uniform_state_gives_zero_field(self):
+        mesh = Mesh(8, 4, 1, 2e-9, 2e-9, 1e-9)
+        state = State.uniform(mesh, FECOB_PMA, direction=(0.3, 0.4, 0.5))
+        state.normalize()
+        h = ExchangeField().field(state)
+        np.testing.assert_allclose(h, 0.0, atol=1e-6)
+
+    def test_plane_wave_eigenmode(self):
+        # laplacian(sin(kx)) = -k^2 sin(kx): the transverse field must be
+        # -lambda-prefactor * k^2 * m_transverse in the bulk.
+        n = 64
+        dx = 2e-9
+        mesh = Mesh(n, 1, 1, dx, dx, dx)
+        k = 2 * math.pi / (16 * dx)  # 8 cells per half-wave, well resolved
+        x = mesh.cell_centers(0)
+        eps = 1e-3
+        m = np.zeros(mesh.shape + (3,))
+        m[..., 0] = eps * np.sin(k * x).reshape(n, 1, 1)
+        m[..., 2] = np.sqrt(1 - m[..., 0] ** 2)
+        state = State(mesh, FECOB_PMA, m)
+        h = ExchangeField().field(state)
+        prefactor = 2 * FECOB_PMA.aex / (MU0 * FECOB_PMA.ms)
+        # Effective k of the discrete Laplacian.
+        k_eff_sq = (2 - 2 * math.cos(k * dx)) / dx**2
+        interior = slice(8, n - 8)
+        expected = -prefactor * k_eff_sq * m[interior, 0, 0, 0]
+        np.testing.assert_allclose(
+            h[interior, 0, 0, 0], expected, rtol=1e-2, atol=1e-12
+        )
+
+    def test_energy_zero_for_uniform(self):
+        mesh = Mesh(6, 6, 1, 2e-9, 2e-9, 1e-9)
+        state = State.uniform(mesh, FECOB_PMA)
+        assert ExchangeField().energy(state) == pytest.approx(0.0, abs=1e-30)
+
+    def test_energy_positive_for_twisted(self):
+        mesh = Mesh(16, 1, 1, 2e-9, 2e-9, 2e-9)
+        x = np.arange(16)
+        m = np.zeros(mesh.shape + (3,))
+        angle = x * 0.2
+        m[..., 0] = np.cos(angle).reshape(-1, 1, 1)
+        m[..., 1] = np.sin(angle).reshape(-1, 1, 1)
+        state = State(mesh, FECOB_PMA, m)
+        assert ExchangeField().energy(state) > 0
+
+    def test_override_aex(self):
+        mesh = Mesh(8, 1, 1, 2e-9, 2e-9, 2e-9)
+        state = State.random(mesh, FECOB_PMA, seed=3)
+        h_default = ExchangeField().field(state)
+        h_double = ExchangeField(aex=2 * FECOB_PMA.aex).field(state)
+        np.testing.assert_allclose(h_double, 2 * h_default)
+
+    def test_max_stable_dt_scales_with_cell(self):
+        mesh_fine = Mesh(8, 1, 1, 1e-9, 1e-9, 1e-9)
+        mesh_coarse = Mesh(8, 1, 1, 4e-9, 4e-9, 4e-9)
+        term = ExchangeField()
+        dt_fine = term.max_stable_dt(State.uniform(mesh_fine, FECOB_PMA))
+        dt_coarse = term.max_stable_dt(State.uniform(mesh_coarse, FECOB_PMA))
+        assert dt_coarse == pytest.approx(16 * dt_fine, rel=1e-6)
+
+    def test_max_stable_dt_infinite_for_macrospin(self):
+        mesh = Mesh(1, 1, 1, 2e-9, 2e-9, 2e-9)
+        term = ExchangeField()
+        assert term.max_stable_dt(State.uniform(mesh, FECOB_PMA)) == math.inf
+
+
+class TestAnisotropy:
+    def test_field_along_easy_axis(self):
+        mesh = Mesh(2, 2, 1, 1e-9, 1e-9, 1e-9)
+        state = State.uniform(mesh, FECOB_PMA)  # m || z = easy axis
+        h = UniaxialAnisotropyField().field(state)
+        expected = FECOB_PMA.anisotropy_field
+        np.testing.assert_allclose(h[..., 2], expected, rtol=1e-12)
+        np.testing.assert_allclose(h[..., 0], 0.0)
+
+    def test_field_vanishes_perpendicular(self):
+        mesh = Mesh(2, 1, 1, 1e-9, 1e-9, 1e-9)
+        state = State.uniform(mesh, FECOB_PMA, direction=(1, 0, 0))
+        h = UniaxialAnisotropyField().field(state)
+        np.testing.assert_allclose(h, 0.0, atol=1e-9)
+
+    def test_energy_zero_aligned_max_perpendicular(self):
+        mesh = Mesh(2, 1, 1, 1e-9, 1e-9, 1e-9)
+        aligned = State.uniform(mesh, FECOB_PMA)
+        perpendicular = State.uniform(mesh, FECOB_PMA, direction=(1, 0, 0))
+        term = UniaxialAnisotropyField()
+        assert term.energy(aligned) == pytest.approx(0.0, abs=1e-30)
+        expected = FECOB_PMA.ku * mesh.volume
+        assert term.energy(perpendicular) == pytest.approx(expected)
+
+    def test_custom_axis(self):
+        mesh = Mesh(2, 1, 1, 1e-9, 1e-9, 1e-9)
+        state = State.uniform(mesh, PERMALLOY, direction=(1, 0, 0))
+        term = UniaxialAnisotropyField(ku=1e4, axis=(1, 0, 0))
+        h = term.field(state)
+        assert h[0, 0, 0, 0] == pytest.approx(2 * 1e4 / (MU0 * PERMALLOY.ms))
+
+    def test_zero_axis_rejected(self):
+        with pytest.raises(FieldError):
+            UniaxialAnisotropyField(axis=(0, 0, 0))
+
+
+class TestZeeman:
+    def test_uniform_field_everywhere(self):
+        mesh = Mesh(3, 3, 1, 1e-9, 1e-9, 1e-9)
+        state = State.uniform(mesh, PERMALLOY)
+        h = ZeemanField((1e4, 0, 2e4)).field(state)
+        np.testing.assert_allclose(h[..., 0], 1e4)
+        np.testing.assert_allclose(h[..., 2], 2e4)
+
+    def test_energy_linear_no_half(self):
+        # E = -mu0*Ms*(m.H)*V exactly (no bilinear half factor).
+        mesh = Mesh(2, 1, 1, 1e-9, 1e-9, 1e-9)
+        state = State.uniform(mesh, PERMALLOY)
+        h = 5e4
+        term = ZeemanField((0, 0, h))
+        expected = -MU0 * PERMALLOY.ms * h * mesh.volume
+        assert term.energy(state) == pytest.approx(expected)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            ZeemanField((1.0, 2.0))
+
+
+class TestApplied:
+    def setup_method(self):
+        self.mesh = Mesh(10, 1, 1, 1e-9, 1e-9, 1e-9)
+        self.state = State.uniform(self.mesh, FECOB_PMA)
+        self.mask = self.mesh.region_mask(x=(0, 3e-9))
+
+    def test_field_localised_to_mask(self):
+        waveform = SineWaveform(1e3, 10e9, phase=math.pi / 2)  # cos at t=0
+        term = AppliedField(self.mask, (1, 0, 0), waveform)
+        h = term.field(self.state, t=0.0)
+        assert h[0, 0, 0, 0] == pytest.approx(1e3)
+        assert h[5, 0, 0, 0] == 0.0
+
+    def test_field_time_dependence(self):
+        f = 10e9
+        waveform = SineWaveform(1e3, f)
+        term = AppliedField(self.mask, (1, 0, 0), waveform)
+        quarter = 0.25 / f
+        assert term.field(self.state, t=0.0)[0, 0, 0, 0] == pytest.approx(0.0)
+        assert term.field(self.state, t=quarter)[0, 0, 0, 0] == pytest.approx(
+            1e3, rel=1e-9
+        )
+
+    def test_direction_normalised(self):
+        waveform = SineWaveform(1e3, 10e9, phase=math.pi / 2)
+        term = AppliedField(self.mask, (2, 0, 0), waveform)
+        assert term.field(self.state, t=0.0)[0, 0, 0, 0] == pytest.approx(1e3)
+
+    def test_empty_mask_rejected(self):
+        empty = np.zeros(self.mesh.shape, dtype=bool)
+        with pytest.raises(FieldError):
+            AppliedField(empty, (1, 0, 0), SineWaveform(1e3, 1e9))
+
+    def test_zero_direction_rejected(self):
+        with pytest.raises(FieldError):
+            AppliedField(self.mask, (0, 0, 0), SineWaveform(1e3, 1e9))
+
+    def test_non_callable_waveform_rejected(self):
+        with pytest.raises(FieldError):
+            AppliedField(self.mask, (1, 0, 0), 42.0)
+
+    def test_marked_time_dependent(self):
+        term = AppliedField(self.mask, (1, 0, 0), SineWaveform(1e3, 1e9))
+        assert term.time_dependent

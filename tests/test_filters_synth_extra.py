@@ -1,0 +1,156 @@
+"""Tests for the FIR filter bank and the extra synthesis blocks."""
+
+import math
+from itertools import product
+
+import numpy as np
+import pytest
+
+from repro.errors import NetlistError, ReadoutError
+from repro.analysis.filters import (
+    FilterBank,
+    apply_fir,
+    bandpass_kernel,
+    lowpass_kernel,
+)
+from repro.analysis.phase import phase_at
+from repro.circuits.synth import equality_comparator, multiplexer2
+
+
+class TestKernels:
+    def test_lowpass_unity_dc_gain(self):
+        kernel = lowpass_kernel(10e9, 320e9, 101)
+        assert kernel.sum() == pytest.approx(1.0)
+
+    def test_lowpass_validation(self):
+        with pytest.raises(ReadoutError):
+            lowpass_kernel(200e9, 320e9, 101)  # above Nyquist
+        with pytest.raises(ReadoutError):
+            lowpass_kernel(10e9, 320e9, 100)  # even taps
+
+    def test_bandpass_rejects_dc(self):
+        kernel = bandpass_kernel(5e9, 15e9, 320e9, 201)
+        assert abs(kernel.sum()) < 1e-6  # zero DC gain
+
+    def test_bandpass_validation(self):
+        with pytest.raises(ReadoutError):
+            bandpass_kernel(15e9, 5e9, 320e9, 201)
+
+    def test_bandpass_selectivity(self):
+        rate = 320e9
+        t = np.arange(0, 4e-9, 1.0 / rate)
+        in_band = np.sin(2 * np.pi * 10e9 * t)
+        out_band = np.sin(2 * np.pi * 40e9 * t)
+        kernel = bandpass_kernel(7e9, 13e9, rate, 301)
+        kept = apply_fir(in_band, kernel)
+        rejected = apply_fir(out_band, kernel)
+        interior = slice(400, -400)
+        assert np.max(np.abs(kept[interior])) > 0.8
+        assert np.max(np.abs(rejected[interior])) < 0.05
+
+    def test_apply_fir_validation(self):
+        with pytest.raises(ReadoutError):
+            apply_fir(np.zeros(5), np.ones(11))
+
+
+class TestFilterBank:
+    def setup_method(self):
+        self.rate = 640e9
+        self.frequencies = [10e9, 20e9, 30e9]
+        self.bank = FilterBank(self.frequencies, self.rate)
+
+    def _trace(self, phases):
+        t = np.arange(0, 4e-9, 1.0 / self.rate)
+        trace = sum(
+            np.sin(2 * np.pi * f * t + phase)
+            for f, phase in zip(self.frequencies, phases)
+        )
+        return t, trace
+
+    def test_split_returns_all_channels(self):
+        _, trace = self._trace([0, 0, 0])
+        split = self.bank.split(trace)
+        assert set(split) == set(self.frequencies)
+
+    def test_channel_phase_preserved(self):
+        # Zero-phase filtering: the isolated channel keeps its phase.
+        t, trace = self._trace([0.0, math.pi, 0.5])
+        split = self.bank.split(trace)
+        interior = slice(800, len(t) - 800)
+        measured = phase_at(
+            t[interior], split[20e9][interior], 20e9, t_start=t[interior][0]
+        )
+        assert abs(abs(measured) - math.pi) < 0.15
+
+    def test_isolation(self):
+        _, trace = self._trace([0, 0, 0])
+        isolation = self.bank.isolation_db(trace, 20e9)
+        assert isolation > 15.0
+
+    def test_validation(self):
+        with pytest.raises(ReadoutError):
+            FilterBank([], 640e9)
+        with pytest.raises(ReadoutError):
+            FilterBank([400e9], 640e9)  # above Nyquist
+        with pytest.raises(ReadoutError):
+            self.bank.isolation_db(np.zeros(4096), 99e9)
+
+    def test_byte_gate_trace_separates(self, byte_simulator):
+        # End-to-end: filter-bank separation of a real gate trace
+        # reproduces the per-channel decode of channel 0.
+        words = [[1] * 8, [1] * 8, [0] * 8]
+        result = byte_simulator.run(words)
+        frequencies = byte_simulator.layout.plan.frequencies
+        rate = 1.0 / (result.t[1] - result.t[0])
+        bank = FilterBank(frequencies, rate)
+        split = bank.split(result.traces[0])
+        t_start = byte_simulator.settle_time()
+        interior = result.t > t_start
+        measured = phase_at(
+            result.t[interior],
+            split[frequencies[0]][interior],
+            frequencies[0],
+            t_start=t_start,
+        )
+        reference_phase, _ = byte_simulator.calibration()[0]
+        relative = (measured - reference_phase + math.pi) % (2 * math.pi) - math.pi
+        decoded = int(abs(relative) > math.pi / 2)
+        assert decoded == result.decoded[0]
+
+
+class TestMultiplexer:
+    def test_truth_table(self):
+        netlist, out = multiplexer2()
+        for a, b, s in product((0, 1), repeat=3):
+            outputs = netlist.evaluate({"a": a, "b": b, "s": s})
+            assert outputs[out] == (b if s else a)
+
+    def test_cell_budget(self):
+        netlist, _ = multiplexer2()
+        counts = netlist.cell_counts()
+        assert counts["MAJ3"] == 3
+        assert counts["INV"] == 1
+
+
+class TestComparator:
+    @pytest.mark.parametrize("width", [1, 3, 5])
+    def test_equality(self, width):
+        from repro.core.encoding import int_to_bits
+
+        netlist = equality_comparator(width)
+        out = netlist.outputs[0]
+        for a in range(2**width):
+            for b in (a, (a + 1) % 2**width, (a ^ 0b101) % 2**width):
+                assignments = {}
+                for i, bit in enumerate(int_to_bits(a, width)):
+                    assignments[f"a{i}"] = bit
+                for i, bit in enumerate(int_to_bits(b, width)):
+                    assignments[f"b{i}"] = bit
+                assert netlist.evaluate(assignments)[out] == int(a == b)
+
+    def test_width_validation(self):
+        with pytest.raises(NetlistError):
+            equality_comparator(0)
+
+    def test_depth_linear_in_width(self):
+        assert equality_comparator(8).depth() > equality_comparator(2).depth()

@@ -1,0 +1,144 @@
+"""Tests for repro.core.gate."""
+
+from itertools import product
+
+import pytest
+
+from repro.errors import EncodingError
+from repro.core.frequency_plan import FrequencyPlan
+from repro.core.gate import DataParallelGate, GateKind, majority, parity
+from repro.core.layout import InlineGateLayout
+from repro.units import GHZ
+from repro.waveguide import Waveguide
+
+
+@pytest.fixture(scope="module")
+def waveguide():
+    return Waveguide()
+
+
+def _layout(waveguide, n_inputs, n_bits=2, inverted=None):
+    plan = FrequencyPlan.uniform(n_bits, 10 * GHZ, 10 * GHZ)
+    return InlineGateLayout(
+        waveguide, plan, n_inputs=n_inputs, inverted_outputs=inverted
+    )
+
+
+class TestBooleanPrimitives:
+    def test_majority3_truth_table(self):
+        expected = {
+            (0, 0, 0): 0, (0, 0, 1): 0, (0, 1, 0): 0, (1, 0, 0): 0,
+            (0, 1, 1): 1, (1, 0, 1): 1, (1, 1, 0): 1, (1, 1, 1): 1,
+        }
+        for bits, value in expected.items():
+            assert majority(bits) == value
+
+    def test_majority5(self):
+        assert majority([1, 1, 1, 0, 0]) == 1
+        assert majority([1, 1, 0, 0, 0]) == 0
+
+    def test_majority_rejects_even(self):
+        with pytest.raises(EncodingError):
+            majority([1, 0])
+
+    def test_parity(self):
+        assert parity([1, 0, 0]) == 1
+        assert parity([1, 1, 0]) == 0
+        assert parity([]) == 0
+
+
+class TestMajorityGate:
+    def test_expected_output_bitwise(self, waveguide):
+        layout = _layout(waveguide, 3, n_bits=4)
+        gate = DataParallelGate(layout)
+        a = [1, 1, 0, 0]
+        b = [1, 0, 1, 0]
+        c = [0, 1, 1, 1]
+        assert gate.expected_output([a, b, c]) == [1, 1, 1, 0]
+
+    def test_even_fanin_rejected(self, waveguide):
+        layout = _layout(waveguide, 4)
+        with pytest.raises(EncodingError):
+            DataParallelGate(layout, kind=GateKind.MAJORITY)
+
+    def test_wrong_word_count(self, waveguide):
+        gate = DataParallelGate(_layout(waveguide, 3))
+        with pytest.raises(EncodingError):
+            gate.expected_output([[0, 0]])
+
+    def test_wrong_word_width(self, waveguide):
+        gate = DataParallelGate(_layout(waveguide, 3, n_bits=2))
+        with pytest.raises(EncodingError):
+            gate.expected_output([[0], [0], [0]])
+
+    def test_truth_table_size(self, waveguide):
+        gate = DataParallelGate(_layout(waveguide, 3))
+        table = gate.truth_table()
+        assert len(table) == 8
+        assert table[0] == ((0, 0, 0), 0)
+        assert table[-1] == ((1, 1, 1), 1)
+
+    def test_inverted_channel_flips_expected(self, waveguide):
+        layout = _layout(waveguide, 3, n_bits=2, inverted=[True, False])
+        gate = DataParallelGate(layout)
+        words = [[1, 1], [1, 1], [0, 0]]
+        assert gate.expected_output(words) == [0, 1]
+        assert gate.expected_output(words, apply_inversion=False) == [1, 1]
+
+    def test_describe(self, waveguide):
+        gate = DataParallelGate(_layout(waveguide, 3))
+        assert "MAJORITY" in gate.describe()
+
+
+class TestDerivedGates:
+    def test_and_via_majority(self, waveguide):
+        layout = _layout(waveguide, 3, n_bits=1)
+        gate = DataParallelGate(layout, kind=GateKind.AND)
+        assert gate.n_data_inputs == 2
+        for a, b in product((0, 1), repeat=2):
+            assert gate.expected_output([[a], [b]]) == [a & b]
+
+    def test_or_via_majority(self, waveguide):
+        layout = _layout(waveguide, 3, n_bits=1)
+        gate = DataParallelGate(layout, kind=GateKind.OR)
+        for a, b in product((0, 1), repeat=2):
+            assert gate.expected_output([[a], [b]]) == [a | b]
+
+    def test_and_requires_three_sources(self, waveguide):
+        with pytest.raises(EncodingError):
+            DataParallelGate(_layout(waveguide, 2), kind=GateKind.AND)
+
+    def test_xor_truth_table(self, waveguide):
+        layout = _layout(waveguide, 2, n_bits=1)
+        gate = DataParallelGate(layout, kind=GateKind.XOR)
+        for a, b in product((0, 1), repeat=2):
+            assert gate.expected_output([[a], [b]]) == [a ^ b]
+
+    def test_xnor_truth_table(self, waveguide):
+        layout = _layout(waveguide, 2, n_bits=1)
+        gate = DataParallelGate(layout, kind=GateKind.XNOR)
+        for a, b in product((0, 1), repeat=2):
+            assert gate.expected_output([[a], [b]]) == [1 - (a ^ b)]
+
+    def test_xor_needs_two_inputs(self, waveguide):
+        with pytest.raises(EncodingError):
+            DataParallelGate(_layout(waveguide, 3), kind=GateKind.XOR)
+
+    def test_amplitude_readout_flag(self):
+        assert GateKind.XOR.uses_amplitude_readout
+        assert GateKind.XNOR.uses_amplitude_readout
+        assert not GateKind.MAJORITY.uses_amplitude_readout
+
+
+class TestPhysicalInputBits:
+    def test_constants_appended(self, waveguide):
+        layout = _layout(waveguide, 3, n_bits=2)
+        gate = DataParallelGate(layout, kind=GateKind.AND)
+        per_channel = gate.physical_input_bits([[1, 0], [1, 1]])
+        assert per_channel == [(1, 1, 0), (0, 1, 0)]
+
+    def test_majority_passthrough(self, waveguide):
+        layout = _layout(waveguide, 3, n_bits=2)
+        gate = DataParallelGate(layout)
+        per_channel = gate.physical_input_bits([[1, 0], [0, 1], [1, 1]])
+        assert per_channel == [(1, 0, 1), (0, 1, 1)]

@@ -1,0 +1,116 @@
+"""Tests for repro.analysis.goertzel and repro.core.designer."""
+
+import cmath
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ReadoutError, ReproError
+from repro.analysis.goertzel import goertzel, goertzel_phasor, goertzel_power
+from repro.analysis.phase import fft_phasor
+from repro.core.designer import design_gate
+from repro.core.gate import GateKind
+from repro.waveguide import Waveguide
+
+
+def _sine(frequency, amplitude=1.0, phase=0.0, duration=2e-9, rate=640e9):
+    t = np.arange(0, duration, 1.0 / rate)
+    return t, amplitude * np.sin(2 * np.pi * frequency * t + phase)
+
+
+class TestGoertzel:
+    def test_recovers_amplitude(self):
+        t, s = _sine(10e9, amplitude=0.42)
+        z = goertzel(s, 640e9, 10e9)
+        assert abs(z) == pytest.approx(0.42, rel=0.02)
+
+    def test_rejects_other_tone(self):
+        t, s = _sine(20e9)
+        assert abs(goertzel(s, 640e9, 10e9)) < 0.02
+
+    def test_off_bin_frequency(self):
+        # A frequency that does not align with any FFT bin.
+        f = 10.37e9
+        t, s = _sine(f, amplitude=0.5, duration=2.003e-9)
+        z = goertzel_phasor(t, s, f)
+        assert abs(z) == pytest.approx(0.5, rel=0.05)
+
+    def test_phasor_matches_fft_estimator(self):
+        for phase in (0.0, 1.0, math.pi, -2.0):
+            t, s = _sine(10e9, amplitude=0.7, phase=phase)
+            zg = goertzel_phasor(t, s, 10e9)
+            zf = fft_phasor(t, s, 10e9)
+            assert abs(zg - zf) < 0.05
+
+    def test_phasor_phase_recovery(self):
+        for phase in (0.3, -1.2, 2.9):
+            t, s = _sine(10e9, phase=phase)
+            z = goertzel_phasor(t, s, 10e9)
+            measured = cmath.phase(z)
+            wrapped = (measured - phase + math.pi) % (2 * math.pi) - math.pi
+            assert abs(wrapped) < 0.02
+
+    def test_power(self):
+        t, s = _sine(10e9, amplitude=2.0)
+        assert goertzel_power(s, 640e9, 10e9) == pytest.approx(4.0, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ReadoutError):
+            goertzel(np.zeros(4), 1e9, 1e8)
+        t, s = _sine(10e9)
+        with pytest.raises(ReadoutError):
+            goertzel(s, -1.0, 10e9)
+        with pytest.raises(ReadoutError):
+            goertzel(s, 640e9, 400e9)  # above Nyquist
+        with pytest.raises(ReadoutError):
+            goertzel_phasor(t[:4], s[:4], 10e9)
+
+    def test_gate_decoding_with_goertzel(self, byte_simulator):
+        words = [[1, 0] * 4, [0, 1] * 4, [1, 1, 0, 0] * 2]
+        result = byte_simulator.run(words, method="goertzel")
+        assert result.correct
+
+
+class TestDesigner:
+    def test_design_paper_scale_gate(self):
+        design = design_gate(Waveguide(), n_bits=8)
+        assert design.gate.n_bits == 8
+        assert design.verified_combos == 3
+        assert design.min_margin > 1.0
+        assert design.comparison.area_ratio > 2.0
+
+    def test_exhaustive_verification(self):
+        design = design_gate(Waveguide(), n_bits=2, verify="exhaustive")
+        assert design.verified_combos == 8
+
+    def test_no_verification(self):
+        design = design_gate(Waveguide(), n_bits=2, verify="none")
+        assert design.verified_combos == 0
+        assert math.isnan(design.min_margin)
+
+    def test_unknown_verify_mode(self):
+        with pytest.raises(ReproError):
+            design_gate(Waveguide(), n_bits=2, verify="sometimes")
+
+    def test_xor_design(self):
+        design = design_gate(
+            Waveguide(), n_bits=4, n_inputs=2, kind=GateKind.XOR,
+            verify="exhaustive",
+        )
+        assert design.verified_combos == 4
+
+    def test_too_many_channels_fails_cleanly(self):
+        with pytest.raises(ReproError):
+            design_gate(Waveguide(), n_bits=64)
+
+    def test_summary_renders(self):
+        design = design_gate(Waveguide(), n_bits=2)
+        text = design.summary()
+        assert "verified" in text and "um^2" in text
+
+    def test_wider_waveguide_designs_work(self):
+        design = design_gate(
+            Waveguide(width=200e-9, include_width_modes=True), n_bits=4
+        )
+        assert design.min_margin > 1.0

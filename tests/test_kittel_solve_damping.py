@@ -1,0 +1,167 @@
+"""Tests for repro.physics.kittel, .solve and .damping."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import MU0
+from repro.errors import DispersionError
+from repro.materials import FECOB_PMA, PERMALLOY
+from repro.physics.damping import (
+    amplitude_after,
+    attenuation_length,
+    lifetime,
+    propagation_delay,
+    relaxation_rate,
+)
+from repro.physics.dispersion import ExchangeDispersion, FvmswDispersion
+from repro.physics.kittel import (
+    fmr_frequency_in_plane,
+    fmr_frequency_perpendicular,
+    kittel_sphere_frequency,
+)
+from repro.physics.solve import (
+    dispersion_table,
+    wavelength_for_frequency,
+    wavenumber_for_frequency,
+)
+
+
+class TestKittel:
+    def test_perpendicular_fmr_formula(self):
+        h_int = FECOB_PMA.internal_field_perpendicular()
+        expected = FECOB_PMA.gamma * MU0 * h_int / (2 * math.pi)
+        assert fmr_frequency_perpendicular(FECOB_PMA) == pytest.approx(expected)
+
+    def test_perpendicular_fmr_negative_when_unstable(self):
+        assert fmr_frequency_perpendicular(PERMALLOY) < 0
+
+    def test_in_plane_fmr_sqrt_form(self):
+        h = 5e4
+        expected = (
+            PERMALLOY.gamma * MU0 * math.sqrt(h * (h + PERMALLOY.ms)) / (2 * math.pi)
+        )
+        assert fmr_frequency_in_plane(PERMALLOY, h) == pytest.approx(expected)
+
+    def test_in_plane_rejects_negative_field(self):
+        with pytest.raises(ValueError):
+            fmr_frequency_in_plane(PERMALLOY, -1e6)
+
+    def test_sphere_is_field_only(self):
+        assert kittel_sphere_frequency(PERMALLOY, 1e5) == pytest.approx(
+            PERMALLOY.gamma * MU0 * 1e5 / (2 * math.pi)
+        )
+
+
+class TestSolve:
+    def setup_method(self):
+        self.dispersion = FvmswDispersion(FECOB_PMA, 1e-9)
+
+    def test_roundtrip_k_to_f_to_k(self):
+        for k in (5e7, 1e8, 2.5e8):
+            f = self.dispersion.frequency(k)
+            assert wavenumber_for_frequency(self.dispersion, f) == pytest.approx(
+                k, rel=1e-6
+            )
+
+    def test_wavelength_definition(self):
+        f = 10e9
+        k = wavenumber_for_frequency(self.dispersion, f)
+        assert wavelength_for_frequency(self.dispersion, f) == pytest.approx(
+            2 * math.pi / k
+        )
+
+    def test_paper_wavelength_at_10ghz(self):
+        # lambda(10 GHz) ~ 81 nm; the paper's d1 = 166 nm = 2*lambda.
+        lam = wavelength_for_frequency(self.dispersion, 10e9)
+        assert lam == pytest.approx(83e-9, rel=0.05)
+
+    def test_below_band_edge_raises(self):
+        with pytest.raises(DispersionError, match="band edge"):
+            wavenumber_for_frequency(self.dispersion, 1e9)
+
+    def test_at_band_edge_raises(self):
+        edge = self.dispersion.frequency(0.0)
+        with pytest.raises(DispersionError):
+            wavenumber_for_frequency(self.dispersion, edge)
+
+    def test_negative_frequency_raises(self):
+        with pytest.raises(DispersionError):
+            wavenumber_for_frequency(self.dispersion, -1e9)
+
+    def test_above_search_band_raises(self):
+        with pytest.raises(DispersionError, match="searchable"):
+            wavenumber_for_frequency(self.dispersion, 100e9, k_max=1e7)
+
+    def test_wavelength_decreases_with_frequency(self):
+        lams = [
+            wavelength_for_frequency(self.dispersion, f * 1e9)
+            for f in (10, 20, 40, 80)
+        ]
+        assert all(a > b for a, b in zip(lams, lams[1:]))
+
+    def test_dispersion_table_consistency(self):
+        freqs = [10e9, 20e9, 30e9]
+        table = dispersion_table(self.dispersion, freqs)
+        assert table["k"].shape == (3,)
+        np.testing.assert_allclose(
+            table["wavelength"], 2 * math.pi / table["k"]
+        )
+        assert np.all(table["group_velocity"] > 0)
+        assert np.all(table["relaxation_rate"] > 0)
+
+
+class TestDamping:
+    def setup_method(self):
+        self.dispersion = FvmswDispersion(FECOB_PMA, 1e-9)
+        self.k = wavenumber_for_frequency(self.dispersion, 10e9)
+
+    def test_lifetime_is_inverse_rate(self):
+        assert lifetime(self.dispersion, self.k) == pytest.approx(
+            1.0 / relaxation_rate(self.dispersion, self.k)
+        )
+
+    def test_attenuation_length_is_vg_times_tau(self):
+        expected = self.dispersion.group_velocity(self.k) * lifetime(
+            self.dispersion, self.k
+        )
+        assert attenuation_length(self.dispersion, self.k) == pytest.approx(
+            expected
+        )
+
+    def test_amplitude_exponential_decay(self):
+        length = attenuation_length(self.dispersion, self.k)
+        assert amplitude_after(self.dispersion, self.k, length) == pytest.approx(
+            math.exp(-1.0)
+        )
+        assert amplitude_after(self.dispersion, self.k, 0.0) == 1.0
+
+    def test_amplitude_scales_linearly(self):
+        a1 = amplitude_after(self.dispersion, self.k, 1e-7, amplitude=1.0)
+        a2 = amplitude_after(self.dispersion, self.k, 1e-7, amplitude=2.0)
+        assert a2 == pytest.approx(2 * a1)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            amplitude_after(self.dispersion, self.k, -1e-9)
+
+    def test_propagation_delay(self):
+        v_g = self.dispersion.group_velocity(self.k)
+        assert propagation_delay(self.dispersion, self.k, 1e-6) == pytest.approx(
+            1e-6 / v_g
+        )
+
+    def test_lower_damping_longer_attenuation(self):
+        # YIG-like alpha on the same film should stretch the decay length.
+        low_loss = FvmswDispersion(FECOB_PMA.with_(alpha=0.0004), 1e-9)
+        assert attenuation_length(low_loss, self.k) > attenuation_length(
+            self.dispersion, self.k
+        )
+
+    def test_exchange_relaxation_alpha_omega(self):
+        exchange = ExchangeDispersion(FECOB_PMA, 1e-9)
+        k = 1e8
+        assert relaxation_rate(exchange, k) == pytest.approx(
+            FECOB_PMA.alpha * exchange.omega(k)
+        )

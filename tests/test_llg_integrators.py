@@ -1,0 +1,193 @@
+"""Tests for the LLG right-hand side and the time integrators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import MU0
+from repro.errors import SimulationError
+from repro.materials import PERMALLOY
+from repro.mm import Mesh, State, ZeemanField
+from repro.mm.integrators import integrate, rk4_step, rkf45_step
+from repro.mm.llg import (
+    effective_field,
+    llg_rhs,
+    llg_rhs_from_field,
+    max_torque,
+)
+
+
+def _macrospin(direction=(1, 0, 0), alpha=0.01):
+    mesh = Mesh(1, 1, 1, 2e-9, 2e-9, 2e-9)
+    material = PERMALLOY.with_(alpha=alpha)
+    return State.uniform(mesh, material, direction=direction)
+
+
+class TestLlgRhs:
+    def test_aligned_state_stationary(self):
+        state = _macrospin(direction=(0, 0, 1))
+        rhs = llg_rhs(state, [ZeemanField((0, 0, 1e5))])
+        np.testing.assert_allclose(rhs, 0.0, atol=1e-6)
+
+    def test_precession_direction(self):
+        # m along +x, H along +z: dm/dt ~ -gamma*mu0 (m x H) points +y.
+        state = _macrospin(direction=(1, 0, 0), alpha=1e-8)
+        rhs = llg_rhs(state, [ZeemanField((0, 0, 1e5))])
+        assert rhs[0, 0, 0, 1] > 0
+        assert abs(rhs[0, 0, 0, 0]) < 1e-3 * abs(rhs[0, 0, 0, 1])
+
+    def test_precession_rate_magnitude(self):
+        state = _macrospin(direction=(1, 0, 0), alpha=1e-8)
+        h = 1e5
+        rhs = llg_rhs(state, [ZeemanField((0, 0, h))])
+        expected = state.material.gamma * MU0 * h
+        assert abs(rhs[0, 0, 0, 1]) == pytest.approx(expected, rel=1e-6)
+
+    def test_damping_pulls_toward_field(self):
+        state = _macrospin(direction=(1, 0, 0), alpha=0.5)
+        rhs = llg_rhs(state, [ZeemanField((0, 0, 1e5))])
+        assert rhs[0, 0, 0, 2] > 0  # relaxing toward +z
+
+    def test_rhs_perpendicular_to_m(self):
+        state = _macrospin(direction=(0.6, 0.0, 0.8))
+        rhs = llg_rhs(state, [ZeemanField((1e4, 2e4, 5e4))])
+        dot = np.einsum("...i,...i->...", state.m, rhs)
+        np.testing.assert_allclose(dot, 0.0, atol=1e-3)
+
+    def test_alpha_array_override(self):
+        mesh = Mesh(2, 1, 1, 2e-9, 2e-9, 2e-9)
+        state = State.uniform(mesh, PERMALLOY, direction=(1, 0, 0))
+        h = np.zeros(mesh.shape + (3,))
+        h[..., 2] = 1e5
+        alpha = np.array([0.001, 0.5]).reshape(2, 1, 1)
+        rhs = llg_rhs_from_field(state.m, h, state.material, alpha=alpha)
+        # High-damping cell relaxes toward z much faster.
+        assert rhs[1, 0, 0, 2] > 100 * rhs[0, 0, 0, 2]
+
+    def test_effective_field_sums_terms(self):
+        state = _macrospin()
+        terms = [ZeemanField((0, 0, 1e5)), ZeemanField((0, 0, 2e5))]
+        h = effective_field(state, terms)
+        assert h[0, 0, 0, 2] == pytest.approx(3e5)
+
+    def test_max_torque_zero_when_aligned(self):
+        state = _macrospin(direction=(0, 0, 1))
+        assert max_torque(state, [ZeemanField((0, 0, 1e5))]) == pytest.approx(
+            0.0, abs=1e-6
+        )
+
+
+class TestRk4:
+    def test_exponential_decay_accuracy(self):
+        # y' = -y, y(0) = 1, exact y(1) = exp(-1).
+        y = np.array([1.0])
+        t, dt = 0.0, 0.1
+        for _ in range(10):
+            y = rk4_step(lambda tt, yy: -yy, t, y, dt)
+            t += dt
+        assert y[0] == pytest.approx(math.exp(-1.0), rel=1e-6)
+
+    def test_fourth_order_convergence(self):
+        def solve(n_steps):
+            y = np.array([1.0])
+            dt = 1.0 / n_steps
+            t = 0.0
+            for _ in range(n_steps):
+                y = rk4_step(lambda tt, yy: -yy, t, y, dt)
+                t += dt
+            return abs(y[0] - math.exp(-1.0))
+
+        error_coarse = solve(10)
+        error_fine = solve(20)
+        order = math.log2(error_coarse / error_fine)
+        assert order == pytest.approx(4.0, abs=0.3)
+
+    def test_oscillator_energy_drift_small(self):
+        # y'' = -y as a 2-vector system, 100 periods.
+        def rhs(t, y):
+            return np.array([y[1], -y[0]])
+
+        y = np.array([1.0, 0.0])
+        dt = 0.05
+        t = 0.0
+        for _ in range(int(2 * math.pi / dt) * 10):
+            y = rk4_step(rhs, t, y, dt)
+            t += dt
+        energy = y[0] ** 2 + y[1] ** 2
+        assert energy == pytest.approx(1.0, rel=1e-4)
+
+
+class TestRkf45:
+    def test_solution_accuracy(self):
+        y = np.array([1.0])
+        y5, _ = rkf45_step(lambda t, yy: -yy, 0.0, y, 0.1)
+        assert y5[0] == pytest.approx(math.exp(-0.1), rel=1e-9)
+
+    def test_error_estimate_scales_with_dt(self):
+        y = np.array([1.0])
+        _, err_small = rkf45_step(lambda t, yy: -yy * yy, 0.0, y, 0.05)
+        _, err_large = rkf45_step(lambda t, yy: -yy * yy, 0.0, y, 0.2)
+        assert err_large > err_small
+
+    def test_error_tiny_for_linear_problem(self):
+        y = np.array([1.0])
+        _, err = rkf45_step(lambda t, yy: np.array([2.0]), 0.0, y, 0.1)
+        assert err < 1e-12
+
+
+class TestIntegrate:
+    def test_fixed_step_reaches_t_end_exactly(self):
+        times = []
+        integrate(
+            lambda t, y: -y,
+            0.0,
+            np.array([1.0]),
+            1.05,
+            dt=0.1,
+            callback=lambda t, y: times.append(t),
+        )
+        assert times[-1] == pytest.approx(1.05)
+
+    def test_adaptive_matches_exact_solution(self):
+        t, y = integrate(
+            lambda t, yy: -yy,
+            0.0,
+            np.array([1.0]),
+            2.0,
+            dt=0.5,
+            adaptive=True,
+            tol=1e-8,
+        )
+        assert y[0] == pytest.approx(math.exp(-2.0), rel=1e-6)
+
+    def test_adaptive_shrinks_step_on_stiffness(self):
+        steps = []
+        integrate(
+            lambda t, yy: -50.0 * yy,
+            0.0,
+            np.array([1.0]),
+            1.0,
+            dt=1.0,
+            adaptive=True,
+            tol=1e-6,
+            callback=lambda t, y: steps.append(t),
+        )
+        assert len(steps) > 5  # forced to subdivide
+
+    def test_invalid_inputs(self):
+        with pytest.raises(SimulationError):
+            integrate(lambda t, y: y, 0.0, np.array([1.0]), -1.0, dt=0.1)
+        with pytest.raises(SimulationError):
+            integrate(lambda t, y: y, 0.0, np.array([1.0]), 1.0, dt=0.0)
+
+    def test_max_steps_guard(self):
+        with pytest.raises(SimulationError, match="max_steps"):
+            integrate(
+                lambda t, y: y,
+                0.0,
+                np.array([1.0]),
+                1.0,
+                dt=1e-9,
+                max_steps=10,
+            )

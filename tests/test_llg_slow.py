@@ -1,0 +1,209 @@
+"""Slow micromagnetic validation tests (marked ``slow``).
+
+Run with ``pytest -m slow`` (the default suite includes them unless
+deselected with ``-m "not slow"``); each takes tens of seconds.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.phase import phase_at
+from repro.core.simulate import GateSimulator, build_micromagnetic_simulation
+from repro.experiments import llg_validation
+from repro.materials import FECOB_PMA
+from repro.mm import (
+    ExchangeField,
+    Mesh,
+    SineWaveform,
+    Simulation,
+    State,
+    ThinFilmDemagField,
+    UniaxialAnisotropyField,
+)
+from repro.mm.fields.applied import AppliedField
+from repro.physics.dispersion import ExchangeDispersion
+from repro.physics.solve import wavelength_for_frequency
+
+pytestmark = pytest.mark.slow
+
+
+class TestSpinWavePropagation:
+    def test_measured_wavelength_matches_dispersion(self):
+        """A 10 GHz wave in the 1-D film must show the exchange-branch
+        wavelength -- the quantitative link between the LLG solver and
+        the analytic layout engine."""
+        frequency = 10e9
+        dispersion = ExchangeDispersion(FECOB_PMA, 1e-9)
+        expected_lambda = wavelength_for_frequency(dispersion, frequency)
+
+        cell = 4e-9
+        nx = 260
+        mesh = Mesh(nx, 1, 1, cell, cell, cell)
+        state = State.uniform(mesh, FECOB_PMA)
+        # Absorber at the far end keeps reflections out of the fit region.
+        x = mesh.cell_centers(0)
+        total = nx * cell
+        ramp = np.clip((x - (total - 200e-9)) / 200e-9, 0.0, 1.0)
+        alpha = FECOB_PMA.alpha + 0.5 * ramp**2
+        sim = Simulation(
+            state,
+            terms=[
+                ExchangeField(),
+                UniaxialAnisotropyField(),
+                ThinFilmDemagField(),
+            ],
+            alpha_profile=alpha.reshape(nx, 1, 1) * np.ones(mesh.shape),
+        )
+        mask = mesh.region_mask(x=(20e-9, 30e-9))
+        sim.add_term(
+            AppliedField(mask, (1, 0, 0), SineWaveform(5e3, frequency, ramp=0.2e-9))
+        )
+        sim.run(1.2e-9, dt=0.1e-12)
+
+        # Fit the spatial oscillation of mx in the steady interior.
+        mx = sim.state.m[:, 0, 0, 0]
+        window = slice(20, 140)
+        profile = mx[window]
+        spectrum = np.abs(np.fft.rfft(profile * np.hanning(len(profile))))
+        k_axis = 2 * np.pi * np.fft.rfftfreq(len(profile), cell)
+        k_measured = k_axis[spectrum.argmax()]
+        lambda_measured = 2 * np.pi / k_measured
+        assert lambda_measured == pytest.approx(expected_lambda, rel=0.12)
+
+    def test_wave_attenuates_along_guide(self):
+        frequency = 15e9
+        cell = 4e-9
+        nx = 200
+        mesh = Mesh(nx, 1, 1, cell, cell, cell)
+        state = State.uniform(mesh, FECOB_PMA.with_(alpha=0.02))
+        sim = Simulation(
+            state,
+            terms=[
+                ExchangeField(),
+                UniaxialAnisotropyField(),
+                ThinFilmDemagField(),
+            ],
+        )
+        mask = mesh.region_mask(x=(12e-9, 24e-9))
+        sim.add_term(
+            AppliedField(mask, (1, 0, 0), SineWaveform(5e3, frequency, ramp=0.2e-9))
+        )
+        near = sim.add_region_probe(x=(100e-9, 110e-9))
+        far = sim.add_region_probe(x=(400e-9, 410e-9))
+        sim.run(1.0e-9, dt=0.1e-12)
+        t = near.times()
+        late = t > 0.7e-9
+        near_amp = np.max(np.abs(near.component(0)[late]))
+        far_amp = np.max(np.abs(far.component(0)[late]))
+        assert far_amp < near_amp
+
+
+class TestLlgGateValidation:
+    def test_destructive_pair_cancels(self):
+        """Two antiphase sources one wavelength apart leave the detector
+        nearly silent -- the physical XOR mechanism."""
+        gate = llg_validation.build_reduced_gate()
+        simulator = GateSimulator(gate)
+
+        silent = llg_validation.run_llg_case(gate, (0, 1, 0))
+        loud = llg_validation.run_llg_case(gate, (0, 0, 0))
+        # (0,1,0): one wave against two -> 1/3 of the unanimous amplitude.
+        assert silent["amplitudes"][0] < 0.55 * loud["amplitudes"][0]
+
+    def test_majority_phase_flip(self):
+        gate = llg_validation.build_reduced_gate()
+        zero = llg_validation.run_llg_case(gate, (0, 0, 0))
+        one = llg_validation.run_llg_case(gate, (1, 1, 1))
+        assert zero["decoded"] == [0]
+        assert one["decoded"] == [1]
+        # The two unanimous states sit a full pi apart.
+        delta = abs(one["phases"][0] - zero["phases"][0])
+        delta = min(delta, 2 * math.pi - delta)
+        assert delta == pytest.approx(math.pi, abs=0.6)
+
+    def test_full_cross_validation_all_combos(self):
+        results = llg_validation.run()
+        assert results["all_agree"], llg_validation.report(results)
+        assert results["all_correct"]
+
+
+class TestPulseSpectroscopy:
+    def test_measured_dispersion_matches_analytic(self):
+        """Broadband-pulse spectroscopy: the LLG solver's omega(k) ridge
+        must follow the analytic exchange branch across the band the
+        gate channels occupy."""
+        import numpy as np
+
+        from repro.mm.spectroscopy import extract_branch, measure_dispersion
+        from repro.physics.dispersion import ExchangeDispersion
+
+        spectrum = measure_dispersion(
+            FECOB_PMA, length=1.2e-6, duration=1.2e-9, dt=0.1e-12
+        )
+        ks, fs = extract_branch(
+            spectrum, k_min=2e7, k_max=2.5e8, threshold_ratio=0.03
+        )
+        analytic = ExchangeDispersion(FECOB_PMA, 1e-9)
+        predicted = np.array([analytic.frequency(k) for k in ks])
+        errors = np.abs(fs - predicted) / predicted
+        assert float(np.median(errors)) < 0.15
+        assert len(ks) >= 5  # a real branch, not a lone peak
+
+
+class TestWidthResolvedSimulation:
+    def test_2d_gate_decodes_like_1d(self):
+        """Resolving the 50 nm width with 5 transverse cells must not
+        change the decoded majority (the fundamental width mode is
+        uniform under free-spin boundaries)."""
+        gate = llg_validation.build_reduced_gate()
+        bits = (1, 1, 0)
+        words = [[b] * gate.n_bits for b in bits]
+        reference = GateSimulator(gate)
+        t_start = reference.settle_time()
+        duration = t_start + 10.0 / min(gate.layout.plan.frequencies)
+
+        decoded = {}
+        for resolve in (False, True):
+            sim, probes = build_micromagnetic_simulation(
+                gate,
+                words,
+                cell_size=4e-9,
+                field_amplitude=8e3,
+                resolve_width=resolve,
+                cell_size_y=10e-9,
+            )
+            sim.run(duration, dt=0.1e-12)
+            from repro.core.readout import decode_channel
+
+            reference_phase, _ = reference.calibration()[0]
+            probe = probes[0]
+            decode = decode_channel(
+                probe.times(),
+                probe.component(0),
+                gate.layout.plan.frequencies[0],
+                reference_phase=reference_phase,
+                t_start=t_start,
+            )
+            decoded[resolve] = decode.bit
+        assert decoded[False] == decoded[True] == 1  # MAJ(1,1,0)
+
+
+class TestLinearity:
+    def test_response_linear_in_drive(self):
+        """Doubling the excitation field doubles Mx/Ms (small-signal
+        regime) -- the premise of the linear waveguide model."""
+        gate = llg_validation.build_reduced_gate()
+        words = [[0], [0], [0]]
+
+        def peak_response(field_amplitude):
+            sim, probes = build_micromagnetic_simulation(
+                gate, words, field_amplitude=field_amplitude
+            )
+            sim.run(0.8e-9, dt=0.1e-12)
+            return np.max(np.abs(probes[0].component(0)))
+
+        low = peak_response(2e3)
+        high = peak_response(4e3)
+        assert high == pytest.approx(2 * low, rel=0.05)

@@ -1,0 +1,110 @@
+"""Tests for repro.materials."""
+
+import math
+
+import pytest
+
+from repro.constants import MU0
+from repro.errors import MaterialError
+from repro.materials import FECOB_PMA, PERMALLOY, YIG, Material, get_material
+
+
+class TestMaterialValidation:
+    def test_negative_ms_rejected(self):
+        with pytest.raises(MaterialError):
+            Material("bad", ms=-1.0, aex=1e-12)
+
+    def test_zero_aex_rejected(self):
+        with pytest.raises(MaterialError):
+            Material("bad", ms=1e6, aex=0.0)
+
+    def test_negative_ku_rejected(self):
+        with pytest.raises(MaterialError):
+            Material("bad", ms=1e6, aex=1e-12, ku=-5.0)
+
+    def test_alpha_out_of_range_rejected(self):
+        with pytest.raises(MaterialError):
+            Material("bad", ms=1e6, aex=1e-12, alpha=0.0)
+        with pytest.raises(MaterialError):
+            Material("bad", ms=1e6, aex=1e-12, alpha=1.5)
+
+    def test_zero_axis_rejected(self):
+        with pytest.raises(MaterialError):
+            Material("bad", ms=1e6, aex=1e-12, anisotropy_axis=(0, 0, 0))
+
+    def test_axis_is_normalised(self):
+        material = Material("m", ms=1e6, aex=1e-12, anisotropy_axis=(0, 0, 2))
+        assert material.anisotropy_axis == (0.0, 0.0, 1.0)
+
+
+class TestDerivedQuantities:
+    def test_paper_anisotropy_field(self):
+        # H_ani = 2*Ku/(mu0*Ms) with the paper's numbers ~1.2035e6 A/m.
+        expected = 2 * 8.3177e5 / (MU0 * 1.1e6)
+        assert FECOB_PMA.anisotropy_field == pytest.approx(expected)
+        assert FECOB_PMA.anisotropy_field == pytest.approx(1.2035e6, rel=1e-3)
+
+    def test_paper_film_is_pma(self):
+        # Section IV.B: H_anisotropy > Ms, no external field required.
+        assert FECOB_PMA.is_pma
+
+    def test_soft_materials_not_pma(self):
+        assert not YIG.is_pma
+        assert not PERMALLOY.is_pma
+
+    def test_lambda_ex_definition(self):
+        expected = 2 * FECOB_PMA.aex / (MU0 * FECOB_PMA.ms**2)
+        assert FECOB_PMA.lambda_ex == pytest.approx(expected)
+
+    def test_exchange_length_is_sqrt_lambda(self):
+        assert FECOB_PMA.exchange_length == pytest.approx(
+            math.sqrt(FECOB_PMA.lambda_ex)
+        )
+
+    def test_internal_field_perpendicular(self):
+        h_int = FECOB_PMA.internal_field_perpendicular()
+        assert h_int == pytest.approx(
+            FECOB_PMA.anisotropy_field - FECOB_PMA.ms
+        )
+        assert h_int > 0
+
+    def test_internal_field_with_bias(self):
+        h0 = FECOB_PMA.internal_field_perpendicular()
+        assert FECOB_PMA.internal_field_perpendicular(1e5) == pytest.approx(
+            h0 + 1e5
+        )
+
+    def test_omega_m(self):
+        assert FECOB_PMA.omega_m == pytest.approx(
+            FECOB_PMA.gamma * MU0 * FECOB_PMA.ms
+        )
+
+    def test_with_override(self):
+        doubled = FECOB_PMA.with_(alpha=0.008)
+        assert doubled.alpha == 0.008
+        assert doubled.ms == FECOB_PMA.ms
+        assert FECOB_PMA.alpha == 0.004  # original untouched
+
+    def test_summary_contains_name(self):
+        assert "Fe60Co20B20" in FECOB_PMA.summary()
+
+
+class TestLibrary:
+    def test_lookup_by_alias(self):
+        assert get_material("FeCoB") is FECOB_PMA
+        assert get_material("fe60co20b20") is FECOB_PMA
+        assert get_material("py") is PERMALLOY
+
+    def test_lookup_normalises_separators(self):
+        assert get_material("cofeb-ip").name == "CoFeB (in-plane)"
+
+    def test_unknown_material_raises_with_choices(self):
+        with pytest.raises(MaterialError, match="available"):
+            get_material("unobtainium")
+
+    def test_paper_parameters_exact(self):
+        # The exact Section IV.B values.
+        assert FECOB_PMA.ms == 1.1e6
+        assert FECOB_PMA.aex == 18.5e-12
+        assert FECOB_PMA.ku == 8.3177e5
+        assert FECOB_PMA.alpha == 0.004

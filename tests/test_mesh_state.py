@@ -1,0 +1,150 @@
+"""Tests for repro.mm.mesh and repro.mm.state."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeshError, SimulationError
+from repro.materials import FECOB_PMA
+from repro.mm import Mesh, State
+
+
+class TestMesh:
+    def test_basic_properties(self):
+        mesh = Mesh(10, 5, 2, 1e-9, 2e-9, 3e-9)
+        assert mesh.shape == (10, 5, 2)
+        assert mesh.n_cells == 100
+        assert mesh.cell_volume == pytest.approx(6e-27)
+        assert mesh.volume == pytest.approx(6e-25)
+        assert mesh.extent == pytest.approx((10e-9, 10e-9, 6e-9))
+
+    def test_invalid_counts(self):
+        with pytest.raises(MeshError):
+            Mesh(0, 1, 1, 1e-9, 1e-9, 1e-9)
+        with pytest.raises(MeshError):
+            Mesh(1.5, 1, 1, 1e-9, 1e-9, 1e-9)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(MeshError):
+            Mesh(1, 1, 1, 0.0, 1e-9, 1e-9)
+
+    def test_cell_centers(self):
+        mesh = Mesh(4, 1, 1, 2e-9, 1e-9, 1e-9)
+        np.testing.assert_allclose(
+            mesh.cell_centers(0), [1e-9, 3e-9, 5e-9, 7e-9]
+        )
+
+    def test_cell_centers_with_origin(self):
+        mesh = Mesh(2, 1, 1, 1e-9, 1e-9, 1e-9, origin=(10e-9, 0, 0))
+        np.testing.assert_allclose(mesh.cell_centers(0), [10.5e-9, 11.5e-9])
+
+    def test_index_of(self):
+        mesh = Mesh(10, 10, 1, 1e-9, 1e-9, 1e-9)
+        assert mesh.index_of((0.5e-9, 9.5e-9, 0.5e-9)) == (0, 9, 0)
+
+    def test_index_of_outside_raises(self):
+        mesh = Mesh(10, 1, 1, 1e-9, 1e-9, 1e-9)
+        with pytest.raises(MeshError):
+            mesh.index_of((11e-9, 0.5e-9, 0.5e-9))
+
+    def test_region_mask_counts(self):
+        mesh = Mesh(10, 1, 1, 1e-9, 1e-9, 1e-9)
+        assert mesh.region_mask(x=(0, 3e-9)).sum() == 3
+        assert mesh.region_mask().sum() == 10
+
+    def test_region_mask_2d(self):
+        mesh = Mesh(4, 4, 1, 1e-9, 1e-9, 1e-9)
+        mask = mesh.region_mask(x=(0, 2e-9), y=(0, 2e-9))
+        assert mask.sum() == 4
+
+    def test_region_mask_empty_interval_raises(self):
+        mesh = Mesh(4, 1, 1, 1e-9, 1e-9, 1e-9)
+        with pytest.raises(MeshError):
+            mesh.region_mask(x=(2e-9, 1e-9))
+
+    def test_coordinate_arrays_shapes(self):
+        mesh = Mesh(3, 4, 5, 1e-9, 1e-9, 1e-9)
+        x, y, z = mesh.coordinate_arrays()
+        assert x.shape == y.shape == z.shape == (3, 4, 5)
+        assert x[0, 0, 0] == pytest.approx(0.5e-9)
+        assert z[0, 0, 4] == pytest.approx(4.5e-9)
+
+    def test_zeros_vector_field(self):
+        mesh = Mesh(2, 2, 2, 1e-9, 1e-9, 1e-9)
+        field = mesh.zeros_vector_field()
+        assert field.shape == (2, 2, 2, 3)
+        assert not field.any()
+
+    def test_describe(self):
+        assert "10x5x2" in Mesh(10, 5, 2, 1e-9, 1e-9, 1e-9).describe()
+
+
+class TestState:
+    def setup_method(self):
+        self.mesh = Mesh(4, 2, 1, 1e-9, 1e-9, 1e-9)
+
+    def test_default_points_up(self):
+        state = State(self.mesh, FECOB_PMA)
+        np.testing.assert_allclose(state.m[..., 2], 1.0)
+
+    def test_uniform_normalises(self):
+        state = State.uniform(self.mesh, FECOB_PMA, direction=(0, 0, 5))
+        np.testing.assert_allclose(state.m[..., 2], 1.0)
+
+    def test_uniform_zero_direction_raises(self):
+        with pytest.raises(SimulationError):
+            State.uniform(self.mesh, FECOB_PMA, direction=(0, 0, 0))
+
+    def test_wrong_shape_raises(self):
+        with pytest.raises(SimulationError):
+            State(self.mesh, FECOB_PMA, m=np.zeros((2, 2, 1, 3)))
+
+    def test_random_is_unit_norm(self):
+        state = State.random(self.mesh, FECOB_PMA, seed=1)
+        norms = np.linalg.norm(state.m, axis=-1)
+        np.testing.assert_allclose(norms, 1.0, atol=1e-12)
+
+    def test_random_seed_reproducible(self):
+        a = State.random(self.mesh, FECOB_PMA, seed=7)
+        b = State.random(self.mesh, FECOB_PMA, seed=7)
+        np.testing.assert_array_equal(a.m, b.m)
+
+    def test_normalize_restores_unit_length(self):
+        state = State.uniform(self.mesh, FECOB_PMA)
+        state.m *= 1.1
+        assert state.norm_error() == pytest.approx(0.1)
+        state.normalize()
+        assert state.norm_error() < 1e-14
+
+    def test_normalize_zero_vector_raises(self):
+        state = State.uniform(self.mesh, FECOB_PMA)
+        state.m[0, 0, 0] = 0.0
+        with pytest.raises(SimulationError):
+            state.normalize()
+
+    def test_average_full(self):
+        state = State.uniform(self.mesh, FECOB_PMA, direction=(1, 0, 0))
+        np.testing.assert_allclose(state.average(), [1.0, 0.0, 0.0])
+
+    def test_average_masked(self):
+        state = State.uniform(self.mesh, FECOB_PMA)
+        state.m[0, :, :] = [1.0, 0.0, 0.0]
+        mask = np.zeros(self.mesh.shape, dtype=bool)
+        mask[0] = True
+        np.testing.assert_allclose(state.average(mask), [1.0, 0.0, 0.0])
+
+    def test_average_empty_mask_raises(self):
+        state = State.uniform(self.mesh, FECOB_PMA)
+        with pytest.raises(SimulationError):
+            state.average(np.zeros(self.mesh.shape, dtype=bool))
+
+    def test_copy_is_independent(self):
+        state = State.uniform(self.mesh, FECOB_PMA)
+        clone = state.copy()
+        clone.m[...] = 0.5
+        assert state.m[0, 0, 0, 2] == 1.0
+
+    def test_magnetisation_scales_by_ms(self):
+        state = State.uniform(self.mesh, FECOB_PMA)
+        np.testing.assert_allclose(
+            state.magnetisation()[..., 2], FECOB_PMA.ms
+        )

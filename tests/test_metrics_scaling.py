@@ -1,0 +1,187 @@
+"""Tests for repro.core.metrics and repro.core.scaling."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import LayoutError
+from repro.core.frequency_plan import FrequencyPlan
+from repro.core.gate import DataParallelGate
+from repro.core.layout import InlineGateLayout
+from repro.core.metrics import (
+    CostModel,
+    comparison,
+    gate_cost,
+    scalar_baseline_cost,
+)
+from repro.core.scaling import (
+    compensation_amplitudes,
+    decode_margin,
+    excitation_energies,
+    margin_vs_inputs,
+)
+from repro.core.simulate import GateSimulator
+from repro.units import GHZ
+from repro.waveguide import Waveguide
+
+
+class TestCostModel:
+    def test_defaults_positive(self):
+        model = CostModel()
+        assert model.transducer_delay > 0
+        assert model.transducer_energy > 0
+
+    def test_validation(self):
+        with pytest.raises(LayoutError):
+            CostModel(transducer_delay=0.0)
+        with pytest.raises(LayoutError):
+            CostModel(transducer_energy=-1.0)
+
+
+class TestGateCost:
+    def test_transducer_count(self, paper_layout):
+        cost = gate_cost(paper_layout)
+        assert cost.n_transducers == 32  # 24 sources + 8 detectors
+
+    def test_area_matches_layout(self, paper_layout):
+        cost = gate_cost(paper_layout)
+        assert cost.area == pytest.approx(paper_layout.area)
+
+    def test_energy_counts_events(self, paper_layout):
+        model = CostModel(transducer_energy=5e-18)
+        cost = gate_cost(paper_layout, model)
+        assert cost.energy == pytest.approx(32 * 5e-18)
+
+    def test_delay_includes_propagation(self, paper_layout):
+        model = CostModel()
+        cost = gate_cost(paper_layout, model)
+        assert cost.delay > 2 * model.transducer_delay
+
+    def test_as_row_formatting(self, paper_layout):
+        row = gate_cost(paper_layout).as_row("x")
+        assert row[0] == "x"
+        assert len(row) == 5
+
+
+class TestScalarBaseline:
+    def test_same_transducer_total(self, paper_layout):
+        scalar = scalar_baseline_cost(paper_layout)
+        parallel = gate_cost(paper_layout)
+        assert scalar.n_transducers == parallel.n_transducers
+
+    def test_energy_parity(self, paper_layout):
+        # The paper's headline: same energy (same transducer count).
+        result = comparison(paper_layout)
+        assert result.energy_ratio == pytest.approx(1.0)
+
+    def test_area_ratio_in_paper_ballpark(self, paper_layout):
+        # Paper: 4.16x.  Same-shape check: between 2.5x and 5x.
+        result = comparison(paper_layout)
+        assert 2.5 < result.area_ratio < 5.0
+
+    def test_delay_near_parity(self, paper_layout):
+        result = comparison(paper_layout)
+        assert 0.5 < result.delay_ratio <= 1.1
+
+    def test_scalar_frequency_choice(self, paper_layout):
+        low = scalar_baseline_cost(paper_layout, scalar_frequency=10 * GHZ)
+        high = scalar_baseline_cost(paper_layout, scalar_frequency=80 * GHZ)
+        # Higher frequency -> shorter wavelength -> smaller scalar gates.
+        assert high.area < low.area
+
+    def test_waveguide_length_sums_gates(self, paper_layout):
+        scalar = scalar_baseline_cost(paper_layout)
+        assert scalar.waveguide_length > 8 * 200e-9  # 8 gates, each > 200 nm
+
+
+class TestCompensation:
+    @pytest.fixture(scope="class")
+    def long_layout(self):
+        plan = FrequencyPlan([10 * GHZ])
+        return InlineGateLayout(
+            Waveguide(), plan, n_inputs=9, multipliers=[2]
+        )
+
+    def test_amplitudes_shape(self, long_layout):
+        amplitudes = compensation_amplitudes(long_layout)
+        assert amplitudes.shape == (1, 9)
+
+    def test_monotonic_decreasing_drive(self, long_layout):
+        # Paper: E(I_n) < E(I_{n-1}) < ... < E(I_1): the farthest
+        # (first) source is driven hardest.
+        amplitudes = compensation_amplitudes(long_layout)[0]
+        assert all(a > b for a, b in zip(amplitudes, amplitudes[1:]))
+
+    def test_max_normalisation(self, long_layout):
+        amplitudes = compensation_amplitudes(long_layout, normalize="max")[0]
+        assert amplitudes.max() == pytest.approx(1.0)
+
+    def test_last_normalisation(self, long_layout):
+        amplitudes = compensation_amplitudes(long_layout, normalize="last")[0]
+        assert amplitudes[-1] == pytest.approx(1.0)
+        assert amplitudes[0] > 1.0
+
+    def test_unknown_normalisation(self, long_layout):
+        with pytest.raises(LayoutError):
+            compensation_amplitudes(long_layout, normalize="median")
+
+    def test_energies_are_squared_amplitudes(self):
+        amplitudes = np.array([[1.0, 0.5]])
+        np.testing.assert_allclose(
+            excitation_energies(amplitudes), [[1.0, 0.25]]
+        )
+
+
+class TestDecodeMargin:
+    def test_compensation_equalises_margin(self):
+        plan = FrequencyPlan([10 * GHZ])
+        layout = InlineGateLayout(Waveguide(), plan, n_inputs=9, multipliers=[2])
+        uniform, _ = decode_margin(layout)
+        amplitudes = compensation_amplitudes(layout)[0]
+        compensated, _ = decode_margin(layout, amplitudes=amplitudes)
+        assert compensated > uniform
+        # Perfect compensation: margin = 1/m.
+        assert compensated == pytest.approx(1.0 / 9.0, rel=1e-6)
+
+    def test_even_fanin_rejected(self):
+        plan = FrequencyPlan([10 * GHZ])
+        layout = InlineGateLayout(Waveguide(), plan, n_inputs=4)
+        with pytest.raises(LayoutError):
+            decode_margin(layout)
+
+    def test_margin_vs_inputs_decreasing(self):
+        results = margin_vs_inputs(
+            Waveguide(), 10 * GHZ, (3, 5, 7), multiplier=2
+        )
+        margins = [m for _, m in results]
+        assert margins[0] > margins[1] > margins[2]
+
+    def test_margin_vs_inputs_compensated_positive(self):
+        results = margin_vs_inputs(
+            Waveguide(), 10 * GHZ, (3, 7, 11), compensated=True, multiplier=2
+        )
+        assert all(m > 0 for _, m in results)
+
+    def test_even_input_counts_rejected(self):
+        with pytest.raises(LayoutError):
+            margin_vs_inputs(Waveguide(), 10 * GHZ, (4,))
+
+    def test_negative_margin_predicts_simulator_failure(self):
+        # Find a fan-in whose uncompensated margin is negative and check
+        # the end-to-end simulator actually fails on the worst pattern.
+        plan = FrequencyPlan([10 * GHZ])
+        layout = InlineGateLayout(
+            Waveguide(), plan, n_inputs=13, multipliers=[2]
+        )
+        margin, worst = decode_margin(layout)
+        assert margin < 0
+        gate = DataParallelGate(layout)
+        words = [[b] for b in worst]
+        result = GateSimulator(gate).run_phasor(words)
+        assert not result.correct
+        # And compensation repairs it.
+        graded = GateSimulator(
+            gate, amplitudes=compensation_amplitudes(layout)
+        ).run_phasor(words)
+        assert graded.correct

@@ -1,0 +1,197 @@
+"""Tests for the Newell tensor and the demagnetising field terms."""
+
+import numpy as np
+import pytest
+
+from repro.materials import FECOB_PMA, PERMALLOY
+from repro.mm import DemagField, Mesh, State, ThinFilmDemagField
+from repro.mm.fields.newell import (
+    demag_tensor,
+    newell_f,
+    newell_g,
+    nxx,
+    nxy,
+    nxz,
+    nyy,
+    nyz,
+    nzz,
+    self_demag_factors,
+)
+
+
+class TestNewellFunctions:
+    def test_f_even_in_all_arguments(self):
+        value = newell_f(1.0, 2.0, 3.0)
+        assert newell_f(-1.0, 2.0, 3.0) == pytest.approx(value)
+        assert newell_f(1.0, -2.0, 3.0) == pytest.approx(value)
+        assert newell_f(1.0, 2.0, -3.0) == pytest.approx(value)
+
+    def test_g_odd_in_x_and_y_even_in_z(self):
+        value = newell_g(1.0, 2.0, 3.0)
+        assert newell_g(-1.0, 2.0, 3.0) == pytest.approx(-value)
+        assert newell_g(1.0, -2.0, 3.0) == pytest.approx(-value)
+        assert newell_g(1.0, 2.0, -3.0) == pytest.approx(value)
+
+    def test_f_at_origin_is_zero(self):
+        assert newell_f(0.0, 0.0, 0.0) == pytest.approx(0.0)
+
+    def test_vectorised(self):
+        x = np.array([1.0, 2.0])
+        out = newell_f(x, 1.0, 1.0)
+        assert out.shape == (2,)
+
+
+class TestSelfDemag:
+    def test_cube_is_one_third(self):
+        factors = self_demag_factors(2e-9, 2e-9, 2e-9)
+        for factor in factors:
+            assert factor == pytest.approx(1.0 / 3.0, rel=1e-10)
+
+    def test_trace_is_one(self):
+        factors = self_demag_factors(5e-9, 3e-9, 1e-9)
+        assert sum(factors) == pytest.approx(1.0, rel=1e-10)
+
+    def test_thin_film_cell_dominated_by_nzz(self):
+        nx_f, ny_f, nz_f = self_demag_factors(50e-9, 50e-9, 1e-9)
+        assert nz_f > 0.9
+        assert nx_f == pytest.approx(ny_f)
+
+    def test_elongated_cell_small_along_length(self):
+        nx_f, ny_f, nz_f = self_demag_factors(100e-9, 5e-9, 5e-9)
+        assert nx_f < ny_f
+        assert ny_f == pytest.approx(nz_f)
+
+
+class TestTensorSymmetries:
+    def test_diagonal_even_in_displacement(self):
+        cell = (2e-9, 2e-9, 1e-9)
+        assert nxx(4e-9, 2e-9, 0.0, *cell) == pytest.approx(
+            nxx(-4e-9, 2e-9, 0.0, *cell)
+        )
+
+    def test_permutation_identities(self):
+        cell = (2e-9, 3e-9, 4e-9)
+        x, y, z = 5e-9, 7e-9, 9e-9
+        assert nyy(x, y, z, *cell) == pytest.approx(
+            nxx(y, x, z, cell[1], cell[0], cell[2])
+        )
+        assert nzz(x, y, z, *cell) == pytest.approx(
+            nxx(z, y, x, cell[2], cell[1], cell[0])
+        )
+        assert nxz(x, y, z, *cell) == pytest.approx(
+            nxy(x, z, y, cell[0], cell[2], cell[1])
+        )
+        assert nyz(x, y, z, *cell) == pytest.approx(
+            nxy(y, z, x, cell[1], cell[2], cell[0])
+        )
+
+    def test_far_field_dipole_limit(self):
+        # Two cells far apart along x: Nxx -> -2*V/(4*pi*r^3) (dipole).
+        d = 2e-9
+        r = 200e-9
+        v = d**3
+        expected = -2.0 * v / (4 * np.pi * r**3)
+        assert nxx(r, 0.0, 0.0, d, d, d) == pytest.approx(expected, rel=1e-3)
+
+    def test_off_diagonal_vanishes_on_axis(self):
+        d = 2e-9
+        assert nxy(10e-9, 0.0, 0.0, d, d, d) == pytest.approx(0.0, abs=1e-12)
+
+    def test_tensor_trace_away_from_origin_zero(self):
+        # Outside the source cell the demag tensor is traceless.
+        d = 2e-9
+        x, y, z = 8e-9, 6e-9, 4e-9
+        trace = (
+            nxx(x, y, z, d, d, d)
+            + nyy(x, y, z, d, d, d)
+            + nzz(x, y, z, d, d, d)
+        )
+        assert trace == pytest.approx(0.0, abs=1e-12)
+
+
+class TestDemagTensorAssembly:
+    def test_components_and_shape(self):
+        mesh = Mesh(4, 3, 1, 2e-9, 2e-9, 1e-9)
+        tensor = demag_tensor(mesh)
+        assert set(tensor) == {"xx", "yy", "zz", "xy", "xz", "yz"}
+        assert tensor["xx"].shape == (8, 6, 1)
+
+    def test_origin_entry_is_self_term(self):
+        mesh = Mesh(4, 3, 2, 2e-9, 2e-9, 1e-9)
+        tensor = demag_tensor(mesh)
+        nx_f, ny_f, nz_f = self_demag_factors(2e-9, 2e-9, 1e-9)
+        assert tensor["xx"][0, 0, 0] == pytest.approx(nx_f)
+        assert tensor["zz"][0, 0, 0] == pytest.approx(nz_f)
+
+
+class TestDemagField:
+    def test_large_thin_film_approaches_minus_ms(self):
+        # A wide ultrathin film magnetised out of plane: H_z -> -Ms in
+        # the interior (demag factor ~1).
+        mesh = Mesh(32, 32, 1, 5e-9, 5e-9, 1e-9)
+        state = State.uniform(mesh, FECOB_PMA)
+        h = DemagField(mesh).field(state)
+        centre = h[16, 16, 0]
+        assert centre[2] == pytest.approx(-FECOB_PMA.ms, rel=0.05)
+        assert abs(centre[0]) < 0.01 * FECOB_PMA.ms
+
+    def test_in_plane_film_nearly_zero_field(self):
+        mesh = Mesh(32, 32, 1, 5e-9, 5e-9, 1e-9)
+        state = State.uniform(mesh, PERMALLOY, direction=(1, 0, 0))
+        h = DemagField(mesh).field(state)
+        assert abs(h[16, 16, 0, 0]) < 0.05 * PERMALLOY.ms
+
+    def test_cube_macrospin_field(self):
+        # Single cubic cell: H = -Ms/3 along m.
+        mesh = Mesh(1, 1, 1, 2e-9, 2e-9, 2e-9)
+        state = State.uniform(mesh, PERMALLOY, direction=(0, 1, 0))
+        h = DemagField(mesh).field(state)
+        assert h[0, 0, 0, 1] == pytest.approx(-PERMALLOY.ms / 3.0, rel=1e-9)
+
+    def test_energy_positive_for_uniform_state(self):
+        mesh = Mesh(8, 8, 1, 5e-9, 5e-9, 1e-9)
+        state = State.uniform(mesh, FECOB_PMA)
+        assert DemagField(mesh).energy(state) > 0
+
+    def test_mesh_mismatch_rejected(self):
+        mesh_a = Mesh(4, 4, 1, 2e-9, 2e-9, 1e-9)
+        mesh_b = Mesh(8, 4, 1, 2e-9, 2e-9, 1e-9)
+        term = DemagField(mesh_a)
+        state = State.uniform(mesh_b, FECOB_PMA)
+        with pytest.raises(ValueError):
+            term.field(state)
+
+    def test_matches_thin_film_approximation(self):
+        # For a laterally large ultrathin film the full solver and the
+        # local N_z=1 approximation agree in the interior.
+        mesh = Mesh(48, 48, 1, 5e-9, 5e-9, 1e-9)
+        state = State.uniform(mesh, FECOB_PMA)
+        full = DemagField(mesh).field(state)
+        local = ThinFilmDemagField().field(state)
+        np.testing.assert_allclose(
+            full[24, 24, 0],
+            local[24, 24, 0],
+            rtol=0.05,
+            atol=0.01 * FECOB_PMA.ms,
+        )
+
+
+class TestThinFilmDemag:
+    def test_default_z_only(self):
+        mesh = Mesh(2, 2, 1, 1e-9, 1e-9, 1e-9)
+        state = State.uniform(mesh, FECOB_PMA)
+        h = ThinFilmDemagField().field(state)
+        np.testing.assert_allclose(h[..., 2], -FECOB_PMA.ms)
+        np.testing.assert_allclose(h[..., 0], 0.0)
+
+    def test_custom_factors(self):
+        mesh = Mesh(2, 1, 1, 1e-9, 1e-9, 1e-9)
+        state = State.uniform(mesh, PERMALLOY, direction=(1, 0, 0))
+        h = ThinFilmDemagField(factors=(0.5, 0.25, 0.25)).field(state)
+        assert h[0, 0, 0, 0] == pytest.approx(-0.5 * PERMALLOY.ms)
+
+    def test_invalid_factors(self):
+        with pytest.raises(ValueError):
+            ThinFilmDemagField(factors=(1.0, 0.0))
+        with pytest.raises(ValueError):
+            ThinFilmDemagField(factors=(-0.1, 0.5, 0.6))

@@ -1,0 +1,164 @@
+"""Tests for repro.waveguide.nonlinear and the drive-limits experiment."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.experiments import drive_limits
+from repro.waveguide import WaveSource, Waveguide
+from repro.waveguide.linear_model import LinearWaveguideModel
+from repro.waveguide.nonlinear import (
+    NonlinearWaveguideModel,
+    safe_drive_amplitude,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return NonlinearWaveguideModel(Waveguide(), t_shift=-5.0, chi3=0.25)
+
+
+class TestNonlinearPhaseShift:
+    def test_zero_at_zero_amplitude(self, model):
+        assert model.nonlinear_phase_error(0.0, 10e9, 1e-6) == 0.0
+
+    def test_quadratic_in_amplitude(self, model):
+        small = model.nonlinear_phase_error(0.01, 10e9, 1e-6)
+        large = model.nonlinear_phase_error(0.02, 10e9, 1e-6)
+        assert large == pytest.approx(4 * small, rel=1e-9)
+
+    def test_linear_in_distance(self, model):
+        near = model.nonlinear_phase_error(0.01, 10e9, 1e-7)
+        far = model.nonlinear_phase_error(0.01, 10e9, 3e-7)
+        assert far == pytest.approx(3 * near, rel=1e-9)
+
+    def test_sign_follows_t_shift(self):
+        red = NonlinearWaveguideModel(Waveguide(), t_shift=-5.0)
+        blue = NonlinearWaveguideModel(Waveguide(), t_shift=+5.0)
+        assert red.nonlinear_phase_error(0.05, 10e9, 1e-6) < 0
+        assert blue.nonlinear_phase_error(0.05, 10e9, 1e-6) > 0
+
+    def test_negative_distance_rejected(self, model):
+        with pytest.raises(SimulationError):
+            model.nonlinear_phase_error(0.01, 10e9, -1e-9)
+
+    def test_reduces_to_linear_at_small_amplitude(self, model):
+        linear = LinearWaveguideModel(Waveguide())
+        source = WaveSource(position=0.0, frequency=10e9, amplitude=1e-4)
+        t = np.linspace(1e-9, 2e-9, 500)
+        nl = model.trace([source], 300e-9, t)
+        lin = linear.trace([source], 300e-9, t)
+        np.testing.assert_allclose(nl, lin, atol=1e-8)
+
+    def test_phasor_and_trace_agree(self, model):
+        from repro.analysis.phase import phase_at
+
+        source = WaveSource(position=0.0, frequency=10e9, amplitude=0.05)
+        position = 400e-9
+        z = model.steady_state_phasor([source], position, 10e9)
+        t = np.arange(0, 4e-9, 1.0 / (64 * 10e9))
+        trace = model.trace([source], position, t)
+        measured = phase_at(t, trace, 10e9, t_start=2e-9)
+        expected = math.atan2(z.imag, z.real)
+        wrapped = (measured - expected + math.pi) % (2 * math.pi) - math.pi
+        assert abs(wrapped) < 0.05
+
+
+class TestIntermodulation:
+    def test_im3_frequencies(self, model):
+        sources = [
+            WaveSource(position=0.0, frequency=20e9, amplitude=0.1),
+            WaveSource(position=0.0, frequency=30e9, amplitude=0.1),
+        ]
+        products = model.intermodulation_products(sources, 300e-9)
+        # 2*20-30 = 10 GHz and 2*30-20 = 40 GHz, both above band edge.
+        assert any(abs(f - 10e9) < 1e6 for f in products)
+        assert any(abs(f - 40e9) < 1e6 for f in products)
+
+    def test_sub_band_products_dropped(self, model):
+        # 2*10 - 20 = 0 GHz: below the band edge, must not appear.
+        sources = [
+            WaveSource(position=0.0, frequency=10e9, amplitude=0.1),
+            WaveSource(position=0.0, frequency=20e9, amplitude=0.1),
+        ]
+        products = model.intermodulation_products(sources, 300e-9)
+        assert all(f > model.dispersion.frequency(0.0) for f in products)
+
+    def test_im3_cubic_scaling(self, model):
+        def im3_at_10ghz(amplitude):
+            sources = [
+                WaveSource(position=0.0, frequency=20e9, amplitude=amplitude),
+                WaveSource(position=0.0, frequency=30e9, amplitude=amplitude),
+            ]
+            return abs(model.crosstalk_at(sources, 300e-9, 10e9))
+
+        assert im3_at_10ghz(0.2) == pytest.approx(
+            8 * im3_at_10ghz(0.1), rel=0.05
+        )
+
+    def test_sxr_improves_at_low_drive(self, model):
+        def sxr(amplitude):
+            sources = [
+                WaveSource(position=0.0, frequency=10e9, amplitude=amplitude),
+                WaveSource(position=0.0, frequency=20e9, amplitude=amplitude),
+                WaveSource(position=0.0, frequency=30e9, amplitude=amplitude),
+            ]
+            return model.signal_to_crosstalk_db(sources, 300e-9, 10e9)
+
+        # SXR = signal/IM3 ~ a/a^3 = 1/a^2: 40 dB per decade of drive.
+        assert sxr(0.01) - sxr(0.1) == pytest.approx(40.0, abs=1.5)
+
+    def test_sxr_infinite_without_collision(self, model):
+        sources = [
+            WaveSource(position=0.0, frequency=10e9, amplitude=0.1),
+            WaveSource(position=0.0, frequency=17e9, amplitude=0.1),
+        ]
+        # Products at 3 and 24 GHz; neither hits 10 GHz.
+        assert math.isinf(
+            model.signal_to_crosstalk_db(sources, 300e-9, 10e9)
+        )
+
+
+class TestSafeDrive:
+    def test_budget_inversion(self, model):
+        amplitude = safe_drive_amplitude(model, 10e9, 500e-9, phase_budget=0.3)
+        error = abs(model.nonlinear_phase_error(amplitude, 10e9, 500e-9))
+        assert error == pytest.approx(0.3, rel=1e-9)
+
+    def test_linear_model_unbounded(self):
+        model = NonlinearWaveguideModel(Waveguide(), t_shift=0.0)
+        assert math.isinf(safe_drive_amplitude(model, 10e9, 500e-9))
+
+    def test_invalid_budget(self, model):
+        with pytest.raises(SimulationError):
+            safe_drive_amplitude(model, 10e9, 500e-9, phase_budget=0.0)
+
+
+class TestDriveLimitsExperiment:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return drive_limits.run()
+
+    def test_paper_operating_point_safe(self, results):
+        by_amplitude = {r["amplitude"]: r for r in results["rows"]}
+        paper = by_amplitude[drive_limits.PAPER_AMPLITUDE]
+        assert paper["decodes_correctly"]
+        assert paper["worst_sxr_db"] > 60.0
+
+    def test_gate_eventually_fails(self, results):
+        assert not results["rows"][-1]["decodes_correctly"]
+
+    def test_sxr_degrades_monotonically(self, results):
+        sxr = [r["worst_sxr_db"] for r in results["rows"]]
+        assert all(a > b for a, b in zip(sxr, sxr[1:]))
+
+    def test_phase_error_grows(self, results):
+        errors = [r["worst_phase_error"] for r in results["rows"][1:]]
+        assert all(a < b for a, b in zip(errors, errors[1:]))
+
+    def test_report_renders(self, results):
+        text = drive_limits.report(results)
+        assert "(paper)" in text
+        assert "SXR" in text

@@ -1,0 +1,167 @@
+"""Tests for repro.oommf (MIF export, OVF read/write)."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import OommfFormatError
+from repro.materials import FECOB_PMA
+from repro.mm import Mesh, State
+from repro.oommf import OvfField, gate_to_mif, read_ovf, write_ovf
+from repro.oommf.mif import MifDocument
+
+
+@pytest.fixture(scope="module")
+def mif_text(byte_gate):
+    words = [[1, 0] * 4, [0, 1] * 4, [1, 1, 0, 0] * 2]
+    return gate_to_mif(byte_gate, words)
+
+
+class TestMifDocument:
+    def test_render_block_structure(self):
+        doc = MifDocument(title="test")
+        doc.add_block("Oxs_BoxAtlas", "atlas", "xrange {0 1e-6}")
+        text = doc.render()
+        assert "# MIF 2.1" in text
+        assert "Specify Oxs_BoxAtlas:atlas {" in text
+        assert "xrange {0 1e-6}" in text
+
+    def test_empty_spec_type_rejected(self):
+        with pytest.raises(OommfFormatError):
+            MifDocument().add_block("", "x", "")
+
+    def test_destinations_and_schedule(self):
+        doc = MifDocument()
+        doc.add_destination("archive", "mmArchive")
+        doc.add_schedule("Oxs_TimeDriver::Magnetization", "archive", "Stage 1")
+        text = doc.render()
+        assert "Destination archive mmArchive" in text
+        assert "Schedule Oxs_TimeDriver::Magnetization archive Stage 1" in text
+
+
+class TestGateToMif:
+    def test_contains_required_blocks(self, mif_text):
+        for block in (
+            "Oxs_BoxAtlas",
+            "Oxs_RectangularMesh",
+            "Oxs_UniformExchange",
+            "Oxs_UniaxialAnisotropy",
+            "Oxs_Demag",
+            "Oxs_ScriptUZeeman",
+            "Oxs_RungeKuttaEvolve",
+            "Oxs_TimeDriver",
+        ):
+            assert block in mif_text, f"missing {block}"
+
+    def test_material_parameters_embedded(self, mif_text):
+        assert f"{FECOB_PMA.aex:.6e}" in mif_text
+        assert f"{FECOB_PMA.ku:.6e}" in mif_text
+        assert f"{FECOB_PMA.ms:.6e}" in mif_text
+        assert f"alpha {FECOB_PMA.alpha:g}" in mif_text
+
+    def test_balanced_braces(self, mif_text):
+        assert mif_text.count("{") == mif_text.count("}")
+
+    def test_one_excitation_window_per_source(self, byte_gate, mif_text):
+        # 24 sources -> 24 "if { $x >= ... }" windows in the Tcl proc.
+        assert mif_text.count("if { $x >=") == byte_gate.layout.n_sources
+
+    def test_proc_defined_before_use(self, mif_text):
+        assert mif_text.index("proc Excitation") < mif_text.index(
+            "script Excitation"
+        )
+
+    def test_invalid_cell_size(self, byte_gate):
+        with pytest.raises(OommfFormatError):
+            gate_to_mif(byte_gate, [[0] * 8] * 3, cell_size=0.0)
+
+
+class TestOvfRoundtrip:
+    def _field(self, nx=4, ny=3, nz=2, seed=0):
+        rng = np.random.default_rng(seed)
+        return OvfField(
+            data=rng.normal(size=(nx, ny, nz, 3)),
+            xstepsize=2e-9,
+            ystepsize=3e-9,
+            zstepsize=1e-9,
+            title="test field",
+        )
+
+    @pytest.mark.parametrize("representation", ["text", "binary4", "binary8"])
+    def test_roundtrip(self, representation):
+        field = self._field()
+        buffer = io.BytesIO()
+        write_ovf(field, buffer, representation=representation)
+        buffer.seek(0)
+        loaded = read_ovf(buffer)
+        rtol = 1e-5 if representation == "binary4" else 1e-12
+        np.testing.assert_allclose(loaded.data, field.data, rtol=rtol)
+        assert loaded.shape == field.shape
+        assert loaded.xstepsize == pytest.approx(field.xstepsize)
+
+    def test_x_fastest_ordering(self):
+        # OVF orders x fastest: the second text row is cell (1, 0, 0).
+        field = self._field(nx=2, ny=2, nz=1)
+        buffer = io.BytesIO()
+        write_ovf(field, buffer, representation="text")
+        text = buffer.getvalue().decode("ascii")
+        data_lines = [
+            line
+            for line in text.splitlines()
+            if line and not line.startswith("#")
+        ]
+        second_row = np.array(data_lines[1].split(), dtype=float)
+        np.testing.assert_allclose(second_row, field.data[1, 0, 0])
+
+    def test_from_state_scales_by_ms(self):
+        mesh = Mesh(2, 2, 1, 1e-9, 1e-9, 1e-9)
+        state = State.uniform(mesh, FECOB_PMA)
+        field = OvfField.from_state(state)
+        assert field.data[0, 0, 0, 2] == pytest.approx(FECOB_PMA.ms)
+        unit = OvfField.from_state(state, scale_to_ms=False)
+        assert unit.data[0, 0, 0, 2] == pytest.approx(1.0)
+
+    def test_invalid_representation(self):
+        with pytest.raises(OommfFormatError):
+            write_ovf(self._field(), io.BytesIO(), representation="binary16")
+
+    def test_missing_data_section(self):
+        with pytest.raises(OommfFormatError):
+            read_ovf(io.BytesIO(b"# OOMMF OVF 2.0\n# no data here\n"))
+
+    def test_missing_header_key(self):
+        payload = (
+            b"# xnodes: 1\n# ynodes: 1\n# Begin: Data Text\n0 0 0\n"
+            b"# End: Data Text\n"
+        )
+        with pytest.raises(OommfFormatError, match="znodes"):
+            read_ovf(io.BytesIO(payload))
+
+    def test_wrong_value_count(self):
+        payload = (
+            b"# xnodes: 2\n# ynodes: 1\n# znodes: 1\n"
+            b"# xstepsize: 1e-9\n# ystepsize: 1e-9\n# zstepsize: 1e-9\n"
+            b"# Begin: Data Text\n0 0 0\n# End: Data Text\n"
+        )
+        with pytest.raises(OommfFormatError, match="values"):
+            read_ovf(io.BytesIO(payload))
+
+    def test_binary_check_value_enforced(self):
+        field = self._field(nx=1, ny=1, nz=1)
+        buffer = io.BytesIO()
+        write_ovf(field, buffer, representation="binary4")
+        raw = bytearray(buffer.getvalue())
+        marker = raw.find(b"# Begin: Data Binary 4\n") + len(
+            b"# Begin: Data Binary 4\n"
+        )
+        raw[marker : marker + 4] = b"\x00\x00\x00\x00"
+        with pytest.raises(OommfFormatError, match="check value"):
+            read_ovf(io.BytesIO(bytes(raw)))
+
+    def test_file_path_roundtrip(self, tmp_path):
+        field = self._field()
+        path = tmp_path / "state.ovf"
+        write_ovf(field, str(path))
+        loaded = read_ovf(str(path))
+        np.testing.assert_allclose(loaded.data, field.data)

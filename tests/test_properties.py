@@ -1,0 +1,237 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.phase import phase_at
+from repro.core.encoding import (
+    PhaseEncoding,
+    bits_to_int,
+    int_to_bits,
+)
+from repro.core.gate import majority, parity
+from repro.core.frequency_plan import FrequencyPlan
+from repro.core.layout import InlineGateLayout
+from repro.mm.integrators import rk4_step
+from repro.physics.dispersion import FvmswDispersion
+from repro.physics.solve import wavenumber_for_frequency
+from repro.materials import FECOB_PMA
+from repro.waveguide import Waveguide
+
+bits_lists = st.lists(st.integers(0, 1), min_size=1, max_size=16)
+odd_bits = st.lists(st.integers(0, 1), min_size=1, max_size=15).filter(
+    lambda b: len(b) % 2 == 1
+)
+
+
+class TestEncodingProperties:
+    @given(st.integers(0, 2**16 - 1), st.integers(1, 16))
+    def test_int_bits_roundtrip(self, value, width):
+        if value >= (1 << width):
+            value %= 1 << width
+        assert bits_to_int(int_to_bits(value, width)) == value
+
+    @given(bits_lists)
+    def test_bits_int_roundtrip(self, bits):
+        assert int_to_bits(bits_to_int(bits), len(bits)) == bits
+
+    @given(st.integers(0, 1), st.floats(-0.5, 0.5))
+    def test_decode_tolerates_phase_error(self, bit, error):
+        # Any phase error below the pi/2 threshold never flips a bit.
+        encoding = PhaseEncoding()
+        assert encoding.decode(encoding.encode(bit) + error) == bit
+
+    @given(st.floats(-20.0, 20.0))
+    def test_decode_is_2pi_periodic(self, phase):
+        encoding = PhaseEncoding()
+        assert encoding.decode(phase) == encoding.decode(phase + 2 * math.pi)
+
+    @given(st.floats(-10.0, 10.0))
+    def test_margin_bounded(self, phase):
+        margin = PhaseEncoding().margin(phase)
+        assert 0.0 <= margin <= math.pi / 2 + 1e-12
+
+
+class TestBooleanProperties:
+    @given(odd_bits)
+    def test_majority_complement_symmetry(self, bits):
+        # MAJ(~b) = ~MAJ(b).
+        complemented = [1 - b for b in bits]
+        assert majority(complemented) == 1 - majority(bits)
+
+    @given(odd_bits, st.randoms(use_true_random=False))
+    def test_majority_permutation_invariant(self, bits, rng):
+        shuffled = list(bits)
+        rng.shuffle(shuffled)
+        assert majority(shuffled) == majority(bits)
+
+    @given(bits_lists)
+    def test_parity_equals_xor_fold(self, bits):
+        expected = 0
+        for b in bits:
+            expected ^= b
+        assert parity(bits) == expected
+
+    @given(odd_bits)
+    def test_majority_matches_phasor_interference(self, bits):
+        # The physical mechanism: sum of unit phasors at 0/pi has the
+        # phase of the majority.
+        total = sum(1.0 if b == 0 else -1.0 for b in bits)
+        physical = 0 if total > 0 else 1
+        assert majority(bits) == physical
+
+
+class TestDispersionProperties:
+    dispersion = FvmswDispersion(FECOB_PMA, 1e-9)
+
+    @given(st.floats(5e9, 200e9))
+    @settings(max_examples=30, deadline=None)
+    def test_solver_inverts_dispersion(self, frequency):
+        k = wavenumber_for_frequency(self.dispersion, frequency)
+        assert self.dispersion.frequency(k) == pytest.approx(
+            frequency, rel=1e-6
+        )
+
+    @given(st.floats(1e6, 5e8), st.floats(1e6, 5e8))
+    @settings(max_examples=30, deadline=None)
+    def test_monotonicity(self, k1, k2):
+        lo, hi = sorted((k1, k2))
+        assert self.dispersion.frequency(lo) <= self.dispersion.frequency(hi)
+
+
+class TestLayoutProperties:
+    @given(
+        st.lists(
+            st.floats(8e9, 90e9), min_size=1, max_size=6, unique=True
+        ).filter(
+            lambda fs: all(
+                abs(a - b) > 0.05 * min(a, b)
+                for i, a in enumerate(fs)
+                for b in fs[i + 1 :]
+            )
+        ),
+        st.integers(1, 5),
+    )
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.filter_too_much],
+    )
+    def test_auto_layout_always_valid(self, frequencies, n_inputs):
+        layout = InlineGateLayout(
+            Waveguide(), FrequencyPlan(frequencies), n_inputs=n_inputs
+        )
+        layout.validate()  # raises on any violated invariant
+        # Detectors strictly after every source.
+        last_source = max(max(row) for row in layout.source_positions)
+        assert all(p > last_source for p in layout.detector_positions)
+
+    @given(st.integers(1, 6))
+    @settings(max_examples=10, deadline=None)
+    def test_length_grows_with_inputs(self, n_inputs):
+        plan = FrequencyPlan([10e9])
+        shorter = InlineGateLayout(Waveguide(), plan, n_inputs=n_inputs)
+        longer = InlineGateLayout(Waveguide(), plan, n_inputs=n_inputs + 1)
+        assert longer.total_length > shorter.total_length
+
+
+class TestSignalProperties:
+    @given(
+        st.floats(0.1, 1.0),
+        st.floats(-math.pi, math.pi),
+        st.sampled_from([5e9, 10e9, 25e9]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_lock_in_recovers_any_phase(self, amplitude, phase, frequency):
+        t = np.arange(0, 2e-9, 1.0 / (64 * frequency))
+        signal = amplitude * np.sin(2 * np.pi * frequency * t + phase)
+        measured = phase_at(t, signal, frequency)
+        wrapped = (measured - phase + math.pi) % (2 * math.pi) - math.pi
+        assert abs(wrapped) < 0.01
+
+    @given(st.floats(0.0, 2 * math.pi), st.floats(0.01, 1.0))
+    @settings(max_examples=25, deadline=None)
+    def test_superposed_tone_pair_amplitude(self, delta, amplitude):
+        # |e^{i0} + e^{i delta}| = 2|cos(delta/2)| -- interference law.
+        z = 1.0 + np.exp(1j * delta)
+        assert abs(z) == pytest.approx(
+            2 * abs(math.cos(delta / 2)), abs=1e-9
+        )
+
+
+class TestGoertzelProperties:
+    @given(
+        st.floats(0.05, 1.0),
+        st.floats(-math.pi, math.pi),
+        st.sampled_from([7e9, 10e9, 23e9]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_goertzel_matches_lock_in(self, amplitude, phase, frequency):
+        from repro.analysis.goertzel import goertzel_phasor
+        from repro.analysis.phase import lock_in
+
+        t = np.arange(0, 2e-9, 1.0 / (64 * frequency))
+        signal = amplitude * np.sin(2 * np.pi * frequency * t + phase)
+        zg = goertzel_phasor(t, signal, frequency)
+        zl = lock_in(t, signal, frequency) * np.exp(0.5j * math.pi)
+        assert abs(zg - zl) < 0.03 * amplitude + 1e-6
+
+    @given(st.lists(st.floats(-1e3, 1e3), min_size=1, max_size=40))
+    @settings(max_examples=30, deadline=None)
+    def test_sparkline_length_preserved(self, values):
+        from repro.analysis.ascii_plot import sparkline
+
+        assert len(sparkline(values)) == len(values)
+
+
+class TestFaultProperties:
+    @given(st.integers(0, 1), st.integers(0, 2))
+    @settings(max_examples=12, deadline=None)
+    def test_stuck_fault_response_equals_forced_input(self, stuck_bit, site):
+        """A stuck-phase fault at input ``site`` behaves exactly like
+        driving that input with the stuck value -- per channel."""
+        from repro.core.faults import TransducerFault, simulate_fault
+        from repro.core.frequency_plan import FrequencyPlan
+        from repro.core.gate import DataParallelGate
+        from repro.core.layout import InlineGateLayout
+        from repro.core.simulate import GateSimulator
+
+        plan = FrequencyPlan([10e9])
+        gate = DataParallelGate(
+            InlineGateLayout(Waveguide(), plan, n_inputs=3)
+        )
+        fault = TransducerFault(f"stuck-phase-{stuck_bit}", 0, site)
+        for bits in ((0, 0, 1), (1, 1, 0), (0, 1, 0)):
+            words = [[b] for b in bits]
+            faulty = simulate_fault(gate, fault, words)
+            forced = list(bits)
+            forced[site] = stuck_bit
+            golden = GateSimulator(gate).run_phasor(
+                [[b] for b in forced]
+            ).decoded
+            assert faulty == golden
+
+
+class TestIntegratorProperties:
+    @given(st.floats(0.01, 0.2), st.floats(0.5, 2.0))
+    @settings(max_examples=20, deadline=None)
+    def test_rk4_linear_decay_never_overshoots(self, dt, rate):
+        y = np.array([1.0])
+        y_next = rk4_step(lambda t, yy: -rate * yy, 0.0, y, dt)
+        assert 0.0 < y_next[0] <= 1.0
+
+    @given(st.floats(0.001, 0.05))
+    @settings(max_examples=20, deadline=None)
+    def test_rk4_rotation_preserves_norm(self, dt):
+        # y' = i*y as a 2-vector rotation; RK4 norm drift is O(dt^5).
+        def rhs(t, y):
+            return np.array([-y[1], y[0]])
+
+        y = np.array([1.0, 0.0])
+        for _ in range(50):
+            y = rk4_step(rhs, 0.0, y, dt)
+        assert np.linalg.norm(y) == pytest.approx(1.0, rel=1e-4)

@@ -1,0 +1,264 @@
+"""Tests for the micromagnetic Simulation driver, probes and sources."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.materials import FECOB_PMA, PERMALLOY
+from repro.mm import (
+    ExchangeField,
+    GaussianPulseWaveform,
+    Mesh,
+    PointProbe,
+    RegionProbe,
+    Simulation,
+    SineWaveform,
+    Source,
+    State,
+    ThinFilmDemagField,
+    ToneBurstWaveform,
+    UniaxialAnisotropyField,
+    ZeemanField,
+)
+from repro.physics.kittel import kittel_sphere_frequency
+
+
+def _macrospin_sim(alpha=1e-4, h=1e5, tilt=0.05):
+    mesh = Mesh(1, 1, 1, 2e-9, 2e-9, 2e-9)
+    material = PERMALLOY.with_(alpha=alpha)
+    state = State.uniform(mesh, material, direction=(tilt, 0.0, 1.0))
+    return Simulation(state, terms=[ZeemanField((0, 0, h))])
+
+
+class TestSimulationDynamics:
+    def test_macrospin_precession_frequency(self):
+        h = 1e5
+        sim = _macrospin_sim(h=h)
+        probe = sim.add_point_probe((1e-9, 1e-9, 1e-9))
+        sim.run(3e-9, dt=0.2e-12)
+        t = probe.times()
+        mx = probe.component(0)
+        spectrum = np.abs(np.fft.rfft(mx * np.hanning(len(mx))))
+        freqs = np.fft.rfftfreq(len(t), t[1] - t[0])
+        measured = freqs[spectrum.argmax()]
+        expected = kittel_sphere_frequency(sim.state.material, h)
+        assert measured == pytest.approx(expected, rel=0.05)
+
+    def test_norm_preserved(self):
+        sim = _macrospin_sim(alpha=0.01)
+        sim.run(1e-9, dt=0.5e-12)
+        assert sim.state.norm_error() < 1e-9
+
+    def test_damping_aligns_with_field(self):
+        sim = _macrospin_sim(alpha=0.5, tilt=1.0)
+        sim.run(2e-9, dt=0.5e-12)
+        assert sim.state.m[0, 0, 0, 2] == pytest.approx(1.0, abs=1e-3)
+
+    def test_time_advances(self):
+        sim = _macrospin_sim()
+        sim.run(1e-10, dt=1e-12)
+        assert sim.t == pytest.approx(1e-10)
+        sim.run(1e-10, dt=1e-12)
+        assert sim.t == pytest.approx(2e-10)
+
+    def test_adaptive_run(self):
+        sim = _macrospin_sim(alpha=0.1)
+        sim.run(0.5e-9, dt=1e-12, adaptive=True, tol=1e-6)
+        assert sim.state.norm_error() < 1e-6
+
+    def test_requires_terms(self):
+        mesh = Mesh(1, 1, 1, 1e-9, 1e-9, 1e-9)
+        sim = Simulation(State.uniform(mesh, PERMALLOY))
+        with pytest.raises(SimulationError):
+            sim.run(1e-10, dt=1e-12)
+
+    def test_invalid_duration(self):
+        sim = _macrospin_sim()
+        with pytest.raises(SimulationError):
+            sim.run(-1e-9, dt=1e-12)
+
+    def test_relax_reaches_low_torque(self):
+        mesh = Mesh(4, 1, 1, 2e-9, 2e-9, 2e-9)
+        state = State.uniform(mesh, FECOB_PMA, direction=(0.3, 0.1, 1.0))
+        sim = Simulation(
+            state,
+            terms=[
+                ExchangeField(),
+                UniaxialAnisotropyField(),
+                ThinFilmDemagField(),
+            ],
+        )
+        torque = sim.relax(torque_tol=10.0, dt=5e-14)
+        assert torque < 10.0
+        # PMA wins: relaxed state points along +-z.
+        assert abs(sim.state.m[0, 0, 0, 2]) == pytest.approx(1.0, abs=1e-3)
+
+    def test_relax_restores_material(self):
+        sim = _macrospin_sim(alpha=0.01, tilt=0.3)
+        original = sim.state.material
+        sim.relax(torque_tol=100.0, dt=1e-13)
+        assert sim.state.material is original
+
+    def test_alpha_profile_validation(self):
+        mesh = Mesh(4, 1, 1, 1e-9, 1e-9, 1e-9)
+        state = State.uniform(mesh, PERMALLOY)
+        with pytest.raises(SimulationError):
+            Simulation(state, alpha_profile=np.ones((2, 1, 1)))
+        with pytest.raises(SimulationError):
+            Simulation(state, alpha_profile=np.zeros(mesh.shape))
+
+    def test_alpha_profile_damps_faster(self):
+        def final_mz(alpha_profile):
+            mesh = Mesh(1, 1, 1, 2e-9, 2e-9, 2e-9)
+            material = PERMALLOY.with_(alpha=0.001)
+            state = State.uniform(mesh, material, direction=(1, 0, 0.1))
+            sim = Simulation(
+                state,
+                terms=[ZeemanField((0, 0, 2e5))],
+                alpha_profile=alpha_profile,
+            )
+            sim.run(1e-9, dt=0.5e-12)
+            return sim.state.m[0, 0, 0, 2]
+
+        lossy = final_mz(np.full((1, 1, 1), 0.5))
+        default = final_mz(None)
+        assert lossy > default
+
+    def test_suggest_dt_from_exchange(self):
+        mesh = Mesh(8, 1, 1, 2e-9, 2e-9, 2e-9)
+        state = State.uniform(mesh, FECOB_PMA)
+        sim = Simulation(state, terms=[ExchangeField()])
+        dt = sim.suggest_dt()
+        assert 0 < dt < 1e-12
+
+    def test_suggest_dt_none_without_exchange(self):
+        sim = _macrospin_sim()
+        assert sim.suggest_dt() is None
+
+    def test_energies_table(self):
+        mesh = Mesh(2, 1, 1, 2e-9, 2e-9, 2e-9)
+        state = State.uniform(mesh, FECOB_PMA)
+        sim = Simulation(
+            state, terms=[UniaxialAnisotropyField(), ZeemanField((0, 0, 1e4))]
+        )
+        table = sim.energies()
+        assert "UniaxialAnisotropyField" in table
+        assert "ZeemanField" in table
+        assert sim.total_energy() == pytest.approx(sum(table.values()))
+
+    def test_energies_disambiguates_duplicates(self):
+        sim = _macrospin_sim()
+        sim.add_term(ZeemanField((0, 0, 1e4)))
+        table = sim.energies()
+        assert "ZeemanField" in table and "ZeemanField_2" in table
+
+    def test_energy_decreases_under_damping(self):
+        sim = _macrospin_sim(alpha=0.2, tilt=1.0)
+        before = sim.total_energy()
+        sim.run(1e-9, dt=0.5e-12)
+        after = sim.total_energy()
+        assert after < before
+
+
+class TestProbes:
+    def test_point_probe_records_each_step(self):
+        sim = _macrospin_sim()
+        probe = sim.add_point_probe((1e-9, 1e-9, 1e-9), label="centre")
+        sim.run(1e-11, dt=1e-12)
+        assert len(probe) == 10
+        assert probe.label == "centre"
+        assert probe.components().shape == (10, 3)
+
+    def test_region_probe_averages(self):
+        mesh = Mesh(4, 1, 1, 1e-9, 1e-9, 1e-9)
+        state = State.uniform(mesh, PERMALLOY)
+        state.m[0, 0, 0] = [1.0, 0.0, 0.0]
+        mask = mesh.region_mask(x=(0, 2e-9))
+        probe = RegionProbe(mask)
+        probe.record(state, 0.0)
+        np.testing.assert_allclose(
+            probe.components()[0], [0.5, 0.0, 0.5]
+        )
+
+    def test_region_probe_empty_mask_raises(self):
+        mesh = Mesh(4, 1, 1, 1e-9, 1e-9, 1e-9)
+        with pytest.raises(SimulationError):
+            RegionProbe(np.zeros(mesh.shape, dtype=bool))
+
+    def test_probe_clear(self):
+        sim = _macrospin_sim()
+        probe = sim.add_point_probe((1e-9, 1e-9, 1e-9))
+        sim.run(1e-11, dt=1e-12)
+        probe.clear()
+        assert len(probe) == 0
+        assert probe.components().shape == (0, 3)
+
+    def test_component_accessor(self):
+        sim = _macrospin_sim()
+        probe = sim.add_point_probe((1e-9, 1e-9, 1e-9))
+        sim.run(1e-11, dt=1e-12)
+        np.testing.assert_array_equal(
+            probe.component(2), probe.components()[:, 2]
+        )
+
+
+class TestWaveforms:
+    def test_sine_value_and_phase(self):
+        waveform = SineWaveform(2.0, 1e9, phase=math.pi / 2)
+        assert waveform(0.0) == pytest.approx(2.0)
+
+    def test_sine_ramp(self):
+        waveform = SineWaveform(1.0, 1e9, phase=math.pi / 2, ramp=1e-9)
+        assert abs(waveform(0.0)) < 1e-12
+        assert abs(waveform(0.5e-9)) <= 0.5 + 1e-9
+
+    def test_sine_invalid(self):
+        with pytest.raises(SimulationError):
+            SineWaveform(1.0, -1e9)
+        with pytest.raises(SimulationError):
+            SineWaveform(1.0, 1e9, ramp=-1.0)
+
+    def test_burst_window(self):
+        waveform = ToneBurstWaveform(1.0, 1e9, 1e-9, 2e-9)
+        assert waveform(0.5e-9) == 0.0
+        assert waveform(2.5e-9) == 0.0
+        assert waveform(1.25e-9) != 0.0
+
+    def test_burst_edges(self):
+        waveform = ToneBurstWaveform(1.0, 10e9, 0.0, 1e-9, edge=0.2e-9)
+        assert abs(waveform(0.0)) < 1e-12
+        assert abs(waveform(1e-9)) < 1e-12
+
+    def test_burst_invalid(self):
+        with pytest.raises(SimulationError):
+            ToneBurstWaveform(1.0, 1e9, 2e-9, 1e-9)
+        with pytest.raises(SimulationError):
+            ToneBurstWaveform(1.0, 1e9, 0.0, 1e-9, edge=0.6e-9)
+
+    def test_gaussian_pulse_peak(self):
+        waveform = GaussianPulseWaveform(3.0, 1e-9, 0.1e-9)
+        assert waveform(1e-9) == pytest.approx(3.0)
+        assert waveform(2e-9) < 1e-8
+
+    def test_gaussian_invalid_sigma(self):
+        with pytest.raises(SimulationError):
+            GaussianPulseWaveform(1.0, 0.0, -1e-9)
+
+    def test_source_to_field(self):
+        mesh = Mesh(10, 1, 1, 1e-9, 1e-9, 1e-9)
+        source = Source(
+            region={"x": (0, 3e-9)},
+            waveform=SineWaveform(1e3, 1e9, phase=math.pi / 2),
+        )
+        term = source.to_field(mesh)
+        assert term.mask.sum() == 3
+
+    def test_simulation_add_source(self):
+        sim = _macrospin_sim()
+        source = Source(
+            region={"x": (0, 2e-9)}, waveform=SineWaveform(1e3, 1e9)
+        )
+        term = sim.add_source(source)
+        assert term in sim.terms

@@ -1,0 +1,207 @@
+"""Tests for repro.core.simulate (the gate simulator, both modes)."""
+
+from itertools import product
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro import byte_xor_gate
+from repro.core.encoding import int_to_bits
+from repro.core.frequency_plan import FrequencyPlan
+from repro.core.gate import DataParallelGate, GateKind
+from repro.core.layout import InlineGateLayout
+from repro.core.simulate import GateSimulator
+from repro.units import GHZ
+from repro.waveguide import NoiseModel, Waveguide
+
+
+def _small_gate(n_bits=2, n_inputs=3, inverted=None, kind=GateKind.MAJORITY):
+    plan = FrequencyPlan.uniform(n_bits, 10 * GHZ, 10 * GHZ)
+    layout = InlineGateLayout(
+        Waveguide(), plan, n_inputs=n_inputs, inverted_outputs=inverted
+    )
+    return DataParallelGate(layout, kind=kind)
+
+
+class TestPhasorMode:
+    def test_byte_gate_all_uniform_combos(self, byte_simulator, byte_gate):
+        for bits in product((0, 1), repeat=3):
+            words = [[b] * byte_gate.n_bits for b in bits]
+            result = byte_simulator.run_phasor(words)
+            assert result.correct, f"combo {bits} decoded {result.decoded}"
+
+    def test_byte_gate_random_words(self, byte_simulator, byte_gate):
+        rng = np.random.default_rng(11)
+        for _ in range(20):
+            words = [
+                int_to_bits(int(rng.integers(256)), byte_gate.n_bits)
+                for _ in range(3)
+            ]
+            result = byte_simulator.run_phasor(words)
+            assert result.correct
+
+    def test_margin_positive(self, byte_simulator, byte_gate):
+        words = [[1, 0] * 4, [0, 1] * 4, [1, 1, 0, 0] * 2]
+        result = byte_simulator.run_phasor(words)
+        assert result.min_margin > 0.5
+
+    def test_result_fields(self, byte_simulator, byte_gate):
+        words = [[0] * 8, [0] * 8, [0] * 8]
+        result = byte_simulator.run_phasor(words)
+        assert result.t is None
+        assert result.traces == {}
+        assert len(result.decodes) == 8
+
+
+class TestTraceMode:
+    def test_small_gate_all_combos(self):
+        gate = _small_gate()
+        simulator = GateSimulator(gate)
+        for bits in product((0, 1), repeat=3):
+            words = [[b] * gate.n_bits for b in bits]
+            result = simulator.run(words)
+            assert result.correct
+
+    def test_trace_and_phasor_agree(self):
+        gate = _small_gate()
+        simulator = GateSimulator(gate)
+        words = [[1, 0], [1, 1], [0, 0]]
+        trace_result = simulator.run(words)
+        phasor_result = simulator.run_phasor(words)
+        assert trace_result.decoded == phasor_result.decoded
+
+    def test_mixed_words(self):
+        gate = _small_gate()
+        simulator = GateSimulator(gate)
+        words = [[1, 0], [0, 1], [1, 1]]
+        result = simulator.run(words)
+        assert result.decoded == [1, 1]
+        assert result.correct
+
+    def test_fft_method(self):
+        gate = _small_gate()
+        simulator = GateSimulator(gate)
+        result = simulator.run([[1, 1], [1, 0], [1, 1]], method="fft")
+        assert result.correct
+
+    def test_duration_too_short_raises(self):
+        gate = _small_gate()
+        simulator = GateSimulator(gate)
+        with pytest.raises(SimulationError, match="settling"):
+            simulator.run([[0, 0]] * 3, duration=1e-12)
+
+    def test_traces_have_data(self):
+        gate = _small_gate()
+        simulator = GateSimulator(gate)
+        result = simulator.run([[1, 1], [0, 0], [1, 1]])
+        for channel in range(gate.n_bits):
+            assert np.max(np.abs(result.traces[channel])) > 0.1
+
+
+class TestInvertedOutputs:
+    def test_inverted_channel_decodes_complement(self):
+        gate = _small_gate(inverted=[True, False])
+        simulator = GateSimulator(gate)
+        for bits in product((0, 1), repeat=3):
+            words = [[b] * gate.n_bits for b in bits]
+            result = simulator.run_phasor(words)
+            assert result.correct
+            # Channel 0 carries NOT(MAJ), channel 1 carries MAJ.
+            assert result.decoded[0] == 1 - result.decoded[1]
+
+
+class TestXorGate:
+    def test_xor_all_combos_phasor(self):
+        gate = _small_gate(n_inputs=2, kind=GateKind.XOR)
+        simulator = GateSimulator(gate)
+        for a, b in product((0, 1), repeat=2):
+            words = [[a] * gate.n_bits, [b] * gate.n_bits]
+            result = simulator.run_phasor(words)
+            assert result.correct, f"XOR({a},{b}) -> {result.decoded}"
+
+    def test_xor_trace_mode(self):
+        gate = _small_gate(n_inputs=2, kind=GateKind.XOR)
+        simulator = GateSimulator(gate)
+        result = simulator.run([[1, 0], [0, 0]])
+        assert result.decoded == [1, 0]
+
+    def test_byte_xor_gate_factory(self):
+        gate = byte_xor_gate()
+        simulator = GateSimulator(gate)
+        a, b = 0xA5, 0x3C
+        words = [int_to_bits(a, 8), int_to_bits(b, 8)]
+        result = simulator.run_phasor(words)
+        from repro.core.encoding import bits_to_int
+
+        assert bits_to_int(result.decoded) == a ^ b
+
+
+class TestAmplitudesAndNoise:
+    def test_amplitude_shape_validation(self):
+        gate = _small_gate()
+        with pytest.raises(SimulationError):
+            GateSimulator(gate, amplitudes=np.ones((3, 3)))
+
+    def test_custom_amplitudes_used(self):
+        gate = _small_gate()
+        amplitudes = np.full((2, 3), 0.5)
+        simulator = GateSimulator(gate, amplitudes=amplitudes)
+        sources = simulator.build_sources([[0, 0]] * 3)
+        assert all(s.amplitude == 0.5 for s in sources)
+
+    def test_small_noise_does_not_flip_bits(self):
+        gate = _small_gate()
+        noise = NoiseModel(amplitude_sigma=0.02, phase_sigma=0.02, seed=5)
+        simulator = GateSimulator(gate, noise=noise)
+        for bits in product((0, 1), repeat=3):
+            words = [[b] * gate.n_bits for b in bits]
+            assert simulator.run_phasor(words).correct
+
+    def test_huge_phase_noise_breaks_gate(self):
+        gate = _small_gate()
+        noise = NoiseModel(phase_sigma=2.5, seed=1)
+        simulator = GateSimulator(gate, noise=noise)
+        failures = 0
+        for seed in range(10):
+            simulator.noise = NoiseModel(phase_sigma=2.5, seed=seed)
+            words = [[1, 0], [0, 1], [1, 1]]
+            if not simulator.run_phasor(words).correct:
+                failures += 1
+        assert failures > 0
+
+    def test_calibration_is_noise_free(self):
+        gate = _small_gate()
+        noisy = GateSimulator(
+            gate, noise=NoiseModel(phase_sigma=1.0, seed=2)
+        )
+        clean = GateSimulator(gate)
+        for (pa, aa), (pb, ab) in zip(noisy.calibration(), clean.calibration()):
+            assert pa == pytest.approx(pb)
+            assert aa == pytest.approx(ab)
+
+    def test_calibration_cached(self):
+        gate = _small_gate()
+        simulator = GateSimulator(gate)
+        assert simulator.calibration() is simulator.calibration()
+
+
+class TestTiming:
+    def test_settle_time_covers_farthest_source(self):
+        gate = _small_gate()
+        simulator = GateSimulator(gate)
+        settle = simulator.settle_time()
+        model = simulator.model
+        worst = 0.0
+        for channel in range(gate.n_bits):
+            frequency = gate.layout.plan.frequencies[channel]
+            _, v_g, _ = model.wave_parameters(frequency)
+            detector = gate.layout.detector_positions[channel]
+            for position in gate.layout.source_positions[channel]:
+                worst = max(worst, abs(detector - position) / v_g)
+        assert settle > worst
+
+    def test_default_duration_exceeds_settle(self):
+        gate = _small_gate()
+        simulator = GateSimulator(gate)
+        assert simulator.default_duration() > simulator.settle_time()

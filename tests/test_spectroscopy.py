@@ -1,0 +1,125 @@
+"""Tests for repro.mm.spectroscopy (fast synthetic-data paths).
+
+The full LLG-driven measurement is covered by the slow suite; here the
+analysis pipeline is validated on synthetic plane-wave movies whose
+(k, f) content is known exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.mm.spectroscopy import (
+    extract_branch,
+    record_space_time,
+    space_time_spectrum,
+)
+
+
+def _plane_wave_movie(k, f, n_x=128, n_t=256, cell=4e-9, dt=2e-12, amplitude=1.0):
+    x = (np.arange(n_x) + 0.5) * cell
+    t = np.arange(n_t) * dt
+    frames = amplitude * np.sin(
+        2 * np.pi * f * t[:, None] - k * x[None, :]
+    )
+    return frames, t, cell
+
+
+class TestSpaceTimeSpectrum:
+    def test_single_plane_wave_peak(self):
+        k0 = 2 * np.pi / 64e-9
+        f0 = 15e9
+        frames, t, cell = _plane_wave_movie(k0, f0)
+        spectrum = space_time_spectrum(frames, t, cell)
+        amplitude = spectrum["amplitude"]
+        i, j = np.unravel_index(amplitude.argmax(), amplitude.shape)
+        assert spectrum["k"][i] == pytest.approx(k0, rel=0.05)
+        assert spectrum["f"][j] == pytest.approx(f0, rel=0.05)
+
+    def test_two_waves_two_peaks(self):
+        frames1, t, cell = _plane_wave_movie(2 * np.pi / 64e-9, 10e9)
+        frames2, _, _ = _plane_wave_movie(2 * np.pi / 32e-9, 40e9)
+        spectrum = space_time_spectrum(frames1 + frames2, t, cell)
+        ks, fs = extract_branch(spectrum, threshold_ratio=0.3)
+        # Both branch points recovered.
+        k_targets = sorted([2 * np.pi / 64e-9, 2 * np.pi / 32e-9])
+        found = sorted(
+            ks[np.argsort(np.abs(ks - target))[0]] for target in k_targets
+        )
+        np.testing.assert_allclose(found, k_targets, rtol=0.1)
+
+    def test_counterpropagating_wave_folds_to_positive_k(self):
+        k0 = 2 * np.pi / 50e-9
+        frames, t, cell = _plane_wave_movie(-k0, 20e9)
+        spectrum = space_time_spectrum(frames, t, cell)
+        assert np.all(spectrum["k"] >= 0)
+        amplitude = spectrum["amplitude"]
+        i, _ = np.unravel_index(amplitude.argmax(), amplitude.shape)
+        assert spectrum["k"][i] == pytest.approx(k0, rel=0.05)
+
+    def test_validation(self):
+        frames, t, cell = _plane_wave_movie(1e8, 10e9, n_t=16)
+        with pytest.raises(SimulationError):
+            space_time_spectrum(frames, t[:-1], cell)
+        with pytest.raises(SimulationError):
+            space_time_spectrum(frames[:4], t[:4], cell)
+        bad_t = t.copy()
+        bad_t[3] *= 1.5
+        with pytest.raises(SimulationError):
+            space_time_spectrum(frames, bad_t, cell)
+
+
+class TestExtractBranch:
+    def test_monotone_synthetic_dispersion(self):
+        # Superpose waves following f = a + b*k^2 and check the ridge
+        # recovers the parabola.
+        cell = 4e-9
+        n_x, n_t = 128, 2048
+        dt = 1e-12
+        x = (np.arange(n_x) + 0.5) * cell
+        t = np.arange(n_t) * dt
+        a, b = 5e9, 2e-7
+        frames = np.zeros((n_t, n_x))
+        k_values = 2 * np.pi * np.arange(2, 10) / (n_x * cell) * 4
+        for k in k_values:
+            f = a + b * k**2
+            frames += np.sin(2 * np.pi * f * t[:, None] - k * x[None, :])
+        spectrum = space_time_spectrum(frames, t, cell)
+        ks, fs = extract_branch(spectrum, threshold_ratio=0.3)
+        # Compare the ridge only at the excited wavenumbers (between
+        # them the spectrum holds leakage, not physics).
+        for k_target in k_values:
+            index = int(np.argmin(np.abs(ks - k_target)))
+            if abs(ks[index] - k_target) > 0.1 * k_target:
+                continue  # this k was filtered out by the threshold
+            predicted = a + b * ks[index] ** 2
+            assert fs[index] == pytest.approx(predicted, rel=0.15)
+
+    def test_empty_spectrum_raises(self):
+        frames = np.zeros((64, 32))
+        t = np.arange(64) * 1e-12
+        spectrum = space_time_spectrum(frames, t, 4e-9)
+        with pytest.raises(SimulationError):
+            extract_branch(spectrum)
+
+    def test_k_window(self):
+        k0 = 2 * np.pi / 64e-9
+        frames, t, cell = _plane_wave_movie(k0, 15e9)
+        spectrum = space_time_spectrum(frames, t, cell)
+        with pytest.raises(SimulationError):
+            extract_branch(spectrum, k_min=5 * k0, threshold_ratio=0.5)
+
+
+class TestRecorder:
+    def test_records_with_stride(self):
+        from repro.materials import FECOB_PMA
+        from repro.mm import Mesh, Simulation, State, ZeemanField
+
+        mesh = Mesh(16, 1, 1, 4e-9, 4e-9, 4e-9)
+        state = State.uniform(mesh, FECOB_PMA, direction=(0.1, 0, 1))
+        sim = Simulation(state, terms=[ZeemanField((0, 0, 1e5))])
+        record = record_space_time(sim, stride=5)
+        sim.run(1e-11, dt=1e-12)  # 10 steps -> 2 recorded frames
+        assert len(record["frames"]) == 2
+        assert record["frames"][0].shape == (16,)
+        assert len(record["times"]) == 2

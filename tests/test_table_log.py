@@ -1,0 +1,83 @@
+"""Tests for repro.mm.table_log (EnergyLogger)."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.materials import PERMALLOY
+from repro.mm import Mesh, Simulation, State, ZeemanField
+from repro.mm.table_log import EnergyLogger
+from repro.oommf.odt import read_odt, write_odt
+
+
+def _sim(alpha=0.3):
+    mesh = Mesh(2, 1, 1, 2e-9, 2e-9, 2e-9)
+    material = PERMALLOY.with_(alpha=alpha)
+    state = State.uniform(mesh, material, direction=(1.0, 0.0, 0.5))
+    return Simulation(state, terms=[ZeemanField((0, 0, 2e5))])
+
+
+class TestEnergyLogger:
+    def test_records_every_step(self):
+        sim = _sim()
+        logger = EnergyLogger(sim)
+        sim.probes.append(logger)
+        sim.run(1e-11, dt=1e-12)
+        assert len(logger) == 10
+
+    def test_stride(self):
+        sim = _sim()
+        logger = EnergyLogger(sim, stride=5)
+        sim.probes.append(logger)
+        sim.run(1e-11, dt=1e-12)
+        assert len(logger) == 2
+
+    def test_invalid_stride(self):
+        with pytest.raises(ValueError):
+            EnergyLogger(_sim(), stride=0)
+
+    def test_columns(self):
+        logger = EnergyLogger(_sim())
+        assert logger.columns()[:4] == ["Time", "mx", "my", "mz"]
+        assert "E ZeemanField" in logger.columns()
+        assert logger.columns()[-1] == "Max torque"
+
+    def test_energy_decreases_under_damping(self):
+        sim = _sim(alpha=0.5)
+        logger = EnergyLogger(sim)
+        sim.probes.append(logger)
+        sim.run(0.5e-9, dt=1e-12)
+        table = logger.table()
+        total = table.column("E total")
+        assert total[-1] < total[0]
+
+    def test_torque_decreases_toward_equilibrium(self):
+        sim = _sim(alpha=0.5)
+        logger = EnergyLogger(sim)
+        sim.probes.append(logger)
+        sim.run(1e-9, dt=1e-12)
+        torque = logger.table().column("Max torque")
+        assert torque[-1] < 0.1 * torque[0]
+
+    def test_odt_roundtrip(self):
+        sim = _sim()
+        logger = EnergyLogger(sim)
+        sim.probes.append(logger)
+        sim.run(5e-12, dt=1e-12)
+        buffer = io.StringIO()
+        write_odt(logger.table(title="t"), buffer)
+        buffer.seek(0)
+        loaded = read_odt(buffer)
+        np.testing.assert_allclose(
+            loaded.column("Time"), logger.table().column("Time")
+        )
+        assert loaded.title == "t"
+
+    def test_clear(self):
+        sim = _sim()
+        logger = EnergyLogger(sim)
+        sim.probes.append(logger)
+        sim.run(5e-12, dt=1e-12)
+        logger.clear()
+        assert len(logger) == 0

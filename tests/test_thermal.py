@@ -1,0 +1,184 @@
+"""Tests for repro.mm.thermal (stochastic LLG)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.materials import PERMALLOY
+from repro.mm import Mesh, State, ZeemanField
+from repro.mm.thermal import (
+    ThermalLangevinRun,
+    equilibrium_cone_angle,
+    thermal_field_sigma,
+    thermal_phase_noise_sigma,
+)
+
+
+def _macrospin(alpha=0.1, edge=5e-9):
+    mesh = Mesh(1, 1, 1, edge, edge, edge)
+    material = PERMALLOY.with_(alpha=alpha)
+    return State.uniform(mesh, material)
+
+
+class TestThermalFieldSigma:
+    def test_zero_temperature_is_zero(self):
+        assert thermal_field_sigma(PERMALLOY, 1e-25, 1e-13, 0.0) == 0.0
+
+    def test_scaling_laws(self):
+        base = thermal_field_sigma(PERMALLOY, 1e-25, 1e-13, 300.0)
+        # sigma ~ sqrt(T).
+        hot = thermal_field_sigma(PERMALLOY, 1e-25, 1e-13, 1200.0)
+        assert hot == pytest.approx(2 * base, rel=1e-9)
+        # sigma ~ 1/sqrt(V): bigger cells fluctuate less.
+        big = thermal_field_sigma(PERMALLOY, 4e-25, 1e-13, 300.0)
+        assert big == pytest.approx(base / 2, rel=1e-9)
+        # sigma ~ 1/sqrt(dt).
+        fine = thermal_field_sigma(PERMALLOY, 1e-25, 0.25e-13, 300.0)
+        assert fine == pytest.approx(2 * base, rel=1e-9)
+
+    def test_scales_with_alpha(self):
+        lossy = PERMALLOY.with_(alpha=4 * PERMALLOY.alpha)
+        assert thermal_field_sigma(lossy, 1e-25, 1e-13, 300.0) == pytest.approx(
+            2 * thermal_field_sigma(PERMALLOY, 1e-25, 1e-13, 300.0), rel=1e-9
+        )
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            thermal_field_sigma(PERMALLOY, 1e-25, 1e-13, -1.0)
+        with pytest.raises(SimulationError):
+            thermal_field_sigma(PERMALLOY, 0.0, 1e-13, 300.0)
+        with pytest.raises(SimulationError):
+            thermal_field_sigma(PERMALLOY, 1e-25, 0.0, 300.0)
+
+
+class TestLangevinRun:
+    def test_zero_temperature_matches_deterministic_fixed_point(self):
+        state = _macrospin(alpha=0.5)
+        run = ThermalLangevinRun(
+            state, [ZeemanField((0, 0, 5e5))], temperature=0.0
+        )
+        run.run(0.5e-9, dt=1e-13)
+        # Aligned with the field, no noise: stays aligned.
+        assert state.m[0, 0, 0, 2] == pytest.approx(1.0, abs=1e-9)
+
+    def test_norm_preserved_exactly(self):
+        state = _macrospin()
+        run = ThermalLangevinRun(
+            state, [ZeemanField((0, 0, 2e5))], temperature=300.0, seed=1
+        )
+        run.run(0.2e-9, dt=1e-13)
+        assert state.norm_error() < 1e-12
+
+    def test_seed_reproducibility(self):
+        results = []
+        for _ in range(2):
+            state = _macrospin()
+            run = ThermalLangevinRun(
+                state, [ZeemanField((0, 0, 2e5))], temperature=300.0, seed=9
+            )
+            run.run(0.1e-9, dt=1e-13)
+            results.append(state.m.copy())
+        np.testing.assert_array_equal(results[0], results[1])
+
+    def test_finite_temperature_fluctuates(self):
+        state = _macrospin()
+        run = ThermalLangevinRun(
+            state, [ZeemanField((0, 0, 5e5))], temperature=300.0, seed=2
+        )
+        run.run(0.2e-9, dt=1e-13)
+        transverse = math.hypot(state.m[0, 0, 0, 0], state.m[0, 0, 0, 1])
+        assert transverse > 1e-4
+
+    def test_thermalised_cone_angle_magnitude(self):
+        # Long run: the time-averaged transverse spread should match the
+        # equipartition estimate within a factor ~2.
+        state = _macrospin(alpha=0.2, edge=4e-9)
+        h = 8e5
+        run = ThermalLangevinRun(
+            state, [ZeemanField((0, 0, h))], temperature=300.0, seed=3
+        )
+        samples = []
+
+        def collect(t, s):
+            samples.append(math.hypot(s.m[0, 0, 0, 0], s.m[0, 0, 0, 1]))
+
+        run.run(2e-9, dt=1e-13, callback=collect)
+        measured = float(np.sqrt(np.mean(np.square(samples[2000:]))))
+        expected = equilibrium_cone_angle(
+            state.material, h, state.mesh.cell_volume, 300.0
+        )
+        assert measured == pytest.approx(expected, rel=0.6)
+
+    def test_hotter_is_noisier(self):
+        def rms_tilt(temperature):
+            state = _macrospin(alpha=0.2)
+            run = ThermalLangevinRun(
+                state,
+                [ZeemanField((0, 0, 5e5))],
+                temperature=temperature,
+                seed=4,
+            )
+            samples = []
+            run.run(
+                0.5e-9,
+                dt=1e-13,
+                callback=lambda t, s: samples.append(
+                    math.hypot(s.m[0, 0, 0, 0], s.m[0, 0, 0, 1])
+                ),
+            )
+            return float(np.sqrt(np.mean(np.square(samples[1000:]))))
+
+        assert rms_tilt(1200.0) > rms_tilt(75.0)
+
+    def test_validation(self):
+        state = _macrospin()
+        with pytest.raises(SimulationError):
+            ThermalLangevinRun(state, [], temperature=300.0)
+        with pytest.raises(SimulationError):
+            ThermalLangevinRun(
+                state, [ZeemanField((0, 0, 1e5))], temperature=-1.0
+            )
+        run = ThermalLangevinRun(
+            state, [ZeemanField((0, 0, 1e5))], temperature=0.0
+        )
+        with pytest.raises(SimulationError):
+            run.run(-1e-9, dt=1e-13)
+        with pytest.raises(SimulationError):
+            run.run(1e-9, dt=0.0)
+
+
+class TestEquilibriumEstimates:
+    def test_cone_angle_zero_at_zero_t(self):
+        assert equilibrium_cone_angle(PERMALLOY, 1e5, 1e-24, 0.0) == 0.0
+
+    def test_cone_angle_scalings(self):
+        base = equilibrium_cone_angle(PERMALLOY, 1e5, 1e-24, 300.0)
+        assert equilibrium_cone_angle(
+            PERMALLOY, 4e5, 1e-24, 300.0
+        ) == pytest.approx(base / 2)
+        assert equilibrium_cone_angle(
+            PERMALLOY, 1e5, 4e-24, 300.0
+        ) == pytest.approx(base / 2)
+
+    def test_phase_noise_alias(self):
+        assert thermal_phase_noise_sigma(
+            PERMALLOY, 1e5, 1e-24, 300.0
+        ) == equilibrium_cone_angle(PERMALLOY, 1e5, 1e-24, 300.0)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            equilibrium_cone_angle(PERMALLOY, 0.0, 1e-24, 300.0)
+        with pytest.raises(SimulationError):
+            equilibrium_cone_angle(PERMALLOY, 1e5, 1e-24, -5.0)
+
+    def test_paper_transducer_jitter_below_threshold(self):
+        # The 10x50x1 nm ME cell at 300 K must jitter well below the
+        # pi/2 decode threshold, or the whole scheme is thermally dead.
+        from repro.materials import FECOB_PMA
+
+        volume = 10e-9 * 50e-9 * 1e-9
+        h_int = FECOB_PMA.internal_field_perpendicular()
+        sigma = thermal_phase_noise_sigma(FECOB_PMA, h_int, volume, 300.0)
+        assert sigma < 0.5  # rad, comfortably under pi/2

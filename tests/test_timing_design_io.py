@@ -1,0 +1,173 @@
+"""Tests for repro.analysis.timing and repro.core.design_io."""
+
+import io
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ReadoutError, ReproError
+from repro.analysis.timing import (
+    analytic_envelope,
+    arrival_time,
+    envelope_correlation_delay,
+    group_velocity_from_traces,
+)
+from repro.core.design_io import (
+    gate_from_dict,
+    gate_to_dict,
+    load_gate,
+    save_gate,
+)
+from repro.core.simulate import GateSimulator
+from repro.waveguide import Detector, LinearWaveguideModel, WaveSource, Waveguide
+
+
+def _burst(t, f, t_on, length=1e-9, amplitude=1.0):
+    envelope = ((t >= t_on) & (t <= t_on + length)).astype(float)
+    return amplitude * envelope * np.sin(2 * np.pi * f * (t - t_on))
+
+
+class TestEnvelope:
+    def test_constant_tone_envelope_flat(self):
+        t = np.arange(0, 2e-9, 1e-12)
+        envelope = analytic_envelope(np.sin(2 * np.pi * 10e9 * t))
+        interior = envelope[100:-100]
+        np.testing.assert_allclose(interior, 1.0, atol=0.02)
+
+    def test_burst_envelope_matches_gate(self):
+        t = np.arange(0, 4e-9, 1e-12)
+        signal = _burst(t, 10e9, 1e-9, length=1e-9)
+        envelope = analytic_envelope(signal)
+        assert envelope[:900].max() < 0.1
+        assert envelope[1400] > 0.8
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ReadoutError):
+            analytic_envelope(np.zeros(4))
+
+
+class TestArrivalTime:
+    def test_burst_arrival(self):
+        t = np.arange(0, 4e-9, 1e-12)
+        signal = _burst(t, 10e9, 1.5e-9)
+        measured = arrival_time(t, signal, threshold_ratio=0.5)
+        assert measured == pytest.approx(1.5e-9, abs=0.1e-9)
+
+    def test_zero_signal_rejected(self):
+        t = np.arange(0, 1e-9, 1e-12)
+        with pytest.raises(ReadoutError):
+            arrival_time(t, np.zeros_like(t))
+
+    def test_threshold_validation(self):
+        t = np.arange(0, 1e-9, 1e-12)
+        s = np.sin(2 * np.pi * 10e9 * t)
+        with pytest.raises(ReadoutError):
+            arrival_time(t, s, threshold_ratio=1.5)
+
+
+class TestGroupVelocity:
+    def test_linear_model_time_of_flight_matches_dispersion(self):
+        """Two detectors on the linear model measure v_g consistent with
+        the analytic group velocity."""
+        waveguide = Waveguide()
+        model = LinearWaveguideModel(waveguide)
+        f = 20e9
+        source = WaveSource(position=0.0, frequency=f)
+        k, v_g_analytic, _ = model.wave_parameters(f)
+        near, far = 200e-9, 700e-9
+        result = model.run(
+            [source],
+            [Detector(near, "near"), Detector(far, "far")],
+            duration=3e-9,
+            sample_rate=64 * f,
+        )
+        measured = group_velocity_from_traces(
+            result["t"],
+            result["traces"]["near"],
+            result["traces"]["far"],
+            far - near,
+            threshold_ratio=0.4,
+        )
+        assert measured == pytest.approx(v_g_analytic, rel=0.15)
+
+    def test_orders_must_be_sane(self):
+        t = np.arange(0, 4e-9, 1e-12)
+        early = _burst(t, 10e9, 0.5e-9)
+        late = _burst(t, 10e9, 2.0e-9)
+        with pytest.raises(ReadoutError):
+            group_velocity_from_traces(t, late, early, 100e-9)
+        with pytest.raises(ReadoutError):
+            group_velocity_from_traces(t, early, late, -1e-9)
+
+    def test_correlation_delay(self):
+        t = np.arange(0, 6e-9, 1e-12)
+        near = _burst(t, 10e9, 1.0e-9)
+        far = _burst(t, 10e9, 2.2e-9)
+        delay = envelope_correlation_delay(t, near, far)
+        assert delay == pytest.approx(1.2e-9, abs=0.05e-9)
+
+
+class TestDesignIo:
+    def test_roundtrip_byte_gate(self, byte_gate):
+        document = gate_to_dict(byte_gate)
+        rebuilt = gate_from_dict(document)
+        assert rebuilt.n_bits == byte_gate.n_bits
+        assert rebuilt.kind == byte_gate.kind
+        assert rebuilt.layout.multipliers == byte_gate.layout.multipliers
+        np.testing.assert_allclose(
+            rebuilt.layout.detector_positions,
+            byte_gate.layout.detector_positions,
+        )
+
+    def test_rebuilt_gate_still_functions(self, byte_gate):
+        rebuilt = gate_from_dict(gate_to_dict(byte_gate))
+        words = [[1, 0] * 4, [0, 1] * 4, [1, 1, 0, 0] * 2]
+        assert GateSimulator(rebuilt).run_phasor(words).correct
+
+    def test_json_file_roundtrip(self, byte_gate, tmp_path):
+        path = tmp_path / "design.json"
+        save_gate(byte_gate, str(path))
+        loaded = load_gate(str(path))
+        assert loaded.describe() == byte_gate.describe()
+
+    def test_stream_roundtrip(self, byte_gate):
+        buffer = io.StringIO()
+        save_gate(byte_gate, buffer)
+        buffer.seek(0)
+        loaded = load_gate(buffer)
+        assert loaded.n_bits == 8
+
+    def test_document_is_plain_json(self, byte_gate):
+        text = json.dumps(gate_to_dict(byte_gate))
+        assert "Fe60Co20B20" in text
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ReproError, match="format"):
+            gate_from_dict({"format": "something-else"})
+
+    def test_wrong_version_rejected(self, byte_gate):
+        document = gate_to_dict(byte_gate)
+        document["version"] = 99
+        with pytest.raises(ReproError, match="version"):
+            gate_from_dict(document)
+
+    def test_inverted_outputs_survive(self):
+        from repro.core.frequency_plan import FrequencyPlan
+        from repro.core.gate import DataParallelGate
+        from repro.core.layout import InlineGateLayout
+
+        plan = FrequencyPlan([10e9, 20e9])
+        layout = InlineGateLayout(
+            Waveguide(), plan, n_inputs=3, inverted_outputs=[True, False]
+        )
+        gate = DataParallelGate(layout)
+        rebuilt = gate_from_dict(gate_to_dict(gate))
+        assert rebuilt.layout.inverted_outputs == [True, False]
+
+    def test_xor_kind_survives(self):
+        from repro import byte_xor_gate
+
+        rebuilt = gate_from_dict(gate_to_dict(byte_xor_gate()))
+        assert rebuilt.kind.value == "xor"

@@ -1,0 +1,272 @@
+"""Tests for repro.waveguide (geometry, linear model, signal, noise)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.phase import phase_at
+from repro.errors import DispersionError, SimulationError
+from repro.materials import FECOB_PMA
+from repro.physics.damping import attenuation_length
+from repro.physics.solve import wavenumber_for_frequency
+from repro.waveguide import (
+    Detector,
+    LinearWaveguideModel,
+    NoiseModel,
+    WaveSource,
+    Waveguide,
+)
+from repro.waveguide.geometry import WidthModeDispersion
+from repro.waveguide.signal import nyquist_ok, superpose, time_grid
+
+
+class TestWaveguideGeometry:
+    def test_defaults_match_paper(self):
+        waveguide = Waveguide()
+        assert waveguide.thickness == 1e-9
+        assert waveguide.width == 50e-9
+        assert waveguide.material is FECOB_PMA
+
+    def test_invalid_geometry(self):
+        with pytest.raises(DispersionError):
+            Waveguide(thickness=0.0)
+        with pytest.raises(DispersionError):
+            Waveguide(width=-1e-9)
+        with pytest.raises(DispersionError):
+            Waveguide(dispersion_model="bogus")
+
+    def test_dispersion_model_switch(self):
+        fvmsw = Waveguide().dispersion()
+        exchange = Waveguide(dispersion_model="exchange").dispersion()
+        assert fvmsw.geometry == "FVMSW"
+        assert exchange.geometry == "exchange"
+
+    def test_band_edge_decreases_with_width(self):
+        narrow = Waveguide(width=50e-9).band_edge()
+        wide = Waveguide(width=500e-9).band_edge()
+        assert wide < narrow
+
+    def test_width_mode_dispersion_shifts_band_edge(self):
+        plain = Waveguide(include_width_modes=False)
+        quantised = Waveguide(include_width_modes=True)
+        assert quantised.dispersion().frequency(0.0) > plain.dispersion().frequency(0.0)
+
+    def test_width_mode_dispersion_composition(self):
+        waveguide = Waveguide(include_width_modes=True)
+        dispersion = waveguide.dispersion()
+        assert isinstance(dispersion, WidthModeDispersion)
+        base = Waveguide().dispersion()
+        k_x = 1e8
+        k_total = math.hypot(k_x, dispersion.k_y)
+        assert dispersion.frequency(k_x) == pytest.approx(
+            base.frequency(k_total)
+        )
+
+    def test_scaled_copies_and_overrides(self):
+        waveguide = Waveguide()
+        wider = waveguide.scaled(width=200e-9)
+        assert wider.width == 200e-9
+        assert wider.thickness == waveguide.thickness
+        assert wider.dispersion_model == waveguide.dispersion_model
+
+    def test_cross_section(self):
+        assert Waveguide().cross_section_area() == pytest.approx(50e-18)
+
+    def test_describe(self):
+        assert "50 nm" in Waveguide().describe()
+
+
+class TestWaveSourceDetector:
+    def test_source_validation(self):
+        with pytest.raises(SimulationError):
+            WaveSource(position=0.0, frequency=-1e9)
+        with pytest.raises(SimulationError):
+            WaveSource(position=0.0, frequency=1e9, amplitude=-1.0)
+
+    def test_detector_defaults(self):
+        detector = Detector(position=1e-6)
+        assert detector.label == ""
+
+
+class TestLinearModel:
+    def setup_method(self):
+        self.waveguide = Waveguide()
+        self.model = LinearWaveguideModel(self.waveguide)
+        self.f = 10e9
+
+    def test_causality_before_arrival(self):
+        source = WaveSource(position=0.0, frequency=self.f)
+        _, v_g, _ = self.model.wave_parameters(self.f)
+        distance = 500e-9
+        arrival = distance / v_g
+        t = np.linspace(0, arrival * 0.9, 200)
+        trace = self.model.trace([source], distance, t)
+        np.testing.assert_allclose(trace, 0.0)
+
+    def test_steady_amplitude_attenuated(self):
+        source = WaveSource(position=0.0, frequency=self.f, amplitude=1.0)
+        k, v_g, length = self.model.wave_parameters(self.f)
+        distance = 300e-9
+        arrival = distance / v_g
+        t = np.linspace(arrival + 1e-10, arrival + 2e-9, 4000)
+        trace = self.model.trace([source], distance, t)
+        expected = math.exp(-distance / length)
+        assert np.max(np.abs(trace)) == pytest.approx(expected, rel=1e-2)
+
+    def test_wave_parameters_match_physics(self):
+        dispersion = self.waveguide.dispersion()
+        k, v_g, length = self.model.wave_parameters(self.f)
+        assert k == pytest.approx(
+            wavenumber_for_frequency(dispersion, self.f)
+        )
+        assert length == pytest.approx(attenuation_length(dispersion, k))
+        assert v_g > 0
+
+    def test_propagation_phase(self):
+        # One wavelength downstream the signal repeats the source phase.
+        source = WaveSource(position=0.0, frequency=self.f, phase=0.3)
+        k, v_g, _ = self.model.wave_parameters(self.f)
+        wavelength = 2 * math.pi / k
+        t_start = 2 * wavelength / v_g + 2e-10
+        t = np.arange(0, t_start + 2e-9, 1.0 / (32 * self.f))
+        trace = self.model.trace([source], wavelength, t)
+        measured = phase_at(t, trace, self.f, t_start=t_start)
+        assert measured == pytest.approx(0.3, abs=0.02)
+
+    def test_destructive_interference(self):
+        # Two equal sources at the same spot, opposite phases: silence.
+        sources = [
+            WaveSource(position=0.0, frequency=self.f, phase=0.0),
+            WaveSource(position=0.0, frequency=self.f, phase=math.pi),
+        ]
+        t = np.linspace(0, 2e-9, 2000)
+        trace = self.model.trace(sources, 200e-9, t)
+        np.testing.assert_allclose(trace, 0.0, atol=1e-12)
+
+    def test_different_frequencies_superpose(self):
+        sources = [
+            WaveSource(position=0.0, frequency=10e9),
+            WaveSource(position=0.0, frequency=20e9),
+        ]
+        t = np.linspace(1e-9, 3e-9, 4000)
+        combined = self.model.trace(sources, 100e-9, t)
+        individual = sum(
+            self.model.trace([s], 100e-9, t) for s in sources
+        )
+        np.testing.assert_allclose(combined, individual, atol=1e-12)
+
+    def test_run_returns_all_detectors(self):
+        sources = [WaveSource(position=0.0, frequency=self.f)]
+        detectors = [Detector(100e-9, "a"), Detector(200e-9, "b")]
+        result = self.model.run(sources, detectors, duration=1e-9)
+        assert set(result["traces"]) == {"a", "b"}
+        assert result["t"].shape == result["traces"]["a"].shape
+
+    def test_run_validation(self):
+        source = WaveSource(position=0.0, frequency=self.f)
+        detector = Detector(100e-9)
+        with pytest.raises(SimulationError):
+            self.model.run([], [detector], 1e-9)
+        with pytest.raises(SimulationError):
+            self.model.run([source], [], 1e-9)
+        with pytest.raises(SimulationError):
+            self.model.run([source], [detector], -1e-9)
+
+    def test_steady_state_phasor_matches_trace(self):
+        sources = [
+            WaveSource(position=0.0, frequency=self.f, phase=0.0),
+            WaveSource(position=50e-9, frequency=self.f, phase=math.pi),
+            WaveSource(position=100e-9, frequency=20e9, phase=0.0),
+        ]
+        position = 400e-9
+        phasor = self.model.steady_state_phasor(sources, position, self.f)
+        t = np.arange(0, 4e-9, 1.0 / (64 * 20e9))
+        trace = self.model.trace(sources, position, t)
+        measured_phase = phase_at(t, trace, self.f, t_start=2e-9)
+        expected_phase = math.atan2(phasor.imag, phasor.real)
+        wrapped = (measured_phase - expected_phase + math.pi) % (2 * math.pi) - math.pi
+        assert wrapped == pytest.approx(0.0, abs=0.05)
+
+    def test_phasor_excludes_other_frequencies(self):
+        sources = [
+            WaveSource(position=0.0, frequency=10e9, amplitude=2.0),
+            WaveSource(position=0.0, frequency=20e9, amplitude=5.0),
+        ]
+        z10 = self.model.steady_state_phasor(sources, 100e-9, 10e9)
+        only10 = self.model.steady_state_phasor(sources[:1], 100e-9, 10e9)
+        assert z10 == pytest.approx(only10)
+
+    def test_front_smoothing_validation(self):
+        with pytest.raises(SimulationError):
+            LinearWaveguideModel(self.waveguide, front_smoothing=-1.0)
+
+
+class TestSignalHelpers:
+    def test_time_grid(self):
+        t = time_grid(1e-9, 10e9)
+        assert len(t) == 10
+        assert t[1] - t[0] == pytest.approx(1e-10)
+
+    def test_time_grid_validation(self):
+        with pytest.raises(SimulationError):
+            time_grid(-1.0, 1e9)
+        with pytest.raises(SimulationError):
+            time_grid(1e-9, 0.0)
+        with pytest.raises(SimulationError):
+            time_grid(1e-10, 1e9)  # < 2 samples
+
+    def test_superpose(self):
+        a = np.ones(5)
+        b = 2 * np.ones(5)
+        np.testing.assert_allclose(superpose([a, b]), 3.0)
+
+    def test_superpose_validation(self):
+        with pytest.raises(SimulationError):
+            superpose([])
+        with pytest.raises(SimulationError):
+            superpose([np.ones(3), np.ones(4)])
+
+    def test_nyquist_ok(self):
+        assert nyquist_ok(100e9, 10e9)
+        assert not nyquist_ok(30e9, 10e9)
+
+
+class TestNoiseModel:
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            NoiseModel(amplitude_sigma=-0.1)
+
+    def test_deterministic_given_seed(self):
+        sources = [WaveSource(position=0.0, frequency=1e10)]
+        noise = NoiseModel(amplitude_sigma=0.1, phase_sigma=0.1, seed=42)
+        a = noise.perturb_sources(sources)
+        b = noise.perturb_sources(sources)
+        assert a[0].amplitude == b[0].amplitude
+        assert a[0].phase == b[0].phase
+
+    def test_zero_sigmas_identity(self):
+        sources = [WaveSource(position=1e-9, frequency=1e10, phase=0.5)]
+        noise = NoiseModel()
+        out = noise.perturb_sources(sources)
+        assert out[0] == sources[0]
+
+    def test_amplitude_never_negative(self):
+        sources = [WaveSource(position=0.0, frequency=1e10, amplitude=0.01)]
+        noise = NoiseModel(amplitude_sigma=5.0, seed=0)
+        for _ in range(10):
+            out = noise.perturb_sources(sources)
+            assert out[0].amplitude >= 0.0
+
+    def test_trace_noise_statistics(self):
+        noise = NoiseModel(trace_sigma=0.1, seed=3)
+        trace = np.zeros(50_000)
+        noisy = noise.perturb_trace(trace)
+        assert np.std(noisy) == pytest.approx(0.1, rel=0.05)
+
+    def test_trace_untouched_without_sigma(self):
+        noise = NoiseModel()
+        trace = np.random.default_rng(0).normal(size=100)
+        out = noise.perturb_trace(trace)
+        np.testing.assert_array_equal(out, trace)
+        assert out is not trace  # still a copy
