@@ -23,11 +23,19 @@ def lock_in(t, signal, frequency, t_start=0.0, t_stop=None):
 
     The window is automatically truncated to an integer number of carrier
     periods to suppress leakage from the window edges.
+
+    ``signal`` may also be a 2-D ``(n_traces, n_samples)`` batch sharing
+    the one time grid ``t``; the lock-in then returns an ``(n_traces,)``
+    complex array (the reference waveform is built once and the
+    integration is a single matrix-vector product).
     """
     t = np.asarray(t, dtype=float)
     signal = np.asarray(signal, dtype=float)
-    if t.shape != signal.shape or t.ndim != 1:
-        raise ReadoutError("t and signal must be equal-length 1-D arrays")
+    if t.ndim != 1 or signal.ndim not in (1, 2) or signal.shape[-1] != t.shape[0]:
+        raise ReadoutError(
+            "t must be 1-D and signal 1-D or (n_traces, n_samples) with "
+            "a matching sample axis"
+        )
     if frequency <= 0:
         raise ReadoutError(f"frequency must be positive, got {frequency!r}")
     if t_stop is None:
@@ -39,7 +47,7 @@ def lock_in(t, signal, frequency, t_start=0.0, t_stop=None):
             "than 8 samples"
         )
     tw = t[mask]
-    sw = signal[mask]
+    sw = signal[..., mask]
     # Truncate to an integer number of periods.
     period = 1.0 / frequency
     n_periods = int((tw[-1] - tw[0]) / period)
@@ -51,10 +59,10 @@ def lock_in(t, signal, frequency, t_start=0.0, t_stop=None):
     t_end = tw[0] + n_periods * period
     keep = tw <= t_end
     tw = tw[keep]
-    sw = sw[keep]
+    sw = sw[..., keep]
     reference = np.exp(-2j * np.pi * frequency * tw)
     dt = tw[1] - tw[0]
-    integral = np.sum(sw * reference) * dt
+    integral = sw @ reference * dt
     duration = tw[-1] - tw[0] + dt
     return 2.0 * integral / duration
 

@@ -20,7 +20,6 @@ they only shrink the analogue margin, motivating parametric tests.
 
 import math
 from dataclasses import dataclass, replace
-from itertools import product
 
 from repro.errors import EncodingError, ReproError
 from repro.core.simulate import GateSimulator
@@ -130,12 +129,25 @@ def default_patterns(gate):
 
     For an m-input gate this is 2^m word-tuples where every channel of
     input j carries the same bit -- the natural functional test set for
-    a bit-sliced gate.
+    a bit-sliced gate (delegates to
+    :meth:`~repro.core.gate.DataParallelGate.exhaustive_patterns`).
     """
-    patterns = []
-    for bits in product((0, 1), repeat=gate.n_data_inputs):
-        patterns.append([[b] * gate.n_bits for b in bits])
-    return patterns
+    return gate.exhaustive_patterns()
+
+
+def _batch_responses(simulator, patterns):
+    """Decoded words of ``simulator`` over ``patterns``, batched.
+
+    One vectorised :meth:`~repro.core.simulate.GateSimulator.run_phasor_batch`
+    call evaluates the whole pattern set; entries whose decode fails
+    (a fault silenced a phase-readout channel outright) come back as
+    ``[None] * n_bits`` so callers can still compare words.
+    """
+    runs = simulator.run_phasor_batch(patterns, strict=False)
+    return [
+        run.decoded if run is not None else [None] * simulator.gate.n_bits
+        for run in runs
+    ]
 
 
 def parametric_coverage(
@@ -167,7 +179,7 @@ def parametric_coverage(
         )
 
     golden_sim = GateSimulator(gate)
-    golden_runs = [golden_sim.run_phasor(words) for words in patterns]
+    golden_runs = golden_sim.run_phasor_batch(patterns)
     golden_amplitudes = [
         [decode.amplitude for decode in run.decodes] for run in golden_runs
     ]
@@ -177,14 +189,13 @@ def parametric_coverage(
     undetected = []
     for fault in faults:
         simulator = FaultySimulator(gate, fault)
+        runs = simulator.run_phasor_batch(patterns, strict=False)
         hit = None
-        for pattern_index, words in enumerate(patterns):
-            try:
-                run = simulator.run_phasor(words)
-                amplitudes = [decode.amplitude for decode in run.decodes]
-            except ReproError:
+        for pattern_index, run in enumerate(runs):
+            if run is None:
                 hit = pattern_index  # channel died outright
                 break
+            amplitudes = [decode.amplitude for decode in run.decodes]
             reference = golden_amplitudes[pattern_index]
             deviation = max(
                 abs(a - r) for a, r in zip(amplitudes, reference)
@@ -225,14 +236,14 @@ def fault_coverage(gate, faults=None, patterns=None):
         raise EncodingError("need at least one test pattern")
 
     golden_sim = GateSimulator(gate)
-    golden = [golden_sim.run_phasor(words).decoded for words in patterns]
+    golden = [run.decoded for run in golden_sim.run_phasor_batch(patterns)]
 
     detected = []
     undetected = []
     for fault in faults:
+        responses = _batch_responses(FaultySimulator(gate, fault), patterns)
         hit = None
-        for pattern_index, words in enumerate(patterns):
-            response = simulate_fault(gate, fault, words)
+        for pattern_index, response in enumerate(responses):
             if response != golden[pattern_index]:
                 hit = pattern_index
                 break

@@ -159,6 +159,22 @@ class DataParallelGate:
             outputs.append(value)
         return outputs
 
+    def exhaustive_patterns(self):
+        """All ``2**n_data_inputs`` uniform word tuples of this gate.
+
+        Pattern ``(b1..bm)`` drives bit ``bj`` on every channel of input
+        ``j`` -- the natural exhaustive functional test set of a
+        bit-sliced gate, and the word list batched gate evaluation
+        (:meth:`~repro.core.simulate.GateSimulator.run_phasor_batch`)
+        consumes in one call.
+        """
+        from itertools import product
+
+        return [
+            [[b] * self.n_bits for b in bits]
+            for bits in product((0, 1), repeat=self.n_data_inputs)
+        ]
+
     def truth_table(self):
         """All (input bit tuple -> output bit) pairs for one channel.
 

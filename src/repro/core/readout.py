@@ -80,6 +80,7 @@ def decode_channel(
     amplitude_readout=False,
     amplitude_threshold=0.5,
     min_amplitude_ratio=0.05,
+    phasor=None,
 ):
     """Decode one channel from a detector trace.
 
@@ -105,10 +106,18 @@ def decode_channel(
     min_amplitude_ratio:
         Below this fraction of the reference, phase readout refuses to
         decode (the carrier is effectively absent).
+    phasor:
+        Optional precomputed complex phasor; skips the measurement.
+        Batched decoders measure a whole ``(n_traces, n_samples)`` block
+        with one vectorised lock-in and hand the per-trace phasors in
+        here, so the decision logic stays in one place.
 
     Returns a :class:`ChannelDecode`.
     """
-    z = measure_phasor(t, trace, frequency, t_start, method=method)
+    if phasor is None:
+        z = measure_phasor(t, trace, frequency, t_start, method=method)
+    else:
+        z = complex(phasor)
     amplitude = abs(z)
 
     if amplitude_readout:

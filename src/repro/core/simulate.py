@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.encoding import PhaseEncoding
-from repro.core.readout import decode_channel
+from repro.core.readout import decode_channel, measure_phasor
 from repro.errors import SimulationError
 from repro.waveguide.linear_model import Detector, LinearWaveguideModel, WaveSource
 
@@ -203,30 +203,22 @@ class GateSimulator:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def run(self, words, duration=None, sample_rate=None, method="lockin"):
-        """Full time-domain evaluation: traces + decoded output word."""
-        sources = self.build_sources(words)
-        detectors = [
-            Detector(position=p, label=str(i))
-            for i, p in enumerate(self.layout.detector_positions)
-        ]
-        if duration is None:
-            duration = self.default_duration()
-        t_start = self.settle_time()
-        if t_start >= duration:
-            raise SimulationError(
-                f"duration {duration:.4g} s too short: settling alone needs "
-                f"{t_start:.4g} s"
-            )
-        result = self.model.run(sources, detectors, duration, sample_rate=sample_rate)
-        t = result["t"]
+    def _decode_trace_run(
+        self, words, t, trace_rows, t_start, method, noise, phasors=None
+    ):
+        """Decode one entry's per-channel traces into a :class:`GateRunResult`.
+
+        ``phasors`` optionally carries this entry's premeasured
+        per-channel phasors (from a batched lock-in); the decision logic
+        in :func:`~repro.core.readout.decode_channel` is shared either way.
+        """
         calibration = self.calibration()
         decodes = []
         traces = {}
         for channel in range(self.gate.n_bits):
-            trace = result["traces"][str(channel)]
-            if self.noise is not None:
-                trace = self.noise.perturb_trace(trace)
+            trace = trace_rows[channel]
+            if noise is not None:
+                trace = noise.perturb_trace(trace)
             traces[channel] = trace
             reference_phase, reference_amplitude = calibration[channel]
             decodes.append(
@@ -239,6 +231,7 @@ class GateSimulator:
                     t_start=t_start,
                     method=method,
                     amplitude_readout=self.gate.kind.uses_amplitude_readout,
+                    phasor=None if phasors is None else phasors[channel],
                 )
             )
         decoded = [d.bit for d in decodes]
@@ -251,42 +244,162 @@ class GateSimulator:
             traces=traces,
         )
 
+    def _decode_steady_phasor(self, z, channel):
+        """One channel's :class:`ChannelDecode` from its steady-state phasor."""
+        from repro.core.readout import ChannelDecode
+
+        reference_phase, reference_amplitude = self.calibration()[channel]
+        amplitude = abs(z)
+        if self.gate.kind.uses_amplitude_readout:
+            ratio = amplitude / reference_amplitude
+            bit = int(ratio < 0.5)
+            margin = abs(ratio - 0.5)
+            phase = (
+                _wrap(cmath.phase(z) - reference_phase) if amplitude else 0.0
+            )
+        else:
+            if amplitude == 0:
+                raise SimulationError(
+                    f"zero steady-state amplitude on channel {channel}"
+                )
+            phase = _wrap(cmath.phase(z) - reference_phase)
+            bit = int(abs(phase) > 0.5 * math.pi)
+            margin = abs(abs(phase) - 0.5 * math.pi)
+        return ChannelDecode(
+            bit=bit, phase=phase, amplitude=amplitude, margin=margin
+        )
+
+    def _batch_sources(self, words_batch, noises=None):
+        """Source lists for every entry, with optional per-entry noise.
+
+        ``noises`` (when given) must match ``words_batch`` in length and
+        temporarily replaces :attr:`noise` entry by entry, so a batch can
+        carry independent noise realisations (one Monte-Carlo trial per
+        entry) through one vectorised evaluation.
+        """
+        words_batch = list(words_batch)
+        if noises is None:
+            noises = [self.noise] * len(words_batch)
+        else:
+            noises = list(noises)
+            if len(noises) != len(words_batch):
+                raise SimulationError(
+                    f"{len(noises)} noise models for {len(words_batch)} "
+                    "word sets"
+                )
+        source_sets = []
+        saved = self.noise
+        try:
+            for words, noise in zip(words_batch, noises):
+                self.noise = noise
+                source_sets.append(self.build_sources(words))
+        finally:
+            self.noise = saved
+        return words_batch, noises, source_sets
+
+    def _trace_window(self, duration):
+        if duration is None:
+            duration = self.default_duration()
+        t_start = self.settle_time()
+        if t_start >= duration:
+            raise SimulationError(
+                f"duration {duration:.4g} s too short: settling alone needs "
+                f"{t_start:.4g} s"
+            )
+        return duration, t_start
+
+    def run(self, words, duration=None, sample_rate=None, method="lockin"):
+        """Full time-domain evaluation: traces + decoded output word."""
+        sources = self.build_sources(words)
+        detectors = [
+            Detector(position=p, label=str(i))
+            for i, p in enumerate(self.layout.detector_positions)
+        ]
+        duration, t_start = self._trace_window(duration)
+        result = self.model.run(sources, detectors, duration, sample_rate=sample_rate)
+        trace_rows = [
+            result["traces"][str(channel)]
+            for channel in range(self.gate.n_bits)
+        ]
+        return self._decode_trace_run(
+            words, result["t"], trace_rows, t_start, method, self.noise
+        )
+
+    def run_batch(
+        self,
+        words_batch,
+        duration=None,
+        sample_rate=None,
+        method="lockin",
+        noises=None,
+    ):
+        """Time-domain evaluation of many input words in one batch.
+
+        All entries share one time grid; the per-detector traces of the
+        whole batch are generated as an ``(n_words, n_samples)`` block by
+        :meth:`~repro.waveguide.linear_model.LinearWaveguideModel.trace_batch`
+        (two matrix products when the batch shares its geometry), then
+        each entry decodes exactly as :meth:`run` would.  Returns a list
+        of :class:`GateRunResult`, one per entry of ``words_batch``.
+        """
+        words_batch, noises, source_sets = self._batch_sources(
+            words_batch, noises
+        )
+        detectors = [
+            Detector(position=p, label=str(i))
+            for i, p in enumerate(self.layout.detector_positions)
+        ]
+        duration, t_start = self._trace_window(duration)
+        result = self.model.run_batch(
+            source_sets, detectors, duration, sample_rate=sample_rate
+        )
+        t = result["t"]
+        # One vectorised lock-in per channel covers the whole batch when
+        # no per-trace noise would change the measurement.
+        batch_phasors = None
+        if method == "lockin" and all(
+            noise is None or noise.trace_sigma == 0 for noise in noises
+        ):
+            batch_phasors = [
+                measure_phasor(
+                    t,
+                    result["traces"][str(channel)],
+                    self.layout.plan.frequencies[channel],
+                    t_start,
+                    method=method,
+                )
+                for channel in range(self.gate.n_bits)
+            ]
+        results = []
+        for entry, (words, noise) in enumerate(zip(words_batch, noises)):
+            trace_rows = [
+                result["traces"][str(channel)][entry]
+                for channel in range(self.gate.n_bits)
+            ]
+            phasors = None
+            if batch_phasors is not None:
+                phasors = [column[entry] for column in batch_phasors]
+            results.append(
+                self._decode_trace_run(
+                    words, t, trace_rows, t_start, method, noise, phasors
+                )
+            )
+        return results
+
     def run_phasor(self, words):
         """Fast steady-state evaluation (no traces): phasor arithmetic only.
 
         Orders of magnitude faster than :meth:`run`; used by the
         scalability sweeps.  Noise (if any) applies to the sources.
         """
-        from repro.core.readout import ChannelDecode
-
         sources = self.build_sources(words)
-        calibration = self.calibration()
         decodes = []
         for channel in range(self.gate.n_bits):
             frequency = self.layout.plan.frequencies[channel]
             z = self.model.steady_state_phasor(
                 sources, self.layout.detector_positions[channel], frequency
             )
-            reference_phase, reference_amplitude = calibration[channel]
-            amplitude = abs(z)
-            if self.gate.kind.uses_amplitude_readout:
-                ratio = amplitude / reference_amplitude
-                bit = int(ratio < 0.5)
-                margin = abs(ratio - 0.5)
-                phase = (
-                    _wrap(cmath.phase(z) - reference_phase) if amplitude else 0.0
-                )
-            else:
-                if amplitude == 0:
-                    raise SimulationError(
-                        f"zero steady-state amplitude on channel {channel}"
-                    )
-                phase = _wrap(cmath.phase(z) - reference_phase)
-                bit = int(abs(phase) > 0.5 * math.pi)
-                margin = abs(abs(phase) - 0.5 * math.pi)
-            decodes.append(
-                ChannelDecode(bit=bit, phase=phase, amplitude=amplitude, margin=margin)
-            )
+            decodes.append(self._decode_steady_phasor(z, channel))
         decoded = [d.bit for d in decodes]
         return GateRunResult(
             words=[list(w) for w in words],
@@ -294,6 +407,50 @@ class GateSimulator:
             expected=self.gate.expected_output(words),
             decodes=decodes,
         )
+
+    def run_phasor_batch(self, words_batch, noises=None, strict=True):
+        """Steady-state evaluation of many input words in one batch.
+
+        The per-channel phasors of the whole batch are computed
+        vectorised; each entry then decodes exactly as :meth:`run_phasor`
+        would.  Returns a list of :class:`GateRunResult` aligned with
+        ``words_batch``.  With ``strict=False``, an entry whose decode
+        fails (e.g. a fault silenced a phase-readout channel) yields
+        ``None`` instead of raising, so sweeps over degraded gates keep
+        their batch shape.
+        """
+        words_batch, _, source_sets = self._batch_sources(words_batch, noises)
+        stacked = self.model.stack_sources(source_sets)
+        n_bits = self.gate.n_bits
+        phasors = np.empty((len(source_sets), n_bits), dtype=complex)
+        for channel in range(n_bits):
+            phasors[:, channel] = self.model.steady_state_phasor_batch(
+                stacked,
+                self.layout.detector_positions[channel],
+                self.layout.plan.frequencies[channel],
+            )
+        results = []
+        for entry, words in enumerate(words_batch):
+            try:
+                decodes = [
+                    self._decode_steady_phasor(complex(phasors[entry, c]), c)
+                    for c in range(n_bits)
+                ]
+            except SimulationError:
+                if strict:
+                    raise
+                results.append(None)
+                continue
+            decoded = [d.bit for d in decodes]
+            results.append(
+                GateRunResult(
+                    words=[list(w) for w in words],
+                    decoded=decoded,
+                    expected=self.gate.expected_output(words),
+                    decodes=decodes,
+                )
+            )
+        return results
 
 
 def _wrap(phase):
@@ -412,4 +569,8 @@ def build_micromagnetic_simulation(
                 label=f"ch{channel}", x=(centre - half, centre + half)
             )
         )
+    # Pre-build the zero-allocation LLG workspace (kernels.LLGWorkspace)
+    # now that the term list is final, so the first run() step pays no
+    # buffer allocation.
+    sim.ensure_workspace()
     return sim, probes

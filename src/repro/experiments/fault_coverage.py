@@ -15,6 +15,11 @@ invisible* to logic testing in the noiseless interference model (the
 phasors stay colinear, so every decision is still cast correctly), yet
 trivially caught by a 10%-tolerance amplitude measurement -- SW gate
 production test needs a parametric component.
+
+Each fault's full pattern set is evaluated through the batched phasor
+backend (:meth:`~repro.core.simulate.GateSimulator.run_phasor_batch` via
+:mod:`repro.core.faults`): one vectorised call per fault instead of a
+per-pattern simulation loop.
 """
 
 from repro.analysis.tables import render_table

@@ -13,7 +13,6 @@ import numpy as np
 from repro.analysis.tables import render_table
 from repro.core.encoding import int_to_bits
 from repro.core.simulate import GateSimulator
-from repro.errors import ReproError
 from repro.mm.thermal import thermal_phase_noise_sigma
 from repro.waveguide import NoiseModel
 
@@ -21,25 +20,29 @@ DEFAULT_SIGMAS = (0.0, 0.05, 0.1, 0.2, 0.4, 0.8)
 
 
 def _word_error_rate(gate, noise_builder, sigmas, n_trials, rng):
+    """Error rate per sigma; all trials of one sigma run as one batch.
+
+    Each batch entry carries its own noise realisation (``seed=trial``),
+    so the Monte-Carlo draw order matches the historical one-simulator-
+    per-trial loop exactly; ``strict=False`` maps outright gate failures
+    (e.g. every source of a channel noise-clipped to zero amplitude) to
+    ``None`` entries, which count as word errors.
+    """
+    simulator = GateSimulator(gate)
     rates = []
     for sigma in sigmas:
-        errors = 0
-        for trial in range(n_trials):
-            words = [
+        words_batch = [
+            [
                 int_to_bits(int(rng.integers(1 << gate.n_bits)), gate.n_bits)
                 for _ in range(gate.n_data_inputs)
             ]
-            simulator = GateSimulator(
-                gate, noise=noise_builder(sigma, seed=trial)
-            )
-            try:
-                correct = simulator.run_phasor(words).correct
-            except ReproError:
-                # e.g. every source of a channel noise-clipped to zero
-                # amplitude: the gate has failed outright.
-                correct = False
-            if not correct:
-                errors += 1
+            for _ in range(n_trials)
+        ]
+        noises = [noise_builder(sigma, seed=trial) for trial in range(n_trials)]
+        runs = simulator.run_phasor_batch(
+            words_batch, noises=noises, strict=False
+        )
+        errors = sum(1 for run in runs if run is None or not run.correct)
         rates.append(errors / n_trials)
     return rates
 

@@ -12,12 +12,52 @@ performs for the paper's validation runs.  It provides:
 * fixed-step RK4 and adaptive RKF45 integrators,
 * :class:`~repro.mm.sim.Simulation` -- the driver that wires everything
   together with probes recording time series.
+
+Kernel architecture
+-------------------
+
+The hot path is allocation-free.  Two parallel APIs coexist:
+
+* The **reference (allocating) API** -- ``FieldTerm.field(state, t)``
+  returns a fresh ``(nx, ny, nz, 3)`` array, :func:`~repro.mm.llg.llg_rhs`
+  composes them, and :func:`~repro.mm.integrators.integrate` steps with
+  per-stage temporaries.  Simple, independently testable, and the ground
+  truth the kernel-equivalence tests compare against.
+* The **kernel (in-place) API** -- :class:`~repro.mm.kernels.LLGWorkspace`
+  preallocates every scratch array for a mesh once; field terms
+  *accumulate* into its shared field buffer through
+  ``FieldTerm.add_field_into(state, out, t)`` and the fused
+  :func:`~repro.mm.kernels.llg_rhs_from_field_into` computes both LLG
+  cross products plus the damping combination without temporaries.  The
+  buffer-reusing integrators (:func:`~repro.mm.integrators.rk4_step_into`,
+  :func:`~repro.mm.integrators.rkf45_step_into`,
+  :func:`~repro.mm.integrators.integrate_into`) evaluate every
+  Runge-Kutta stage into one :class:`~repro.mm.integrators.RKScratch`.
+  :meth:`Simulation.run <repro.mm.sim.Simulation.run>` and
+  :class:`~repro.mm.thermal.ThermalLangevinRun` drive this path.
+
+The ``add_field_into`` contract: ``out`` has shape ``(nx, ny, nz, 3)``
+and already holds the sum of previously applied terms; implementations
+must **add** their H contribution [A/m] into it (never overwrite), must
+not retain a reference to ``out`` across calls, and must return ``out``.
+The :class:`~repro.mm.fields.base.FieldTerm` base class falls back to
+``out += self.field(state, t)``, so third-party terms work unchanged and
+only opt into fused kernels for speed.
 """
 
 from repro.mm.mesh import Mesh
 from repro.mm.state import State
 from repro.mm.llg import llg_rhs
-from repro.mm.integrators import rk4_step, rkf45_step, integrate
+from repro.mm.integrators import (
+    RKScratch,
+    integrate,
+    integrate_into,
+    rk4_step,
+    rk4_step_into,
+    rkf45_step,
+    rkf45_step_into,
+)
+from repro.mm.kernels import LLGWorkspace
 from repro.mm.sim import Simulation
 from repro.mm.probes import PointProbe, RegionProbe
 from repro.mm.sources import (
@@ -45,9 +85,14 @@ __all__ = [
     "Mesh",
     "State",
     "llg_rhs",
+    "RKScratch",
     "rk4_step",
+    "rk4_step_into",
     "rkf45_step",
+    "rkf45_step_into",
     "integrate",
+    "integrate_into",
+    "LLGWorkspace",
     "Simulation",
     "PointProbe",
     "RegionProbe",

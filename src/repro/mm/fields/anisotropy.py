@@ -44,6 +44,33 @@ class UniaxialAnisotropyField(FieldTerm):
         projection = np.einsum("...i,i->...", state.m, axis)
         return prefactor * projection[..., np.newaxis] * axis
 
+    def add_field_into(self, state, out, t=0.0):
+        """In-place accumulation: projection and outer product via views."""
+        ku, axis = self._params(state)
+        prefactor = 2.0 * ku / (MU0 * state.material.ms)
+        m = state.m
+        projection, scaled = self._scratch(m.shape[:-1], n=2)
+        np.multiply(m[..., 0], axis[0], out=projection)
+        for comp in (1, 2):
+            if axis[comp] != 0.0:
+                np.multiply(m[..., comp], axis[comp], out=scaled)
+                projection += scaled
+        for comp in range(3):
+            coefficient = prefactor * axis[comp]
+            if coefficient != 0.0:
+                np.multiply(projection, coefficient, out=scaled)
+                out[..., comp] += scaled
+        return out
+
+    def cell_linear_operator(self, state):
+        """``(2*Ku/(mu0*Ms)) * u u^T`` -- the per-cell linear form of
+        ``H_ani = prefactor * (m . u) * u`` (enables workspace fusion)."""
+        ku, axis = self._params(state)
+        if np.ndim(ku) != 0:
+            return None  # per-cell Ku cannot merge into one matrix
+        prefactor = 2.0 * float(ku) / (MU0 * state.material.ms)
+        return prefactor * np.outer(axis, axis)
+
     def energy(self, state, t=0.0):
         """E = Ku * sum (1 - (m.u)^2) * V_cell  (zero when aligned)."""
         ku, axis = self._params(state)

@@ -44,13 +44,42 @@ class AppliedField(FieldTerm):
         self.waveform = waveform
 
     def field(self, state, t=0.0):
-        if self.mask.shape != state.mesh.shape:
-            raise FieldError(
-                f"mask shape {self.mask.shape} does not match mesh "
-                f"{state.mesh.shape}"
-            )
+        self._check_mask(state)
         h = np.zeros(state.mesh.shape + (3,), dtype=float)
         amplitude = float(self.waveform(t))
         if amplitude != 0.0:
             h[self.mask] = amplitude * self.direction
         return h
+
+    def _check_mask(self, state):
+        if self.mask.shape != state.mesh.shape:
+            raise FieldError(
+                f"mask shape {self.mask.shape} does not match mesh "
+                f"{state.mesh.shape}"
+            )
+
+    def add_field_into(self, state, out, t=0.0):
+        """Accumulate the excitation only over the masked cells.
+
+        The flat cell indices of the mask are resolved once and cached,
+        so each call touches ``n_masked * 3`` elements instead of
+        allocating and summing a full-mesh array.
+        """
+        self._check_mask(state)
+        amplitude = float(self.waveform(t))
+        if amplitude == 0.0:
+            return out
+        if not out.flags.c_contiguous:
+            # reshape would copy and the accumulation would be lost
+            out[self.mask] += amplitude * self.direction
+            return out
+        indices = getattr(self, "_mask_indices", None)
+        if indices is None:
+            indices = np.flatnonzero(self.mask.reshape(-1))
+            self._mask_indices = indices
+        flat = out.reshape(-1, 3)
+        for comp in range(3):
+            component = amplitude * self.direction[comp]
+            if component != 0.0:
+                flat[indices, comp] += component
+        return out

@@ -16,6 +16,14 @@ class FieldTerm:
     which is correct for self-consistent bilinear terms (exchange,
     anisotropy, demag); terms linear in ``m`` (Zeeman, applied) override
     the prefactor via :attr:`energy_prefactor` = 1.
+
+    Terms participate in the zero-allocation kernel path through
+    :meth:`add_field_into`, which *accumulates* the contribution into a
+    caller-owned buffer.  The base implementation falls back to
+    ``out += self.field(state, t)`` so any third-party term works
+    unchanged; the built-in terms override it with fused in-place
+    kernels (scratch arrays are cached per mesh shape via
+    :meth:`_scratch`).
     """
 
     #: 0.5 for bilinear terms (double counting), 1.0 for linear terms.
@@ -27,6 +35,48 @@ class FieldTerm:
     def field(self, state, t=0.0):
         """Return this term's H contribution, shape ``(nx, ny, nz, 3)`` [A/m]."""
         raise NotImplementedError
+
+    def add_field_into(self, state, out, t=0.0):
+        """Accumulate this term's H contribution into ``out`` [A/m].
+
+        ``out`` has shape ``(nx, ny, nz, 3)`` and already holds the sum
+        of previously applied terms; implementations must *add* to it
+        (never overwrite) and must not retain a reference to it.
+        Returns ``out``.
+        """
+        out += self.field(state, t)
+        return out
+
+    def cell_linear_operator(self, state):
+        """Optional ``(3, 3)`` matrix ``A`` with ``H = A @ m`` per cell.
+
+        Terms whose field is the same time-independent linear map of the
+        local magnetisation in every cell (uniaxial anisotropy, local
+        demag tensors) return it here so
+        :class:`~repro.mm.kernels.LLGWorkspace` can fuse them -- all such
+        terms sum into a single matrix applied as one BLAS product per
+        field evaluation.  The matrix must depend only on the state's
+        material (and the term's own constants); return ``None`` (the
+        default) for everything else.
+        """
+        return None
+
+    def _scratch(self, shape, n=1, dtype=float):
+        """Per-term scratch arrays of ``shape``, cached across calls.
+
+        Returns a tuple of ``n`` arrays (uninitialised).  The cache is
+        keyed on ``(shape, n, dtype)`` so a term reused across meshes
+        stays correct; the common case (one term, one mesh) allocates
+        exactly once.
+        """
+        key = (shape, n, np.dtype(dtype).str)
+        cache = getattr(self, "_scratch_cache", None)
+        if cache is None:
+            cache = {}
+            self._scratch_cache = cache
+        if key not in cache:
+            cache[key] = tuple(np.empty(shape, dtype=dtype) for _ in range(n))
+        return cache[key]
 
     def energy(self, state, t=0.0):
         """Total energy of this term [J]."""

@@ -21,6 +21,8 @@ class DemagField(FieldTerm):
     each field evaluation costs 3 forward and 3 inverse real FFTs.
     """
 
+    _TENSOR_ROWS = (("xx", "xy", "xz"), ("xy", "yy", "yz"), ("xz", "yz", "zz"))
+
     def __init__(self, mesh):
         self.mesh = mesh
         self._padded = tuple(2 * n if n > 1 else 1 for n in mesh.shape)
@@ -30,30 +32,61 @@ class DemagField(FieldTerm):
             key: np.fft.rfftn(component, s=self._padded, axes=self._axes)
             for key, component in tensor.items()
         }
+        # Reusable FFT input / spectral accumulation buffers: the zero
+        # padding of ``_pad`` is written once here and never touched
+        # again (field evaluations only overwrite the [:nx,:ny,:nz]
+        # corner), so each call performs no allocation beyond what
+        # ``np.fft`` itself returns.
+        spectral_shape = self._n_hat["xx"].shape
+        self._pad = np.zeros(self._padded, dtype=float)
+        self._m_hat = [None, None, None]
+        self._acc = np.empty(spectral_shape, dtype=complex)
+        self._spec_tmp = np.empty(spectral_shape, dtype=complex)
 
-    def field(self, state, t=0.0):
+    def _check_state(self, state):
         if state.mesh.shape != self.mesh.shape:
             raise ValueError(
                 f"state mesh {state.mesh.shape} does not match the mesh this "
                 f"DemagField was built for {self.mesh.shape}"
             )
-        ms = state.material.ms
-        m_hat = [
-            np.fft.rfftn(ms * state.m[..., comp], s=self._padded, axes=self._axes)
-            for comp in range(3)
-        ]
-        n = self._n_hat
-        h_hat = (
-            n["xx"] * m_hat[0] + n["xy"] * m_hat[1] + n["xz"] * m_hat[2],
-            n["xy"] * m_hat[0] + n["yy"] * m_hat[1] + n["yz"] * m_hat[2],
-            n["xz"] * m_hat[0] + n["yz"] * m_hat[1] + n["zz"] * m_hat[2],
-        )
+
+    def _spectra(self, state):
+        """Forward FFTs of Ms*m, reusing the padded input buffer."""
         nx, ny, nz = self.mesh.shape
-        h = np.empty(self.mesh.shape + (3,), dtype=float)
+        ms = state.material.ms
+        corner = self._pad[:nx, :ny, :nz]
         for comp in range(3):
-            full = np.fft.irfftn(h_hat[comp], s=self._padded, axes=self._axes)
-            h[..., comp] = -full[:nx, :ny, :nz]
-        return h
+            np.multiply(state.m[..., comp], ms, out=corner)
+            self._m_hat[comp] = np.fft.rfftn(
+                self._pad, s=self._padded, axes=self._axes
+            )
+        return self._m_hat
+
+    def field(self, state, t=0.0):
+        h = np.empty(self.mesh.shape + (3,), dtype=float)
+        h.fill(0.0)
+        return self.add_field_into(state, h, t)
+
+    def add_field_into(self, state, out, t=0.0):
+        """Accumulate the FFT-convolution demag field into ``out``.
+
+        The padded real input buffer and the spectral accumulators are
+        reused across calls; the tensor contraction runs through in-place
+        ufuncs so only the unavoidable ``np.fft`` outputs allocate.
+        """
+        self._check_state(state)
+        m_hat = self._spectra(state)
+        nx, ny, nz = self.mesh.shape
+        acc, tmp = self._acc, self._spec_tmp
+        for comp, row in enumerate(self._TENSOR_ROWS):
+            np.multiply(self._n_hat[row[0]], m_hat[0], out=acc)
+            np.multiply(self._n_hat[row[1]], m_hat[1], out=tmp)
+            acc += tmp
+            np.multiply(self._n_hat[row[2]], m_hat[2], out=tmp)
+            acc += tmp
+            full = np.fft.irfftn(acc, s=self._padded, axes=self._axes)
+            out[..., comp] -= full[:nx, :ny, :nz]
+        return out
 
 
 class ThinFilmDemagField(FieldTerm):
@@ -80,3 +113,18 @@ class ThinFilmDemagField(FieldTerm):
         for comp in range(3):
             h[..., comp] = -ms * self.factors[comp] * state.m[..., comp]
         return h
+
+    def add_field_into(self, state, out, t=0.0):
+        """In-place accumulation of the diagonal demag tensor."""
+        ms = state.material.ms
+        (scaled,) = self._scratch(state.mesh.shape)
+        for comp in range(3):
+            factor = -ms * self.factors[comp]
+            if factor != 0.0:
+                np.multiply(state.m[..., comp], factor, out=scaled)
+                out[..., comp] += scaled
+        return out
+
+    def cell_linear_operator(self, state):
+        """``diag(-Ms * factors)`` (enables workspace fusion)."""
+        return np.diag(-state.material.ms * np.asarray(self.factors))

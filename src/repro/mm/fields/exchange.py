@@ -12,6 +12,56 @@ from repro.constants import MU0
 from repro.mm.fields.base import FieldTerm
 
 
+def _axis_index(axis, s):
+    """Index tuple selecting slice ``s`` along ``axis`` of an (x,y,z,3) array."""
+    index = [slice(None)] * 4
+    index[axis] = s
+    return tuple(index)
+
+
+#: Above this flattened trailing size ``ny * nz * 3`` the dense fused
+#: operator of :func:`trailing_laplacian_operator` stops paying for its
+#: extra FLOPs and the sliced stencil takes over.
+TRAILING_FUSE_LIMIT = 192
+
+
+def neumann_laplacian(n):
+    """Dense 1-D second-difference matrix with mirror (Neumann) ends.
+
+    Row ``i`` holds the ``[1, -2, 1]`` stencil; at the ends the mirrored
+    neighbour cancels one centre term, leaving ``[-1, 1]`` -- exactly the
+    boundary handling of :func:`_laplacian`.  Unscaled (multiply by
+    ``1/delta**2`` yourself).
+    """
+    matrix = np.zeros((n, n))
+    idx = np.arange(n)
+    matrix[idx, idx] = -2.0
+    matrix[idx[:-1], idx[:-1] + 1] = 1.0
+    matrix[idx[1:], idx[1:] - 1] = 1.0
+    matrix[0, 0] = -1.0
+    matrix[-1, -1] = -1.0
+    return matrix
+
+
+def trailing_laplacian_operator(ny, nz, scale_y, scale_z):
+    """Operator applying the scaled y/z Laplacian to the trailing index.
+
+    Acting on the flattened ``(ny*nz*3,)`` trailing block of a C-ordered
+    ``(nx, ny, nz, 3)`` array, so a mesh-wide application is one matrix
+    product ``m.reshape(nx, -1) @ op.T``.  Built via Kronecker products:
+    y varies slowest, the vector component fastest.
+    """
+    k = ny * nz * 3
+    op = np.zeros((k, k))
+    if scale_y != 0.0:
+        op += scale_y * np.kron(neumann_laplacian(ny), np.eye(nz * 3))
+    if scale_z != 0.0:
+        op += scale_z * np.kron(
+            np.eye(ny), np.kron(neumann_laplacian(nz), np.eye(3))
+        )
+    return op
+
+
 def _laplacian(m, deltas):
     """6-neighbour vector Laplacian with Neumann boundaries.
 
@@ -51,6 +101,95 @@ class ExchangeField(FieldTerm):
         mesh = state.mesh
         prefactor = 2.0 * self._aex(state) / (MU0 * state.material.ms)
         return prefactor * _laplacian(state.m, (mesh.dx, mesh.dy, mesh.dz))
+
+    def laplacian_scales(self, state):
+        """Per-axis stencil scales ``prefactor / delta**2`` (0 if inert).
+
+        This is the hook :class:`~repro.mm.kernels.LLGWorkspace` uses to
+        fold this term into its fused field evaluation.
+        """
+        mesh = state.mesh
+        prefactor = 2.0 * self._aex(state) / (MU0 * state.material.ms)
+        return tuple(
+            prefactor / delta**2 if n > 1 else 0.0
+            for n, delta in zip(mesh.shape, (mesh.dx, mesh.dy, mesh.dz))
+        )
+
+    def _accumulate_axis(self, m, out, axis, scale):
+        """``out += scale * laplacian_axis(m)`` via first differences.
+
+        Two diff passes give the interior second difference; the Neumann
+        boundary rows reduce to the first/last difference plane for free
+        (the mirrored neighbour cancels one centre term).
+        """
+        d_shape = list(m.shape)
+        d_shape[axis] -= 1
+        (d,) = self._scratch(tuple(d_shape))
+        (buf,) = self._scratch(m.shape)
+        np.subtract(
+            m[_axis_index(axis, slice(1, None))],
+            m[_axis_index(axis, slice(None, -1))],
+            out=d,
+        )
+        d *= scale
+        mid = _axis_index(axis, slice(1, -1))
+        np.subtract(
+            d[_axis_index(axis, slice(1, None))],
+            d[_axis_index(axis, slice(None, -1))],
+            out=buf[mid],
+        )
+        out[mid] += buf[mid]
+        head = _axis_index(axis, slice(0, 1))
+        tail = _axis_index(axis, slice(-1, None))
+        out[head] += d[head]
+        out[tail] -= d[tail]
+        return out
+
+    def _trailing_operator(self, shape, scale_y, scale_z):
+        """Cached transposed right-multiplication operator for y/z."""
+        key = (shape[1], shape[2], scale_y, scale_z)
+        cache = getattr(self, "_trailing_cache", None)
+        if cache is None:
+            cache = {}
+            self._trailing_cache = cache
+        if key not in cache:
+            cache[key] = np.ascontiguousarray(
+                trailing_laplacian_operator(
+                    shape[1], shape[2], scale_y, scale_z
+                ).T
+            )
+        return cache[key]
+
+    def add_field_into(self, state, out, t=0.0):
+        """Fused Laplacian accumulation (no roll copies).
+
+        The x stencil runs as two contiguous first-difference passes;
+        the y/z stencils collapse into one cached dense operator applied
+        as a single BLAS matrix product when the trailing block is small
+        (``ny*nz*3 <= TRAILING_FUSE_LIMIT``), falling back to sliced
+        differences otherwise.
+        """
+        m = state.m
+        if not (m.flags.c_contiguous and out.flags.c_contiguous):
+            out += self.field(state, t)
+            return out
+        scales = self.laplacian_scales(state)
+        if scales[0] != 0.0:
+            self._accumulate_axis(m, out, 0, scales[0])
+        if scales[1] == 0.0 and scales[2] == 0.0:
+            return out
+        k = m.shape[1] * m.shape[2] * 3
+        if k <= TRAILING_FUSE_LIMIT:
+            op = self._trailing_operator(m.shape, scales[1], scales[2])
+            (buf,) = self._scratch((m.shape[0], k))
+            np.matmul(m.reshape(m.shape[0], k), op, out=buf)
+            flat = out.reshape(m.shape[0], k)
+            flat += buf
+        else:
+            for axis in (1, 2):
+                if scales[axis] != 0.0:
+                    self._accumulate_axis(m, out, axis, scales[axis])
+        return out
 
     def max_stable_dt(self, state, safety=0.1):
         """Heuristic explicit-integration time-step limit [s].

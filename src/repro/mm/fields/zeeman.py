@@ -19,3 +19,8 @@ class ZeemanField(FieldTerm):
         out = np.empty(state.mesh.shape + (3,), dtype=float)
         out[...] = self.h
         return out
+
+    def add_field_into(self, state, out, t=0.0):
+        """Broadcast accumulation -- no intermediate full-mesh array."""
+        out += self.h
+        return out

@@ -17,7 +17,8 @@ import numpy as np
 
 from repro.errors import SimulationError
 from repro.mm.fields.exchange import ExchangeField
-from repro.mm.integrators import integrate
+from repro.mm.integrators import integrate_into
+from repro.mm.kernels import LLGWorkspace
 from repro.mm.llg import effective_field, llg_rhs_from_field, max_torque
 from repro.mm.probes import PointProbe, RegionProbe
 
@@ -49,6 +50,8 @@ class Simulation:
                 raise SimulationError("alpha_profile values must lie in (0, 1]")
         self.alpha_profile = alpha_profile
         self._steps_accepted = 0
+        self._workspace = None
+        self._workspace_key = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -79,11 +82,37 @@ class Simulation:
     # Dynamics
     # ------------------------------------------------------------------
     def _rhs(self, t, m):
+        """Reference (allocating) right-hand side; kept for equivalence
+        testing against the workspace path :meth:`ensure_workspace` drives."""
         self.state.m = m
         h = effective_field(self.state, self.terms, t)
         return llg_rhs_from_field(
             m, h, self.state.material, alpha=self.alpha_profile
         )
+
+    def ensure_workspace(self):
+        """The :class:`~repro.mm.kernels.LLGWorkspace` driving this sim.
+
+        Built lazily and rebuilt whenever the mesh, the term list, the
+        material or the damping profile changes, so ``add_term`` /
+        ``relax`` (which swaps the material) stay correct.  Calling this
+        before :meth:`run` pre-pays the buffer allocation.
+        """
+        key = (
+            self.state.mesh.shape,
+            tuple(id(term) for term in self.terms),
+            self.state.material,
+            id(self.alpha_profile),
+        )
+        if self._workspace is None or self._workspace_key != key:
+            self._workspace = LLGWorkspace(
+                self.state.mesh,
+                self.state.material,
+                self.terms,
+                alpha=self.alpha_profile,
+            )
+            self._workspace_key = key
+        return self._workspace
 
     def _after_step(self, t, m):
         self.state.m = m
@@ -104,24 +133,29 @@ class Simulation:
     def run(self, duration, dt, adaptive=False, tol=1e-4):
         """Integrate for ``duration`` seconds from the current time.
 
-        Probes record after every accepted step.  Returns self.
+        Drives the zero-allocation workspace path: every RK stage and
+        field term evaluates into :class:`~repro.mm.kernels.LLGWorkspace`
+        buffers.  Probes record after every accepted step.  Returns self.
         """
         if duration <= 0:
             raise SimulationError(f"duration must be positive, got {duration!r}")
         if not self.terms:
             raise SimulationError("no field terms configured")
+        workspace = self.ensure_workspace()
         t_end = self.t + duration
-        _, m = integrate(
-            self._rhs,
+        y = np.ascontiguousarray(self.state.m, dtype=float)
+        integrate_into(
+            workspace.bound_rhs(self.state),
             self.t,
-            self.state.m,
+            y,
             t_end,
             dt,
+            workspace.rk,
             adaptive=adaptive,
             tol=tol,
             callback=self._after_step,
         )
-        self.state.m = m
+        self.state.m = y
         self.state.normalize()
         self.t = t_end
         return self

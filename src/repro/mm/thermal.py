@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.constants import KB, MU0
 from repro.errors import SimulationError
-from repro.mm.llg import effective_field, llg_rhs_from_field
+from repro.mm.kernels import LLGWorkspace
 
 
 def thermal_field_sigma(material, cell_volume, dt, temperature):
@@ -82,12 +82,20 @@ class ThermalLangevinRun:
         self.temperature = float(temperature)
         self.rng = np.random.default_rng(seed)
         self.t = 0.0
+        # Workspace-driven stepping: every Heun stage evaluates into
+        # these preallocated buffers, so the per-step cost is FFT/ufunc
+        # work plus the one unavoidable RNG fill.
+        shape = state.mesh.shape + (3,)
+        self._workspace = LLGWorkspace(state.mesh, state.material, self.terms)
+        self._h_th = np.empty(shape, dtype=float)
+        self._k0 = np.empty(shape, dtype=float)
+        self._k1 = np.empty(shape, dtype=float)
+        self._m_pred = np.empty(shape, dtype=float)
+        self._m_new = np.empty(shape, dtype=float)
+        self._norm = np.empty(state.mesh.shape, dtype=float)
 
-    def _deterministic_field(self, m, t):
-        self.state.m = m
-        return effective_field(self.state, self.terms, t)
-
-    def _thermal_field(self, dt):
+    def _thermal_field_into(self, dt, out):
+        """Sample the per-step thermal field into ``out``; False if T=0."""
         sigma = thermal_field_sigma(
             self.state.material,
             self.state.mesh.cell_volume,
@@ -95,27 +103,41 @@ class ThermalLangevinRun:
             self.temperature,
         )
         if sigma == 0.0:
-            return 0.0
-        return self.rng.normal(
-            0.0, sigma, size=self.state.mesh.shape + (3,)
-        )
+            return False
+        self.rng.standard_normal(out=out)
+        out *= sigma
+        return True
 
     def step(self, dt):
         """One Heun predictor-corrector step of length ``dt``."""
-        material = self.state.material
+        workspace = self._workspace
+        if self.state.material is not workspace.material:
+            workspace.configure(self.state.material)
         m0 = self.state.m
-        h_th = self._thermal_field(dt)
+        thermal = self._thermal_field_into(dt, self._h_th)
 
-        h0 = self._deterministic_field(m0, self.t) + h_th
-        k0 = llg_rhs_from_field(m0, h0, material)
-        m_pred = m0 + dt * k0
+        h = workspace.effective_field_into(self.state, self.t)
+        if thermal:
+            h += self._h_th
+        workspace.rhs_from_field_into(m0, h, self._k0)
+        np.multiply(self._k0, dt, out=self._m_pred)
+        self._m_pred += m0
 
-        h1 = self._deterministic_field(m_pred, self.t + dt) + h_th
-        k1 = llg_rhs_from_field(m_pred, h1, material)
+        self.state.m = self._m_pred
+        h = workspace.effective_field_into(self.state, self.t + dt)
+        if thermal:
+            h += self._h_th
+        workspace.rhs_from_field_into(self._m_pred, h, self._k1)
 
-        m_new = m0 + 0.5 * dt * (k0 + k1)
-        norms = np.linalg.norm(m_new, axis=-1, keepdims=True)
-        self.state.m = m_new / norms
+        m_new = self._m_new
+        np.add(self._k0, self._k1, out=m_new)
+        m_new *= 0.5 * dt
+        m_new += m0
+        np.einsum("...i,...i->...", m_new, m_new, out=self._norm)
+        np.sqrt(self._norm, out=self._norm)
+        m_new /= self._norm[..., np.newaxis]
+        m0[...] = m_new
+        self.state.m = m0
         self.t += dt
         return self.state
 
