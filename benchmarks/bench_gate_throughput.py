@@ -26,8 +26,16 @@ def byte_setup(byte_gate):
     return simulator, byte_gate.exhaustive_patterns()
 
 
-def _record_words_per_second(benchmark, n_words):
+def _record_words_per_second(benchmark, n_words, mode, batched):
+    """Tag the snapshot record so ``--bench-json`` diffs are self-describing.
+
+    ``mode``/``batched`` key the phasor and trace stats in
+    ``BENCH_bench_gate_throughput.json`` across PRs; the batched/per-word
+    ``words_per_second`` ratio of each mode is the tracked speedup.
+    """
     benchmark.extra_info["n_words"] = n_words
+    benchmark.extra_info["mode"] = mode
+    benchmark.extra_info["batched"] = batched
     mean = benchmark.stats.stats.mean
     benchmark.extra_info["words_per_second"] = n_words / mean
 
@@ -40,14 +48,14 @@ def test_phasor_per_word_throughput(benchmark, byte_setup):
 
     results = benchmark(per_word)
     assert all(result.correct for result in results)
-    _record_words_per_second(benchmark, len(patterns))
+    _record_words_per_second(benchmark, len(patterns), "phasor", False)
 
 
 def test_phasor_batched_throughput(benchmark, byte_setup):
     simulator, patterns = byte_setup
     results = benchmark(simulator.run_phasor_batch, patterns)
     assert all(result.correct for result in results)
-    _record_words_per_second(benchmark, len(patterns))
+    _record_words_per_second(benchmark, len(patterns), "phasor", True)
 
 
 def test_trace_per_word_throughput(benchmark, byte_setup):
@@ -58,11 +66,11 @@ def test_trace_per_word_throughput(benchmark, byte_setup):
 
     results = benchmark(per_word)
     assert all(result.correct for result in results)
-    _record_words_per_second(benchmark, len(patterns))
+    _record_words_per_second(benchmark, len(patterns), "trace", False)
 
 
 def test_trace_batched_throughput(benchmark, byte_setup):
     simulator, patterns = byte_setup
     results = benchmark(simulator.run_batch, patterns)
     assert all(result.correct for result in results)
-    _record_words_per_second(benchmark, len(patterns))
+    _record_words_per_second(benchmark, len(patterns), "trace", True)

@@ -8,6 +8,8 @@ directly: the resultant phase equals the phase of the majority.
 
 import math
 
+import numpy as np
+
 from repro.errors import EncodingError
 
 #: Phase assigned to logic 0 [rad].
@@ -78,6 +80,43 @@ def validate_word(bits, width=None):
             f"word has {len(word)} bits, expected {width}"
         )
     return word
+
+
+def words_to_bit_array(words_batch, n_words=None, width=None):
+    """Validate a batch of word tuples into an ``(n_sets, n_words, width)``
+    integer array.
+
+    The array-native counterpart of mapping :func:`validate_word` over
+    every word of every batch entry: the same values are accepted (ints,
+    bools and exact floats 0/1) and the same :class:`EncodingError`
+    conditions raise, but the whole batch is checked with a handful of
+    numpy operations instead of one Python call per bit.
+    """
+    try:
+        arr = np.asarray(words_batch)
+    except ValueError:
+        arr = np.asarray(words_batch, dtype=object)
+    if arr.dtype == object or arr.ndim != 3:
+        raise EncodingError(
+            "expected a rectangular batch of word lists "
+            "(n_sets x n_words x width)"
+        )
+    if n_words is not None and arr.shape[1] != n_words:
+        raise EncodingError(
+            f"expected {n_words} input words, got {arr.shape[1]}"
+        )
+    if width is not None and arr.shape[2] != width:
+        raise EncodingError(
+            f"word has {arr.shape[2]} bits, expected {width}"
+        )
+    try:
+        bits = arr.astype(np.int64)
+        exact = np.array_equal(bits, arr)
+    except (ValueError, TypeError):
+        raise EncodingError("logic values must all be 0 or 1") from None
+    if not exact or not np.isin(bits, (0, 1)).all():
+        raise EncodingError("logic values must all be 0 or 1")
+    return bits
 
 
 def int_to_bits(value, width):

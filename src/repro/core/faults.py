@@ -21,6 +21,8 @@ they only shrink the analogue margin, motivating parametric tests.
 import math
 from dataclasses import dataclass, replace
 
+import numpy as np
+
 from repro.errors import EncodingError, ReproError
 from repro.core.simulate import GateSimulator
 
@@ -109,6 +111,26 @@ class FaultySimulator(GateSimulator):
             )
         sources[flat_index] = victim
         return sources
+
+    def mutate_source_bank(self, bank):
+        """Corrupt the victim source's column across the whole batch.
+
+        The array-native twin of :meth:`build_sources`: the fault lands
+        after any noise, exactly as the scalar path replaces the victim
+        in the already-perturbed source list.
+        """
+        fault = self.fault
+        flat_index = fault.channel * self.layout.n_inputs + fault.input_index
+        if fault.kind in ("dead-source", "weak-source"):
+            amplitude = np.array(bank.amplitude)
+            if fault.kind == "dead-source":
+                amplitude[:, flat_index] = 0.0
+            else:
+                amplitude[:, flat_index] *= fault.severity
+            return bank.replace(amplitude=amplitude)
+        phase = np.array(bank.phase)
+        phase[:, flat_index] = 0.0 if fault.kind == "stuck-phase-0" else math.pi
+        return bank.replace(phase=phase)
 
 
 def simulate_fault(gate, fault, words):

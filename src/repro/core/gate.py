@@ -10,7 +10,9 @@ result the physical simulation must reproduce.
 import enum
 from dataclasses import dataclass
 
-from repro.core.encoding import validate_word
+import numpy as np
+
+from repro.core.encoding import validate_word, words_to_bit_array
 from repro.errors import EncodingError
 
 
@@ -135,6 +137,60 @@ class DataParallelGate:
             bits = tuple(w[channel] for w in validated) + self.spec.constant_inputs
             per_channel.append(bits)
         return per_channel
+
+    def physical_input_bit_array(self, words_batch):
+        """Array-native :meth:`physical_input_bits` for a word batch.
+
+        ``words_batch`` is a sequence of word tuples (each as accepted by
+        :meth:`physical_input_bits`); returns an
+        ``(n_sets, n_bits, n_inputs)`` integer array where
+        ``result[i, c]`` equals ``physical_input_bits(words_batch[i])[c]``.
+        Validation matches the scalar path but runs vectorised, so
+        batched source construction never touches per-bit Python.
+        """
+        words = words_to_bit_array(
+            words_batch, n_words=self.n_data_inputs, width=self.n_bits
+        )
+        n_sets = words.shape[0]
+        physical = np.empty(
+            (n_sets, self.n_bits, self.layout.n_inputs), dtype=words.dtype
+        )
+        n_data = self.n_data_inputs
+        physical[:, :, :n_data] = words.transpose(0, 2, 1)
+        for j, bit in enumerate(self.spec.constant_inputs):
+            physical[:, :, n_data + j] = bit
+        return physical
+
+    def expected_output_batch(self, words_batch, apply_inversion=True):
+        """Golden output words for a whole batch: list of n-bit lists.
+
+        Entry ``i`` equals ``expected_output(words_batch[i],
+        apply_inversion)``; the Boolean semantics (majority / parity plus
+        the placement inversion) evaluate as whole-array reductions.
+        """
+        return self.expected_output_from_physical_bits(
+            self.physical_input_bit_array(words_batch),
+            apply_inversion=apply_inversion,
+        )
+
+    def expected_output_from_physical_bits(self, bits, apply_inversion=True):
+        """:meth:`expected_output_batch` from an already-expanded bit array.
+
+        ``bits`` is a validated :meth:`physical_input_bit_array` result;
+        callers that expanded the batch once (e.g. to build its sources)
+        reuse it here instead of re-validating the words.
+        """
+        ones = bits.sum(axis=2)
+        if self.kind in (GateKind.MAJORITY, GateKind.AND, GateKind.OR):
+            outputs = (2 * ones > self.layout.n_inputs).astype(np.int64)
+        elif self.kind is GateKind.XOR:
+            outputs = ones % 2
+        else:  # XNOR
+            outputs = 1 - ones % 2
+        if apply_inversion:
+            inverted = np.asarray(self.layout.inverted_outputs, dtype=bool)
+            outputs = np.where(inverted, 1 - outputs, outputs)
+        return outputs.tolist()
 
     def channel_output(self, bits):
         """Boolean output of one channel for its physical input bits."""

@@ -16,6 +16,8 @@ import cmath
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import ReadoutError
 from repro.analysis.phase import fft_phasor, lock_in
 
@@ -142,6 +144,51 @@ def decode_channel(
     bit = int(abs(relative) > 0.5 * math.pi)
     margin = abs(abs(relative) - 0.5 * math.pi)
     return ChannelDecode(bit=bit, phase=relative, amplitude=amplitude, margin=margin)
+
+
+def decode_phasor_block(
+    phasors,
+    reference_phases,
+    reference_amplitudes,
+    amplitude_readout=False,
+    amplitude_threshold=0.5,
+):
+    """Vectorised steady-state decode of an ``(n_sets, n_channels)`` block.
+
+    The array-native counterpart of decoding each entry's per-channel
+    phasor one at a time (the scalar decision logic of
+    :meth:`~repro.core.simulate.GateSimulator.run_phasor`): the phase
+    wrap, threshold comparison and margin evaluate as whole-array
+    operations.  ``reference_phases`` / ``reference_amplitudes`` are the
+    per-channel calibration rows.
+
+    Returns ``(bits, phases, amplitudes, margins, dead)`` arrays of the
+    block's shape.  ``dead`` marks phase-readout entries whose carrier
+    amplitude is exactly zero (undecodable -- the scalar path raises
+    there); their other outputs are filler and must not be used.
+    """
+    phasors = np.asarray(phasors, dtype=complex)
+    reference_phases = np.asarray(reference_phases, dtype=float)
+    reference_amplitudes = np.asarray(reference_amplitudes, dtype=float)
+    amplitudes = np.abs(phasors)
+    relative = _wrap(np.angle(phasors) - reference_phases)
+
+    if amplitude_readout:
+        if not (reference_amplitudes > 0).all():
+            raise ReadoutError(
+                "amplitude readout requires positive reference amplitudes"
+            )
+        ratios = amplitudes / reference_amplitudes
+        bits = (ratios < amplitude_threshold).astype(np.int64)
+        margins = np.abs(ratios - amplitude_threshold)
+        phases = np.where(amplitudes > 0, relative, 0.0)
+        dead = np.zeros(phasors.shape, dtype=bool)
+        return bits, phases, amplitudes, margins, dead
+
+    dead = amplitudes == 0.0
+    bits = (np.abs(relative) > 0.5 * math.pi).astype(np.int64)
+    margins = np.abs(np.abs(relative) - 0.5 * math.pi)
+    return bits, relative, amplitudes, margins, dead
 
 
 def decode_all_channels(

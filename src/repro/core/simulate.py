@@ -8,6 +8,15 @@ output word.  Reference phases/amplitudes are calibrated analytically
 from the all-zeros steady state, so the decoder is agnostic to detector
 placement (direct and complemented outputs both decode correctly).
 
+Batched evaluation is array-native end to end: input-word batches
+become a :class:`~repro.waveguide.SourceBank` (struct-of-arrays, no
+per-word ``WaveSource`` objects) via :meth:`GateSimulator.build_source_bank`,
+steady-state phasors of the whole batch reduce to one complex GEMM
+against cached propagation weights, and golden outputs and decodes
+evaluate as whole-array operations.  The scalar per-word API remains
+the reference every batched path is pinned against
+(``tests/test_phasor_equivalence.py``).
+
 For cross-validation against the full micromagnetic solver,
 :func:`build_micromagnetic_simulation` materialises the same gate as a
 1-D LLG problem with localised sinusoidal excitation fields -- the
@@ -22,9 +31,15 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.encoding import PhaseEncoding
-from repro.core.readout import decode_channel, measure_phasor
+from repro.core.readout import (
+    ChannelDecode,
+    decode_channel,
+    decode_phasor_block,
+    measure_phasor,
+)
 from repro.errors import SimulationError
 from repro.waveguide.linear_model import Detector, LinearWaveguideModel, WaveSource
+from repro.waveguide.sources import SourceBank
 
 
 @dataclass
@@ -118,6 +133,13 @@ class GateSimulator:
         self.noise = noise
         self.settle_periods = float(settle_periods)
         self._calibration = None
+        # Array-native source construction: phase code points and the
+        # nominal (noise-free) source geometry, shared by every batch.
+        self._phase_lut = np.array(
+            [self.encoding.encode(0), self.encoding.encode(1)], dtype=float
+        )
+        self._nominal_geometry = None
+        self._nominal_weights = None
 
     # ------------------------------------------------------------------
     # Source construction
@@ -245,9 +267,12 @@ class GateSimulator:
         )
 
     def _decode_steady_phasor(self, z, channel):
-        """One channel's :class:`ChannelDecode` from its steady-state phasor."""
-        from repro.core.readout import ChannelDecode
+        """One channel's :class:`ChannelDecode` from its steady-state phasor.
 
+        The scalar reference for
+        :func:`~repro.core.readout.decode_phasor_block`, which vectorises
+        this decision logic over whole batches.
+        """
         reference_phase, reference_amplitude = self.calibration()[channel]
         amplitude = abs(z)
         if self.gate.kind.uses_amplitude_readout:
@@ -269,15 +294,15 @@ class GateSimulator:
             bit=bit, phase=phase, amplitude=amplitude, margin=margin
         )
 
-    def _batch_sources(self, words_batch, noises=None):
-        """Source lists for every entry, with optional per-entry noise.
+    def _resolve_noises(self, words_batch, noises):
+        """Normalise a non-empty batch and its per-entry noise list.
 
-        ``noises`` (when given) must match ``words_batch`` in length and
-        temporarily replaces :attr:`noise` entry by entry, so a batch can
-        carry independent noise realisations (one Monte-Carlo trial per
-        entry) through one vectorised evaluation.
+        Idempotent: applying it to its own output is a no-op, so nested
+        entry points may each normalise their inputs.
         """
         words_batch = list(words_batch)
+        if not words_batch:
+            raise SimulationError("no source sets supplied")
         if noises is None:
             noises = [self.noise] * len(words_batch)
         else:
@@ -287,6 +312,61 @@ class GateSimulator:
                     f"{len(noises)} noise models for {len(words_batch)} "
                     "word sets"
                 )
+        return words_batch, noises
+
+    def _nominal_source_geometry(self):
+        """Cached ``(position, frequency)`` rows of the layout's sources,
+        flattened channel-major to match :meth:`build_sources` order."""
+        if self._nominal_geometry is None:
+            position = np.array(
+                [p for row in self.layout.source_positions for p in row],
+                dtype=float,
+            )
+            frequency = np.repeat(
+                np.asarray(self.layout.plan.frequencies, dtype=float),
+                self.layout.n_inputs,
+            )
+            position.setflags(write=False)
+            frequency.setflags(write=False)
+            self._nominal_geometry = (position, frequency)
+        return self._nominal_geometry
+
+    def mutate_source_bank(self, bank):
+        """Hook for subclasses that corrupt batched sources (e.g. faults).
+
+        Called on every bank the array-native builder constructs, after
+        noise; the scalar counterpart is overriding
+        :meth:`build_sources`.  Subclasses whose most-derived source
+        customisation is scalar-only still work -- batches then build
+        through :meth:`build_sources` -- but pay the per-word
+        construction cost this hook avoids.
+        """
+        return bank
+
+    def _scalar_sources_customised(self):
+        """True when some subclass customises sources scalar-only.
+
+        A subclass that overrides :meth:`build_sources` without defining
+        a bank-aware counterpart (:meth:`mutate_source_bank` /
+        :meth:`build_source_bank`) *in the same class* has physics the
+        array-native builder cannot reproduce; batches must then
+        construct through the scalar builder to stay faithful.  Checked
+        per class over the whole MRO above :class:`GateSimulator`, so an
+        inherited scalar-only override is honoured even when a more
+        derived class adds an orthogonal bank hook.
+        """
+        for klass in type(self).__mro__:
+            if klass is GateSimulator:
+                break
+            if "build_sources" in vars(klass) and not (
+                "mutate_source_bank" in vars(klass)
+                or "build_source_bank" in vars(klass)
+            ):
+                return True
+        return False
+
+    def _scalar_source_bank(self, words_batch, noises):
+        """Bank built through the (possibly overridden) scalar builder."""
         source_sets = []
         saved = self.noise
         try:
@@ -295,7 +375,75 @@ class GateSimulator:
                 source_sets.append(self.build_sources(words))
         finally:
             self.noise = saved
-        return words_batch, noises, source_sets
+        return SourceBank.from_sources(source_sets)
+
+    def _bank_from_bits(self, bits, noises):
+        """Array-native bank from a validated physical-input bit array."""
+        n_sets = bits.shape[0]
+        position_row, frequency_row = self._nominal_source_geometry()
+        n_sources = position_row.size
+        phase = self._phase_lut[bits.reshape(n_sets, n_sources)]
+        amplitude = np.broadcast_to(
+            np.asarray(self.amplitudes, dtype=float).ravel(),
+            (n_sets, n_sources),
+        )
+        position = np.broadcast_to(position_row, (n_sets, n_sources))
+
+        if any(
+            noise is not None and noise.perturbs_sources for noise in noises
+        ):
+            amplitude = np.array(amplitude)
+            position = np.array(position)
+            draws = {}
+            for i, noise in enumerate(noises):
+                if noise is None or not noise.perturbs_sources:
+                    continue
+                if noise not in draws:
+                    draws[noise] = noise.source_perturbations(n_sources)
+                factor, phase_offset, position_offset = draws[noise]
+                amplitude[i] *= factor
+                phase[i] += phase_offset
+                position[i] += position_offset
+
+        bank = SourceBank.from_arrays(
+            position=position,
+            frequency=np.broadcast_to(frequency_row, (n_sets, n_sources)),
+            amplitude=amplitude,
+            phase=phase,
+        )
+        return self.mutate_source_bank(bank)
+
+    def build_source_bank(self, words_batch, noises=None):
+        """Array-native :class:`~repro.waveguide.SourceBank` for a batch.
+
+        Row ``i`` describes exactly the sources :meth:`build_sources`
+        would emit for ``words_batch[i]`` under ``noises[i]`` -- same
+        channel-major order, same values, same RNG draws (one vectorised
+        block per distinct noise model instead of one call per source) --
+        without constructing a single ``WaveSource`` object.
+
+        ``noises`` follows :meth:`run_phasor_batch`: ``None`` applies
+        :attr:`noise` to every entry; a list carries one independent
+        model per entry (entries sharing an equal model share one draw).
+        """
+        words_batch, noises = self._resolve_noises(words_batch, noises)
+        if self._scalar_sources_customised():
+            return self._scalar_source_bank(words_batch, noises)
+        return self._bank_from_bits(
+            self.gate.physical_input_bit_array(words_batch), noises
+        )
+
+    def _batch_sources(self, words_batch, noises=None):
+        """Words, noises and the :class:`SourceBank` of one batch.
+
+        ``noises`` (when given) must match ``words_batch`` in length, so
+        a batch can carry independent noise realisations (one
+        Monte-Carlo trial per entry) through one vectorised evaluation.
+        Routes through :meth:`build_source_bank` so subclass overrides of
+        either construction path are honoured.
+        """
+        words_batch, noises = self._resolve_noises(words_batch, noises)
+        return words_batch, noises, self.build_source_bank(words_batch, noises)
 
     def _trace_window(self, duration):
         if duration is None:
@@ -342,16 +490,14 @@ class GateSimulator:
         each entry decodes exactly as :meth:`run` would.  Returns a list
         of :class:`GateRunResult`, one per entry of ``words_batch``.
         """
-        words_batch, noises, source_sets = self._batch_sources(
-            words_batch, noises
-        )
+        words_batch, noises, bank = self._batch_sources(words_batch, noises)
         detectors = [
             Detector(position=p, label=str(i))
             for i, p in enumerate(self.layout.detector_positions)
         ]
         duration, t_start = self._trace_window(duration)
         result = self.model.run_batch(
-            source_sets, detectors, duration, sample_rate=sample_rate
+            bank, detectors, duration, sample_rate=sample_rate
         )
         t = result["t"]
         # One vectorised lock-in per channel covers the whole batch when
@@ -408,45 +554,115 @@ class GateSimulator:
             decodes=decodes,
         )
 
+    def _phasor_block(self, bank):
+        """``(n_sets, n_bits)`` steady-state phasors of a source bank.
+
+        Banks carrying the layout's nominal geometry -- every noiseless
+        batch, and every batch whose noise only touches amplitudes and
+        phases -- hit a cached propagation-weight matrix, so the whole
+        block is one complex GEMM; other shared-geometry banks compute
+        their weights on the fly, and per-entry geometry (placement
+        noise) takes the general per-detector path.
+        """
+        weights = None
+        if bank.shared_geometry:
+            position, frequency = self._nominal_source_geometry()
+            if (
+                np.array_equal(bank.position[0], position)
+                and np.array_equal(bank.frequency[0], frequency)
+                and not bank.t_on[0].any()
+            ):
+                if self._nominal_weights is None:
+                    self._nominal_weights = self.model.phasor_weights(
+                        position,
+                        frequency,
+                        self.layout.detector_positions,
+                        self.layout.plan.frequencies,
+                    )
+                weights = self._nominal_weights
+        return self.model.steady_state_phasor_block(
+            bank,
+            self.layout.detector_positions,
+            self.layout.plan.frequencies,
+            weights=weights,
+        )
+
     def run_phasor_batch(self, words_batch, noises=None, strict=True):
         """Steady-state evaluation of many input words in one batch.
 
-        The per-channel phasors of the whole batch are computed
-        vectorised; each entry then decodes exactly as :meth:`run_phasor`
-        would.  Returns a list of :class:`GateRunResult` aligned with
-        ``words_batch``.  With ``strict=False``, an entry whose decode
-        fails (e.g. a fault silenced a phase-readout channel) yields
-        ``None`` instead of raising, so sweeps over degraded gates keep
-        their batch shape.
+        The whole batch runs array-native: source construction
+        (:meth:`build_source_bank`), the per-channel phasors (one complex
+        GEMM against cached propagation weights when the geometry is
+        nominal), the golden outputs
+        (:meth:`~repro.core.gate.DataParallelGate.expected_output_batch`)
+        and the decode
+        (:func:`~repro.core.readout.decode_phasor_block`) -- each entry
+        nonetheless decodes exactly as :meth:`run_phasor` would (pinned
+        by ``tests/test_phasor_equivalence``).  Returns a list of
+        :class:`GateRunResult` aligned with ``words_batch``.  With
+        ``strict=False``, an entry whose decode fails (e.g. a fault
+        silenced a phase-readout channel) yields ``None`` instead of
+        raising, so sweeps over degraded gates keep their batch shape.
         """
-        words_batch, _, source_sets = self._batch_sources(words_batch, noises)
-        stacked = self.model.stack_sources(source_sets)
-        n_bits = self.gate.n_bits
-        phasors = np.empty((len(source_sets), n_bits), dtype=complex)
-        for channel in range(n_bits):
-            phasors[:, channel] = self.model.steady_state_phasor_batch(
-                stacked,
-                self.layout.detector_positions[channel],
-                self.layout.plan.frequencies[channel],
+        words_batch, noises = self._resolve_noises(words_batch, noises)
+        if (
+            type(self).build_source_bank is GateSimulator.build_source_bank
+            and not self._scalar_sources_customised()
+        ):
+            # One validated bit expansion feeds both the source bank and
+            # the golden outputs.
+            bits_array = self.gate.physical_input_bit_array(words_batch)
+            bank = self._bank_from_bits(bits_array, noises)
+            expected = self.gate.expected_output_from_physical_bits(bits_array)
+        else:
+            bank = self.build_source_bank(words_batch, noises)
+            expected = self.gate.expected_output_batch(words_batch)
+        phasors = self._phasor_block(bank)
+        try:
+            calibration = self.calibration()
+        except SimulationError:
+            # The scalar loop hits this per entry inside its decode
+            # try/except; a calibration failure is batch-wide.
+            if strict:
+                raise
+            return [None] * len(words_batch)
+        bits, phases, amplitudes, margins, dead = decode_phasor_block(
+            phasors,
+            np.array([phase for phase, _ in calibration]),
+            np.array([amplitude for _, amplitude in calibration]),
+            amplitude_readout=self.gate.kind.uses_amplitude_readout,
+        )
+        dead_entries = dead.any(axis=1)
+        if strict and dead_entries.any():
+            entry = int(np.argmax(dead_entries))
+            channel = int(np.argmax(dead[entry]))
+            raise SimulationError(
+                f"zero steady-state amplitude on channel {channel}"
             )
+        bits = bits.tolist()
+        phases = phases.tolist()
+        amplitudes = amplitudes.tolist()
+        margins = margins.tolist()
+        n_bits = self.gate.n_bits
         results = []
         for entry, words in enumerate(words_batch):
-            try:
-                decodes = [
-                    self._decode_steady_phasor(complex(phasors[entry, c]), c)
-                    for c in range(n_bits)
-                ]
-            except SimulationError:
-                if strict:
-                    raise
+            if dead_entries[entry]:
                 results.append(None)
                 continue
-            decoded = [d.bit for d in decodes]
+            decodes = [
+                ChannelDecode(
+                    bit=bits[entry][channel],
+                    phase=phases[entry][channel],
+                    amplitude=amplitudes[entry][channel],
+                    margin=margins[entry][channel],
+                )
+                for channel in range(n_bits)
+            ]
             results.append(
                 GateRunResult(
                     words=[list(w) for w in words],
-                    decoded=decoded,
-                    expected=self.gate.expected_output(words),
+                    decoded=bits[entry],
+                    expected=expected[entry],
                     decodes=decodes,
                 )
             )

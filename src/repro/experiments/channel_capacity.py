@@ -101,7 +101,7 @@ def run(
             else [(0,) * n_inputs, (1,) * n_inputs, (1, 0, 1)[:n_inputs]]
         )
         # All input combinations of one design evaluate as a single
-        # vectorised batch.
+        # vectorised batch (one SourceBank, one phasor GEMM per design).
         results = simulator.run_phasor_batch(
             [[[b] * n_bits for b in bits] for bits in combos]
         )

@@ -19,7 +19,10 @@ production test needs a parametric component.
 Each fault's full pattern set is evaluated through the batched phasor
 backend (:meth:`~repro.core.simulate.GateSimulator.run_phasor_batch` via
 :mod:`repro.core.faults`): one vectorised call per fault instead of a
-per-pattern simulation loop.
+per-pattern simulation loop.  The batch builds as an array-native
+:class:`~repro.waveguide.SourceBank` -- the fault corrupts one column of
+the bank -- so a fault universe sweep never constructs per-word
+``WaveSource`` objects.
 """
 
 from repro.analysis.tables import render_table

@@ -22,11 +22,13 @@ DEFAULT_SIGMAS = (0.0, 0.05, 0.1, 0.2, 0.4, 0.8)
 def _word_error_rate(gate, noise_builder, sigmas, n_trials, rng):
     """Error rate per sigma; all trials of one sigma run as one batch.
 
-    Each batch entry carries its own noise realisation (``seed=trial``),
-    so the Monte-Carlo draw order matches the historical one-simulator-
-    per-trial loop exactly; ``strict=False`` maps outright gate failures
-    (e.g. every source of a channel noise-clipped to zero amplitude) to
-    ``None`` entries, which count as word errors.
+    Each batch entry carries its own noise realisation (``seed=trial``)
+    drawn as one vectorised RNG block per trial
+    (:meth:`~repro.waveguide.NoiseModel.source_perturbations`), so the
+    Monte-Carlo draws match the historical one-simulator-per-trial loop
+    exactly; ``strict=False`` maps outright gate failures (e.g. every
+    source of a channel noise-clipped to zero amplitude) to ``None``
+    entries, which count as word errors.
     """
     simulator = GateSimulator(gate)
     rates = []

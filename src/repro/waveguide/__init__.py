@@ -13,6 +13,7 @@ from repro.waveguide.geometry import Waveguide, WidthModeDispersion
 from repro.waveguide.linear_model import LinearWaveguideModel, WaveSource, Detector
 from repro.waveguide.signal import time_grid, superpose
 from repro.waveguide.noise import NoiseModel
+from repro.waveguide.sources import SourceBank
 
 __all__ = [
     "Waveguide",
@@ -23,4 +24,5 @@ __all__ = [
     "time_grid",
     "superpose",
     "NoiseModel",
+    "SourceBank",
 ]

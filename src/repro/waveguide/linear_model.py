@@ -23,6 +23,13 @@ geometry is shared across the batch -- the common case, only the
 encoded phases and amplitudes differ per word -- the trace batch
 reduces to two BLAS matrix products against a precomputed carrier
 basis, so the per-word cost collapses to a pair of GEMV passes.
+Steady-state evaluation at many detectors collapses further:
+:meth:`LinearWaveguideModel.steady_state_phasor_block` turns a whole
+batch x detector grid into a single complex GEMM against the cached
+propagation weights of :meth:`LinearWaveguideModel.phasor_weights`.
+Batches are cheapest to express as an array-native
+:class:`~repro.waveguide.sources.SourceBank`, which every batched entry
+point accepts in place of ``WaveSource`` lists.
 """
 
 import math
@@ -153,6 +160,9 @@ class LinearWaveguideModel:
         """
         if isinstance(source_sets, SourceBatch):
             return source_sets
+        as_batch = getattr(source_sets, "as_batch", None)
+        if callable(as_batch):  # e.g. a repro.waveguide.sources.SourceBank
+            return as_batch()
         source_sets = [list(s) for s in source_sets]
         if not source_sets:
             raise SimulationError("no source sets supplied")
@@ -182,6 +192,22 @@ class LinearWaveguideModel:
             length[same] = lf
         return k, v_g, length
 
+    @staticmethod
+    def _shared_geometry(batch):
+        """True when every set of ``batch`` shares positions/frequencies/t_on.
+
+        Shared geometry is the precondition for the fast matrix-product
+        paths (:meth:`trace_batch`'s carrier basis and
+        :meth:`steady_state_phasor_block`'s propagation weights); callers
+        with mismatched geometry -- e.g. independent per-entry placement
+        noise -- must take the general per-source path.
+        """
+        return bool(
+            (np.ptp(batch.position, axis=0) == 0.0).all()
+            and (np.ptp(batch.frequency, axis=0) == 0.0).all()
+            and (np.ptp(batch.t_on, axis=0) == 0.0).all()
+        )
+
     def trace_batch(self, source_sets, position, t):
         """Traces of many source sets at one detector: ``(n_sets, n_samples)``.
 
@@ -190,20 +216,18 @@ class LinearWaveguideModel:
         frequencies, turn-on times) -- only amplitudes/phases differ, as
         for the input words of one gate -- the carrier basis is computed
         once and the whole batch reduces to two matrix products.
+        Mismatched geometry is detected explicitly and falls back to the
+        per-source path, which handles fully independent source arrays.
         """
         t = np.asarray(t, dtype=float)
-        pos, freq, amp, phase, t_on = self.stack_sources(source_sets)
+        batch = self.stack_sources(source_sets)
+        pos, freq, amp, phase, t_on = batch
         k, v_g, length = self._wave_parameter_arrays(freq)
         distance = np.abs(position - pos)
         arrival = t_on + distance / v_g
         envelope = amp * np.exp(-distance / length)
 
-        shared_geometry = (
-            (np.ptp(pos, axis=0) == 0.0).all()
-            and (np.ptp(freq, axis=0) == 0.0).all()
-            and (np.ptp(t_on, axis=0) == 0.0).all()
-        )
-        if shared_geometry:
+        if self._shared_geometry(batch):
             # sin(a + phi) = sin(a) cos(phi) + cos(a) sin(phi): the phase
             # argument a and the causal front depend only on the source
             # column, so both batch dimensions meet in a GEMM.
@@ -287,6 +311,70 @@ class LinearWaveguideModel:
             np.bincount(rows, weights=contribution.real, minlength=n_sets)
             + 1j * np.bincount(rows, weights=contribution.imag, minlength=n_sets)
         )
+
+    def phasor_weights(self, position, frequency, positions, frequencies, tol=1e-12):
+        """Complex propagation weights: sources x detectors, one column each.
+
+        ``position``/``frequency`` are the shared ``(n_sources,)`` source
+        geometry of a batch; ``positions``/``frequencies`` list the
+        detectors.  Entry ``(j, d)`` is ``exp(-|x_d - x_j| / L_j) *
+        exp(-i k_j |x_d - x_j|)`` when source ``j`` matches detector
+        ``d``'s frequency, else 0 (off-frequency sources average out in
+        steady state, exactly as :meth:`steady_state_phasor` skips them).
+        The steady-state phasor block of a whole batch is then a single
+        complex GEMM: ``(amplitude * exp(i * phase)) @ weights``.
+        """
+        position = np.asarray(position, dtype=float)
+        frequency = np.asarray(frequency, dtype=float)
+        k, _, length = self._wave_parameter_arrays(frequency)
+        weights = np.zeros((position.size, len(positions)), dtype=complex)
+        for d, (x_d, f_d) in enumerate(zip(positions, frequencies)):
+            selected = np.abs(frequency - f_d) <= tol * max(f_d, 1.0)
+            if not selected.any():
+                continue
+            distance = np.abs(x_d - position[selected])
+            weights[selected, d] = np.exp(-distance / length[selected]) * np.exp(
+                -1j * k[selected] * distance
+            )
+        return weights
+
+    def steady_state_phasor_block(
+        self, source_sets, positions, frequencies, tol=1e-12, weights=None
+    ):
+        """Steady-state phasors of a batch at many detectors at once.
+
+        Returns an ``(n_sets, n_detectors)`` complex array; column ``d``
+        equals ``steady_state_phasor_batch(source_sets, positions[d],
+        frequencies[d])``.  When the batch shares its geometry the whole
+        block is one complex GEMM against :meth:`phasor_weights`
+        (pass a precomputed ``weights`` matrix to skip even that setup);
+        mismatched geometry -- per-entry placement noise -- falls back to
+        the general per-detector batched path.
+        """
+        if len(positions) != len(frequencies):
+            raise SimulationError(
+                f"{len(positions)} detector positions for "
+                f"{len(frequencies)} frequencies"
+            )
+        batch = self.stack_sources(source_sets)
+        if weights is not None or self._shared_geometry(batch):
+            if weights is None:
+                weights = self.phasor_weights(
+                    batch.position[0], batch.frequency[0],
+                    positions, frequencies, tol=tol,
+                )
+            elif not self._shared_geometry(batch):
+                raise SimulationError(
+                    "precomputed phasor weights require shared geometry "
+                    "across the batch"
+                )
+            return (batch.amplitude * np.exp(1j * batch.phase)) @ weights
+        block = np.empty((batch.position.shape[0], len(positions)), dtype=complex)
+        for d, (x_d, f_d) in enumerate(zip(positions, frequencies)):
+            block[:, d] = self.steady_state_phasor_batch(
+                batch, x_d, f_d, tol=tol
+            )
+        return block
 
     def run(self, sources, detectors, duration, sample_rate=None):
         """Generate traces for every detector.

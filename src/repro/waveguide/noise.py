@@ -73,6 +73,49 @@ class NoiseModel:
             )
         return perturbed
 
+    @property
+    def perturbs_sources(self):
+        """True when any source-level sigma is active."""
+        return (
+            self.amplitude_sigma > 0
+            or self.phase_sigma > 0
+            or self.position_sigma > 0
+        )
+
+    def source_perturbations(self, n_sources, rng=None):
+        """Vectorised source non-idealities: one RNG block per batch.
+
+        Returns ``(amplitude_factor, phase_offset, position_offset)``
+        arrays of length ``n_sources``: multiply amplitudes by the
+        factor, add the offsets.  The draws reproduce
+        :meth:`perturb_sources` *exactly*: that method interleaves one
+        ``normal(0, sigma)`` call per active sigma per source, which is
+        the C-order flattening of a single ``(n_sources, n_active)``
+        standard-normal block scaled column-wise -- so the batched and
+        scalar noise paths yield bit-identical realisations for the same
+        seed (pinned by ``tests/test_phasor_equivalence``).
+        """
+        rng = self.rng() if rng is None else rng
+        sigmas = (self.amplitude_sigma, self.phase_sigma, self.position_sigma)
+        active = [s for s in sigmas if s > 0]
+        factor = np.ones(n_sources)
+        phase_offset = np.zeros(n_sources)
+        position_offset = np.zeros(n_sources)
+        if active:
+            draws = rng.standard_normal((n_sources, len(active)))
+            column = 0
+            if self.amplitude_sigma > 0:
+                factor = np.maximum(
+                    1.0 + draws[:, column] * self.amplitude_sigma, 0.0
+                )
+                column += 1
+            if self.phase_sigma > 0:
+                phase_offset = draws[:, column] * self.phase_sigma
+                column += 1
+            if self.position_sigma > 0:
+                position_offset = draws[:, column] * self.position_sigma
+        return factor, phase_offset, position_offset
+
     def perturb_trace(self, trace, rng=None):
         """Return ``trace`` plus additive white Gaussian noise."""
         if self.trace_sigma == 0:

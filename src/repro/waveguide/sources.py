@@ -1,0 +1,222 @@
+"""Array-native source banks: whole batches of wave sources as arrays.
+
+A :class:`SourceBank` is the struct-of-arrays twin of a list of
+:class:`~repro.waveguide.linear_model.WaveSource` lists: one
+``(n_sets, n_sources)`` float array per physical parameter (positions,
+frequencies, amplitudes, phases, turn-on times) describing every source
+of every batch entry at once.  Building a bank directly from encoded bit
+arrays costs a handful of numpy operations regardless of the batch size,
+where materialising the equivalent ``WaveSource`` objects costs one
+Python dataclass construction per (entry, source) pair -- the cost that
+dominated phasor-mode gate sweeps before this subsystem existed.
+
+Every batched entry point of
+:class:`~repro.waveguide.linear_model.LinearWaveguideModel` accepts a
+bank in place of raw source lists (via :meth:`SourceBank.as_batch`), and
+:meth:`SourceBank.sources` materialises any single entry back into plain
+``WaveSource`` objects, so the allocating scalar API remains the ground
+truth the array path is pinned against (``tests/test_phasor_equivalence``).
+
+>>> import numpy as np
+>>> from repro.waveguide.sources import SourceBank
+>>> bank = SourceBank.from_arrays(
+...     position=[0.0, 100e-9],          # one row, shared by the batch
+...     frequency=[10e9, 10e9],
+...     amplitude=np.ones((2, 2)),
+...     phase=[[0.0, 0.0], [0.0, np.pi]],  # entry 1 drives source 1 at pi
+... )
+>>> bank.n_sets, bank.n_sources
+(2, 2)
+>>> bank.shared_geometry
+True
+>>> bank.sources(1)[1].phase == np.pi
+True
+"""
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+class SourceBank:
+    """Struct-of-arrays batch of wave sources.
+
+    Each field is an ``(n_sets, n_sources)`` float array; row ``i``
+    describes the sources of batch entry ``i`` in the same order a flat
+    ``WaveSource`` list would.  Construct via :meth:`from_arrays` (rows
+    broadcast across the batch) or :meth:`from_sources` (stacking
+    existing ``WaveSource`` lists); instances are immutable -- derive
+    modified banks with :meth:`replace`.
+    """
+
+    _FIELDS = ("position", "frequency", "amplitude", "phase", "t_on")
+
+    def __init__(self, position, frequency, amplitude, phase, t_on):
+        arrays = []
+        for name, value in zip(
+            self._FIELDS, (position, frequency, amplitude, phase, t_on)
+        ):
+            array = np.asarray(value, dtype=float)
+            if array.ndim != 2:
+                raise SimulationError(
+                    f"SourceBank {name} must be 2-D (n_sets, n_sources), "
+                    f"got shape {array.shape}"
+                )
+            arrays.append(array)
+        shape = arrays[0].shape
+        if any(a.shape != shape for a in arrays):
+            raise SimulationError(
+                "SourceBank field shapes differ: "
+                + ", ".join(
+                    f"{n}={a.shape}" for n, a in zip(self._FIELDS, arrays)
+                )
+            )
+        if shape[0] == 0:
+            raise SimulationError("no source sets supplied")
+        if shape[1] == 0:
+            raise SimulationError("no sources supplied")
+        self.position, self.frequency, self.amplitude, self.phase, self.t_on = arrays
+        if not (self.frequency > 0).all():
+            raise SimulationError("source frequencies must be positive")
+        if not (self.amplitude >= 0).all():
+            raise SimulationError("source amplitudes must be non-negative")
+        for array in arrays:
+            array.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_arrays(cls, position, frequency, amplitude, phase, t_on=None):
+        """Build a bank, broadcasting 1-D rows across the batch.
+
+        Any field given as a 1-D ``(n_sources,)`` row (or scalar) is
+        shared by every entry; the batch size is taken from the first
+        2-D field (at least one field must be 2-D).
+        """
+        fields = [position, frequency, amplitude, phase,
+                  0.0 if t_on is None else t_on]
+        arrays = [np.asarray(f, dtype=float) for f in fields]
+        n_sets = None
+        for array in arrays:
+            if array.ndim == 2:
+                n_sets = array.shape[0]
+                break
+        if n_sets is None:
+            raise SimulationError(
+                "at least one SourceBank field must be 2-D to fix the "
+                "batch size; use shape (n_sets, n_sources)"
+            )
+        n_sources = max(
+            (a.shape[-1] for a in arrays if a.ndim >= 1), default=0
+        )
+        try:
+            arrays = [
+                np.broadcast_to(a, (n_sets, n_sources)) for a in arrays
+            ]
+        except ValueError as error:
+            raise SimulationError(
+                f"SourceBank fields do not broadcast to "
+                f"({n_sets}, {n_sources}): {error}"
+            ) from None
+        return cls(*arrays)
+
+    @classmethod
+    def from_sources(cls, source_sets):
+        """Stack equal-length ``WaveSource`` lists into a bank."""
+        source_sets = [list(s) for s in source_sets]
+        if not source_sets:
+            raise SimulationError("no source sets supplied")
+        n_sources = len(source_sets[0])
+        if any(len(s) != n_sources for s in source_sets):
+            raise SimulationError(
+                "all source sets in a batch must have the same length"
+            )
+        data = np.array(
+            [
+                [
+                    (s.position, s.frequency, s.amplitude, s.phase, s.t_on)
+                    for s in sources
+                ]
+                for sources in source_sets
+            ],
+            dtype=float,
+        )
+        return cls(*(data[..., i] for i in range(len(cls._FIELDS))))
+
+    # ------------------------------------------------------------------
+    # Views and derived forms
+    # ------------------------------------------------------------------
+    @property
+    def n_sets(self):
+        """Number of batch entries."""
+        return self.position.shape[0]
+
+    @property
+    def n_sources(self):
+        """Number of sources per entry."""
+        return self.position.shape[1]
+
+    def __len__(self):
+        return self.n_sets
+
+    @property
+    def shared_geometry(self):
+        """True when positions, frequencies and turn-ons match across sets.
+
+        Shared geometry is what collapses batched evaluation to matrix
+        products against a precomputed propagation basis; banks with
+        per-entry geometry (e.g. independent placement-noise draws) take
+        the general per-source path instead.
+        """
+        return bool(
+            (np.ptp(self.position, axis=0) == 0.0).all()
+            and (np.ptp(self.frequency, axis=0) == 0.0).all()
+            and (np.ptp(self.t_on, axis=0) == 0.0).all()
+        )
+
+    def as_batch(self):
+        """The :class:`~repro.waveguide.linear_model.SourceBatch` view.
+
+        Shares this bank's arrays; every batched
+        :class:`~repro.waveguide.linear_model.LinearWaveguideModel`
+        entry point accepts it (or the bank itself) directly.
+        """
+        from repro.waveguide.linear_model import SourceBatch
+
+        return SourceBatch(
+            self.position, self.frequency, self.amplitude, self.phase,
+            self.t_on,
+        )
+
+    def sources(self, index):
+        """Materialise entry ``index`` as a list of ``WaveSource``."""
+        from repro.waveguide.linear_model import WaveSource
+
+        return [
+            WaveSource(
+                position=float(self.position[index, j]),
+                frequency=float(self.frequency[index, j]),
+                amplitude=float(self.amplitude[index, j]),
+                phase=float(self.phase[index, j]),
+                t_on=float(self.t_on[index, j]),
+            )
+            for j in range(self.n_sources)
+        ]
+
+    def replace(self, **fields):
+        """A new bank with the given fields replaced.
+
+        Unchanged fields are shared with this bank (they are already
+        frozen); replacement arrays are adopted and frozen in turn, not
+        copied -- callers hand over ownership.
+        """
+        unknown = set(fields) - set(self._FIELDS)
+        if unknown:
+            raise SimulationError(
+                f"unknown SourceBank fields {sorted(unknown)!r}"
+            )
+        values = {name: getattr(self, name) for name in self._FIELDS}
+        for name, value in fields.items():
+            values[name] = np.asarray(value, dtype=float)
+        return type(self)(**values)

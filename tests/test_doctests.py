@@ -8,12 +8,14 @@ import repro.analysis.ascii_plot
 import repro.core.encoding
 import repro.mm.mesh
 import repro.units
+import repro.waveguide.sources
 
 MODULES = [
     repro.units,
     repro.core.encoding,
     repro.mm.mesh,
     repro.analysis.ascii_plot,
+    repro.waveguide.sources,
 ]
 
 

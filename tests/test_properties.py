@@ -1,6 +1,7 @@
 """Property-based tests (hypothesis) for core invariants."""
 
 import math
+from functools import lru_cache
 
 import numpy as np
 import pytest
@@ -13,9 +14,11 @@ from repro.core.encoding import (
     bits_to_int,
     int_to_bits,
 )
-from repro.core.gate import majority, parity
+from repro.core.gate import DataParallelGate, GateKind, majority, parity
+from repro.core.encoding import words_to_bit_array
 from repro.core.frequency_plan import FrequencyPlan
 from repro.core.layout import InlineGateLayout
+from repro.errors import EncodingError
 from repro.mm.integrators import rk4_step
 from repro.physics.dispersion import FvmswDispersion
 from repro.physics.solve import wavenumber_for_frequency
@@ -83,6 +86,139 @@ class TestBooleanProperties:
         total = sum(1.0 if b == 0 else -1.0 for b in bits)
         physical = 0 if total > 0 else 1
         assert majority(bits) == physical
+
+
+@lru_cache(maxsize=None)
+def _semantics_gate(kind, inverted):
+    """Small laid-out gates (layouts are expensive: cache per case)."""
+    n_inputs = 2 if GateKind(kind).uses_amplitude_readout else 3
+    plan = FrequencyPlan.uniform(2, 10e9, 10e9)
+    layout = InlineGateLayout(
+        Waveguide(), plan, n_inputs=n_inputs, inverted_outputs=list(inverted)
+    )
+    return DataParallelGate(layout, kind=kind)
+
+
+class TestGateSemanticsProperties:
+    """Randomised consistency of the gate's Boolean semantics.
+
+    ``expected_output`` (the scalar golden path), ``expected_output_batch``
+    (the array-native path batched evaluation uses) and ``truth_table``
+    must agree on every random word batch, with and without the
+    detector-placement inversion.
+    """
+
+    #: (kind, inverted_outputs) cases over the two cached small layouts.
+    CASES = [
+        (GateKind.MAJORITY, (False, True)),
+        (GateKind.AND, (True, False)),
+        (GateKind.OR, (False, False)),
+        (GateKind.XOR, (False, True)),
+        (GateKind.XNOR, (True, True)),
+    ]
+
+    @staticmethod
+    def _gate(kind, inverted):
+        return _semantics_gate(kind, inverted)
+
+    @given(st.integers(0, 2**31 - 1), st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_batch_matches_scalar_golden(self, seed, apply_inversion):
+        rng = np.random.default_rng(seed)
+        for kind, inverted in self.CASES:
+            gate = self._gate(kind, inverted)
+            words_batch = [
+                [
+                    rng.integers(0, 2, size=gate.n_bits).tolist()
+                    for _ in range(gate.n_data_inputs)
+                ]
+                for _ in range(4)
+            ]
+            batch = gate.expected_output_batch(
+                words_batch, apply_inversion=apply_inversion
+            )
+            scalar = [
+                gate.expected_output(words, apply_inversion=apply_inversion)
+                for words in words_batch
+            ]
+            assert batch == scalar
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_inversion_flips_exactly_inverted_channels(self, seed):
+        rng = np.random.default_rng(seed)
+        for kind, inverted in self.CASES:
+            gate = self._gate(kind, inverted)
+            words = [
+                rng.integers(0, 2, size=gate.n_bits).tolist()
+                for _ in range(gate.n_data_inputs)
+            ]
+            direct = gate.expected_output(words, apply_inversion=False)
+            placed = gate.expected_output(words, apply_inversion=True)
+            for channel, is_inverted in enumerate(
+                gate.layout.inverted_outputs
+            ):
+                if is_inverted:
+                    assert placed[channel] == 1 - direct[channel]
+                else:
+                    assert placed[channel] == direct[channel]
+
+    def test_truth_table_consistent_with_expected_output(self):
+        # Uniform words drive every channel with one truth-table row, so
+        # the (uninverted) golden word is that row's output everywhere.
+        for kind, inverted in self.CASES:
+            gate = self._gate(kind, inverted)
+            for bits, output in gate.truth_table():
+                words = [[b] * gate.n_bits for b in bits]
+                assert gate.expected_output(words, apply_inversion=False) == [
+                    output
+                ] * gate.n_bits
+                assert gate.expected_output_batch(
+                    [words], apply_inversion=False
+                ) == [[output] * gate.n_bits]
+
+    def test_truth_table_covers_all_data_combinations(self):
+        for kind, inverted in self.CASES:
+            gate = self._gate(kind, inverted)
+            rows = gate.truth_table()
+            assert len(rows) == 2**gate.n_data_inputs
+            assert len({bits for bits, _ in rows}) == len(rows)
+
+
+class TestWordArrayProperties:
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 4), st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_words_to_bit_array_roundtrip(self, seed, n_words, width):
+        rng = np.random.default_rng(seed)
+        batch = [
+            [rng.integers(0, 2, size=width).tolist() for _ in range(n_words)]
+            for _ in range(3)
+        ]
+        bits = words_to_bit_array(batch, n_words=n_words, width=width)
+        assert bits.shape == (3, n_words, width)
+        assert bits.tolist() == batch
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_accepts_floats_and_bools_like_validate_bit(self, seed):
+        rng = np.random.default_rng(seed)
+        ints = rng.integers(0, 2, size=(2, 2, 3))
+        assert words_to_bit_array(ints.astype(float)).tolist() == ints.tolist()
+        assert words_to_bit_array(ints.astype(bool)).tolist() == ints.tolist()
+
+    def test_rejects_non_binary_values(self):
+        with pytest.raises(EncodingError):
+            words_to_bit_array([[[0, 2]]])
+        with pytest.raises(EncodingError):
+            words_to_bit_array([[[0.5, 1.0]]])
+        with pytest.raises(EncodingError):
+            words_to_bit_array([[[0, 1], [1]]])  # ragged
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(EncodingError, match="expected 2 input words"):
+            words_to_bit_array([[[0, 1]]], n_words=2)
+        with pytest.raises(EncodingError, match="expected 3"):
+            words_to_bit_array([[[0, 1]]], width=3)
 
 
 class TestDispersionProperties:

@@ -53,7 +53,13 @@ class TestThermalFieldSigma:
             thermal_field_sigma(PERMALLOY, 1e-25, 0.0, 300.0)
 
 
+@pytest.mark.slow
 class TestLangevinRun:
+    """Stochastic LLG integration runs: the long half of this module.
+
+    Marked ``slow`` with the LLG cross-validation suite; the quick lane
+    (``-m "not slow"``) keeps the analytic sigma/equilibrium checks.
+    """
     def test_zero_temperature_matches_deterministic_fixed_point(self):
         state = _macrospin(alpha=0.5)
         run = ThermalLangevinRun(
