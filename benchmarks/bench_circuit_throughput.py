@@ -1,0 +1,91 @@
+"""Bench: levelized batched circuit execution vs the per-cell cascade.
+
+A synthesized ripple-carry adder is compiled by the physical circuit
+engine and evaluated on a batch of word groups two ways:
+
+* scalar cascade -- :meth:`CircuitEngine.run_scalar`, the
+  ``GateCascade``-style reference: one ``run_phasor`` call per
+  (cell, word group);
+* batched -- :meth:`CircuitEngine.run`: per level, all (cell, group)
+  pairs of one operation evaluate as a single
+  ``run_phasor_batch`` GEMM against cached propagation weights.
+
+Each bench records circuit name, logic depth, batch geometry and a
+``words_per_second`` metric in its ``extra_info`` (snapshotted by
+``--bench-json`` into ``BENCH_bench_circuit_throughput.json``), so
+circuit-level throughput -- and the batched/scalar speedup, the PR
+acceptance metric -- is tracked across PRs.
+"""
+
+import pytest
+
+from repro.circuits import CircuitEngine, ripple_carry_adder
+
+#: Data-parallel width of every physical cell (the paper's byte width).
+N_BITS = 8
+#: Word groups per sweep: the canonical batch-of-8 adder sweep.
+N_GROUPS = 8
+
+
+def _adder_batch(width, n_assignments, seed=0):
+    """Deterministic random (a, b) assignments for a width-bit adder."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    batch = []
+    for _ in range(n_assignments):
+        assignment = {}
+        for i in range(width):
+            assignment[f"a{i}"] = int(rng.integers(2))
+            assignment[f"b{i}"] = int(rng.integers(2))
+        batch.append(assignment)
+    return batch
+
+
+@pytest.fixture(scope="module")
+def adder_setup():
+    """A warmed rca4 engine plus the batch-of-8 word-group sweep."""
+    netlist = ripple_carry_adder(4)
+    engine = CircuitEngine(netlist, n_bits=N_BITS)
+    batch = _adder_batch(4, N_GROUPS * N_BITS)
+    # Warm layouts, calibrations and propagation-weight caches so both
+    # benches measure steady-state evaluation only.
+    engine.run(batch[: N_BITS])
+    return engine, netlist, batch
+
+
+def _record(benchmark, engine, netlist, batch, mode):
+    benchmark.extra_info["circuit"] = netlist.name
+    benchmark.extra_info["depth"] = netlist.depth()
+    benchmark.extra_info["n_cells"] = engine.n_physical_cells
+    benchmark.extra_info["n_bits"] = engine.n_bits
+    benchmark.extra_info["batch_size"] = len(batch)
+    benchmark.extra_info["mode"] = mode
+    mean = benchmark.stats.stats.mean
+    benchmark.extra_info["words_per_second"] = len(batch) / mean
+
+
+def test_engine_batched_throughput(benchmark, adder_setup):
+    engine, netlist, batch = adder_setup
+    result = benchmark(engine.run, batch)
+    assert result.correct
+    _record(benchmark, engine, netlist, batch, "batched")
+
+
+def test_engine_scalar_cascade_throughput(benchmark, adder_setup):
+    engine, netlist, batch = adder_setup
+    result = benchmark(engine.run_scalar, batch)
+    assert result.correct
+    _record(benchmark, engine, netlist, batch, "scalar")
+
+
+def test_engine_fault_sweep_throughput(benchmark, adder_setup):
+    """One full-adder fault-universe sweep (the circuit-faults inner loop)."""
+    from repro.experiments.circuit_faults import run as run_faults
+
+    results = benchmark(run_faults, width=1, n_bits=4)
+    assert results["coverage"] > 0.5
+    benchmark.extra_info["circuit"] = results["circuit"]
+    benchmark.extra_info["depth"] = results["depth"]
+    benchmark.extra_info["n_faults"] = results["n_faults"]
+    benchmark.extra_info["mode"] = "fault-sweep"

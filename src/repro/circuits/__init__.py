@@ -2,16 +2,31 @@
 
 Majority-inverter logic is the natural target of SW majority gates; this
 package provides a small netlist layer (networkx-backed), a cell library
-with cost models, MAJ-based synthesis of adders, and circuit-level
-area/delay/energy estimation contrasting data-parallel against scalar
-implementations -- the system-level extrapolation of the paper's
-Section V.B gate-level comparison.
+with cost models and physical gate bindings, MAJ-based synthesis of
+adders, circuit-level area/delay/energy estimation contrasting
+data-parallel against scalar implementations -- the system-level
+extrapolation of the paper's Section V.B gate-level comparison -- and a
+physical circuit-simulation engine
+(:class:`~repro.circuits.engine.CircuitEngine`) executing whole netlists
+on the batched phasor backend with transduced regeneration, fault
+injection and noise.
 """
 
 from repro.circuits.netlist import Netlist, Node
-from repro.circuits.library import CellLibrary, CellSpec, default_library
+from repro.circuits.library import (
+    CellLibrary,
+    CellSpec,
+    default_library,
+    physical_gate,
+)
 from repro.circuits.synth import full_adder, ripple_carry_adder, majority_tree
 from repro.circuits.estimate import circuit_cost, parallel_vs_scalar
+from repro.circuits.engine import (
+    CellFault,
+    CircuitEngine,
+    CircuitRunResult,
+    LevelReport,
+)
 
 __all__ = [
     "Netlist",
@@ -19,9 +34,14 @@ __all__ = [
     "CellLibrary",
     "CellSpec",
     "default_library",
+    "physical_gate",
     "full_adder",
     "ripple_carry_adder",
     "majority_tree",
     "circuit_cost",
     "parallel_vs_scalar",
+    "CellFault",
+    "CircuitEngine",
+    "CircuitRunResult",
+    "LevelReport",
 ]

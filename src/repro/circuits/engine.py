@@ -1,0 +1,545 @@
+"""Physical circuit simulation: netlists compiled onto batched SW gates.
+
+This module closes the gap between the Boolean netlist layer
+(:class:`~repro.circuits.netlist.Netlist`) and the phasor-level physics
+backend: a :class:`CircuitEngine` compiles an arbitrary MAJ/XOR/INV DAG
+into the levelized schedule cached on the netlist, maps every physical
+cell operation to one shared data-parallel gate
+(:func:`~repro.circuits.library.physical_gate`), and executes whole
+input-assignment batches level by level through
+:meth:`~repro.core.simulate.GateSimulator.run_phasor_batch` -- the
+:class:`~repro.core.cascade.GateCascade` regeneration semantics
+generalised to arbitrary wiring with fanout, constants and
+detector-placement inversion.
+
+Execution model
+---------------
+Each physical cell is an ``n_bits``-wide gate: channel ``c`` carries
+circuit instance ``c`` of a group, so a batch of ``B`` assignments packs
+into ``ceil(B / n_bits)`` word groups.  Within one level, every
+``(cell, group)`` pair of one operation evaluates as a single batched
+phasor call (one complex GEMM against the propagation weights cached on
+the engine's shared :class:`~repro.waveguide.LinearWaveguideModel`).
+Between levels the decoded word is re-excited at full amplitude --
+transduced regeneration, the robust cascade option of Section III -- so
+INV and BUF cells cost nothing: inversion is a detector-placement /
+re-excitation phase choice at the regeneration boundary, exactly the
+free-inverter rule the cell library prices.
+
+Faults (:class:`CellFault`, reusing
+:class:`~repro.core.faults.FaultySimulator` column mutation) and
+transducer noise (:class:`~repro.waveguide.NoiseModel`, one independent
+derived seed per cell and group) inject at any physical cell; decode
+errors then *propagate* through later levels instead of raising, which
+is what circuit-level fault coverage and noise-robustness experiments
+measure.  :meth:`CircuitEngine.run_scalar` keeps the per-cell
+``run_phasor`` loop as the pinned ground-truth reference (and the
+benchmark baseline).
+
+A purely virtual circuit needs no physics at all:
+
+>>> from repro.circuits.netlist import Netlist
+>>> netlist = Netlist("demo")
+>>> _ = netlist.add_input("a")
+>>> _ = netlist.add_cell("na", "INV", ("a",))
+>>> _ = netlist.mark_output("na")
+>>> engine = CircuitEngine(netlist, n_bits=2)
+>>> result = engine.run([{"a": 0}, {"a": 1}])
+>>> result.outputs["na"]
+[1, 0]
+>>> result.correct
+True
+"""
+
+import math
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.circuits.library import PHYSICAL_BINDINGS, physical_gate
+from repro.core.faults import FaultySimulator, TransducerFault
+from repro.core.simulate import GateSimulator
+from repro.errors import NetlistError, ReproError, SimulationError
+from repro.waveguide import Waveguide
+from repro.waveguide.linear_model import LinearWaveguideModel
+
+
+@dataclass(frozen=True)
+class CellFault:
+    """One transducer fault bound to a named physical cell.
+
+    ``fault.channel`` selects the data-parallel channel (and therefore
+    which circuit instances of each word group see the defect);
+    ``fault.input_index`` selects the cell's input transducer.
+    """
+
+    cell: str
+    fault: TransducerFault
+
+    def describe(self):
+        """Short label for reports."""
+        return f"{self.cell}:{self.fault.describe()}"
+
+
+@dataclass
+class CellRecord:
+    """Per-instance decode detail of one cell across the batch.
+
+    ``margins``/``amplitudes`` are ``None`` for virtual cells (INV/BUF,
+    constants resolved at the regeneration boundary -- no detector).
+    """
+
+    name: str
+    operation: str
+    level: int
+    bits: list
+    margins: list = None
+    amplitudes: list = None
+
+
+@dataclass
+class LevelReport:
+    """Decode-margin summary of one schedule level.
+
+    ``min_margin`` is ``None`` for levels without physical cells.
+    """
+
+    level: int
+    n_cells: int
+    n_physical: int
+    min_margin: float = None
+
+
+@dataclass
+class CircuitRunResult:
+    """Everything produced by one engine evaluation of a batch.
+
+    ``outputs[name][i]`` is ``None`` when entry ``i`` failed outright (a
+    fault silenced a decode); ``failed`` marks those entries.  ``levels``
+    carries the per-level decode-margin report; ``cells`` the per-cell
+    decode detail.
+    """
+
+    outputs: dict
+    expected: dict
+    failed: list
+    levels: list
+    cells: dict
+    n_entries: int
+    faults: list = field(default_factory=list)
+
+    @property
+    def correct(self):
+        """True when every entry decoded and matches the Boolean model."""
+        return self.word_errors == 0
+
+    @property
+    def word_errors(self):
+        """Entries that failed or disagree with the Boolean reference."""
+        errors = 0
+        for i in range(self.n_entries):
+            if self.failed[i] or any(
+                self.outputs[o][i] != self.expected[o][i] for o in self.outputs
+            ):
+                errors += 1
+        return errors
+
+    @property
+    def min_margin(self):
+        """Smallest decode margin across all physical levels (or None)."""
+        margins = [
+            r.min_margin for r in self.levels if r.min_margin is not None
+        ]
+        return min(margins) if margins else None
+
+
+class CircuitEngine:
+    """Executes a netlist on batched data-parallel spin-wave gates.
+
+    Parameters
+    ----------
+    netlist:
+        :class:`~repro.circuits.netlist.Netlist` (combinational DAG).
+    n_bits:
+        Data-parallel width of every physical cell: one cell carries
+        ``n_bits`` circuit instances on its frequency channels.
+    waveguide:
+        Shared :class:`~repro.waveguide.Waveguide` (default 50 nm
+        Fe60Co20B20 strip); every cell's gate is laid out on it and all
+        simulators share one :class:`~repro.waveguide.LinearWaveguideModel`
+        so identical cells reuse cached propagation weights.
+    transducer:
+        Optional :class:`~repro.core.layout.TransducerSpec`.
+    """
+
+    def __init__(self, netlist, n_bits=8, waveguide=None, transducer=None):
+        if n_bits < 1:
+            raise NetlistError(f"n_bits must be >= 1, got {n_bits!r}")
+        self.netlist = netlist
+        self.n_bits = int(n_bits)
+        self.waveguide = waveguide if waveguide is not None else Waveguide()
+        self.transducer = transducer
+        self._model = None
+        self._gates = {}
+        self._simulators = {}
+        self._compile_schedule()
+
+    def _compile_schedule(self):
+        """(Re)read the netlist's cached schedule and index its cells.
+
+        Called at construction and again by every run, so a netlist
+        grown after the engine was built is picked up transparently
+        (the per-operation gates and weight caches stay valid -- only
+        the schedule and the noise-seed indices refresh).
+        """
+        self.schedule = self.netlist.level_schedule()
+        # Deterministic per-cell index (schedule order) seeding the
+        # independent noise stream of each (cell, group) evaluation.
+        self._physical_index = {}
+        for cells in self.schedule:
+            for node in cells:
+                if node.kind in PHYSICAL_BINDINGS:
+                    self._physical_index[node.name] = len(self._physical_index)
+
+    # ------------------------------------------------------------------
+    # Compilation: shared model, gates and simulators
+    # ------------------------------------------------------------------
+    @property
+    def n_physical_cells(self):
+        """Number of transducer-level cells in the schedule."""
+        return len(self._physical_index)
+
+    def model(self):
+        """The engine-wide shared linear waveguide model (lazy)."""
+        if self._model is None:
+            self._model = LinearWaveguideModel(self.waveguide)
+        return self._model
+
+    def gate_for(self, operation):
+        """The shared :class:`DataParallelGate` template of one operation."""
+        if operation not in self._gates:
+            self._gates[operation] = physical_gate(
+                operation,
+                self.n_bits,
+                waveguide=self.waveguide,
+                transducer=self.transducer,
+            )
+        return self._gates[operation]
+
+    def simulator_for(self, operation):
+        """The nominal simulator shared by every cell of ``operation``."""
+        if operation not in self._simulators:
+            self._simulators[operation] = GateSimulator(
+                self.gate_for(operation), model=self.model()
+            )
+        return self._simulators[operation]
+
+    def _faulty_simulator(self, operation, fault):
+        """A fault-injected simulator sharing the engine's model/caches."""
+        return FaultySimulator(
+            self.gate_for(operation), fault, model=self.model()
+        )
+
+    # ------------------------------------------------------------------
+    # Batch plumbing
+    # ------------------------------------------------------------------
+    def _normalise_batch(self, assignments_batch):
+        batch = list(assignments_batch)
+        if not batch:
+            raise NetlistError("no assignments supplied")
+        return batch
+
+    def _normalise_faults(self, faults):
+        fault_map = {}
+        for item in faults:
+            if not isinstance(item, CellFault):
+                raise NetlistError(
+                    f"faults must be CellFault instances, got {item!r}"
+                )
+            node = self.netlist.node(item.cell)
+            if node.kind not in PHYSICAL_BINDINGS:
+                raise NetlistError(
+                    f"cell {item.cell!r} ({node.kind}) has no transducers "
+                    "to fault (INV/BUF are detector-placement choices)"
+                )
+            if item.cell in fault_map:
+                raise NetlistError(
+                    f"cell {item.cell!r} carries more than one fault"
+                )
+            fault_map[item.cell] = item.fault
+        return fault_map
+
+    def _input_values(self, batch, padded):
+        """{level-0 node: (padded,) int array} from the assignments."""
+        values = {}
+        for name in self.netlist.topological_order():
+            node = self.netlist.node(name)
+            if node.kind == "input":
+                try:
+                    column = [a[name] for a in batch]
+                except KeyError:
+                    raise NetlistError(
+                        f"no value supplied for input {name!r}"
+                    ) from None
+                array = np.zeros(padded, dtype=np.int64)
+                array[: len(batch)] = np.asarray(column, dtype=np.int64)
+                if not np.isin(array[: len(batch)], (0, 1)).all():
+                    raise NetlistError("logic values must all be 0 or 1")
+                values[name] = array
+            elif node.kind == "const0":
+                values[name] = np.zeros(padded, dtype=np.int64)
+            elif node.kind == "const1":
+                values[name] = np.ones(padded, dtype=np.int64)
+        return values
+
+    def _cell_noise(self, noise, cell_name, group, n_groups):
+        """An independent, deterministic noise model per (cell, group)."""
+        if noise is None:
+            return None
+        offset = self._physical_index[cell_name] * n_groups + group
+        return replace(noise, seed=noise.seed + offset + 1)
+
+    @staticmethod
+    def _group_slice(group, n_bits):
+        return slice(group * n_bits, (group + 1) * n_bits)
+
+    def _record_decode(
+        self, records, node, level, group, n_valid, decoded, margins, amplitudes
+    ):
+        record = records.get(node.name)
+        if record is None:
+            record = CellRecord(
+                name=node.name,
+                operation=node.kind,
+                level=level,
+                bits=[],
+                margins=[],
+                amplitudes=[],
+            )
+            records[node.name] = record
+        record.bits.extend(decoded[:n_valid])
+        record.margins.extend(margins[:n_valid])
+        record.amplitudes.extend(amplitudes[:n_valid])
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, assignments_batch, faults=(), noise=None, strict=True):
+        """Evaluate a batch of assignments through the physics.
+
+        Parameters
+        ----------
+        assignments_batch:
+            Sequence of ``{input name: bit}`` mappings (one circuit
+            instance each).
+        faults:
+            Iterable of :class:`CellFault` (at most one per cell); the
+            faulted cell evaluates through a
+            :class:`~repro.core.faults.FaultySimulator` sharing the
+            engine's weight caches.
+        noise:
+            Optional :class:`~repro.waveguide.NoiseModel` template; every
+            (cell, group) evaluation draws an independent realisation
+            from a deterministically derived seed.
+        strict:
+            When True, a dead decode (a fault silencing a phase-readout
+            channel) raises; when False the affected entries are marked
+            ``failed`` and a regenerated 0 propagates onward.
+
+        Returns a :class:`CircuitRunResult`.  Decoded (possibly wrong)
+        bits always propagate to later levels -- regeneration restores
+        amplitude, not truth -- so fault and noise effects compound
+        through the DAG exactly as in hardware.
+        """
+        return self._execute(
+            assignments_batch, faults, noise, strict, batched=True
+        )
+
+    def run_scalar(self, assignments_batch, faults=(), noise=None, strict=True):
+        """Per-cell scalar reference: one ``run_phasor`` call per
+        (cell, group), the :class:`~repro.core.cascade.GateCascade`-style
+        loop generalised to DAGs.
+
+        Bit-identical semantics to :meth:`run` (same noise seeds, same
+        fault plumbing); the batched path is pinned against this
+        reference to <= 1e-12 in ``tests/test_circuit_engine.py``, and
+        the throughput benchmark uses it as the baseline.
+        """
+        return self._execute(
+            assignments_batch, faults, noise, strict, batched=False
+        )
+
+    def _execute(self, assignments_batch, faults, noise, strict, batched):
+        if self.netlist.level_schedule() is not self.schedule:
+            self._compile_schedule()  # the netlist grew since compilation
+        batch = self._normalise_batch(assignments_batch)
+        fault_map = self._normalise_faults(faults)
+        n_entries = len(batch)
+        n_groups = -(-n_entries // self.n_bits)
+        padded = n_groups * self.n_bits
+        values = self._input_values(batch, padded)
+        failed = np.zeros(padded, dtype=bool)
+        records = {}
+        level_reports = []
+
+        for level, cells in enumerate(self.schedule, start=1):
+            physical = {}
+            level_margins = []
+            for node in cells:
+                if node.kind in PHYSICAL_BINDINGS:
+                    physical.setdefault(node.kind, []).append(node)
+                    continue
+                source = values[node.fanin[0]]
+                values[node.name] = (
+                    1 - source if node.kind == "INV" else source.copy()
+                )
+                records[node.name] = CellRecord(
+                    name=node.name,
+                    operation=node.kind,
+                    level=level,
+                    bits=values[node.name][:n_entries].tolist(),
+                )
+            n_physical = sum(len(nodes) for nodes in physical.values())
+            for operation in sorted(physical):
+                nominal = []
+                faulted = []
+                for node in physical[operation]:
+                    (faulted if node.name in fault_map else nominal).append(node)
+                if nominal:
+                    self._evaluate_cells(
+                        self.simulator_for(operation),
+                        nominal,
+                        values,
+                        failed,
+                        records,
+                        level_margins,
+                        noise=noise,
+                        n_entries=n_entries,
+                        n_groups=n_groups,
+                        level=level,
+                        strict=strict,
+                        batched=batched,
+                    )
+                for node in faulted:
+                    self._evaluate_cells(
+                        self._faulty_simulator(operation, fault_map[node.name]),
+                        [node],
+                        values,
+                        failed,
+                        records,
+                        level_margins,
+                        noise=noise,
+                        n_entries=n_entries,
+                        n_groups=n_groups,
+                        level=level,
+                        strict=strict,
+                        batched=batched,
+                    )
+            level_reports.append(
+                LevelReport(
+                    level=level,
+                    n_cells=len(cells),
+                    n_physical=n_physical,
+                    min_margin=min(level_margins) if level_margins else None,
+                )
+            )
+
+        expected = self.netlist.evaluate_batch(batch)
+        outputs = {}
+        for name in self.netlist.outputs:
+            column = values[name][:n_entries]
+            outputs[name] = [
+                None if failed[i] else int(column[i])
+                for i in range(n_entries)
+            ]
+        return CircuitRunResult(
+            outputs=outputs,
+            expected=expected,
+            failed=failed[:n_entries].tolist(),
+            levels=level_reports,
+            cells=records,
+            n_entries=n_entries,
+            faults=list(faults),
+        )
+
+    def _evaluate_cells(
+        self,
+        simulator,
+        nodes,
+        values,
+        failed,
+        records,
+        level_margins,
+        noise,
+        n_entries,
+        n_groups,
+        level,
+        strict,
+        batched,
+    ):
+        """Evaluate ``nodes`` (one operation) for every word group."""
+        n_bits = self.n_bits
+        entries = []
+        meta = []
+        noises = [] if noise is not None else None
+        for node in nodes:
+            fanin_values = [values[driver] for driver in node.fanin]
+            values[node.name] = np.zeros(len(failed), dtype=np.int64)
+            for group in range(n_groups):
+                window = self._group_slice(group, n_bits)
+                entries.append([v[window].tolist() for v in fanin_values])
+                meta.append((node, group))
+                if noises is not None:
+                    noises.append(
+                        self._cell_noise(noise, node.name, group, n_groups)
+                    )
+
+        if batched:
+            runs = simulator.run_phasor_batch(
+                entries, noises=noises, strict=False
+            )
+        else:
+            runs = self._scalar_runs(simulator, entries, noises)
+
+        for (node, group), run in zip(meta, runs):
+            window = self._group_slice(group, n_bits)
+            n_valid = min(n_entries - group * n_bits, n_bits)
+            if run is None:
+                if strict:
+                    raise SimulationError(
+                        f"cell {node.name!r} (level {level}) failed to "
+                        "decode: a channel produced zero steady-state "
+                        "amplitude"
+                    )
+                failed[group * n_bits : group * n_bits + n_valid] = True
+                self._record_decode(
+                    records, node, level, group, n_valid,
+                    [None] * n_bits, [math.nan] * n_bits, [math.nan] * n_bits,
+                )
+                continue
+            values[node.name][window] = run.decoded
+            margins = [d.margin for d in run.decodes]
+            amplitudes = [d.amplitude for d in run.decodes]
+            self._record_decode(
+                records, node, level, group, n_valid,
+                run.decoded, margins, amplitudes,
+            )
+            level_margins.extend(margins[:n_valid])
+
+    @staticmethod
+    def _scalar_runs(simulator, entries, noises):
+        """Per-entry ``run_phasor`` loop mirroring ``run_phasor_batch``."""
+        if noises is None:
+            noises = [simulator.noise] * len(entries)
+        saved = simulator.noise
+        runs = []
+        try:
+            for words, entry_noise in zip(entries, noises):
+                simulator.noise = entry_noise
+                try:
+                    runs.append(simulator.run_phasor(words))
+                except ReproError:
+                    runs.append(None)
+        finally:
+            simulator.noise = saved
+        return runs

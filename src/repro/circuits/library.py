@@ -1,15 +1,62 @@
-"""Spin-wave cell library with per-cell cost figures.
+"""Spin-wave cell library: physical gate bindings and per-cell costs.
 
 Cell costs derive from the gate-level models in
 :mod:`repro.core.metrics`: a MAJ3 cell is one in-line 3-input gate,
 an XOR2 cell a 2-input amplitude-readout gate, an INV is free in the SW
 domain (read the complemented output by detector placement, Section III)
 apart from a detector-position constraint we charge nothing for.
+
+:data:`PHYSICAL_BINDINGS` is the single source of truth mapping netlist
+operations to physical gate templates; :func:`physical_gate` materialises
+one binding as a laid-out
+:class:`~repro.core.gate.DataParallelGate` -- the cell the circuit
+engine (:mod:`repro.circuits.engine`) instantiates per operation, and
+the cell :func:`default_library` prices.
 """
 
 from dataclasses import dataclass
 
 from repro.errors import NetlistError
+
+#: Netlist operations realised by a transducer-level gate: operation ->
+#: (GateKind value, physical fan-in).  INV and BUF are *not* physical:
+#: inversion is a detector-placement choice and a buffer is a wire, so
+#: the engine resolves both at the regeneration boundary for free.
+PHYSICAL_BINDINGS = {
+    "MAJ3": ("majority", 3),
+    "XOR2": ("xor", 2),
+}
+
+
+def physical_gate(operation, n_bits=1, waveguide=None, plan=None, transducer=None):
+    """Materialise one :data:`PHYSICAL_BINDINGS` entry as a laid-out gate.
+
+    ``n_bits`` is the data-parallel width (the cell processes ``n_bits``
+    circuit instances at once); ``plan`` defaults to ``n_bits`` channels
+    at 10 GHz spacing from 10 GHz -- the paper's byte plan when
+    ``n_bits == 8``.  Raises :class:`~repro.errors.NetlistError` for
+    operations without a physical realisation (INV, BUF).
+    """
+    from repro.core.frequency_plan import FrequencyPlan
+    from repro.core.gate import DataParallelGate, GateKind
+    from repro.core.layout import InlineGateLayout
+    from repro.units import GHZ
+    from repro.waveguide import Waveguide
+
+    try:
+        kind, n_inputs = PHYSICAL_BINDINGS[operation]
+    except KeyError:
+        raise NetlistError(
+            f"operation {operation!r} has no physical gate "
+            f"(physical: {sorted(PHYSICAL_BINDINGS)})"
+        ) from None
+    waveguide = waveguide if waveguide is not None else Waveguide()
+    if plan is None:
+        plan = FrequencyPlan.uniform(n_bits, 10.0 * GHZ, 10.0 * GHZ)
+    layout = InlineGateLayout(
+        waveguide, plan, n_inputs=n_inputs, transducer=transducer
+    )
+    return DataParallelGate(layout, kind=GateKind(kind))
 
 
 @dataclass(frozen=True)
@@ -62,30 +109,22 @@ def default_library(n_bits=1, waveguide=None, cost_model=None):
     n circuit instances at once -- divide system cost accordingly in
     :func:`repro.circuits.estimate.parallel_vs_scalar`).
     """
-    from repro.core.frequency_plan import FrequencyPlan
-    from repro.core.gate import GateKind
-    from repro.core.layout import InlineGateLayout
     from repro.core.metrics import CostModel, gate_cost
-    from repro.units import GHZ
     from repro.waveguide import Waveguide
 
     waveguide = waveguide if waveguide is not None else Waveguide()
     cost_model = cost_model if cost_model is not None else CostModel()
-    if n_bits == 1:
-        plan = FrequencyPlan([10.0 * GHZ])
-    else:
-        plan = FrequencyPlan.uniform(n_bits, 10.0 * GHZ, 10.0 * GHZ)
 
-    maj_layout = InlineGateLayout(waveguide, plan, n_inputs=3)
-    maj_cost = gate_cost(maj_layout, cost_model)
-    xor_layout = InlineGateLayout(waveguide, plan, n_inputs=2)
-    xor_cost = gate_cost(xor_layout, cost_model)
-
-    cells = [
-        CellSpec("MAJ3", maj_cost.area, maj_cost.delay, maj_cost.energy),
-        CellSpec("XOR2", xor_cost.area, xor_cost.delay, xor_cost.energy),
-        # Inversion is a detector-placement choice: no extra transducer.
-        CellSpec("INV", 0.0, 0.0, 0.0),
-        CellSpec("BUF", 0.0, 0.0, 0.0),
-    ]
+    cells = []
+    for operation in sorted(PHYSICAL_BINDINGS):
+        layout = physical_gate(operation, n_bits, waveguide=waveguide).layout
+        cost = gate_cost(layout, cost_model)
+        cells.append(CellSpec(operation, cost.area, cost.delay, cost.energy))
+    cells.extend(
+        [
+            # Inversion is a detector-placement choice: no extra transducer.
+            CellSpec("INV", 0.0, 0.0, 0.0),
+            CellSpec("BUF", 0.0, 0.0, 0.0),
+        ]
+    )
     return CellLibrary(cells)

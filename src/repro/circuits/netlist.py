@@ -5,11 +5,21 @@ carry single bits.  The netlist is a DAG (combinational logic only);
 :meth:`Netlist.evaluate` computes outputs with plain Boolean semantics,
 and :meth:`Netlist.depth` / :meth:`Netlist.critical_path` feed the
 circuit cost model.
+
+The topological order and level assignment are computed once and cached
+(:meth:`Netlist.topological_order`, :meth:`Netlist.levels`,
+:meth:`Netlist.level_schedule`); construction methods invalidate the
+cache.  :meth:`Netlist.evaluate_batch` evaluates many assignments as
+whole-array operations -- it is the Boolean reference the physical
+circuit engine (:class:`repro.circuits.engine.CircuitEngine`, which
+executes the same levelized schedule on batched spin-wave gates) is
+pinned against.
 """
 
 from dataclasses import dataclass, field
 
 import networkx as nx
+import numpy as np
 
 from repro.core.encoding import validate_bit
 from repro.errors import NetlistError
@@ -23,6 +33,15 @@ _OPERATIONS = {
 }
 
 _ARITY = {"MAJ3": 3, "INV": 1, "XOR2": 2, "BUF": 1}
+
+#: Array-native evaluators: each maps a list of (n,) int arrays (one per
+#: fanin) to the (n,) output array -- the vectorised twin of _OPERATIONS.
+_BATCH_OPERATIONS = {
+    "MAJ3": lambda bits: (bits[0] + bits[1] + bits[2] >= 2).astype(np.int64),
+    "INV": lambda bits: 1 - bits[0],
+    "XOR2": lambda bits: bits[0] ^ bits[1],
+    "BUF": lambda bits: bits[0].copy(),
+}
 
 
 @dataclass(frozen=True)
@@ -41,6 +60,9 @@ class Netlist:
         self.name = name
         self._graph = nx.DiGraph()
         self._outputs = []
+        # (order, levels, parents, schedule) -- rebuilt lazily after any
+        # topology change (see _topology).
+        self._topology_cache = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -53,6 +75,7 @@ class Netlist:
         """Declare a primary input; returns its name."""
         self._check_fresh(name)
         self._graph.add_node(name, node=Node(name, "input"))
+        self._topology_cache = None
         return name
 
     def add_const(self, name, value):
@@ -60,6 +83,7 @@ class Netlist:
         self._check_fresh(name)
         value = validate_bit(value)
         self._graph.add_node(name, node=Node(name, f"const{value}"))
+        self._topology_cache = None
         return name
 
     def add_cell(self, name, operation, fanin):
@@ -87,6 +111,7 @@ class Netlist:
             raise NetlistError(
                 f"adding {name!r} would create a combinational loop"
             )
+        self._topology_cache = None
         return name
 
     def mark_output(self, name):
@@ -132,6 +157,64 @@ class Netlist:
         return counts
 
     # ------------------------------------------------------------------
+    # Topology (cached)
+    # ------------------------------------------------------------------
+    def _topology(self):
+        """Cached ``(order, levels, parents, schedule)`` of the DAG.
+
+        One topological sort serves :meth:`evaluate`,
+        :meth:`evaluate_batch`, :meth:`depth`, :meth:`critical_path` and
+        the physical engine's level schedule; any ``add_*`` call
+        invalidates the cache.
+        """
+        if self._topology_cache is None:
+            order = tuple(nx.topological_sort(self._graph))
+            levels = {}
+            parents = {}
+            buckets = {}
+            for name in order:
+                node = self._graph.nodes[name]["node"]
+                if node.kind in ("input", "const0", "const1"):
+                    levels[name] = 0
+                    parents[name] = None
+                else:
+                    best = max(node.fanin, key=lambda d: levels[d])
+                    levels[name] = 1 + levels[best]
+                    parents[name] = best
+                    buckets.setdefault(levels[name], []).append(node)
+            schedule = tuple(
+                tuple(buckets[level]) for level in sorted(buckets)
+            )
+            self._topology_cache = (order, levels, parents, schedule)
+        return self._topology_cache
+
+    def node(self, name):
+        """The :class:`Node` record of ``name``; raises when unknown."""
+        try:
+            return self._graph.nodes[name]["node"]
+        except KeyError:
+            raise NetlistError(f"unknown node {name!r}") from None
+
+    def topological_order(self):
+        """Cached topological node order (tuple of names)."""
+        return self._topology()[0]
+
+    def levels(self):
+        """{node name: level}; inputs/constants are level 0 (cached)."""
+        return dict(self._topology()[1])
+
+    def level_schedule(self):
+        """Cells grouped by level: entry ``l - 1`` holds the level-``l``
+        :class:`Node` tuples in topological order (cached).
+
+        This is the execution schedule of the physical circuit engine:
+        every cell of one level depends only on earlier levels, so a
+        level's cells evaluate as one batch
+        (:class:`repro.circuits.engine.CircuitEngine`).
+        """
+        return self._topology()[3]
+
+    # ------------------------------------------------------------------
     # Evaluation and timing
     # ------------------------------------------------------------------
     def evaluate(self, assignments):
@@ -140,7 +223,7 @@ class Netlist:
         Returns {output name: bit}.  Raises on missing inputs.
         """
         values = {}
-        for name in nx.topological_sort(self._graph):
+        for name in self.topological_order():
             node = self._graph.nodes[name]["node"]
             if node.kind == "input":
                 if name not in assignments:
@@ -158,39 +241,62 @@ class Netlist:
             raise NetlistError(f"outputs {missing!r} were never computed")
         return {o: values[o] for o in self._outputs}
 
+    def evaluate_batch(self, assignments_batch):
+        """Vectorised :meth:`evaluate` over many assignments.
+
+        ``assignments_batch`` is a sequence of ``{input name: bit}``
+        mappings; every node evaluates once as a whole-array operation
+        over the batch.  Returns ``{output name: list of bits}`` whose
+        entry ``i`` equals ``evaluate(assignments_batch[i])``.  This is
+        the Boolean reference of the physical circuit engine.
+        """
+        assignments_batch = list(assignments_batch)
+        if not assignments_batch:
+            raise NetlistError("no assignments supplied")
+        n_sets = len(assignments_batch)
+        values = {}
+        for name in self.topological_order():
+            node = self._graph.nodes[name]["node"]
+            if node.kind == "input":
+                try:
+                    column = [a[name] for a in assignments_batch]
+                except KeyError:
+                    raise NetlistError(
+                        f"no value supplied for input {name!r}"
+                    ) from None
+                array = np.asarray(
+                    [validate_bit(b) for b in column], dtype=np.int64
+                )
+                values[name] = array
+            elif node.kind == "const0":
+                values[name] = np.zeros(n_sets, dtype=np.int64)
+            elif node.kind == "const1":
+                values[name] = np.ones(n_sets, dtype=np.int64)
+            else:
+                fanin = [values[d] for d in node.fanin]
+                values[name] = _BATCH_OPERATIONS[node.kind](fanin)
+        missing = [o for o in self._outputs if o not in values]
+        if missing:
+            raise NetlistError(f"outputs {missing!r} were never computed")
+        return {o: values[o].tolist() for o in self._outputs}
+
     def depth(self):
         """Logic depth in cell levels (inputs/constants are level 0)."""
-        levels = {}
-        for name in nx.topological_sort(self._graph):
-            node = self._graph.nodes[name]["node"]
-            if node.kind in ("input", "const0", "const1"):
-                levels[name] = 0
-            else:
-                levels[name] = 1 + max(levels[d] for d in node.fanin)
+        levels = self._topology()[1]
         if not self._outputs:
             return max(levels.values(), default=0)
         return max(levels[o] for o in self._outputs)
 
     def critical_path(self):
         """One deepest input-to-output node path (list of names)."""
-        levels = {}
-        parent = {}
-        for name in nx.topological_sort(self._graph):
-            node = self._graph.nodes[name]["node"]
-            if node.kind in ("input", "const0", "const1"):
-                levels[name] = 0
-                parent[name] = None
-            else:
-                best = max(node.fanin, key=lambda d: levels[d])
-                levels[name] = 1 + levels[best]
-                parent[name] = best
+        _, levels, parents, _ = self._topology()
         if not levels:
             return []
         terminals = self._outputs or list(levels)
         end = max(terminals, key=lambda n: levels[n])
         path = [end]
-        while parent[path[-1]] is not None:
-            path.append(parent[path[-1]])
+        while parents[path[-1]] is not None:
+            path.append(parents[path[-1]])
         return list(reversed(path))
 
     def graph(self):

@@ -6,6 +6,7 @@ Subcommands::
     swgate run fig3                  # run one experiment, print its table
     swgate run all                   # every fast experiment
     swgate majority 0xA5 0x3C 0x0F   # evaluate the byte MAJ gate on words
+    swgate circuit 0x9 0x6           # physical adder via the circuit engine
     swgate layout                    # print the byte gate placement
     swgate export-mif out.mif        # OOMMF MIF 2.1 export
 """
@@ -105,6 +106,44 @@ def _cmd_adder(args):
         f"energy ratio {result.energy_ratio:.2f})"
     )
     return 0 if total == a + b else 1
+
+
+def _cmd_circuit(args):
+    from repro.circuits import CircuitEngine, ripple_carry_adder
+
+    a = _parse_word(args.a)
+    b = _parse_word(args.b)
+    width = args.width
+    netlist = ripple_carry_adder(width)
+    engine = CircuitEngine(netlist, n_bits=args.bits)
+    assignment = {}
+    for i, bit in enumerate(int_to_bits(a, width)):
+        assignment[f"a{i}"] = bit
+    for i, bit in enumerate(int_to_bits(b, width)):
+        assignment[f"b{i}"] = bit
+    result = engine.run([assignment])
+    # Outputs are registered sum-bit order first, carry-out last.
+    output_names = netlist.outputs
+    total = 0
+    for i, name in enumerate(output_names[:width]):
+        total |= result.outputs[name][0] << i
+    total |= result.outputs[output_names[-1]][0] << width
+    print(
+        f"{width}-bit physical ripple-carry adder "
+        f"({engine.n_physical_cells} spin-wave cells, "
+        f"depth {netlist.depth()}, {args.bits}-bit data-parallel): "
+        f"0x{a:X} + 0x{b:X} = 0x{total:X} "
+        f"({'physics matches logic' if result.correct else 'WRONG'})"
+    )
+    for report in result.levels:
+        margin = (
+            "-" if report.min_margin is None else f"{report.min_margin:.3f}"
+        )
+        print(
+            f"  level {report.level}: {report.n_physical} physical / "
+            f"{report.n_cells} cells, min margin {margin}"
+        )
+    return 0 if result.correct and total == a + b else 1
 
 
 def _cmd_design(args):
@@ -216,6 +255,23 @@ def build_parser():
         help="parallel data words for the cost comparison",
     )
     adder_parser.set_defaults(func=_cmd_adder)
+
+    circuit_parser = sub.add_parser(
+        "circuit",
+        help="run a ripple-carry adder through the physical circuit engine",
+    )
+    circuit_parser.add_argument("a", help="first operand")
+    circuit_parser.add_argument("b", help="second operand")
+    circuit_parser.add_argument(
+        "--width", type=int, default=4, help="adder width in bits"
+    )
+    circuit_parser.add_argument(
+        "--bits",
+        type=int,
+        default=8,
+        help="data-parallel width of each physical cell",
+    )
+    circuit_parser.set_defaults(func=_cmd_circuit)
 
     design_parser = sub.add_parser(
         "design", help="design and verify a custom data-parallel gate"

@@ -17,6 +17,13 @@ options at the phasor level:
 
 Stages share a frequency plan; the per-stage physical structure is an
 independent waveguide segment (Fig. 2 structure per stage).
+
+:class:`GateCascade` handles hand-wired linear pipelines; for arbitrary
+MAJ/XOR/INV netlists (fanout, constants, detector-placement inversion)
+the same transduced-regeneration semantics are generalised -- and
+batched level-by-level -- by
+:class:`repro.circuits.engine.CircuitEngine`, which is pinned against
+the per-stage evaluation this module performs.
 """
 
 import math

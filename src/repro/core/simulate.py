@@ -92,6 +92,7 @@ class GateSimulator:
         noise=None,
         front_smoothing=0.0,
         settle_periods=4.0,
+        model=None,
     ):
         """
         Parameters
@@ -111,13 +112,32 @@ class GateSimulator:
         settle_periods:
             How many periods of the slowest channel to wait after the
             last wavefront arrival before the analysis window opens.
+        model:
+            Optional shared :class:`~repro.waveguide.LinearWaveguideModel`
+            built on the gate's waveguide.  Simulators sharing one model
+            share its dispersion and propagation-weight caches -- the
+            circuit engine hands every simulator of one design the same
+            model so identical cells (and their faulty variants) never
+            recompute wave parameters or weight matrices.
         """
         self.gate = gate
         self.layout = gate.layout
         self.encoding = encoding if encoding is not None else PhaseEncoding()
-        self.model = LinearWaveguideModel(
-            self.layout.waveguide, front_smoothing=front_smoothing
-        )
+        if model is None:
+            model = LinearWaveguideModel(
+                self.layout.waveguide, front_smoothing=front_smoothing
+            )
+        else:
+            if model.waveguide is not self.layout.waveguide:
+                raise SimulationError(
+                    "a shared model must be built on the gate's waveguide"
+                )
+            if model.front_smoothing != float(front_smoothing):
+                raise SimulationError(
+                    f"shared model front_smoothing {model.front_smoothing!r} "
+                    f"!= requested {front_smoothing!r}"
+                )
+        self.model = model
         n_bits = gate.n_bits
         n_inputs = self.layout.n_inputs
         if amplitudes is None:
@@ -177,19 +197,16 @@ class GateSimulator:
         Computed without noise; cached.
         """
         if self._calibration is None:
-            # Calibration is noiseless by construction.
-            noise, self.noise = self.noise, None
-            try:
-                sources = self.build_sources(self._zero_words())
-            finally:
-                self.noise = noise
+            # Calibration is noiseless by construction (noises=[None]);
+            # one single-entry bank through the cached propagation-weight
+            # GEMM covers every channel at once instead of one scalar
+            # steady_state_phasor per channel, so building many small
+            # gates (circuit engine, channel-capacity sweeps) stays cheap.
+            bank = self.build_source_bank([self._zero_words()], noises=[None])
+            z_row = self._phasor_block(bank)[0]
             result = []
             for channel in range(self.gate.n_bits):
-                z = self.model.steady_state_phasor(
-                    sources,
-                    self.layout.detector_positions[channel],
-                    self.layout.plan.frequencies[channel],
-                )
+                z = complex(z_row[channel])
                 if abs(z) == 0:
                     raise SimulationError(
                         f"calibration produced zero amplitude on channel "
@@ -573,11 +590,14 @@ class GateSimulator:
                 and not bank.t_on[0].any()
             ):
                 if self._nominal_weights is None:
+                    # Nominal layout geometry recurs across simulators
+                    # sharing this model: memoise on the model too.
                     self._nominal_weights = self.model.phasor_weights(
                         position,
                         frequency,
                         self.layout.detector_positions,
                         self.layout.plan.frequencies,
+                        cache=True,
                     )
                 weights = self._nominal_weights
         return self.model.steady_state_phasor_block(

@@ -10,6 +10,8 @@ paper-versus-measured tables always come from the same code path.
 from repro.experiments import (
     area_table,
     channel_capacity,
+    circuit_faults,
+    circuit_noise,
     distance_table,
     drive_limits,
     fault_coverage,
@@ -34,6 +36,8 @@ __all__ = [
     "noise_robustness",
     "fault_coverage",
     "drive_limits",
+    "circuit_faults",
+    "circuit_noise",
     "EXPERIMENTS",
     "run_experiment",
 ]

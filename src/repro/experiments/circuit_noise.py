@@ -1,0 +1,122 @@
+"""Circuit-level noise robustness: margin vs jitter across synthesized blocks.
+
+The gate-level study (:mod:`repro.experiments.noise_robustness`)
+measures one gate's word error rate under transducer non-idealities;
+this experiment asks how the margins hold up once gates compose into
+*circuits* through the physical engine.  Every level re-thresholds and
+re-excites (transduced regeneration), so per-level phase errors do not
+accumulate analogically -- but every cell of every level rolls its own
+independent jitter dice, so deeper and wider blocks see more chances for
+a single channel to cross the decision boundary, and one flipped carry
+corrupts everything downstream.
+
+For each synthesized block (full adder, ripple-carry adders, the
+majority tree) and each phase-noise sigma, a Monte-Carlo batch of random
+primary-input assignments runs through the engine with one independent
+noise realisation per (cell, word-group); the word error rate and the
+worst per-level decode margin are reported.
+"""
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.circuits.engine import CircuitEngine
+from repro.circuits.synth import full_adder, majority_tree, ripple_carry_adder
+from repro.errors import NetlistError
+from repro.waveguide import NoiseModel
+
+DEFAULT_SIGMAS = (0.0, 0.1, 0.2, 0.4)
+
+
+def default_blocks():
+    """The standard synthesized benchmark blocks."""
+    adder, _, _ = full_adder()
+    return [adder, ripple_carry_adder(2), majority_tree(9)]
+
+
+def _random_batch(netlist, n_trials, rng):
+    inputs = netlist.inputs
+    return [
+        {name: int(rng.integers(2)) for name in inputs}
+        for _ in range(n_trials)
+    ]
+
+
+def run(blocks=None, sigmas=DEFAULT_SIGMAS, n_trials=16, n_bits=4, seed=11):
+    """Word error rate and worst margin vs phase noise, per block."""
+    if n_trials < 1:
+        raise NetlistError(f"n_trials must be >= 1, got {n_trials!r}")
+    blocks = list(blocks) if blocks is not None else default_blocks()
+    rng = np.random.default_rng(seed)
+    rows = []
+    for netlist in blocks:
+        engine = CircuitEngine(netlist, n_bits=n_bits)
+        batch = _random_batch(netlist, n_trials, rng)
+        error_rates = []
+        min_margins = []
+        for index, sigma in enumerate(sigmas):
+            noise = (
+                NoiseModel(phase_sigma=sigma, seed=seed + 1000 * index)
+                if sigma > 0
+                else None
+            )
+            result = engine.run(batch, noise=noise, strict=False)
+            error_rates.append(result.word_errors / result.n_entries)
+            min_margins.append(result.min_margin)
+        rows.append(
+            {
+                "circuit": netlist.name,
+                "depth": netlist.depth(),
+                "n_cells": engine.n_physical_cells,
+                "error_rates": error_rates,
+                "min_margins": min_margins,
+            }
+        )
+    return {
+        "sigmas": list(sigmas),
+        "rows": rows,
+        "n_trials": n_trials,
+        "n_bits": n_bits,
+    }
+
+
+def report(results):
+    """Render error-rate and margin tables over the sigma sweep."""
+    sigma_headers = [f"sigma={s:g}" for s in results["sigmas"]]
+    headers = ["circuit", "depth", "cells"] + sigma_headers
+    rows = []
+    for row in results["rows"]:
+        rows.append(
+            [row["circuit"], str(row["depth"]), str(row["n_cells"])]
+            + [f"{rate:.0%}" for rate in row["error_rates"]]
+        )
+    table = render_table(
+        headers,
+        rows,
+        title=(
+            "Circuit word error rate vs transducer phase noise "
+            f"({results['n_trials']} random words/point, "
+            f"{results['n_bits']}-bit cells, independent per-cell jitter)"
+        ),
+    )
+    margin_rows = []
+    for row in results["rows"]:
+        margin_rows.append(
+            [row["circuit"], str(row["depth"]), str(row["n_cells"])]
+            + [
+                "-" if m is None else f"{m:.3f}"
+                for m in row["min_margins"]
+            ]
+        )
+    margin_table = render_table(
+        headers,
+        margin_rows,
+        title="Worst per-level decode margin [rad] over the same sweep",
+    )
+    footer = [
+        "",
+        "Regeneration stops analogue error accumulation, but every "
+        "(cell, level) rolls independent jitter: deeper/wider blocks "
+        "fail first, and a flipped carry corrupts all downstream sums.",
+    ]
+    return table + "\n\n" + margin_table + "\n" + "\n".join(footer)

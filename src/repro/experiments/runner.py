@@ -4,6 +4,8 @@ from repro.errors import ReproError
 from repro.experiments import (
     area_table,
     channel_capacity,
+    circuit_faults,
+    circuit_noise,
     distance_table,
     drive_limits,
     fault_coverage,
@@ -29,6 +31,14 @@ EXPERIMENTS = {
     "noise": (noise_robustness, "extension: transducer noise robustness"),
     "faults": (fault_coverage, "extension: manufacturing-test coverage"),
     "drive": (drive_limits, "extension: nonlinear drive-amplitude limits"),
+    "circuit-faults": (
+        circuit_faults,
+        "extension: physical-adder circuit fault coverage",
+    ),
+    "circuit-noise": (
+        circuit_noise,
+        "extension: circuit margin vs transducer noise",
+    ),
 }
 
 

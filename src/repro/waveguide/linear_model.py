@@ -108,6 +108,7 @@ class LinearWaveguideModel:
             )
         self.front_smoothing = float(front_smoothing)
         self._wave_cache = {}
+        self._weights_cache = {}
 
     # ------------------------------------------------------------------
     def wave_parameters(self, frequency):
@@ -312,7 +313,10 @@ class LinearWaveguideModel:
             + 1j * np.bincount(rows, weights=contribution.imag, minlength=n_sets)
         )
 
-    def phasor_weights(self, position, frequency, positions, frequencies, tol=1e-12):
+    def phasor_weights(
+        self, position, frequency, positions, frequencies, tol=1e-12,
+        cache=False,
+    ):
         """Complex propagation weights: sources x detectors, one column each.
 
         ``position``/``frequency`` are the shared ``(n_sources,)`` source
@@ -323,9 +327,30 @@ class LinearWaveguideModel:
         steady state, exactly as :meth:`steady_state_phasor` skips them).
         The steady-state phasor block of a whole batch is then a single
         complex GEMM: ``(amplitude * exp(i * phase)) @ weights``.
+
+        With ``cache=True`` the result is memoised per exact geometry,
+        so every simulator sharing this model -- e.g. all cells of one
+        operation in the circuit engine, including their faulty
+        variants -- reuses one weight matrix.  Only callers with a
+        *recurring* geometry (a layout's nominal placement) should
+        cache: noise-perturbed geometries never repeat, and memoising
+        them would grow the cache without bound over Monte-Carlo
+        sweeps.  The returned array is frozen; derive, don't mutate.
         """
         position = np.asarray(position, dtype=float)
         frequency = np.asarray(frequency, dtype=float)
+        key = None
+        if cache:
+            key = (
+                position.tobytes(),
+                frequency.tobytes(),
+                np.asarray(positions, dtype=float).tobytes(),
+                np.asarray(frequencies, dtype=float).tobytes(),
+                float(tol),
+            )
+            cached = self._weights_cache.get(key)
+            if cached is not None:
+                return cached
         k, _, length = self._wave_parameter_arrays(frequency)
         weights = np.zeros((position.size, len(positions)), dtype=complex)
         for d, (x_d, f_d) in enumerate(zip(positions, frequencies)):
@@ -336,6 +361,9 @@ class LinearWaveguideModel:
             weights[selected, d] = np.exp(-distance / length[selected]) * np.exp(
                 -1j * k[selected] * distance
             )
+        weights.setflags(write=False)
+        if key is not None:
+            self._weights_cache[key] = weights
         return weights
 
     def steady_state_phasor_block(

@@ -112,6 +112,76 @@ class TestNetlistEvaluation:
         assert netlist.outputs[-1].endswith("carry")
 
 
+class TestTopologyCache:
+    def test_levels_of_full_adder(self):
+        netlist, total, carry = full_adder()
+        levels = netlist.levels()
+        assert levels["a"] == 0 and levels["cin"] == 0
+        assert levels[carry] == 1 and levels["fa_axb"] == 1
+        assert levels[total] == 2
+
+    def test_level_schedule_groups_cells(self):
+        netlist = ripple_carry_adder(2)
+        schedule = netlist.level_schedule()
+        assert len(schedule) == netlist.depth()
+        levels = netlist.levels()
+        for index, cells in enumerate(schedule, start=1):
+            assert all(levels[node.name] == index for node in cells)
+        scheduled = {node.name for cells in schedule for node in cells}
+        assert scheduled == {node.name for node in netlist.cells()}
+
+    def test_cache_reused_and_invalidated(self):
+        netlist, _, _ = full_adder()
+        first = netlist.level_schedule()
+        assert netlist.level_schedule() is first  # cached
+        netlist.add_cell("extra", "INV", ("fa_sum",))
+        second = netlist.level_schedule()
+        assert second is not first
+        assert netlist.levels()["extra"] == 3
+
+    def test_failed_add_cell_keeps_netlist_consistent(self):
+        netlist, _, _ = full_adder()
+        netlist.topological_order()
+        with pytest.raises(NetlistError):
+            netlist.add_cell("bad", "NAND9", ("a",))
+        assert netlist.depth() == 2
+
+    def test_node_accessor(self):
+        netlist, _, _ = full_adder()
+        assert netlist.node("fa_carry").kind == "MAJ3"
+        with pytest.raises(NetlistError):
+            netlist.node("ghost")
+
+
+class TestEvaluateBatch:
+    def test_matches_scalar_evaluate(self):
+        netlist = ripple_carry_adder(2)
+        batch = [
+            {name: (seed >> i) & 1 for i, name in enumerate(netlist.inputs)}
+            for seed in range(16)
+        ]
+        outputs = netlist.evaluate_batch(batch)
+        for index, assignment in enumerate(batch):
+            scalar = netlist.evaluate(assignment)
+            for name in netlist.outputs:
+                assert outputs[name][index] == scalar[name]
+
+    def test_missing_input_raises(self):
+        netlist, _, _ = full_adder()
+        with pytest.raises(NetlistError, match="cin"):
+            netlist.evaluate_batch([{"a": 0, "b": 1}])
+
+    def test_empty_batch_raises(self):
+        netlist, _, _ = full_adder()
+        with pytest.raises(NetlistError, match="no assignments"):
+            netlist.evaluate_batch([])
+
+    def test_bad_bit_rejected(self):
+        netlist, _, _ = full_adder()
+        with pytest.raises(Exception):
+            netlist.evaluate_batch([{"a": 2, "b": 0, "cin": 0}])
+
+
 class TestSynthesis:
     def test_full_adder_truth_table(self):
         netlist, total, carry = full_adder()

@@ -16,6 +16,7 @@ class TestParser:
             ["list"],
             ["run", "fig3"],
             ["majority", "1", "2", "3"],
+            ["circuit", "0x3", "0x2"],
             ["layout"],
             ["export-mif", "out.mif"],
         ):
@@ -75,6 +76,16 @@ class TestCommands:
     def test_adder_custom_width(self, capsys):
         assert main(["adder", "0x3", "0x4", "--width", "4"]) == 0
         assert "0x7" in capsys.readouterr().out
+
+    def test_circuit_physical_adder(self, capsys):
+        assert (
+            main(["circuit", "0x3", "0x2", "--width", "2", "--bits", "2"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "0x3 + 0x2 = 0x5" in out
+        assert "physics matches logic" in out
+        assert "level 1" in out
 
     def test_design_default(self, capsys):
         assert main(["design", "--bits", "4"]) == 0

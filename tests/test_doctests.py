@@ -5,6 +5,7 @@ import doctest
 import pytest
 
 import repro.analysis.ascii_plot
+import repro.circuits.engine
 import repro.core.encoding
 import repro.mm.mesh
 import repro.units
@@ -16,6 +17,7 @@ MODULES = [
     repro.mm.mesh,
     repro.analysis.ascii_plot,
     repro.waveguide.sources,
+    repro.circuits.engine,
 ]
 
 

@@ -191,7 +191,14 @@ class TestRunner:
             "scale",
             "llg-x",
         }
-        extension_ids = {"capacity", "noise", "faults", "drive"}
+        extension_ids = {
+            "capacity",
+            "noise",
+            "faults",
+            "drive",
+            "circuit-faults",
+            "circuit-noise",
+        }
         assert set(EXPERIMENTS) == paper_ids | extension_ids
 
     def test_run_experiment_returns_report(self):

@@ -94,6 +94,71 @@ class TestFaultCoverageExperiment:
         assert "TOTAL" in text
 
 
+class TestCircuitFaultsExperiment:
+    @pytest.fixture(scope="class")
+    def results(self):
+        from repro.experiments import circuit_faults
+
+        # 2-bit cells over the lone full adder keep the universe small.
+        return circuit_faults.run(width=1, n_bits=2)
+
+    def test_fault_universe_size(self, results):
+        # 3 cells x (3 + 2 + 2 inputs summed) x 4 kinds x 2 channels.
+        assert results["n_faults"] == 7 * 4 * 2
+        assert results["n_cells"] == 3
+
+    def test_hard_faults_fully_covered(self, results):
+        by_kind = {k: v for k, v in results["by_kind"].items()}
+        for kind in ("dead-source", "stuck-phase-0", "stuck-phase-1"):
+            total, caught = by_kind[kind]
+            assert caught == total
+
+    def test_weak_sources_invisible_to_circuit_logic(self, results):
+        total, caught = results["by_kind"]["weak-source"]
+        assert total == 14 and caught == 0
+
+    def test_report_renders(self, results):
+        from repro.experiments import circuit_faults
+
+        text = circuit_faults.report(results)
+        assert "Circuit-level fault coverage" in text
+        assert "weak-source" in text and "TOTAL" in text
+
+
+class TestCircuitNoiseExperiment:
+    @pytest.fixture(scope="class")
+    def results(self):
+        from repro.circuits import full_adder, ripple_carry_adder
+        from repro.experiments import circuit_noise
+
+        adder, _, _ = full_adder()
+        return circuit_noise.run(
+            blocks=[adder, ripple_carry_adder(2)],
+            sigmas=(0.0, 0.6),
+            n_trials=10,
+            n_bits=2,
+            seed=4,
+        )
+
+    def test_noiseless_is_perfect(self, results):
+        for row in results["rows"]:
+            assert row["error_rates"][0] == 0.0
+
+    def test_margins_shrink_with_noise(self, results):
+        for row in results["rows"]:
+            assert row["min_margins"][1] < row["min_margins"][0]
+
+    def test_heavy_noise_breaks_something(self, results):
+        assert any(row["error_rates"][-1] > 0 for row in results["rows"])
+
+    def test_report_renders(self, results):
+        from repro.experiments import circuit_noise
+
+        text = circuit_noise.report(results)
+        assert "Circuit word error rate" in text
+        assert "decode margin" in text
+
+
 class TestNoiseRobustness:
     @pytest.fixture(scope="class")
     def results(self):
