@@ -10,8 +10,13 @@ engine and evaluated on a batch of word groups two ways:
   pairs of one operation evaluate as a single
   ``run_phasor_batch`` GEMM against cached propagation weights.
 
-Each bench records circuit name, logic depth, batch geometry and a
-``words_per_second`` metric in its ``extra_info`` (snapshotted by
+The time-domain pair repeats the comparison for ``mode="trace"``
+(waveform generation + lock-in decode) on the full adder: batched
+levels run through the memoised carrier-basis GEMM of ``trace_batch``,
+the scalar reference simulates one full ``run`` per (cell, group).
+
+Each bench records circuit name, logic depth, batch geometry, ``mode``
+and a ``words_per_second`` metric in its ``extra_info`` (snapshotted by
 ``--bench-json`` into ``BENCH_bench_circuit_throughput.json``), so
 circuit-level throughput -- and the batched/scalar speedup, the PR
 acceptance metric -- is tracked across PRs.
@@ -19,7 +24,7 @@ acceptance metric -- is tracked across PRs.
 
 import pytest
 
-from repro.circuits import CircuitEngine, ripple_carry_adder
+from repro.circuits import CircuitEngine, full_adder, ripple_carry_adder
 
 #: Data-parallel width of every physical cell (the paper's byte width).
 N_BITS = 8
@@ -77,6 +82,48 @@ def test_engine_scalar_cascade_throughput(benchmark, adder_setup):
     result = benchmark(engine.run_scalar, batch)
     assert result.correct
     _record(benchmark, engine, netlist, batch, "scalar")
+
+
+@pytest.fixture(scope="module")
+def trace_setup():
+    """A warmed full-adder engine plus one word group for trace mode.
+
+    Trace execution simulates every waveform, so the bench uses the
+    depth-2 full adder at the byte width with a single word group --
+    enough to exercise the carrier-basis GEMM without dominating the
+    bench session.
+    """
+    netlist, _, _ = full_adder()
+    engine = CircuitEngine(netlist, n_bits=N_BITS)
+    batch = _adder_batch_named(netlist, N_BITS)
+    # Warm layouts, calibrations and the memoised carrier bases.
+    engine.run_trace_batch(batch)
+    return engine, netlist, batch
+
+
+def _adder_batch_named(netlist, n_assignments, seed=0):
+    """Deterministic random assignments over a netlist's own inputs."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    return [
+        {name: int(rng.integers(2)) for name in netlist.inputs}
+        for _ in range(n_assignments)
+    ]
+
+
+def test_engine_trace_batched_throughput(benchmark, trace_setup):
+    engine, netlist, batch = trace_setup
+    result = benchmark(engine.run_trace_batch, batch)
+    assert result.correct
+    _record(benchmark, engine, netlist, batch, "trace")
+
+
+def test_engine_trace_scalar_throughput(benchmark, trace_setup):
+    engine, netlist, batch = trace_setup
+    result = benchmark(engine.run_scalar, batch, mode="trace")
+    assert result.correct
+    _record(benchmark, engine, netlist, batch, "trace-scalar")
 
 
 def test_engine_fault_sweep_throughput(benchmark, adder_setup):

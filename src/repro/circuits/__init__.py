@@ -19,7 +19,12 @@ from repro.circuits.library import (
     default_library,
     physical_gate,
 )
-from repro.circuits.synth import full_adder, ripple_carry_adder, majority_tree
+from repro.circuits.synth import (
+    full_adder,
+    majority_tree,
+    random_netlist,
+    ripple_carry_adder,
+)
 from repro.circuits.estimate import circuit_cost, parallel_vs_scalar
 from repro.circuits.engine import (
     CellFault,
@@ -38,6 +43,7 @@ __all__ = [
     "full_adder",
     "ripple_carry_adder",
     "majority_tree",
+    "random_netlist",
     "circuit_cost",
     "parallel_vs_scalar",
     "CellFault",

@@ -26,6 +26,23 @@ INV and BUF cells cost nothing: inversion is a detector-placement /
 re-excitation phase choice at the regeneration boundary, exactly the
 free-inverter rule the cell library prices.
 
+Two execution *modes* share this schedule.  The default ``"phasor"``
+mode evaluates steady-state phasors only; ``"trace"`` mode
+(:meth:`CircuitEngine.run_trace_batch`, or ``run(mode="trace")``) runs
+the full waveform physics instead: every (cell, group) pair generates
+time-domain detector traces through
+:meth:`~repro.core.simulate.GateSimulator.run_batch` (the batched
+carrier-basis GEMM of
+:meth:`~repro.waveguide.LinearWaveguideModel.trace_batch`, memoised per
+gate geometry) and decodes them by lock-in demodulation over the settled
+analysis window -- so propagation delay, causal wavefronts and
+finite-window phase estimation are all part of circuit execution, not
+just of single-gate studies.  Both modes share the fault plumbing, the
+per-(cell, group) noise seeding and the per-level decode-margin
+reports; ``tests/test_circuit_conformance.py`` pins all four semantics
+(Boolean, scalar cascade, batched phasor, batched trace) against each
+other on randomized netlists.
+
 Faults (:class:`CellFault`, reusing
 :class:`~repro.core.faults.FaultySimulator` column mutation) and
 transducer noise (:class:`~repro.waveguide.NoiseModel`, one independent
@@ -49,6 +66,9 @@ A purely virtual circuit needs no physics at all:
 [1, 0]
 >>> result.correct
 True
+>>> trace_result = engine.run_trace_batch([{"a": 0}, {"a": 1}])
+>>> (trace_result.mode, trace_result.outputs == result.outputs)
+('trace', True)
 """
 
 import math
@@ -117,7 +137,8 @@ class CircuitRunResult:
     ``outputs[name][i]`` is ``None`` when entry ``i`` failed outright (a
     fault silenced a decode); ``failed`` marks those entries.  ``levels``
     carries the per-level decode-margin report; ``cells`` the per-cell
-    decode detail.
+    decode detail.  ``mode`` records which execution semantics produced
+    the result (``"phasor"`` steady state or ``"trace"`` waveform).
     """
 
     outputs: dict
@@ -127,6 +148,7 @@ class CircuitRunResult:
     cells: dict
     n_entries: int
     faults: list = field(default_factory=list)
+    mode: str = "phasor"
 
     @property
     def correct(self):
@@ -324,7 +346,8 @@ class CircuitEngine:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def run(self, assignments_batch, faults=(), noise=None, strict=True):
+    def run(self, assignments_batch, faults=(), noise=None, strict=True,
+            mode="phasor"):
         """Evaluate a batch of assignments through the physics.
 
         Parameters
@@ -333,10 +356,12 @@ class CircuitEngine:
             Sequence of ``{input name: bit}`` mappings (one circuit
             instance each).
         faults:
-            Iterable of :class:`CellFault` (at most one per cell); the
-            faulted cell evaluates through a
-            :class:`~repro.core.faults.FaultySimulator` sharing the
-            engine's weight caches.
+            Iterable of :class:`CellFault` (at most one per cell, any
+            number of distinct cells); each faulted cell evaluates
+            through a :class:`~repro.core.faults.FaultySimulator`
+            sharing the engine's weight caches, so multi-fault studies
+            (e.g. a defect cluster along one carry chain) compose
+            naturally.
         noise:
             Optional :class:`~repro.waveguide.NoiseModel` template; every
             (cell, group) evaluation draws an independent realisation
@@ -345,6 +370,12 @@ class CircuitEngine:
             When True, a dead decode (a fault silencing a phase-readout
             channel) raises; when False the affected entries are marked
             ``failed`` and a regenerated 0 propagates onward.
+        mode:
+            ``"phasor"`` (default) evaluates steady-state phasors;
+            ``"trace"`` runs the full time-domain waveform physics --
+            every (cell, group) generates detector traces and decodes
+            them by lock-in over the settled window
+            (:meth:`~repro.core.simulate.GateSimulator.run_batch`).
 
         Returns a :class:`CircuitRunResult`.  Decoded (possibly wrong)
         bits always propagate to later levels -- regeneration restores
@@ -352,24 +383,47 @@ class CircuitEngine:
         through the DAG exactly as in hardware.
         """
         return self._execute(
-            assignments_batch, faults, noise, strict, batched=True
+            assignments_batch, faults, noise, strict, batched=True, mode=mode
         )
 
-    def run_scalar(self, assignments_batch, faults=(), noise=None, strict=True):
-        """Per-cell scalar reference: one ``run_phasor`` call per
-        (cell, group), the :class:`~repro.core.cascade.GateCascade`-style
-        loop generalised to DAGs.
+    def run_trace_batch(self, assignments_batch, faults=(), noise=None,
+                        strict=True):
+        """Waveform-accurate circuit execution: :meth:`run` in trace mode.
+
+        Convenience alias for ``run(..., mode="trace")`` -- the
+        circuit-level counterpart of
+        :meth:`~repro.core.simulate.GateSimulator.run_batch`.
+        """
+        return self.run(
+            assignments_batch, faults=faults, noise=noise, strict=strict,
+            mode="trace",
+        )
+
+    def run_scalar(self, assignments_batch, faults=(), noise=None, strict=True,
+                   mode="phasor"):
+        """Per-cell scalar reference: one ``run_phasor`` (or, in trace
+        mode, one full ``run``) call per (cell, group) -- the
+        :class:`~repro.core.cascade.GateCascade`-style loop generalised
+        to DAGs.
 
         Bit-identical semantics to :meth:`run` (same noise seeds, same
-        fault plumbing); the batched path is pinned against this
-        reference to <= 1e-12 in ``tests/test_circuit_engine.py``, and
-        the throughput benchmark uses it as the baseline.
+        fault plumbing, same ``mode`` options); the batched paths are
+        pinned against this reference to <= 1e-12 in
+        ``tests/test_circuit_engine.py`` and
+        ``tests/test_circuit_conformance.py``, and the throughput
+        benchmark uses it as the baseline.
         """
         return self._execute(
-            assignments_batch, faults, noise, strict, batched=False
+            assignments_batch, faults, noise, strict, batched=False, mode=mode
         )
 
-    def _execute(self, assignments_batch, faults, noise, strict, batched):
+    def _execute(self, assignments_batch, faults, noise, strict, batched,
+                 mode="phasor"):
+        if mode not in ("phasor", "trace"):
+            raise NetlistError(
+                f"unknown execution mode {mode!r}; "
+                "supported: 'phasor', 'trace'"
+            )
         if self.netlist.level_schedule() is not self.schedule:
             self._compile_schedule()  # the netlist grew since compilation
         batch = self._normalise_batch(assignments_batch)
@@ -419,6 +473,7 @@ class CircuitEngine:
                         level=level,
                         strict=strict,
                         batched=batched,
+                        mode=mode,
                     )
                 for node in faulted:
                     self._evaluate_cells(
@@ -434,6 +489,7 @@ class CircuitEngine:
                         level=level,
                         strict=strict,
                         batched=batched,
+                        mode=mode,
                     )
             level_reports.append(
                 LevelReport(
@@ -460,6 +516,7 @@ class CircuitEngine:
             cells=records,
             n_entries=n_entries,
             faults=list(faults),
+            mode=mode,
         )
 
     def _evaluate_cells(
@@ -476,6 +533,7 @@ class CircuitEngine:
         level,
         strict,
         batched,
+        mode,
     ):
         """Evaluate ``nodes`` (one operation) for every word group."""
         n_bits = self.n_bits
@@ -494,7 +552,12 @@ class CircuitEngine:
                         self._cell_noise(noise, node.name, group, n_groups)
                     )
 
-        if batched:
+        if mode == "trace":
+            if batched:
+                runs = simulator.run_batch(entries, noises=noises, strict=False)
+            else:
+                runs = self._scalar_trace_runs(simulator, entries, noises)
+        elif batched:
             runs = simulator.run_phasor_batch(
                 entries, noises=noises, strict=False
             )
@@ -508,8 +571,7 @@ class CircuitEngine:
                 if strict:
                     raise SimulationError(
                         f"cell {node.name!r} (level {level}) failed to "
-                        "decode: a channel produced zero steady-state "
-                        "amplitude"
+                        "decode: a channel produced no decodable carrier"
                     )
                 failed[group * n_bits : group * n_bits + n_valid] = True
                 self._record_decode(
@@ -527,8 +589,11 @@ class CircuitEngine:
             level_margins.extend(margins[:n_valid])
 
     @staticmethod
-    def _scalar_runs(simulator, entries, noises):
-        """Per-entry ``run_phasor`` loop mirroring ``run_phasor_batch``."""
+    def _scalar_loop(simulator, entries, noises, method):
+        """One ``simulator.<method>(words)`` call per entry, under that
+        entry's derived noise model; decode failures become ``None`` --
+        the scalar protocol both batched paths are pinned against."""
+        runner = getattr(simulator, method)
         if noises is None:
             noises = [simulator.noise] * len(entries)
         saved = simulator.noise
@@ -537,9 +602,23 @@ class CircuitEngine:
             for words, entry_noise in zip(entries, noises):
                 simulator.noise = entry_noise
                 try:
-                    runs.append(simulator.run_phasor(words))
+                    runs.append(runner(words))
                 except ReproError:
                     runs.append(None)
         finally:
             simulator.noise = saved
         return runs
+
+    @classmethod
+    def _scalar_runs(cls, simulator, entries, noises):
+        """Per-entry ``run_phasor`` loop mirroring ``run_phasor_batch``."""
+        return cls._scalar_loop(simulator, entries, noises, "run_phasor")
+
+    @classmethod
+    def _scalar_trace_runs(cls, simulator, entries, noises):
+        """Per-entry full ``run`` loop mirroring ``run_batch``.
+
+        The time-domain twin of :meth:`_scalar_runs`: one complete
+        waveform simulation and lock-in decode per (cell, group) entry.
+        """
+        return cls._scalar_loop(simulator, entries, noises, "run")

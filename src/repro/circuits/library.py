@@ -28,6 +28,24 @@ PHYSICAL_BINDINGS = {
 }
 
 
+def physical_arity(operation):
+    """Transducer fan-in of a physical operation, without laying it out.
+
+    Cheap metadata accessor for callers that only need the input count
+    (e.g. fault-universe enumeration): reads
+    :data:`PHYSICAL_BINDINGS` instead of materialising a gate and its
+    dispersion-solved layout.  Raises
+    :class:`~repro.errors.NetlistError` for virtual operations.
+    """
+    try:
+        return PHYSICAL_BINDINGS[operation][1]
+    except KeyError:
+        raise NetlistError(
+            f"operation {operation!r} has no physical gate "
+            f"(physical: {sorted(PHYSICAL_BINDINGS)})"
+        ) from None
+
+
 def physical_gate(operation, n_bits=1, waveguide=None, plan=None, transducer=None):
     """Materialise one :data:`PHYSICAL_BINDINGS` entry as a laid-out gate.
 

@@ -8,12 +8,32 @@ circuit cost model.
 
 The topological order and level assignment are computed once and cached
 (:meth:`Netlist.topological_order`, :meth:`Netlist.levels`,
-:meth:`Netlist.level_schedule`); construction methods invalidate the
-cache.  :meth:`Netlist.evaluate_batch` evaluates many assignments as
-whole-array operations -- it is the Boolean reference the physical
-circuit engine (:class:`repro.circuits.engine.CircuitEngine`, which
-executes the same levelized schedule on batched spin-wave gates) is
-pinned against.
+:meth:`Netlist.level_schedule`); topology-changing construction methods
+(``add_*``) invalidate the cache, while output bookkeeping
+(:meth:`Netlist.mark_output`, including re-registration of an existing
+output) deliberately does not: the cached tuples depend only on the
+DAG, and every output-sensitive query (:meth:`Netlist.evaluate`,
+:meth:`Netlist.depth`, :meth:`Netlist.critical_path`) reads the live
+output list on top of the cache -- pinned by the regression tests in
+``tests/test_circuits.py``.  :meth:`Netlist.evaluate_batch` evaluates
+many assignments as whole-array operations -- it is the Boolean
+reference the physical circuit engine
+(:class:`repro.circuits.engine.CircuitEngine`, which executes the same
+levelized schedule on batched spin-wave gates) is pinned against.
+
+>>> netlist = Netlist("demo")
+>>> _ = netlist.add_input("a")
+>>> _ = netlist.add_input("b")
+>>> _ = netlist.add_cell("x", "XOR2", ("a", "b"))
+>>> _ = netlist.mark_output("x")
+>>> netlist.evaluate({"a": 1, "b": 0})
+{'x': 1}
+>>> schedule = netlist.level_schedule()
+>>> _ = netlist.mark_output("a")  # output edits leave the cache valid
+>>> netlist.level_schedule() is schedule
+True
+>>> netlist.evaluate({"a": 1, "b": 0})
+{'x': 1, 'a': 1}
 """
 
 from dataclasses import dataclass, field
@@ -115,7 +135,19 @@ class Netlist:
         return name
 
     def mark_output(self, name):
-        """Register an existing node as a primary output."""
+        """Register an existing node as a primary output.
+
+        Re-registering an already-marked output is a no-op (outputs keep
+        their first registration order).  Output edits never touch the
+        topology cache: the cached order/levels/schedule describe the
+        DAG alone, and callers holding a schedule reference (the circuit
+        engine uses identity to detect growth) must keep seeing the same
+        object -- only ``add_*`` calls may swap it.  Detector-placement
+        inversion is likewise *not* a netlist edit: the engine resolves
+        INV/BUF cells at the regeneration boundary, so flipping an
+        output's polarity means adding an ``INV`` cell (which does
+        invalidate) and marking it.
+        """
         if name not in self._graph:
             raise NetlistError(f"cannot mark unknown node {name!r} as output")
         if name not in self._outputs:

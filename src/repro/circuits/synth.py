@@ -129,6 +129,46 @@ def equality_comparator(width, name="cmp"):
     return netlist
 
 
+def random_netlist(
+    seed,
+    n_inputs=4,
+    n_cells=10,
+    n_outputs=2,
+    operations=("MAJ3", "MAJ3", "XOR2", "XOR2", "INV", "BUF"),
+):
+    """A seeded random MAJ/XOR/INV/BUF DAG with constants and fanout.
+
+    The generator behind the cross-backend conformance harness
+    (``tests/test_circuit_conformance.py``): each cell draws its
+    operation from ``operations`` (repeat an entry to weight it) and its
+    fanin uniformly from *all* earlier nodes -- primary inputs, the two
+    constants, and previous cells -- so reconvergent fanout, constant
+    inputs and virtual (INV/BUF) cells all occur naturally.  The last
+    ``n_outputs`` cells are marked as primary outputs.  Identical seeds
+    reproduce identical netlists across processes (``random.Random``,
+    not the global RNG).
+    """
+    import random
+
+    if n_cells < n_outputs:
+        raise NetlistError(
+            f"n_cells ({n_cells!r}) must cover n_outputs ({n_outputs!r})"
+        )
+    rng = random.Random(seed)
+    netlist = Netlist(f"rand{seed}")
+    nodes = [netlist.add_input(f"x{i}") for i in range(n_inputs)]
+    nodes.append(netlist.add_const("c0", 0))
+    nodes.append(netlist.add_const("c1", 1))
+    arities = {"MAJ3": 3, "XOR2": 2, "INV": 1, "BUF": 1}
+    for j in range(n_cells):
+        operation = rng.choice(operations)
+        fanin = [rng.choice(nodes) for _ in range(arities[operation])]
+        nodes.append(netlist.add_cell(f"g{j}", operation, fanin))
+    for name in nodes[-n_outputs:]:
+        netlist.mark_output(name)
+    return netlist
+
+
 def _log3(n):
     import math
 

@@ -121,17 +121,22 @@ def _cmd_circuit(args):
         assignment[f"a{i}"] = bit
     for i, bit in enumerate(int_to_bits(b, width)):
         assignment[f"b{i}"] = bit
-    result = engine.run([assignment])
+    result = engine.run([assignment], mode=args.mode)
     # Outputs are registered sum-bit order first, carry-out last.
     output_names = netlist.outputs
     total = 0
     for i, name in enumerate(output_names[:width]):
         total |= result.outputs[name][0] << i
     total |= result.outputs[output_names[-1]][0] << width
+    backend = (
+        "time-domain waveform" if result.mode == "trace"
+        else "steady-state phasor"
+    )
     print(
         f"{width}-bit physical ripple-carry adder "
         f"({engine.n_physical_cells} spin-wave cells, "
-        f"depth {netlist.depth()}, {args.bits}-bit data-parallel): "
+        f"depth {netlist.depth()}, {args.bits}-bit data-parallel, "
+        f"{backend} backend): "
         f"0x{a:X} + 0x{b:X} = 0x{total:X} "
         f"({'physics matches logic' if result.correct else 'WRONG'})"
     )
@@ -270,6 +275,13 @@ def build_parser():
         type=int,
         default=8,
         help="data-parallel width of each physical cell",
+    )
+    circuit_parser.add_argument(
+        "--mode",
+        default="phasor",
+        choices=["phasor", "trace"],
+        help="execution semantics: steady-state phasor (fast) or "
+        "time-domain waveform traces with lock-in decode",
     )
     circuit_parser.set_defaults(func=_cmd_circuit)
 

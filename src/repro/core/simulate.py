@@ -37,7 +37,7 @@ from repro.core.readout import (
     decode_phasor_block,
     measure_phasor,
 )
-from repro.errors import SimulationError
+from repro.errors import ReproError, SimulationError
 from repro.waveguide.linear_model import Detector, LinearWaveguideModel, WaveSource
 from repro.waveguide.sources import SourceBank
 
@@ -497,15 +497,23 @@ class GateSimulator:
         sample_rate=None,
         method="lockin",
         noises=None,
+        strict=True,
     ):
         """Time-domain evaluation of many input words in one batch.
 
         All entries share one time grid; the per-detector traces of the
         whole batch are generated as an ``(n_words, n_samples)`` block by
         :meth:`~repro.waveguide.linear_model.LinearWaveguideModel.trace_batch`
-        (two matrix products when the batch shares its geometry), then
-        each entry decodes exactly as :meth:`run` would.  Returns a list
-        of :class:`GateRunResult`, one per entry of ``words_batch``.
+        (two matrix products when the batch shares its geometry; the
+        nominal-geometry carrier basis is memoised on the model so
+        repeated batches of the same gate pay it once), then each entry
+        decodes exactly as :meth:`run` would.  Returns a list of
+        :class:`GateRunResult`, one per entry of ``words_batch``.  With
+        ``strict=False``, an entry whose decode fails (e.g. a fault left
+        a phase-readout carrier too weak to measure) yields ``None``
+        instead of raising -- the same convention as
+        :meth:`run_phasor_batch` -- so degraded-gate sweeps keep their
+        batch shape.
         """
         words_batch, noises, bank = self._batch_sources(words_batch, noises)
         detectors = [
@@ -514,7 +522,11 @@ class GateSimulator:
         ]
         duration, t_start = self._trace_window(duration)
         result = self.model.run_batch(
-            bank, detectors, duration, sample_rate=sample_rate
+            bank,
+            detectors,
+            duration,
+            sample_rate=sample_rate,
+            cache_basis=self._bank_is_nominal(bank),
         )
         t = result["t"]
         # One vectorised lock-in per channel covers the whole batch when
@@ -542,11 +554,16 @@ class GateSimulator:
             phasors = None
             if batch_phasors is not None:
                 phasors = [column[entry] for column in batch_phasors]
-            results.append(
-                self._decode_trace_run(
-                    words, t, trace_rows, t_start, method, noise, phasors
+            try:
+                results.append(
+                    self._decode_trace_run(
+                        words, t, trace_rows, t_start, method, noise, phasors
+                    )
                 )
-            )
+            except ReproError:
+                if strict:
+                    raise
+                results.append(None)
         return results
 
     def run_phasor(self, words):
@@ -571,6 +588,23 @@ class GateSimulator:
             decodes=decodes,
         )
 
+    def _bank_is_nominal(self, bank):
+        """True when ``bank`` carries the layout's unperturbed geometry.
+
+        Nominal banks -- every noiseless batch, and every batch whose
+        noise only touches amplitudes and phases -- are the recurring
+        geometries worth memoising model-side (propagation weights for
+        phasor evaluation, the carrier basis for trace evaluation).
+        """
+        if not bank.shared_geometry:
+            return False
+        position, frequency = self._nominal_source_geometry()
+        return bool(
+            np.array_equal(bank.position[0], position)
+            and np.array_equal(bank.frequency[0], frequency)
+            and not bank.t_on[0].any()
+        )
+
     def _phasor_block(self, bank):
         """``(n_sets, n_bits)`` steady-state phasors of a source bank.
 
@@ -582,24 +616,19 @@ class GateSimulator:
         noise) takes the general per-detector path.
         """
         weights = None
-        if bank.shared_geometry:
-            position, frequency = self._nominal_source_geometry()
-            if (
-                np.array_equal(bank.position[0], position)
-                and np.array_equal(bank.frequency[0], frequency)
-                and not bank.t_on[0].any()
-            ):
-                if self._nominal_weights is None:
-                    # Nominal layout geometry recurs across simulators
-                    # sharing this model: memoise on the model too.
-                    self._nominal_weights = self.model.phasor_weights(
-                        position,
-                        frequency,
-                        self.layout.detector_positions,
-                        self.layout.plan.frequencies,
-                        cache=True,
-                    )
-                weights = self._nominal_weights
+        if self._bank_is_nominal(bank):
+            if self._nominal_weights is None:
+                # Nominal layout geometry recurs across simulators
+                # sharing this model: memoise on the model too.
+                position, frequency = self._nominal_source_geometry()
+                self._nominal_weights = self.model.phasor_weights(
+                    position,
+                    frequency,
+                    self.layout.detector_positions,
+                    self.layout.plan.frequencies,
+                    cache=True,
+                )
+            weights = self._nominal_weights
         return self.model.steady_state_phasor_block(
             bank,
             self.layout.detector_positions,

@@ -20,13 +20,24 @@ Two circuit-level effects emerge on top of the gate-level story:
   re-excites every level at full amplitude, so a weak source's amplitude
   deficit never crosses a level boundary and stays undetectable by logic
   testing anywhere in the circuit, exactly as for the lone gate.
+
+The answer to the second effect is the **parametric sweep**
+(:func:`weak_source_amplitude_sweep`): instead of comparing decoded
+words, the tester reads the carrier amplitude every cell's detector
+records during the run and flags any deviation from the fault-free
+reference beyond a relative tolerance.  Sweeping the weak-source
+severity reports the *detection threshold* -- the weakest amplitude
+deficit the parametric measurement still catches -- which is the
+manufacturing-test spec the logic-only study cannot provide.
 """
 
 from itertools import product
 
+import numpy as np
+
 from repro.analysis.tables import render_table
 from repro.circuits.engine import CellFault, CircuitEngine
-from repro.circuits.library import PHYSICAL_BINDINGS
+from repro.circuits.library import PHYSICAL_BINDINGS, physical_arity
 from repro.circuits.synth import full_adder, ripple_carry_adder
 from repro.core.faults import TransducerFault, _FAULT_KINDS
 from repro.errors import NetlistError
@@ -48,7 +59,7 @@ def enumerate_circuit_faults(
         for node in cells:
             if node.kind not in PHYSICAL_BINDINGS:
                 continue
-            n_inputs = engine.gate_for(node.kind).layout.n_inputs
+            n_inputs = physical_arity(node.kind)
             for kind in kinds:
                 for channel in channels:
                     for input_index in range(n_inputs):
@@ -131,11 +142,144 @@ def circuit_fault_coverage(engine, faults=None, patterns=None):
     }
 
 
-def run(width=1, n_bits=4, weak_severity=0.5, channels=None):
+def _broadcast_patterns(patterns, n_bits):
+    """Each pattern repeated across all data-parallel channels."""
+    return [dict(p) for p in patterns for _ in range(n_bits)]
+
+
+def _cell_amplitudes(result):
+    """{cell name: (n_entries,) decode-amplitude array}, physical cells only."""
+    return {
+        name: np.asarray(record.amplitudes, dtype=float)
+        for name, record in result.cells.items()
+        if record.amplitudes is not None and len(record.amplitudes)
+    }
+
+
+def weak_source_amplitude_sweep(
+    engine,
+    cell=None,
+    channel=0,
+    input_index=0,
+    severities=(0.95, 0.9, 0.75, 0.5, 0.25, 0.1),
+    amplitude_tolerance=0.05,
+    patterns=None,
+    mode="phasor",
+):
+    """Parametric weak-source detection threshold at circuit scope.
+
+    Injects a ``weak-source`` fault of each ``severities`` entry at
+    ``(cell, channel, input_index)`` (default victim: the first
+    phase-readout -- MAJ3 -- cell of the schedule, the family where
+    logic testing is provably blind; any physical cell otherwise) and
+    runs the exhaustive pattern set through the engine twice per point
+    -- fault-free and faulted.  Detection is *parametric*: a fault is
+    caught when some (cell, instance) decode amplitude deviates from the
+    fault-free reference by more than ``amplitude_tolerance`` relative
+    to the largest reference amplitude; decoded words are compared too
+    (``logic_visible``) -- a phase-readout victim stays logic-invisible
+    at every severity, while an amplitude-readout (XOR) victim flips
+    decoded bits once the deficit crosses the threshold ratio, which the
+    sweep exposes when pointed there.  Regeneration confines the deficit
+    to the victim cell's own detector, so the sweep doubles as a check
+    that parametric measurement must probe *every* cell, not just
+    primary outputs.
+
+    Returns a dict with per-severity records and ``threshold`` -- the
+    largest severity (smallest amplitude deficit) still detected, or
+    ``None`` when nothing was.
+    """
+    if not severities:
+        raise NetlistError("need at least one weak-source severity")
+    if amplitude_tolerance <= 0:
+        raise NetlistError(
+            f"amplitude_tolerance must be positive, got {amplitude_tolerance!r}"
+        )
+    if cell is None:
+        physical = [
+            node
+            for cells in engine.schedule
+            for node in cells
+            if node.kind in PHYSICAL_BINDINGS
+        ]
+        if not physical:
+            raise NetlistError("the circuit has no physical cells to fault")
+        preferred = [node for node in physical if node.kind == "MAJ3"]
+        cell = (preferred[0] if preferred else physical[0]).name
+    if patterns is None:
+        patterns = exhaustive_assignments(engine.netlist)
+    broadcast = _broadcast_patterns(patterns, engine.n_bits)
+    golden = engine.run(broadcast, mode=mode)
+    golden_amplitudes = _cell_amplitudes(golden)
+    scale = max(float(a.max()) for a in golden_amplitudes.values())
+    output_names = engine.netlist.outputs
+
+    points = []
+    threshold = None
+    for severity in sorted(severities, reverse=True):
+        fault = CellFault(
+            cell,
+            TransducerFault(
+                "weak-source",
+                channel=channel,
+                input_index=input_index,
+                severity=severity,
+            ),
+        )
+        result = engine.run(broadcast, faults=[fault], strict=False, mode=mode)
+        deviation = 0.0
+        worst_cell = None
+        for name, amplitudes in _cell_amplitudes(result).items():
+            cell_deviation = float(
+                np.nanmax(np.abs(amplitudes - golden_amplitudes[name]))
+            )
+            if cell_deviation > deviation:
+                deviation = cell_deviation
+                worst_cell = name
+        logic_visible = any(
+            result.failed[i]
+            or any(
+                result.outputs[o][i] != golden.outputs[o][i]
+                for o in output_names
+            )
+            for i in range(result.n_entries)
+        )
+        detected = deviation > amplitude_tolerance * scale
+        if detected and threshold is None:
+            threshold = severity
+        points.append(
+            {
+                "severity": severity,
+                "deficit": 1.0 - severity,
+                "relative_deviation": deviation / scale,
+                "worst_cell": worst_cell,
+                "detected": detected,
+                "logic_visible": logic_visible,
+            }
+        )
+    return {
+        "cell": cell,
+        "channel": channel,
+        "input_index": input_index,
+        "amplitude_tolerance": amplitude_tolerance,
+        "n_patterns": len(patterns),
+        "points": points,
+        "threshold": threshold,
+        "mode": mode,
+    }
+
+
+def run(width=1, n_bits=4, weak_severity=0.5, channels=None,
+        severities=(0.95, 0.9, 0.75, 0.5, 0.25, 0.1),
+        amplitude_tolerance=0.05):
     """Fault coverage of a physical ``width``-bit adder circuit.
 
     ``width == 1`` compiles the lone full adder; larger widths compile
-    the ripple-carry chain (pattern count grows as ``4**width``).
+    the ripple-carry chain (pattern count grows as ``4**width``).  On
+    top of the logic-coverage sweep, the parametric weak-source
+    amplitude sweep (:func:`weak_source_amplitude_sweep`) reports the
+    severity threshold at which amplitude measurement catches what logic
+    testing provably cannot.
     """
     if width == 1:
         netlist, _, _ = full_adder()
@@ -147,6 +291,12 @@ def run(width=1, n_bits=4, weak_severity=0.5, channels=None):
     )
     patterns = exhaustive_assignments(netlist)
     record = circuit_fault_coverage(engine, faults=faults, patterns=patterns)
+    parametric = weak_source_amplitude_sweep(
+        engine,
+        severities=severities,
+        amplitude_tolerance=amplitude_tolerance,
+        patterns=patterns,
+    )
 
     by_kind = {}
     detected_set = {f for f, _ in record["detected"]}
@@ -166,6 +316,7 @@ def run(width=1, n_bits=4, weak_severity=0.5, channels=None):
         "by_kind": by_kind,
         "undetected": [f.describe() for f in record["undetected"]],
         "weak_severity": weak_severity,
+        "parametric": parametric,
     }
 
 
@@ -189,6 +340,38 @@ def report(results):
             "patterns through the physical engine)"
         ),
     )
+    parametric = results["parametric"]
+    sweep_rows = []
+    for point in parametric["points"]:
+        sweep_rows.append(
+            [
+                f"{point['severity']:g}",
+                f"{point['deficit']:.0%}",
+                f"{point['relative_deviation']:.3f}",
+                "yes" if point["logic_visible"] else "no",
+                "yes" if point["detected"] else "no",
+            ]
+        )
+    sweep_table = render_table(
+        ["severity", "deficit", "rel. deviation", "logic sees it", "parametric"],
+        sweep_rows,
+        title=(
+            f"Parametric weak-source sweep at {parametric['cell']} "
+            f"(ch{parametric['channel']}.in{parametric['input_index']}, "
+            f"tolerance {parametric['amplitude_tolerance']:g})"
+        ),
+    )
+    if parametric["threshold"] is None:
+        threshold_line = (
+            "No severity in the sweep crossed the parametric tolerance."
+        )
+    else:
+        threshold_line = (
+            f"Parametric detection threshold: severity "
+            f"{parametric['threshold']:g} "
+            f"({1.0 - parametric['threshold']:.0%} amplitude deficit) is "
+            "still caught by amplitude measurement."
+        )
     footer = [
         "",
         f"weak-source severity {results['weak_severity']:g}; "
@@ -197,5 +380,6 @@ def report(results):
         "amplitude, so weak-source faults stay invisible to circuit-"
         "level logic testing too -- parametric (amplitude) measurement "
         "remains mandatory at manufacturing test.",
+        threshold_line,
     ]
-    return table + "\n" + "\n".join(footer)
+    return table + "\n\n" + sweep_table + "\n" + "\n".join(footer)

@@ -109,6 +109,7 @@ class LinearWaveguideModel:
         self.front_smoothing = float(front_smoothing)
         self._wave_cache = {}
         self._weights_cache = {}
+        self._basis_cache = {}
 
     # ------------------------------------------------------------------
     def wave_parameters(self, frequency):
@@ -209,16 +210,76 @@ class LinearWaveguideModel:
             and (np.ptp(batch.t_on, axis=0) == 0.0).all()
         )
 
-    def trace_batch(self, source_sets, position, t):
+    def trace_basis(self, position, frequency, t_on, detector_position, t,
+                    cache=False):
+        """Front-weighted carrier basis of one shared source geometry.
+
+        ``position``/``frequency``/``t_on`` are the shared ``(n_sources,)``
+        rows of a batch; the returned ``(basis_sin, basis_cos)`` pair holds
+        ``sin(a) * front`` / ``cos(a) * front`` for the phase argument
+        ``a = 2*pi*f*(t - t_on) - k*d`` of every source at
+        ``detector_position``.  A whole batch's traces are then two matrix
+        products against this basis (see :meth:`trace_batch`).
+
+        With ``cache=True`` the basis is memoised per exact
+        ``(geometry, detector, time grid)`` -- circuit-level trace
+        execution re-evaluates the same few gate geometries on the same
+        grid once per (level, operation, fault variant) call, so the
+        basis (the expensive ``sin``/``cos`` over ``n_sources x
+        n_samples``) is paid once per gate instead of once per call.
+        Only nominal (recurring) geometries should cache: placement-noise
+        draws never repeat and would grow the cache without bound.  The
+        returned arrays are frozen; derive, don't mutate.
+        """
+        position = np.asarray(position, dtype=float)
+        frequency = np.asarray(frequency, dtype=float)
+        t_on = np.asarray(t_on, dtype=float)
+        t = np.asarray(t, dtype=float)
+        key = None
+        if cache:
+            key = (
+                position.tobytes(),
+                frequency.tobytes(),
+                t_on.tobytes(),
+                float(detector_position),
+                t.tobytes(),
+            )
+            cached = self._basis_cache.get(key)
+            if cached is not None:
+                return cached
+        k, v_g, length = self._wave_parameter_arrays(frequency)
+        distance = np.abs(detector_position - position)
+        arrival = t_on + distance / v_g
+        # sin(a + phi) = sin(a) cos(phi) + cos(a) sin(phi): the phase
+        # argument a and the causal front depend only on the source
+        # column, so both batch dimensions meet in a GEMM.
+        argument = (
+            2.0 * np.pi * frequency[:, None] * (t[None, :] - t_on[:, None])
+            - (k * distance)[:, None]
+        )
+        front = self._front(t[None, :], arrival[:, None])
+        basis_sin = np.sin(argument)
+        basis_sin *= front
+        basis_cos = np.cos(argument)
+        basis_cos *= front
+        basis_sin.setflags(write=False)
+        basis_cos.setflags(write=False)
+        if key is not None:
+            self._basis_cache[key] = (basis_sin, basis_cos)
+        return basis_sin, basis_cos
+
+    def trace_batch(self, source_sets, position, t, cache_basis=False):
         """Traces of many source sets at one detector: ``(n_sets, n_samples)``.
 
         Row ``i`` equals ``trace(source_sets[i], position, t)`` to floating
         point.  When every set shares the same geometry (positions,
         frequencies, turn-on times) -- only amplitudes/phases differ, as
         for the input words of one gate -- the carrier basis is computed
-        once and the whole batch reduces to two matrix products.
-        Mismatched geometry is detected explicitly and falls back to the
-        per-source path, which handles fully independent source arrays.
+        once (memoised across calls with ``cache_basis=True``; see
+        :meth:`trace_basis`) and the whole batch reduces to two matrix
+        products.  Mismatched geometry is detected explicitly and falls
+        back to the per-source path, which handles fully independent
+        source arrays.
         """
         t = np.asarray(t, dtype=float)
         batch = self.stack_sources(source_sets)
@@ -229,18 +290,9 @@ class LinearWaveguideModel:
         envelope = amp * np.exp(-distance / length)
 
         if self._shared_geometry(batch):
-            # sin(a + phi) = sin(a) cos(phi) + cos(a) sin(phi): the phase
-            # argument a and the causal front depend only on the source
-            # column, so both batch dimensions meet in a GEMM.
-            argument = (
-                2.0 * np.pi * freq[0][:, None] * (t[None, :] - t_on[0][:, None])
-                - (k[0] * distance[0])[:, None]
+            basis_sin, basis_cos = self.trace_basis(
+                pos[0], freq[0], t_on[0], position, t, cache=cache_basis
             )
-            front = self._front(t[None, :], arrival[0][:, None])
-            basis_sin = np.sin(argument)
-            basis_sin *= front
-            basis_cos = np.cos(argument)
-            basis_cos *= front
             return (
                 (envelope * np.cos(phase)) @ basis_sin
                 + (envelope * np.sin(phase)) @ basis_cos
@@ -258,12 +310,16 @@ class LinearWaveguideModel:
             total += carrier
         return total
 
-    def run_batch(self, source_sets, detectors, duration, sample_rate=None):
+    def run_batch(self, source_sets, detectors, duration, sample_rate=None,
+                  cache_basis=False):
         """Batched :meth:`run`: one trace per (source set, detector).
 
         Same validation and defaults as :meth:`run`; the sample rate
         defaults to 16x the highest frequency across the whole batch so
-        every set shares one time grid.  Returns ``{"t": t, "traces":
+        every set shares one time grid.  ``cache_basis`` memoises the
+        shared-geometry carrier basis per (geometry, detector, grid) --
+        pass True only for recurring nominal geometries (see
+        :meth:`trace_basis`).  Returns ``{"t": t, "traces":
         {label: (n_sets, n_samples) array}}``.
         """
         source_sets = self.stack_sources(source_sets)
@@ -284,7 +340,9 @@ class LinearWaveguideModel:
         traces = {}
         for index, detector in enumerate(detectors):
             label = detector.label or f"detector_{index}"
-            traces[label] = self.trace_batch(source_sets, detector.position, t)
+            traces[label] = self.trace_batch(
+                source_sets, detector.position, t, cache_basis=cache_basis
+            )
         return {"t": t, "traces": traces}
 
     def steady_state_phasor_batch(self, source_sets, position, frequency, tol=1e-12):

@@ -1,0 +1,255 @@
+"""Cross-backend conformance harness for circuit execution.
+
+The engine exposes four execution semantics of one netlist; this module
+pins them against each other on seeded randomized MAJ/XOR/INV/BUF DAGs
+(:func:`repro.circuits.synth.random_netlist` -- fanout, constants and
+virtual cells all occur) across nominal, noisy, faulty and
+placement-noise configurations:
+
+* **Boolean** -- :meth:`Netlist.evaluate_batch`, the exact logic
+  reference (physics must match it bit-for-bit in nominal runs);
+* **scalar cascade** -- :meth:`CircuitEngine.run_scalar`, one
+  ``run_phasor`` / ``run`` call per (cell, word group), the pinned
+  ground truth of both batched paths;
+* **batched phasor** -- :meth:`CircuitEngine.run`, the steady-state
+  GEMM path (pinned to scalar at <= 1e-12);
+* **batched trace** -- ``run(mode="trace")``, full time-domain waveform
+  generation with lock-in decode (pinned to its scalar loop at
+  <= 1e-12, and decode-agreeing with the phasor path).
+
+The fast lane exercises a handful of seeds; the full randomized sweep
+(>= 20 seeds x {nominal, noisy, faulty}) is marked ``slow``.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.circuits import CellFault, CircuitEngine, random_netlist
+from repro.circuits.library import PHYSICAL_BINDINGS, physical_arity
+from repro.core.faults import TransducerFault
+from repro.core.simulate import GateSimulator
+from repro.circuits.library import physical_gate
+from repro.errors import SimulationError
+from repro.waveguide import NoiseModel
+
+TOL = 1e-12
+N_BITS = 2
+
+#: The randomized-sweep seed set: >= 20 seeded netlists (acceptance
+#: criterion of the harness); the first FAST_SEEDS stay in the quick lane.
+ALL_SEEDS = tuple(range(20))
+FAST_SEEDS = ALL_SEEDS[:3]
+
+
+def random_batch(netlist, seed, n_entries=6):
+    """Deterministic random primary-input assignments."""
+    rng = random.Random(1000 + seed)
+    return [
+        {name: rng.randint(0, 1) for name in netlist.inputs}
+        for _ in range(n_entries)
+    ]
+
+
+def first_physical_cell(engine):
+    """Name of the first transducer-level cell in the schedule (or None)."""
+    for cells in engine.schedule:
+        for node in cells:
+            if node.kind in PHYSICAL_BINDINGS:
+                return node
+    return None
+
+
+def seeded_fault(engine, seed, kind="stuck-phase-1"):
+    """A deterministic CellFault at the first physical cell (or None)."""
+    node = first_physical_cell(engine)
+    if node is None:
+        return None
+    return CellFault(
+        node.name,
+        TransducerFault(
+            kind,
+            channel=seed % engine.n_bits,
+            input_index=seed % physical_arity(node.kind),
+        ),
+    )
+
+
+def assert_pinned(result, reference):
+    """A batched CircuitRunResult equals its scalar reference <= 1e-12."""
+    assert result.outputs == reference.outputs
+    assert result.failed == reference.failed
+    assert set(result.cells) == set(reference.cells)
+    for name, record in result.cells.items():
+        ref = reference.cells[name]
+        assert record.bits == ref.bits
+        if record.margins is None:
+            assert ref.margins is None
+            continue
+        np.testing.assert_allclose(
+            record.margins, ref.margins, rtol=TOL, atol=TOL
+        )
+        np.testing.assert_allclose(
+            record.amplitudes, ref.amplitudes, rtol=TOL, atol=TOL
+        )
+
+
+def assert_decode_agreement(trace, phasor):
+    """Trace and phasor semantics decode every cell identically."""
+    assert trace.outputs == phasor.outputs
+    assert trace.failed == phasor.failed
+    for name in trace.cells:
+        assert trace.cells[name].bits == phasor.cells[name].bits
+
+
+def cross_check(engine, batch, faults=(), noise=None):
+    """All four backends on one configuration; returns (phasor, trace)."""
+    phasor = engine.run(batch, faults=faults, noise=noise, strict=False)
+    phasor_ref = engine.run_scalar(
+        batch, faults=faults, noise=noise, strict=False
+    )
+    trace = engine.run(
+        batch, faults=faults, noise=noise, strict=False, mode="trace"
+    )
+    trace_ref = engine.run_scalar(
+        batch, faults=faults, noise=noise, strict=False, mode="trace"
+    )
+    assert phasor.mode == phasor_ref.mode == "phasor"
+    assert trace.mode == trace_ref.mode == "trace"
+    assert_pinned(phasor, phasor_ref)
+    assert_pinned(trace, trace_ref)
+    assert_decode_agreement(trace, phasor)
+    if not faults and noise is None:
+        expected = engine.netlist.evaluate_batch(batch)
+        assert phasor.correct
+        assert trace.correct
+        assert phasor.outputs == expected
+        assert trace.outputs == expected
+    return phasor, trace
+
+
+# ----------------------------------------------------------------------
+# Fast lane: a handful of seeds through every configuration
+# ----------------------------------------------------------------------
+class TestConformanceFast:
+    @pytest.mark.parametrize("seed", FAST_SEEDS)
+    def test_nominal(self, seed):
+        netlist = random_netlist(seed)
+        engine = CircuitEngine(netlist, n_bits=N_BITS)
+        cross_check(engine, random_batch(netlist, seed))
+
+    @pytest.mark.parametrize("seed", FAST_SEEDS[:2])
+    def test_noisy(self, seed):
+        netlist = random_netlist(seed)
+        engine = CircuitEngine(netlist, n_bits=N_BITS)
+        noise = NoiseModel(
+            amplitude_sigma=0.03, phase_sigma=0.05, seed=40 + seed
+        )
+        cross_check(engine, random_batch(netlist, seed), noise=noise)
+
+    @pytest.mark.parametrize("kind", ["stuck-phase-1", "weak-source"])
+    def test_faulty(self, kind):
+        seed = FAST_SEEDS[0]
+        netlist = random_netlist(seed)
+        engine = CircuitEngine(netlist, n_bits=N_BITS)
+        fault = seeded_fault(engine, seed, kind=kind)
+        assert fault is not None
+        cross_check(engine, random_batch(netlist, seed), faults=[fault])
+
+    def test_placement_noise_fallback(self):
+        """Per-entry placement noise exercises the per-source trace path.
+
+        Position jitter breaks shared geometry, so the batched trace
+        falls back from the carrier-basis GEMM to the general per-source
+        loop -- and must still pin to the scalar reference.
+        """
+        seed = FAST_SEEDS[1]
+        netlist = random_netlist(seed)
+        engine = CircuitEngine(netlist, n_bits=N_BITS)
+        noise = NoiseModel(position_sigma=1e-9, seed=60 + seed)
+        batch = random_batch(netlist, seed, n_entries=4)
+        engine.run(batch, mode="trace")  # nominal: populates the basis cache
+        cached = len(engine.model()._basis_cache)
+        assert cached > 0
+        cross_check(engine, batch, noise=noise)
+        # Jittered geometries never repeat and must not be memoised.
+        assert len(engine.model()._basis_cache) == cached
+
+    def test_multi_fault_conformance(self):
+        """Distinct-cell fault lists conform across all four backends."""
+        seed = FAST_SEEDS[2]
+        netlist = random_netlist(seed)
+        engine = CircuitEngine(netlist, n_bits=N_BITS)
+        physical = [
+            node
+            for cells in engine.schedule
+            for node in cells
+            if node.kind in PHYSICAL_BINDINGS
+        ]
+        assert len(physical) >= 2
+        faults = [
+            CellFault(
+                physical[0].name,
+                TransducerFault("stuck-phase-1", channel=0, input_index=0),
+            ),
+            CellFault(
+                physical[1].name,
+                TransducerFault("dead-source", channel=1, input_index=0),
+            ),
+        ]
+        cross_check(engine, random_batch(netlist, seed), faults=faults)
+
+
+# ----------------------------------------------------------------------
+# Gate-level strictness of the trace batch (the engine relies on it)
+# ----------------------------------------------------------------------
+class TestTraceBatchStrictness:
+    def test_undecodable_trace_entries_yield_none(self):
+        """strict=False turns decode failures into None entries."""
+        gate = physical_gate("MAJ3", 1)
+        simulator = GateSimulator(gate, amplitudes=np.zeros((1, 3)))
+        patterns = gate.exhaustive_patterns()
+        with pytest.raises(SimulationError):
+            simulator.run_batch(patterns)
+        runs = simulator.run_batch(patterns, strict=False)
+        assert runs == [None] * len(patterns)
+
+    def test_strict_default_matches_scalar_run(self):
+        gate = physical_gate("XOR2", 2)
+        simulator = GateSimulator(gate)
+        patterns = gate.exhaustive_patterns()
+        batched = simulator.run_batch(patterns, strict=False)
+        for run, words in zip(batched, patterns):
+            reference = simulator.run(words)
+            assert run.decoded == reference.decoded
+            np.testing.assert_allclose(
+                [d.margin for d in run.decodes],
+                [d.margin for d in reference.decodes],
+                rtol=TOL,
+                atol=TOL,
+            )
+
+
+# ----------------------------------------------------------------------
+# Full randomized sweep (slow lane): >= 20 seeds x 3 configurations
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+class TestConformanceSweep:
+    @pytest.mark.parametrize("seed", ALL_SEEDS)
+    def test_seeded_netlist_conformance(self, seed):
+        netlist = random_netlist(seed)
+        engine = CircuitEngine(netlist, n_bits=N_BITS)
+        batch = random_batch(netlist, seed)
+        # Nominal.
+        cross_check(engine, batch)
+        # Noisy (amplitude + phase jitter, per-(cell, group) seeds).
+        noise = NoiseModel(
+            amplitude_sigma=0.03, phase_sigma=0.08, seed=500 + seed
+        )
+        cross_check(engine, batch, noise=noise)
+        # Faulty (seed-dependent victim/channel/input).
+        kind = ("stuck-phase-1", "stuck-phase-0", "weak-source")[seed % 3]
+        fault = seeded_fault(engine, seed, kind=kind)
+        if fault is not None:
+            cross_check(engine, batch, faults=[fault])

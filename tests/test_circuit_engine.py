@@ -28,6 +28,7 @@ from repro.circuits import (
     full_adder,
     majority_tree,
     physical_gate,
+    random_netlist,
     ripple_carry_adder,
 )
 from repro.core.cascade import GateCascade
@@ -47,23 +48,6 @@ def exhaustive_batch(netlist):
         dict(zip(inputs, bits))
         for bits in product((0, 1), repeat=len(inputs))
     ]
-
-
-def random_netlist(seed, n_inputs=4, n_cells=10):
-    """A seeded random MAJ/XOR/INV/BUF DAG with constants and fanout."""
-    rng = random.Random(seed)
-    netlist = Netlist(f"rand{seed}")
-    nodes = [netlist.add_input(f"x{i}") for i in range(n_inputs)]
-    nodes.append(netlist.add_const("c0", 0))
-    nodes.append(netlist.add_const("c1", 1))
-    arities = {"MAJ3": 3, "XOR2": 2, "INV": 1, "BUF": 1}
-    for j in range(n_cells):
-        operation = rng.choice(["MAJ3", "MAJ3", "XOR2", "XOR2", "INV", "BUF"])
-        fanin = [rng.choice(nodes) for _ in range(arities[operation])]
-        nodes.append(netlist.add_cell(f"g{j}", operation, fanin))
-    netlist.mark_output(nodes[-1])
-    netlist.mark_output(nodes[-2])
-    return netlist
 
 
 def assert_margins_equal(result, reference):
@@ -163,6 +147,20 @@ class TestBooleanEquivalence:
         result = engine.run([{"a": 1, "b": 1, "cin": 0}])
         assert result.correct
         assert result.outputs["ncarry"] == [0]
+
+    def test_output_registered_after_compilation_without_recompile(self):
+        """mark_output alone must not invalidate the cached schedule --
+        the engine keeps its compiled state yet reports the new output."""
+        netlist, total, carry = full_adder()
+        engine = CircuitEngine(netlist, n_bits=2)
+        engine.run([{"a": 1, "b": 1, "cin": 0}])
+        schedule = engine.schedule
+        netlist.mark_output("fa_axb")  # an existing internal cell
+        result = engine.run([{"a": 1, "b": 1, "cin": 0}])
+        assert engine.schedule is schedule  # no recompilation happened
+        assert result.correct
+        assert result.outputs["fa_axb"] == [0]
+        assert set(result.outputs) == {"fa_sum", "fa_carry", "fa_axb"}
 
     def test_missing_input_raises(self):
         netlist, _, _ = full_adder()
@@ -277,6 +275,99 @@ class TestScalarEquivalence:
 
 
 # ----------------------------------------------------------------------
+# Time-domain (trace) circuit execution
+# ----------------------------------------------------------------------
+class TestTraceMode:
+    def test_full_adder_trace_correct_with_margins(self):
+        netlist, _, _ = full_adder()
+        engine = CircuitEngine(netlist, n_bits=2)
+        batch = exhaustive_batch(netlist)
+        result = engine.run_trace_batch(batch)
+        assert result.mode == "trace"
+        assert result.correct
+        assert result.outputs == netlist.evaluate_batch(batch)
+        assert len(result.levels) == netlist.depth()
+        for report in result.levels:
+            assert report.min_margin > 0
+
+    def test_trace_pinned_to_scalar_with_noise(self):
+        netlist, _, _ = full_adder()
+        engine = CircuitEngine(netlist, n_bits=2)
+        batch = exhaustive_batch(netlist)
+        noise = NoiseModel(amplitude_sigma=0.05, phase_sigma=0.1, seed=23)
+        batched = engine.run_trace_batch(batch, noise=noise, strict=False)
+        scalar = engine.run_scalar(
+            batch, noise=noise, strict=False, mode="trace"
+        )
+        assert scalar.mode == "trace"
+        assert_margins_equal(batched, scalar)
+
+    def test_trace_placement_noise_falls_back_and_pins(self):
+        """Per-entry position jitter takes the per-source trace path."""
+        netlist, _, _ = full_adder()
+        engine = CircuitEngine(netlist, n_bits=2)
+        batch = exhaustive_batch(netlist)[:4]
+        noise = NoiseModel(position_sigma=1e-9, seed=3)
+        batched = engine.run_trace_batch(batch, noise=noise, strict=False)
+        scalar = engine.run_scalar(
+            batch, noise=noise, strict=False, mode="trace"
+        )
+        assert_margins_equal(batched, scalar)
+
+    def test_trace_fault_pinned_to_scalar(self):
+        netlist, _, _ = full_adder()
+        engine = CircuitEngine(netlist, n_bits=2)
+        batch = exhaustive_batch(netlist)
+        # a stuck at 1 on channel 1: odd entries with a = 0 decode wrong.
+        fault = CellFault(
+            "fa_carry",
+            TransducerFault("stuck-phase-1", channel=1, input_index=0),
+        )
+        batched = engine.run_trace_batch(batch, faults=[fault], strict=False)
+        scalar = engine.run_scalar(
+            batch, faults=[fault], strict=False, mode="trace"
+        )
+        assert_margins_equal(batched, scalar)
+        assert batched.word_errors > 0
+
+    def test_trace_agrees_with_phasor_decodes(self):
+        netlist = ripple_carry_adder(2)
+        engine = CircuitEngine(netlist, n_bits=4)
+        batch = exhaustive_batch(netlist)[:8]
+        trace = engine.run_trace_batch(batch)
+        phasor = engine.run(batch)
+        assert trace.outputs == phasor.outputs
+        for name in trace.cells:
+            assert trace.cells[name].bits == phasor.cells[name].bits
+
+    def test_unknown_mode_rejected(self):
+        netlist, _, _ = full_adder()
+        engine = CircuitEngine(netlist, n_bits=2)
+        with pytest.raises(NetlistError, match="unknown execution mode"):
+            engine.run([{"a": 0, "b": 0, "cin": 0}], mode="waveform")
+        with pytest.raises(NetlistError, match="unknown execution mode"):
+            engine.run_scalar([{"a": 0, "b": 0, "cin": 0}], mode="waveform")
+
+    def test_trace_basis_cache_reused_across_runs(self):
+        """Repeated trace runs reuse the memoised carrier bases."""
+        netlist, _, _ = full_adder()
+        engine = CircuitEngine(netlist, n_bits=2)
+        batch = exhaustive_batch(netlist)[:2]
+        engine.run_trace_batch(batch)
+        model = engine.model()
+        cached = len(model._basis_cache)
+        assert cached > 0
+        engine.run_trace_batch(batch)
+        engine.run_trace_batch(
+            batch, noise=NoiseModel(phase_sigma=0.1, seed=5)
+        )  # amplitude/phase noise keeps the nominal geometry
+        assert len(model._basis_cache) == cached
+        for basis_sin, basis_cos in model._basis_cache.values():
+            assert not basis_sin.flags.writeable
+            assert not basis_cos.flags.writeable
+
+
+# ----------------------------------------------------------------------
 # Fault and noise behaviour
 # ----------------------------------------------------------------------
 class TestFaultInjection:
@@ -316,6 +407,68 @@ class TestFaultInjection:
         )
         result = engine.run(batch, faults=[fault], strict=False)
         assert result.word_errors == 0
+
+    def test_multi_fault_distinct_cells(self):
+        """Fault lists across distinct cells compose and stay pinned."""
+        netlist = ripple_carry_adder(2)
+        engine = CircuitEngine(netlist, n_bits=4)
+        batch = exhaustive_batch(netlist)
+        faults = [
+            CellFault(
+                "rca_fa0_carry",
+                TransducerFault("stuck-phase-1", channel=2, input_index=0),
+            ),
+            CellFault(
+                "rca_fa1_axb",
+                TransducerFault("stuck-phase-1", channel=1, input_index=0),
+            ),
+        ]
+        batched = engine.run(batch, faults=faults, strict=False)
+        scalar = engine.run_scalar(batch, faults=faults, strict=False)
+        assert_margins_equal(batched, scalar)
+        assert batched.faults == faults
+        # The faults live on different data-parallel channels, so each
+        # entry sees at most one of them: the combined error set is
+        # exactly the union of the single-fault error sets.
+        single_errors = set()
+        for fault in faults:
+            single = engine.run(batch, faults=[fault], strict=False)
+            for i in range(single.n_entries):
+                if any(
+                    single.outputs[o][i] != single.expected[o][i]
+                    for o in single.outputs
+                ):
+                    single_errors.add(i)
+        double_errors = {
+            i
+            for i in range(batched.n_entries)
+            if any(
+                batched.outputs[o][i] != batched.expected[o][i]
+                for o in batched.outputs
+            )
+        }
+        assert double_errors == single_errors
+        assert {i % engine.n_bits for i in double_errors} == {1, 2}
+
+    def test_multi_fault_trace_mode_pinned(self):
+        netlist, _, _ = full_adder()
+        engine = CircuitEngine(netlist, n_bits=2)
+        batch = exhaustive_batch(netlist)
+        faults = [
+            CellFault(
+                "fa_carry",
+                TransducerFault("stuck-phase-1", channel=0, input_index=0),
+            ),
+            CellFault(
+                "fa_axb",
+                TransducerFault("dead-source", channel=1, input_index=1),
+            ),
+        ]
+        batched = engine.run_trace_batch(batch, faults=faults, strict=False)
+        scalar = engine.run_scalar(
+            batch, faults=faults, strict=False, mode="trace"
+        )
+        assert_margins_equal(batched, scalar)
 
     def test_unknown_cell_rejected(self):
         netlist, _, _ = full_adder()

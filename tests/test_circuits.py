@@ -14,6 +14,7 @@ from repro.circuits import (
     full_adder,
     majority_tree,
     parallel_vs_scalar,
+    random_netlist,
     ripple_carry_adder,
 )
 from repro.circuits.synth import evaluate_adder
@@ -152,6 +153,48 @@ class TestTopologyCache:
         with pytest.raises(NetlistError):
             netlist.node("ghost")
 
+    def test_mark_output_keeps_cache_valid(self):
+        """Regression: output edits must not touch the topology cache,
+        and every output-sensitive query must still see the live list."""
+        netlist = ripple_carry_adder(2)
+        schedule = netlist.level_schedule()
+        order = netlist.topological_order()
+        depth = netlist.depth()
+        # Register a shallow internal node as a new primary output.
+        netlist.mark_output("rca_fa0_axb")
+        assert netlist.level_schedule() is schedule  # cache untouched
+        assert netlist.topological_order() is order
+        assert "rca_fa0_axb" in netlist.outputs
+        # Depth/critical path re-read the live output list on top of the
+        # cache; a shallow extra output must not shrink them.
+        assert netlist.depth() == depth
+        assert netlist.levels()["rca_fa0_axb"] < depth
+        assert netlist.critical_path()[-1] != "rca_fa0_axb"
+        # evaluate/evaluate_batch include the new output immediately.
+        assignment = {name: 0 for name in netlist.inputs}
+        assert "rca_fa0_axb" in netlist.evaluate(assignment)
+        assert "rca_fa0_axb" in netlist.evaluate_batch([assignment])
+
+    def test_mark_output_reregistration_is_idempotent(self):
+        netlist, total, carry = full_adder()
+        schedule = netlist.level_schedule()
+        before = netlist.outputs
+        netlist.mark_output(total)  # already registered
+        assert netlist.outputs == before  # no duplicate, same order
+        assert netlist.level_schedule() is schedule
+
+    def test_inversion_edit_is_an_add_and_invalidates(self):
+        """Output-polarity edits go through an INV cell (detector
+        placement), which *is* a topology change and must invalidate."""
+        netlist, total, carry = full_adder()
+        schedule = netlist.level_schedule()
+        inverted = netlist.add_cell("ncarry", "INV", (carry,))
+        netlist.mark_output(inverted)
+        assert netlist.level_schedule() is not schedule
+        assert netlist.levels()["ncarry"] == 2
+        outputs = netlist.evaluate({"a": 1, "b": 1, "cin": 0})
+        assert outputs["ncarry"] == 1 - outputs[carry]
+
 
 class TestEvaluateBatch:
     def test_matches_scalar_evaluate(self):
@@ -225,6 +268,22 @@ class TestSynthesis:
         with pytest.raises(NetlistError):
             majority_tree(6)
 
+    def test_random_netlist_deterministic(self):
+        first = random_netlist(7)
+        second = random_netlist(7)
+        assert first.name == second.name == "rand7"
+        assert first.topological_order() == second.topological_order()
+        assert first.outputs == second.outputs
+        assert [n.fanin for n in first.cells()] == [
+            n.fanin for n in second.cells()
+        ]
+        assignment = {name: 1 for name in first.inputs}
+        assert first.evaluate(assignment) == second.evaluate(assignment)
+
+    def test_random_netlist_validation(self):
+        with pytest.raises(NetlistError, match="n_outputs"):
+            random_netlist(0, n_cells=1, n_outputs=2)
+
 
 class TestLibrary:
     def test_default_library_cells(self):
@@ -255,6 +314,14 @@ class TestLibrary:
         parallel = default_library(8).get("MAJ3")
         assert parallel.area > scalar.area
         assert parallel.area < 8 * scalar.area  # the whole point
+
+    def test_physical_arity(self):
+        from repro.circuits.library import physical_arity
+
+        assert physical_arity("MAJ3") == 3
+        assert physical_arity("XOR2") == 2
+        with pytest.raises(NetlistError, match="no physical gate"):
+            physical_arity("INV")
 
 
 class TestEstimation:

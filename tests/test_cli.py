@@ -86,6 +86,23 @@ class TestCommands:
         assert "0x3 + 0x2 = 0x5" in out
         assert "physics matches logic" in out
         assert "level 1" in out
+        assert "steady-state phasor backend" in out
+
+    def test_circuit_physical_adder_trace_mode(self, capsys):
+        assert (
+            main(
+                [
+                    "circuit", "0x2", "0x1",
+                    "--width", "2", "--bits", "2", "--mode", "trace",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "0x2 + 0x1 = 0x3" in out
+        assert "time-domain waveform backend" in out
+        assert "physics matches logic" in out
+        assert "min margin" in out
 
     def test_design_default(self, capsys):
         assert main(["design", "--bits", "4"]) == 0

@@ -6,6 +6,7 @@ import pytest
 
 import repro.analysis.ascii_plot
 import repro.circuits.engine
+import repro.circuits.netlist
 import repro.core.encoding
 import repro.mm.mesh
 import repro.units
@@ -18,6 +19,7 @@ MODULES = [
     repro.analysis.ascii_plot,
     repro.waveguide.sources,
     repro.circuits.engine,
+    repro.circuits.netlist,
 ]
 
 

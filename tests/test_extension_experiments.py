@@ -123,6 +123,39 @@ class TestCircuitFaultsExperiment:
         text = circuit_faults.report(results)
         assert "Circuit-level fault coverage" in text
         assert "weak-source" in text and "TOTAL" in text
+        assert "Parametric weak-source sweep" in text
+        assert "detection threshold" in text
+
+    def test_parametric_sweep_reports_threshold(self, results):
+        parametric = results["parametric"]
+        # The default victim is a phase-readout (MAJ3) cell: logic stays
+        # blind at every severity, amplitude measurement does not.
+        assert parametric["cell"] == "fa_carry"
+        assert all(not p["logic_visible"] for p in parametric["points"])
+        assert parametric["threshold"] is not None
+        # Deviation grows monotonically with the amplitude deficit, and
+        # everything at or below the threshold severity is detected.
+        points = parametric["points"]  # sorted severity-descending
+        deviations = [p["relative_deviation"] for p in points]
+        assert deviations == sorted(deviations)
+        for point in points:
+            assert point["detected"] == (
+                point["severity"] <= parametric["threshold"]
+            )
+
+    def test_parametric_sweep_validation(self):
+        from repro.circuits import CircuitEngine, full_adder
+        from repro.experiments.circuit_faults import (
+            weak_source_amplitude_sweep,
+        )
+        from repro.errors import NetlistError
+
+        netlist, _, _ = full_adder()
+        engine = CircuitEngine(netlist, n_bits=2)
+        with pytest.raises(NetlistError, match="severity"):
+            weak_source_amplitude_sweep(engine, severities=())
+        with pytest.raises(NetlistError, match="amplitude_tolerance"):
+            weak_source_amplitude_sweep(engine, amplitude_tolerance=0.0)
 
 
 class TestCircuitNoiseExperiment:
@@ -157,6 +190,22 @@ class TestCircuitNoiseExperiment:
         text = circuit_noise.report(results)
         assert "Circuit word error rate" in text
         assert "decode margin" in text
+        assert "phasor backend" in text
+
+    @pytest.mark.slow
+    def test_trace_mode_sweep(self):
+        """The waveform-accurate backend runs the same sweep."""
+        from repro.circuits import full_adder
+        from repro.experiments import circuit_noise
+
+        adder, _, _ = full_adder()
+        results = circuit_noise.run(
+            blocks=[adder], sigmas=(0.0,), n_trials=4, n_bits=2, seed=4,
+            mode="trace",
+        )
+        assert results["mode"] == "trace"
+        assert results["rows"][0]["error_rates"][0] == 0.0
+        assert "trace backend" in circuit_noise.report(results)
 
 
 class TestNoiseRobustness:

@@ -401,6 +401,26 @@ class TestTraceGeometryBranches:
                 row, model.trace(sources, 400e-9, t), rtol=0, atol=TOL
             )
 
+    def test_cached_basis_is_exact_and_frozen(self):
+        """cache_basis memoises per (geometry, detector, grid) without
+        changing a single sample, and never fills from plain calls."""
+        model = self._model()
+        sets = [self._sources(0.0), self._sources(0.0)]
+        t = np.linspace(0.0, 2e-9, 257)
+        plain = model.trace_batch(sets, 400e-9, t)
+        assert model._basis_cache == {}  # default: no memoisation
+        cached_first = model.trace_batch(sets, 400e-9, t, cache_basis=True)
+        assert len(model._basis_cache) == 1
+        cached_again = model.trace_batch(sets, 400e-9, t, cache_basis=True)
+        np.testing.assert_array_equal(plain, cached_first)
+        np.testing.assert_array_equal(cached_first, cached_again)
+        for basis_sin, basis_cos in model._basis_cache.values():
+            assert not basis_sin.flags.writeable
+            assert not basis_cos.flags.writeable
+        # A different detector or grid is a different cache entry.
+        model.trace_batch(sets, 300e-9, t, cache_basis=True)
+        assert len(model._basis_cache) == 2
+
     def test_precomputed_weights_require_shared_geometry(self):
         model = self._model()
         sets = [self._sources(0.0), self._sources(30e-9)]
