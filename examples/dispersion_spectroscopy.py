@@ -17,10 +17,13 @@ from repro.mm.spectroscopy import extract_branch, measure_dispersion
 from repro.physics.dispersion import ExchangeDispersion
 
 
-def main():
-    print("running LLG pulse spectroscopy (1.2 um film, 1.2 ns)...")
+def main(length=1.2e-6, duration=1.2e-9, dt=0.1e-12):
+    print(
+        f"running LLG pulse spectroscopy ({length * 1e6:.1f} um film, "
+        f"{duration * 1e9:.1f} ns)..."
+    )
     spectrum = measure_dispersion(
-        FECOB_PMA, length=1.2e-6, duration=1.2e-9, dt=0.1e-12
+        FECOB_PMA, length=length, duration=duration, dt=dt
     )
     ks, fs = extract_branch(
         spectrum, k_min=2e7, k_max=2.5e8, threshold_ratio=0.03

@@ -16,20 +16,23 @@ from repro.core.simulate import GateSimulator
 from repro.experiments import llg_validation
 
 
-def main():
+def main(combos=None, dt=0.1e-12, cell_size=4e-9):
     gate = llg_validation.build_reduced_gate()
     print("reduced gate for LLG cross-validation:")
     print(gate.layout.describe())
     print()
 
-    combos = [(0, 0, 0), (1, 0, 0), (1, 1, 0), (1, 1, 1)]
+    if combos is None:
+        combos = [(0, 0, 0), (1, 0, 0), (1, 1, 0), (1, 1, 1)]
     simulator = GateSimulator(gate)
     print("inputs  linear  LLG  (phase, margin)")
     agree = True
     for bits in combos:
         words = [[b] * gate.n_bits for b in bits]
         linear = simulator.run_phasor(words)
-        llg = llg_validation.run_llg_case(gate, bits)
+        llg = llg_validation.run_llg_case(
+            gate, bits, dt=dt, cell_size=cell_size
+        )
         match = linear.decoded == llg["decoded"]
         agree &= match
         print(

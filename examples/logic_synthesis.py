@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""From a Boolean specification to a running spin-wave circuit.
+
+The synthesis front end turns *any* Boolean function -- an expression, a
+truth table, or a programmatic majority-inverter graph -- into a
+physically executable netlist: the pass pipeline optimizes the MIG, the
+technology mapper lowers it onto the MAJ3/XOR2 library (inverters fold
+into free detector-placement polarity), and the circuit engine then runs
+it on batched spin-wave gates.  This example synthesizes a 4-bit
+equality comparator from one expression, shows what the optimizer
+bought, and executes both mappings physically.
+
+Run:  python examples/logic_synthesis.py
+"""
+
+from repro.circuits.engine import CircuitEngine
+from repro.synthesis import from_truth_table, parse_spec, synthesize
+
+
+def main(n_bits=4):
+    # A 4-bit equality comparator, written the naive way: per-bit XNOR,
+    # then one long AND chain.
+    expression = (
+        "~(a0 ^ b0) & ~(a1 ^ b1) & ~(a2 ^ b2) & ~(a3 ^ b3)"
+    )
+    mig = parse_spec({"eq": expression}, name="cmp4")
+    result = synthesize(mig)
+    print(result.describe())
+    print()
+
+    print("optimization pipeline (passes that changed the graph):")
+    for stats in result.pass_stats:
+        if stats.changed:
+            print(f"  round {stats.round}: {stats.describe()}")
+    print()
+
+    # Execute both mappings on the physical engine: same answers,
+    # fewer levels after optimization.
+    words = [(0x5, 0x5), (0x5, 0x4), (0xA, 0xA), (0x3, 0xC)]
+    batch = []
+    for a, b in words:
+        assignment = {}
+        for i in range(4):
+            assignment[f"a{i}"] = (a >> i) & 1
+            assignment[f"b{i}"] = (b >> i) & 1
+        batch.append(assignment)
+    for label, report in (
+        ("naive", result.naive), ("optimized", result.optimized)
+    ):
+        engine = CircuitEngine(report.netlist, n_bits=n_bits)
+        run = engine.run(batch)
+        decoded = [run.outputs["eq"][i] for i in range(len(words))]
+        print(
+            f"{label:9s} mapping ({report.physical_depth} physical "
+            f"levels): eq{words} = {decoded} "
+            f"({'physics matches logic' if run.correct else 'WRONG'}, "
+            f"min margin {run.min_margin:.3f})"
+        )
+    print()
+
+    # The same front end ingests raw truth tables: a 1-bit full adder
+    # from its two output columns.
+    adder = from_truth_table(
+        "01101001", inputs=("a", "b", "cin"), output="sum", name="fa"
+    )
+    from_truth_table(
+        "00010111", inputs=("a", "b", "cin"), output="carry", mig=adder
+    )
+    adder_result = synthesize(adder)
+    print("truth-table ingestion (1-bit full adder):")
+    print(f"  {adder_result.optimized.describe()}")
+    assert adder_result.verified
+
+
+if __name__ == "__main__":
+    main()

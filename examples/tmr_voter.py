@@ -25,14 +25,13 @@ def corrupt(value, n_flips, rng):
     return value
 
 
-def main():
+def main(trials=12):
     gate = byte_majority_gate()
     simulator = GateSimulator(gate)
     rng = np.random.default_rng(42)
 
     print("byte-wide spin-wave TMR voter")
     print("true word | replica A | replica B | replica C | voted | recovered")
-    trials = 12
     recovered = 0
     for _ in range(trials):
         truth = int(rng.integers(256))

@@ -9,7 +9,10 @@ extrapolation of the paper's Section V.B gate-level comparison -- and a
 physical circuit-simulation engine
 (:class:`~repro.circuits.engine.CircuitEngine`) executing whole netlists
 on the batched phasor backend with transduced regeneration, fault
-injection and noise.
+injection and noise.  Arbitrary Boolean specifications compile onto
+this layer through the logic-synthesis front end
+(:mod:`repro.synthesis`): MIG ingestion, optimization passes, and
+technology mapping onto :data:`~repro.circuits.library.PHYSICAL_BINDINGS`.
 """
 
 from repro.circuits.netlist import Netlist, Node

@@ -151,6 +151,65 @@ def _cmd_circuit(args):
     return 0 if result.correct and total == a + b else 1
 
 
+def _cmd_synth(args):
+    from repro.synthesis import (
+        get_circuit,
+        parse_spec,
+        suite,
+        synthesize,
+        verify_physical,
+    )
+
+    if args.list:
+        for circuit in suite():
+            print(f"{circuit.name:12s} {circuit.description}")
+        return 0
+    from repro.errors import SynthesisError
+
+    try:
+        if args.expr:
+            if args.circuit:
+                print("synth: give a suite circuit OR --expr, not both")
+                return 2
+            mig = parse_spec({args.output: args.expr}, name=args.output)
+            reference = None
+            name = args.output
+        else:
+            if not args.circuit:
+                print("synth: name a suite circuit or pass --expr "
+                      "(see --list)")
+                return 2
+            circuit = get_circuit(args.circuit)
+            mig = circuit.build()
+            reference = circuit.reference
+            name = circuit.name
+        # synthesize() raises on a non-equivalent mapping, so a
+        # returned result is always verified.
+        result = synthesize(mig, name=name, reference=reference)
+    except SynthesisError as error:
+        print(f"synth: {error}")
+        return 2
+    print("optimization pipeline:")
+    for stats in result.pass_stats:
+        if stats.changed:
+            print(f"  round {stats.round} {stats.describe()}")
+    print(result.describe())
+    if args.no_run:
+        return 0
+    print()
+    print(f"physical execution ({args.bits}-bit cells, {args.mode} mode):")
+    correct = True
+    for label, report in (
+        ("naive", result.naive), ("optimized", result.optimized)
+    ):
+        physical = verify_physical(
+            report.netlist, n_bits=args.bits, modes=(args.mode,)
+        )[args.mode]
+        correct &= physical.correct
+        print(f"  {label:9s} {physical.describe()}")
+    return 0 if correct else 1
+
+
 def _cmd_design(args):
     from repro.core.designer import design_gate
     from repro.core.gate import GateKind
@@ -284,6 +343,50 @@ def build_parser():
         "time-domain waveform traces with lock-in decode",
     )
     circuit_parser.set_defaults(func=_cmd_circuit)
+
+    synth_parser = sub.add_parser(
+        "synth",
+        help="synthesize a Boolean spec onto the physical cell library",
+    )
+    synth_parser.add_argument(
+        "circuit",
+        nargs="?",
+        default=None,
+        help="suite circuit name (see --list), or use --expr",
+    )
+    synth_parser.add_argument(
+        "--expr",
+        default=None,
+        help="Boolean expression (&, |, ^, ~, maj(a,b,c)) to synthesize",
+    )
+    synth_parser.add_argument(
+        "--output",
+        default="f",
+        help="output name for --expr specifications",
+    )
+    synth_parser.add_argument(
+        "--bits",
+        type=int,
+        default=4,
+        help="data-parallel width of each physical cell",
+    )
+    synth_parser.add_argument(
+        "--mode",
+        default="phasor",
+        choices=["phasor", "trace"],
+        help="physical execution semantics for the confirmation run",
+    )
+    synth_parser.add_argument(
+        "--no-run",
+        action="store_true",
+        help="skip the physical engine confirmation run",
+    )
+    synth_parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list the benchmark-circuit suite",
+    )
+    synth_parser.set_defaults(func=_cmd_synth)
 
     design_parser = sub.add_parser(
         "design", help="design and verify a custom data-parallel gate"

@@ -243,20 +243,27 @@ class GateSimulator:
     # Execution
     # ------------------------------------------------------------------
     def _decode_trace_run(
-        self, words, t, trace_rows, t_start, method, noise, phasors=None
+        self, words, t, trace_rows, t_start, method, noise, phasors=None,
+        noise_row=None,
     ):
         """Decode one entry's per-channel traces into a :class:`GateRunResult`.
 
         ``phasors`` optionally carries this entry's premeasured
         per-channel phasors (from a batched lock-in); the decision logic
         in :func:`~repro.core.readout.decode_channel` is shared either way.
+        ``noise_row`` optionally carries the entry's already-drawn trace
+        perturbation (``NoiseModel.trace_perturbation`` realisations are
+        per-model, so batched callers draw once and reuse it here
+        instead of re-seeding a generator per channel).
         """
         calibration = self.calibration()
         decodes = []
         traces = {}
         for channel in range(self.gate.n_bits):
             trace = trace_rows[channel]
-            if noise is not None:
+            if noise_row is not None:
+                trace = trace + noise_row
+            elif noise is not None:
                 trace = noise.perturb_trace(trace)
             traces[channel] = trace
             reference_phase, reference_amplitude = calibration[channel]
@@ -507,7 +514,11 @@ class GateSimulator:
         (two matrix products when the batch shares its geometry; the
         nominal-geometry carrier basis is memoised on the model so
         repeated batches of the same gate pay it once), then each entry
-        decodes exactly as :meth:`run` would.  Returns a list of
+        decodes exactly as :meth:`run` would.  The lock-in demodulation
+        is likewise batched -- one vectorised measurement per channel
+        covers every entry, including entries whose noise model adds
+        trace noise (their rows are perturbed in-block with the same
+        realisation the scalar path draws).  Returns a list of
         :class:`GateRunResult`, one per entry of ``words_batch``.  With
         ``strict=False``, an entry whose decode fails (e.g. a fault left
         a phase-readout carrier too weak to measure) yields ``None``
@@ -529,22 +540,37 @@ class GateSimulator:
             cache_basis=self._bank_is_nominal(bank),
         )
         t = result["t"]
-        # One vectorised lock-in per channel covers the whole batch when
-        # no per-trace noise would change the measurement.
+        # One vectorised lock-in per channel covers the whole batch.
+        # Entries with trace noise perturb their rows of each channel
+        # block first: perturb_trace re-seeds per call, so one draw per
+        # distinct noise model (trace_perturbation) reproduces the
+        # scalar per-trace realisations exactly.
         batch_phasors = None
-        if method == "lockin" and all(
-            noise is None or noise.trace_sigma == 0 for noise in noises
-        ):
-            batch_phasors = [
-                measure_phasor(
-                    t,
-                    result["traces"][str(channel)],
-                    self.layout.plan.frequencies[channel],
-                    t_start,
-                    method=method,
+        noise_rows = {}
+        if method == "lockin":
+            draws = {}
+            for entry, noise in enumerate(noises):
+                if noise is None or noise.trace_sigma == 0:
+                    continue
+                if noise not in draws:
+                    draws[noise] = noise.trace_perturbation(t.size)
+                noise_rows[entry] = draws[noise]
+            batch_phasors = []
+            for channel in range(self.gate.n_bits):
+                block = result["traces"][str(channel)]
+                if noise_rows:
+                    block = np.array(block, dtype=float)
+                    for entry, row in noise_rows.items():
+                        block[entry] += row
+                batch_phasors.append(
+                    measure_phasor(
+                        t,
+                        block,
+                        self.layout.plan.frequencies[channel],
+                        t_start,
+                        method=method,
+                    )
                 )
-                for channel in range(self.gate.n_bits)
-            ]
         results = []
         for entry, (words, noise) in enumerate(zip(words_batch, noises)):
             trace_rows = [
@@ -552,12 +578,15 @@ class GateSimulator:
                 for channel in range(self.gate.n_bits)
             ]
             phasors = None
+            noise_row = None
             if batch_phasors is not None:
                 phasors = [column[entry] for column in batch_phasors]
+                noise_row = noise_rows.get(entry)
             try:
                 results.append(
                     self._decode_trace_run(
-                        words, t, trace_rows, t_start, method, noise, phasors
+                        words, t, trace_rows, t_start, method, noise,
+                        phasors, noise_row,
                     )
                 )
             except ReproError:

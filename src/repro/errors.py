@@ -47,3 +47,7 @@ class NetlistError(ReproError):
 
 class OommfFormatError(ReproError):
     """Malformed MIF or OVF content."""
+
+
+class SynthesisError(ReproError):
+    """Invalid logic-synthesis request (MIG, parser, passes, mapping)."""

@@ -20,6 +20,7 @@ from repro.experiments import (
     llg_validation,
     noise_robustness,
     scalability,
+    synthesis_gain,
     width_sweep,
 )
 from repro.experiments.runner import EXPERIMENTS, run_experiment
@@ -38,6 +39,7 @@ __all__ = [
     "drive_limits",
     "circuit_faults",
     "circuit_noise",
+    "synthesis_gain",
     "EXPERIMENTS",
     "run_experiment",
 ]

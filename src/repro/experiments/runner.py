@@ -14,6 +14,7 @@ from repro.experiments import (
     llg_validation,
     noise_robustness,
     scalability,
+    synthesis_gain,
     width_sweep,
 )
 
@@ -38,6 +39,10 @@ EXPERIMENTS = {
     "circuit-noise": (
         circuit_noise,
         "extension: circuit margin vs transducer noise",
+    ),
+    "synthesis-gain": (
+        synthesis_gain,
+        "extension: physical payoff of logic optimization",
     ),
 }
 

@@ -1,0 +1,96 @@
+"""Logic-synthesis front end: Boolean specifications to physical netlists.
+
+The layer every new workload enters through.  Four stages, mirroring a
+production transpiler pipeline (front-end IR, optimization passes,
+technology mapping, verification):
+
+1. **Ingestion** -- :class:`~repro.synthesis.mig.MIG` (majority-inverter
+   graph with first-class XOR and free complemented edges) built from
+   truth tables (:func:`~repro.synthesis.table.from_truth_table`),
+   Boolean expressions (:func:`~repro.synthesis.parse.parse_spec`,
+   with ``&``, ``|``, ``^``, ``~`` and ``maj(...)``), or programmatic
+   construction.
+2. **Optimization** -- :func:`~repro.synthesis.passes.optimize` runs
+   the pass pipeline (constant propagation, inverter push, structural
+   hashing, depth-oriented associativity rebalancing, dead-node
+   elimination) to a fixpoint with per-pass statistics.
+3. **Technology mapping** -- :func:`~repro.synthesis.mapping.to_netlist`
+   lowers the MIG onto the physical ``MAJ3``/``XOR2`` library with free
+   ``INV``/``BUF`` polarity cells
+   (:data:`~repro.circuits.library.PHYSICAL_BINDINGS`), reported
+   through :func:`~repro.circuits.estimate.circuit_cost`.
+4. **Verification** -- :func:`~repro.synthesis.verify.verify_equivalence`
+   (exhaustive or seeded-sampled Boolean check) and
+   :func:`~repro.synthesis.verify.verify_physical` (execution on
+   :class:`~repro.circuits.engine.CircuitEngine` in phasor and trace
+   modes).
+
+:func:`~repro.synthesis.flow.synthesize` runs stages 2-4 in one call;
+:mod:`~repro.synthesis.suite` ships the benchmark circuits the
+``synthesis-gain`` experiment and ``bench_synthesis`` track.
+"""
+
+from repro.synthesis.mig import CONST0, CONST1, MIG, MigNode
+from repro.synthesis.parse import parse_expression, parse_into, parse_spec
+from repro.synthesis.table import from_truth_table, truth_table_of
+from repro.synthesis.passes import (
+    AssociativityRebalance,
+    ConstantPropagation,
+    DeadNodeElimination,
+    InverterPush,
+    PassStats,
+    StructuralHashing,
+    default_passes,
+    optimize,
+)
+from repro.synthesis.mapping import (
+    MappingReport,
+    mapping_report,
+    physical_cell_count,
+    physical_depth,
+    to_netlist,
+)
+from repro.synthesis.verify import (
+    EquivalenceReport,
+    PhysicalReport,
+    input_vectors,
+    verify_equivalence,
+    verify_physical,
+)
+from repro.synthesis.flow import SynthesisResult, synthesize
+from repro.synthesis.suite import SuiteCircuit, get_circuit, suite
+
+__all__ = [
+    "MIG",
+    "MigNode",
+    "CONST0",
+    "CONST1",
+    "parse_expression",
+    "parse_into",
+    "parse_spec",
+    "from_truth_table",
+    "truth_table_of",
+    "optimize",
+    "default_passes",
+    "PassStats",
+    "ConstantPropagation",
+    "InverterPush",
+    "StructuralHashing",
+    "AssociativityRebalance",
+    "DeadNodeElimination",
+    "to_netlist",
+    "mapping_report",
+    "MappingReport",
+    "physical_cell_count",
+    "physical_depth",
+    "verify_equivalence",
+    "verify_physical",
+    "input_vectors",
+    "EquivalenceReport",
+    "PhysicalReport",
+    "synthesize",
+    "SynthesisResult",
+    "suite",
+    "get_circuit",
+    "SuiteCircuit",
+]

@@ -1,0 +1,139 @@
+"""The end-to-end synthesis flow: spec in, verified physical netlist out.
+
+:func:`synthesize` strings the subsystem's four layers together --
+ingestion produced the MIG already (truth table, expression parser, or
+programmatic construction); this module runs the optimization pipeline,
+maps both the naive and the optimized graph onto the physical library,
+and verifies each mapping against the original specification.  The
+result object is the scorecard every consumer reads: the CLI renders
+it, the ``synthesis-gain`` experiment measures its physical meaning,
+and the benchmark suite snapshots it across PRs.
+"""
+
+import time
+from dataclasses import dataclass
+
+from repro.errors import SynthesisError
+from repro.synthesis.mapping import mapping_report, to_netlist
+from repro.synthesis.passes import optimize
+from repro.synthesis.verify import verify_equivalence
+
+
+@dataclass(frozen=True)
+class SynthesisResult:
+    """Everything one synthesis run produced."""
+
+    name: str
+    mig: object  # the specification as built (naive)
+    optimized_mig: object
+    pass_stats: tuple  # PassStats per pass application
+    naive: object  # MappingReport of the unoptimized mapping
+    optimized: object  # MappingReport of the optimized mapping
+    equivalence: dict  # {"naive": EquivalenceReport, "optimized": ...}
+    optimize_elapsed: float
+
+    @property
+    def verified(self):
+        """True when both mappings matched the specification."""
+        return all(r.equivalent for r in self.equivalence.values())
+
+    @property
+    def depth_gain(self):
+        """Scheduled-depth levels removed by optimization."""
+        return self.naive.depth - self.optimized.depth
+
+    @property
+    def physical_depth_gain(self):
+        """Transducer levels removed by optimization."""
+        return self.naive.physical_depth - self.optimized.physical_depth
+
+    @property
+    def cell_gain(self):
+        """Physical (MAJ3/XOR2) cells removed by optimization."""
+        return self.naive.n_physical - self.optimized.n_physical
+
+    def describe(self):
+        """Multi-line scorecard for CLI / report use."""
+        lines = [
+            f"synthesis of {self.name!r}:",
+            f"  naive:     {self.naive.describe()}",
+            f"  optimized: {self.optimized.describe()}",
+            f"  gain: {self.physical_depth_gain} physical levels, "
+            f"{self.cell_gain} physical cells "
+            f"(optimize took {self.optimize_elapsed * 1e3:.1f} ms)",
+        ]
+        for label, report in self.equivalence.items():
+            lines.append(f"  {label} mapping: {report.describe()}")
+        return "\n".join(lines)
+
+
+def synthesize(mig, name=None, passes=None, max_rounds=8, library=None,
+               verify=True, reference=None, n_samples=256, seed=0):
+    """Optimize, map and verify one MIG specification.
+
+    Parameters
+    ----------
+    mig:
+        The specification (:class:`~repro.synthesis.mig.MIG` with
+        registered outputs).
+    passes, max_rounds:
+        Forwarded to :func:`~repro.synthesis.passes.optimize`.
+    library:
+        Optional :class:`~repro.circuits.library.CellLibrary` pricing
+        both mappings (:class:`~repro.circuits.estimate.CircuitCost`).
+    verify:
+        Check both mappings against ``reference`` (default: the input
+        MIG itself) -- exhaustive up to 12 inputs, seeded sampling
+        above.
+    reference:
+        Optional independent specification (callable or evaluable); the
+        suite passes its Python references in here.
+
+    Returns a :class:`SynthesisResult`.  Raises
+    :class:`~repro.errors.SynthesisError` when verification was
+    requested and either mapping failed it -- an unsound optimization
+    must never go unnoticed.
+    """
+    if not mig.outputs:
+        raise SynthesisError("specification has no outputs")
+    name = name if name is not None else mig.name
+    started = time.perf_counter()
+    optimized_mig, pass_stats = optimize(
+        mig, passes=passes, max_rounds=max_rounds
+    )
+    optimize_elapsed = time.perf_counter() - started
+
+    naive_netlist = to_netlist(mig, name=f"{name}_naive")
+    optimized_netlist = to_netlist(optimized_mig, name=name)
+    naive = mapping_report(naive_netlist, library=library)
+    optimized = mapping_report(optimized_netlist, library=library)
+
+    equivalence = {}
+    if verify:
+        spec = reference if reference is not None else mig
+        for label, netlist in (
+            ("naive", naive_netlist), ("optimized", optimized_netlist)
+        ):
+            equivalence[label] = verify_equivalence(
+                netlist, spec, n_samples=n_samples, seed=seed
+            )
+        failed = [l for l, r in equivalence.items() if not r.equivalent]
+        if failed:
+            details = "; ".join(
+                f"{l}: {equivalence[l].describe()}" for l in failed
+            )
+            raise SynthesisError(
+                f"mapping of {name!r} is not equivalent to its "
+                f"specification ({details})"
+            )
+
+    return SynthesisResult(
+        name=name,
+        mig=mig,
+        optimized_mig=optimized_mig,
+        pass_stats=tuple(pass_stats),
+        naive=naive,
+        optimized=optimized,
+        equivalence=equivalence,
+        optimize_elapsed=optimize_elapsed,
+    )

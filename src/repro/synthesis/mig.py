@@ -1,0 +1,351 @@
+"""Majority-inverter graph (MIG): the logic-synthesis IR.
+
+Spin-wave logic is majority-native, so the synthesis front-end speaks
+the majority-inverter graph dialect: nodes are 3-input majorities (plus
+first-class 2-input XORs, which the physical library realises directly
+as amplitude-readout gates), and inverters live on *edges* as
+complemented literals -- matching the hardware, where inversion is a
+free detector-placement choice rather than a gate.
+
+Literals follow the AIG convention: literal ``2*n + c`` refers to node
+``n``, complemented when ``c`` is 1.  Node 0 is the constant-0 node, so
+``CONST0 == 0`` and ``CONST1 == 1`` as literals.  AND/OR/MUX are
+derived operators (``AND(a, b) = MAJ(a, b, 0)`` etc.); the builder is
+deliberately *naive* -- every call appends a node, and all sharing,
+simplification and restructuring is the job of the optimization passes
+(:mod:`repro.synthesis.passes`), whose per-pass statistics then mean
+something.
+
+>>> mig = MIG("demo")
+>>> a, b, c = (mig.add_input(x) for x in "abc")
+>>> carry = mig.maj(a, b, c)
+>>> total = mig.xor(mig.xor(a, b), c)
+>>> mig.set_output("sum", total)
+>>> mig.set_output("carry", carry)
+>>> mig.evaluate({"a": 1, "b": 0, "c": 1})
+{'sum': 0, 'carry': 1}
+>>> mig.n_gates, mig.depth()
+(3, 2)
+>>> mig.evaluate({"a": 1, "b": 0, "c": 0})["sum"]
+1
+"""
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SynthesisError
+
+#: The constant literals.
+CONST0 = 0
+CONST1 = 1
+
+#: Gate node kinds (inputs and the constant are not gates).
+GATE_KINDS = ("MAJ", "XOR")
+
+
+@dataclass(frozen=True)
+class MigNode:
+    """One MIG node: the constant, a primary input, or a gate.
+
+    ``fanin`` holds *literals* (``2*node + complement``), not node ids.
+    """
+
+    kind: str  # "const", "input", "MAJ", "XOR"
+    fanin: tuple = field(default_factory=tuple)
+    name: str = None  # inputs only
+
+
+def is_complemented(literal):
+    """True when ``literal`` carries an inversion."""
+    return bool(literal & 1)
+
+
+def node_of(literal):
+    """The node id a literal refers to."""
+    return literal >> 1
+
+
+class MIG:
+    """A majority-inverter graph with first-class XOR nodes."""
+
+    def __init__(self, name="mig"):
+        self.name = name
+        self._nodes = [MigNode("const")]
+        self._levels = [0]
+        self._input_ids = []
+        self._input_index = {}
+        self._outputs = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_input(self, name):
+        """Declare a primary input; returns its (plain) literal."""
+        if not name or not isinstance(name, str):
+            raise SynthesisError(f"input name must be a string, got {name!r}")
+        if name in self._input_index:
+            raise SynthesisError(f"input {name!r} already exists")
+        if name in self._outputs:
+            raise SynthesisError(
+                f"input {name!r} collides with an output name"
+            )
+        node_id = len(self._nodes)
+        self._nodes.append(MigNode("input", name=name))
+        self._levels.append(0)
+        self._input_ids.append(node_id)
+        self._input_index[name] = node_id
+        return 2 * node_id
+
+    def const(self, value):
+        """The literal of constant ``value`` (0 or 1)."""
+        if value not in (0, 1):
+            raise SynthesisError(f"constant must be 0 or 1, got {value!r}")
+        return CONST1 if value else CONST0
+
+    def _check_literal(self, literal):
+        if not isinstance(literal, (int, np.integer)) or literal < 0:
+            raise SynthesisError(f"bad literal {literal!r}")
+        if node_of(literal) >= len(self._nodes):
+            raise SynthesisError(
+                f"literal {literal!r} refers to a node that does not exist"
+            )
+        return int(literal)
+
+    def _add_gate(self, kind, fanin):
+        fanin = tuple(self._check_literal(f) for f in fanin)
+        node_id = len(self._nodes)
+        self._nodes.append(MigNode(kind, fanin=fanin))
+        self._levels.append(
+            1 + max(self._levels[node_of(f)] for f in fanin)
+        )
+        return 2 * node_id
+
+    def maj(self, a, b, c):
+        """New 3-input majority node; returns its literal."""
+        return self._add_gate("MAJ", (a, b, c))
+
+    def xor(self, a, b):
+        """New 2-input XOR node; returns its literal."""
+        return self._add_gate("XOR", (a, b))
+
+    @staticmethod
+    def inv(literal):
+        """The complemented literal (a free edge attribute)."""
+        return literal ^ 1
+
+    # Derived operators (the majority expressions of Section III logic).
+    def and_(self, a, b):
+        """``AND(a, b) = MAJ(a, b, 0)``."""
+        return self.maj(a, b, CONST0)
+
+    def or_(self, a, b):
+        """``OR(a, b) = MAJ(a, b, 1)``."""
+        return self.maj(a, b, CONST1)
+
+    def xnor(self, a, b):
+        """``XNOR(a, b) = ~XOR(a, b)``."""
+        return self.inv(self.xor(a, b))
+
+    def mux(self, select, d0, d1):
+        """``select ? d1 : d0`` as OR(AND(d0, ~s), AND(d1, s))."""
+        return self.or_(
+            self.and_(d0, self.inv(select)), self.and_(d1, select)
+        )
+
+    def set_output(self, name, literal):
+        """Register (or re-point) primary output ``name`` at ``literal``.
+
+        Output names must not collide with input names: the technology
+        mapper emits one free polarity cell (BUF/INV) *named* after each
+        output, so the physical netlist's output keys match the spec.
+        """
+        if not name or not isinstance(name, str):
+            raise SynthesisError(f"output name must be a string, got {name!r}")
+        if name in self._input_index:
+            raise SynthesisError(
+                f"output {name!r} collides with an input name"
+            )
+        self._outputs[name] = self._check_literal(literal)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def inputs(self):
+        """Primary input names in declaration order."""
+        return [self._nodes[i].name for i in self._input_ids]
+
+    @property
+    def outputs(self):
+        """{output name: literal} in registration order."""
+        return dict(self._outputs)
+
+    def input_literals(self):
+        """{input name: plain literal} in declaration order."""
+        return {
+            self._nodes[i].name: 2 * i for i in self._input_ids
+        }
+
+    @property
+    def n_nodes(self):
+        """Total node count (constant + inputs + gates)."""
+        return len(self._nodes)
+
+    @property
+    def n_gates(self):
+        """Gate (MAJ/XOR) node count."""
+        return sum(1 for n in self._nodes if n.kind in GATE_KINDS)
+
+    def node(self, node_id):
+        """The :class:`MigNode` record of ``node_id``."""
+        try:
+            return self._nodes[node_id]
+        except IndexError:
+            raise SynthesisError(f"unknown node {node_id!r}") from None
+
+    def nodes(self):
+        """All nodes in construction (= topological) order."""
+        return list(self._nodes)
+
+    def level(self, literal):
+        """Logic level of a literal's node (const/inputs are 0)."""
+        return self._levels[node_of(self._check_literal(literal))]
+
+    def depth(self):
+        """Deepest output level (inverters are free, so edges cost 0)."""
+        if not self._outputs:
+            return max(self._levels, default=0)
+        return max(self._levels[node_of(l)] for l in self._outputs.values())
+
+    def gate_counts(self):
+        """Histogram {kind: count} over gate nodes."""
+        counts = {}
+        for node in self._nodes:
+            if node.kind in GATE_KINDS:
+                counts[node.kind] = counts.get(node.kind, 0) + 1
+        return counts
+
+    def reachable(self):
+        """Set of node ids reachable from the outputs (incl. themselves)."""
+        stack = [node_of(l) for l in self._outputs.values()]
+        seen = set()
+        while stack:
+            node_id = stack.pop()
+            if node_id in seen:
+                continue
+            seen.add(node_id)
+            stack.extend(node_of(f) for f in self._nodes[node_id].fanin)
+        return seen
+
+    def fanout_counts(self):
+        """{node id: fanout} over the reachable graph (outputs count 1)."""
+        counts = {}
+        reachable = self.reachable()
+        for node_id in reachable:
+            for literal in self._nodes[node_id].fanin:
+                driver = node_of(literal)
+                counts[driver] = counts.get(driver, 0) + 1
+        for literal in self._outputs.values():
+            driver = node_of(literal)
+            counts[driver] = counts.get(driver, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, assignments):
+        """Boolean evaluation: {input name: bit} -> {output name: bit}."""
+        outputs = self.evaluate_batch([assignments])
+        return {name: bits[0] for name, bits in outputs.items()}
+
+    def evaluate_batch(self, assignments_batch):
+        """Vectorised evaluation over many assignments.
+
+        Mirrors :meth:`repro.circuits.netlist.Netlist.evaluate_batch`:
+        returns ``{output name: list of bits}``.  Raises on missing
+        inputs or non-binary values.
+        """
+        assignments_batch = list(assignments_batch)
+        if not assignments_batch:
+            raise SynthesisError("no assignments supplied")
+        n_sets = len(assignments_batch)
+        values = np.zeros((len(self._nodes), n_sets), dtype=np.int64)
+        for node_id in self._input_ids:
+            name = self._nodes[node_id].name
+            try:
+                column = [a[name] for a in assignments_batch]
+            except KeyError:
+                raise SynthesisError(
+                    f"no value supplied for input {name!r}"
+                ) from None
+            array = np.asarray(column, dtype=np.int64)
+            if not np.isin(array, (0, 1)).all():
+                raise SynthesisError("logic values must all be 0 or 1")
+            values[node_id] = array
+
+        def literal_value(literal):
+            column = values[node_of(literal)]
+            return 1 - column if is_complemented(literal) else column
+
+        for node_id, node in enumerate(self._nodes):
+            if node.kind == "MAJ":
+                a, b, c = (literal_value(f) for f in node.fanin)
+                values[node_id] = (a + b + c >= 2).astype(np.int64)
+            elif node.kind == "XOR":
+                a, b = (literal_value(f) for f in node.fanin)
+                values[node_id] = a ^ b
+        return {
+            name: literal_value(literal).tolist()
+            for name, literal in self._outputs.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Rebuilding (the pass framework's engine)
+    # ------------------------------------------------------------------
+    def rebuild(self, rewrite=None, reachable_only=False):
+        """Copy into a fresh MIG, mapping every gate through ``rewrite``.
+
+        ``rewrite(new_mig, kind, fanin_literals)`` receives the node's
+        kind and its fanin literals already translated into the new
+        graph, and returns the literal standing for the node there --
+        either a fresh gate (``new_mig.maj(...)``) or any simplified
+        literal.  ``None`` keeps the plain copy.  Inputs and outputs map
+        automatically; with ``reachable_only`` nodes dead in *this*
+        graph are skipped (dead-node elimination).
+
+        Returns ``(new_mig, literal_map)`` where ``literal_map[old node
+        id]`` is the new literal of that node's plain (uncomplemented)
+        value.
+        """
+        new = MIG(self.name)
+        keep = self.reachable() if reachable_only else None
+        literal_map = {0: CONST0}
+        for node_id, node in enumerate(self._nodes):
+            if node.kind == "const":
+                continue
+            if node.kind == "input":
+                # Inputs always survive: the spec's interface is fixed.
+                literal_map[node_id] = new.add_input(node.name)
+                continue
+            if keep is not None and node_id not in keep:
+                continue
+            fanin = tuple(
+                literal_map[node_of(f)] ^ (f & 1) for f in node.fanin
+            )
+            replacement = None
+            if rewrite is not None:
+                replacement = rewrite(new, node.kind, fanin)
+            if replacement is None:
+                replacement = (
+                    new.maj(*fanin) if node.kind == "MAJ" else new.xor(*fanin)
+                )
+            literal_map[node_id] = replacement
+        for name, literal in self._outputs.items():
+            new.set_output(name, literal_map[node_of(literal)] ^ (literal & 1))
+        return new, literal_map
+
+    def copy(self):
+        """A structural deep copy."""
+        new, _ = self.rebuild()
+        return new

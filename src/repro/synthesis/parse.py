@@ -1,0 +1,203 @@
+"""A small Boolean-expression front end for the MIG builder.
+
+Grammar (lowest to highest precedence)::
+
+    expr    := xorexp ('|' xorexp)*
+    xorexp  := andexp ('^' andexp)*
+    andexp  := unary ('&' unary)*
+    unary   := '~' unary | atom
+    atom    := '0' | '1' | identifier | 'maj' '(' expr ',' expr ',' expr ')'
+             | '(' expr ')'
+
+Identifiers become primary inputs on first use (shared across the
+expressions of one specification), ``maj(...)`` builds a majority node
+directly, and the derived operators lower to their majority forms
+(``a & b -> MAJ(a, b, 0)``, ``a | b -> MAJ(a, b, 1)``).  The builder is
+naive by design -- repeated subexpressions produce repeated nodes, which
+the optimization passes then share -- so parsed specifications exercise
+the whole pipeline.
+
+>>> mig = parse_spec({"carry": "maj(a, b, c)", "sum": "a ^ b ^ c"})
+>>> sorted(mig.inputs)
+['a', 'b', 'c']
+>>> mig.evaluate({"a": 1, "b": 1, "c": 0})
+{'carry': 1, 'sum': 0}
+>>> parse_expression("~(a & b) | 0").evaluate({"a": 1, "b": 0})["out"]
+1
+"""
+
+import re
+
+from repro.errors import SynthesisError
+from repro.synthesis.mig import MIG
+
+_TOKEN = re.compile(
+    r"\s*(?:(?P<name>[A-Za-z_][A-Za-z0-9_]*)|(?P<const>[01])"
+    r"|(?P<op>[&|^~(),]))"
+)
+
+#: ``maj`` is a keyword, not an input name.
+_MAJ = "maj"
+
+
+def tokenize(text):
+    """Token list of ``text``; raises on anything outside the grammar."""
+    tokens = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN.match(text, position)
+        if match is None:
+            remainder = text[position:].strip()
+            if not remainder:  # only trailing whitespace left
+                break
+            raise SynthesisError(
+                f"unexpected character {remainder[0]!r} in expression "
+                f"{text!r}"
+            )
+        if match.group("name"):
+            tokens.append(("name", match.group("name")))
+        elif match.group("const"):
+            tokens.append(("const", int(match.group("const"))))
+        elif match.group("op"):
+            tokens.append(("op", match.group("op")))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser emitting MIG literals."""
+
+    def __init__(self, tokens, mig, text):
+        self.tokens = tokens
+        self.position = 0
+        self.mig = mig
+        self.text = text
+        # Inputs shared across expressions of one spec.
+        self.literals = mig.input_literals()
+
+    def peek(self):
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return (None, None)
+
+    def take(self, kind=None, value=None):
+        token_kind, token_value = self.peek()
+        if token_kind is None:
+            raise SynthesisError(f"unexpected end of expression {self.text!r}")
+        if kind is not None and token_kind != kind:
+            raise SynthesisError(
+                f"expected {kind} but found {token_value!r} in {self.text!r}"
+            )
+        if value is not None and token_value != value:
+            raise SynthesisError(
+                f"expected {value!r} but found {token_value!r} in "
+                f"{self.text!r}"
+            )
+        self.position += 1
+        return token_value
+
+    def parse(self):
+        literal = self.expr()
+        if self.peek() != (None, None):
+            raise SynthesisError(
+                f"trailing tokens after expression in {self.text!r}"
+            )
+        return literal
+
+    def expr(self):
+        literal = self.xorexp()
+        while self.peek() == ("op", "|"):
+            self.take()
+            literal = self.mig.or_(literal, self.xorexp())
+        return literal
+
+    def xorexp(self):
+        literal = self.andexp()
+        while self.peek() == ("op", "^"):
+            self.take()
+            literal = self.mig.xor(literal, self.andexp())
+        return literal
+
+    def andexp(self):
+        literal = self.unary()
+        while self.peek() == ("op", "&"):
+            self.take()
+            literal = self.mig.and_(literal, self.unary())
+        return literal
+
+    def unary(self):
+        if self.peek() == ("op", "~"):
+            self.take()
+            return self.mig.inv(self.unary())
+        return self.atom()
+
+    def atom(self):
+        kind, value = self.peek()
+        if kind == "const":
+            self.take()
+            return self.mig.const(value)
+        if kind == "name" and value == _MAJ:
+            self.take()
+            self.take("op", "(")
+            a = self.expr()
+            self.take("op", ",")
+            b = self.expr()
+            self.take("op", ",")
+            c = self.expr()
+            self.take("op", ")")
+            return self.mig.maj(a, b, c)
+        if kind == "name":
+            self.take()
+            if value not in self.literals:
+                self.literals[value] = self.mig.add_input(value)
+            return self.literals[value]
+        if (kind, value) == ("op", "("):
+            self.take()
+            literal = self.expr()
+            self.take("op", ")")
+            return literal
+        if kind is None:
+            raise SynthesisError(
+                f"unexpected end of expression {self.text!r}"
+            )
+        raise SynthesisError(
+            f"unexpected token {value!r} in expression {self.text!r}"
+        )
+
+
+def parse_into(mig, text):
+    """Parse ``text`` into ``mig``; returns the expression's literal.
+
+    New identifiers become primary inputs of ``mig``; identifiers that
+    already name inputs are reused, so multi-output specifications share
+    their input nodes.
+    """
+    tokens = tokenize(text)
+    if not tokens:
+        raise SynthesisError("empty expression")
+    return _Parser(tokens, mig, text).parse()
+
+
+def parse_expression(text, name="out", output=None):
+    """A fresh one-output MIG computing ``text``.
+
+    ``output`` (default ``"out"`` via ``name``) names the single output.
+    """
+    output = output if output is not None else name
+    mig = MIG(output)
+    mig.set_output(output, parse_into(mig, text))
+    return mig
+
+
+def parse_spec(expressions, name="spec"):
+    """A MIG computing every ``{output name: expression}`` entry.
+
+    Expressions share input nodes by identifier; outputs register in
+    the dict's iteration order.
+    """
+    if not expressions:
+        raise SynthesisError("no output expressions supplied")
+    mig = MIG(name)
+    for output, text in expressions.items():
+        mig.set_output(output, parse_into(mig, text))
+    return mig

@@ -1,0 +1,388 @@
+"""MIG optimization passes and the fixpoint pipeline.
+
+Each pass rebuilds the graph in topological order through
+:meth:`~repro.synthesis.mig.MIG.rebuild`, applying local rules as nodes
+are copied -- fanins arrive already translated, so simplifications
+cascade upward within a single sweep.  Function is always preserved
+(every rule is a majority/XOR axiom); the property tests check each pass
+against exhaustive evaluation on randomized graphs.
+
+The standard pipeline (:func:`default_passes`):
+
+``ConstantPropagation``
+    Majority axioms ``M(x, x, y) = x`` and ``M(x, ~x, y) = y`` (which
+    subsume all two-constant cases, since ``0 = ~1``) plus the XOR
+    rules ``x ^ x = 0``, ``x ^ ~x = 1``, ``x ^ 0 = x``, ``x ^ 1 = ~x``.
+``InverterPush``
+    The majority self-duality ``M(~a, ~b, ~c) = ~M(a, b, c)`` pushes
+    inverter-heavy fanins (two or more complemented edges) to the
+    output, and XOR complements fold to output parity -- fewer
+    inverters for structural hashing to see through, and fewer INV
+    cells in the mapped netlist.
+``StructuralHashing``
+    Common-subexpression sharing: commutativity-canonical keys (sorted
+    fanin literals; XOR keys are complement-stripped with the parity on
+    the output) merge equivalent nodes.
+``AssociativityRebalance``
+    Depth-oriented associativity rewrites: maximal single-fanout
+    AND/OR/XOR chains (ANDs and ORs being the constant-carrying
+    majority forms) re-associate into balanced trees, combining the
+    shallowest operands first -- the depth-optimal (Huffman) order.
+``DeadNodeElimination``
+    Drops gates no output can reach (superseded chain members, merged
+    duplicates, constant-folded remnants).
+
+:func:`optimize` runs the pipeline to a fixpoint (or a round budget)
+and returns per-pass :class:`PassStats`.
+
+>>> from repro.synthesis.parse import parse_expression
+>>> mig = parse_expression("(a & b) & ((a & b) ^ (c & d))")
+>>> optimized, stats = optimize(mig)
+>>> optimized.evaluate({"a": 1, "b": 1, "c": 1, "d": 0})["out"]
+1
+>>> optimized.n_gates < mig.n_gates  # the a & b node is shared
+True
+"""
+
+import time
+from dataclasses import dataclass
+
+from repro.errors import SynthesisError
+from repro.synthesis.mig import (
+    CONST0,
+    CONST1,
+    GATE_KINDS,
+    MIG,
+    is_complemented,
+    node_of,
+)
+
+
+@dataclass(frozen=True)
+class PassStats:
+    """One pass application: size/depth before and after, and cost."""
+
+    name: str
+    round: int
+    gates_before: int
+    gates_after: int
+    depth_before: int
+    depth_after: int
+    rewrites: int
+    elapsed: float
+
+    @property
+    def changed(self):
+        """True when the pass altered the graph."""
+        return (
+            self.rewrites > 0
+            or self.gates_after != self.gates_before
+            or self.depth_after != self.depth_before
+        )
+
+    def describe(self):
+        """One-line summary for reports."""
+        return (
+            f"{self.name}: gates {self.gates_before} -> {self.gates_after}, "
+            f"depth {self.depth_before} -> {self.depth_after}, "
+            f"{self.rewrites} rewrites, {self.elapsed * 1e3:.2f} ms"
+        )
+
+
+class MigPass:
+    """Base class: rebuild the graph through :meth:`rewrite`."""
+
+    name = "identity"
+
+    def run(self, mig):
+        """Apply the pass; returns ``(new_mig, n_rewrites)``."""
+        self._rewrites = 0
+        new, _ = mig.rebuild(rewrite=self._dispatch)
+        return new, self._rewrites
+
+    def _dispatch(self, new, kind, fanin):
+        replacement = self.rewrite(new, kind, fanin)
+        if replacement is not None:
+            self._rewrites += 1
+        return replacement
+
+    def rewrite(self, new, kind, fanin):
+        """Return a replacement literal, or ``None`` for a plain copy."""
+        return None
+
+
+class ConstantPropagation(MigPass):
+    """Constant/duplicate folding through the majority and XOR axioms."""
+
+    name = "constant-propagation"
+
+    def rewrite(self, new, kind, fanin):
+        if kind == "MAJ":
+            a, b, c = fanin
+            for x, y, z in ((a, b, c), (a, c, b), (b, c, a)):
+                if x == y:  # M(x, x, y) = x  (covers 0,0 and 1,1)
+                    return x
+                if x == (y ^ 1):  # M(x, ~x, y) = y  (covers 0,1)
+                    return z
+            return None
+        a, b = fanin
+        if a == b:
+            return CONST0
+        if a == (b ^ 1):
+            return CONST1
+        if a in (CONST0, CONST1):
+            return b ^ (a & 1)
+        if b in (CONST0, CONST1):
+            return a ^ (b & 1)
+        return None
+
+
+class InverterPush(MigPass):
+    """Self-duality normalisation: complements migrate to outputs."""
+
+    name = "inverter-push"
+
+    def rewrite(self, new, kind, fanin):
+        if kind == "MAJ":
+            # Constants stay as written (the AND/OR structure markers);
+            # flip only when a strict majority of the *variable* edges
+            # is complemented, so the rewrite is its own fixpoint.
+            variables = [f for f in fanin if f not in (CONST0, CONST1)]
+            flipped = [f for f in variables if is_complemented(f)]
+            if len(flipped) * 2 > len(variables):
+                return new.maj(*(f ^ 1 for f in fanin)) ^ 1
+            return None
+        a, b = fanin
+        parity = (a & 1) ^ (b & 1)
+        if parity and (is_complemented(a) or is_complemented(b)):
+            # Single complemented edge: fold it onto the output.
+            return new.xor(a & ~1, b & ~1) ^ 1
+        if is_complemented(a) and is_complemented(b):
+            return new.xor(a & ~1, b & ~1)
+        return None
+
+
+class StructuralHashing(MigPass):
+    """Commutativity-canonical common-subexpression sharing."""
+
+    name = "structural-hashing"
+
+    def run(self, mig):
+        self._rewrites = 0
+        self._table = {}
+        new, _ = mig.rebuild(rewrite=self._dispatch)
+        self._table = None
+        return new, self._rewrites
+
+    def rewrite(self, new, kind, fanin):
+        if kind == "MAJ":
+            key = ("M", tuple(sorted(fanin)))
+            parity = 0
+        else:
+            a, b = fanin
+            parity = (a & 1) ^ (b & 1)
+            key = ("X", tuple(sorted((a & ~1, b & ~1))))
+        if key in self._table:
+            return self._table[key] ^ parity
+        literal = new.maj(*fanin) if kind == "MAJ" else new.xor(*fanin)
+        # The fresh node's plain literal, with XOR parity stripped.
+        self._table[key] = literal ^ parity if kind == "XOR" else literal
+        # Only genuine merges count as rewrites; record and return the
+        # canonical literal (parity folded back for XOR).
+        self._rewrites -= 1  # compensated by _dispatch's increment
+        return self._table[key] ^ parity if kind == "XOR" else literal
+
+
+class AssociativityRebalance(MigPass):
+    """Depth-oriented re-association of AND/OR/XOR chains.
+
+    A chain is a run of same-flavour nodes -- AND (``MAJ(a, b, 0)``),
+    OR (``MAJ(a, b, 1)``) or XOR -- each consumed exactly once,
+    uncomplemented, by the next.  The chain head re-associates its
+    leaves into a balanced tree, always combining the two shallowest
+    operands (depth-optimal for unequal leaf depths).  Only applied
+    when it strictly reduces the head's depth, so the pass is
+    idempotent on already-balanced trees; superseded chain members go
+    dead and the elimination pass sweeps them.
+    """
+
+    name = "associativity-rebalance"
+
+    @staticmethod
+    def _flavour(node):
+        """'X', ('A'|'O'), or None, plus the two operand literals."""
+        if node.kind == "XOR":
+            return "X", list(node.fanin)
+        if node.kind != "MAJ":
+            return None, None
+        constants = [f for f in node.fanin if f in (CONST0, CONST1)]
+        if len(constants) != 1:
+            return None, None
+        operands = [f for f in node.fanin if f not in (CONST0, CONST1)]
+        if len(operands) != 2:
+            return None, None
+        return ("O" if constants[0] == CONST1 else "A"), operands
+
+    def run(self, mig):
+        rewrites = 0
+        fanout = mig.fanout_counts()
+        nodes = mig.nodes()
+
+        flavours = {}
+        for node_id, node in enumerate(nodes):
+            flavour, operands = self._flavour(node)
+            if flavour is not None:
+                flavours[node_id] = (flavour, operands)
+
+        def absorbable(literal, flavour):
+            """Can ``literal`` dissolve into a ``flavour`` chain head?"""
+            if is_complemented(literal):
+                return False
+            node_id = node_of(literal)
+            return (
+                node_id in flavours
+                and flavours[node_id][0] == flavour
+                and fanout.get(node_id, 0) == 1
+            )
+
+        def leaves(literal, flavour):
+            if not absorbable(literal, flavour):
+                return [literal]
+            collected = []
+            for operand in flavours[node_of(literal)][1]:
+                collected.extend(leaves(operand, flavour))
+            return collected
+
+        # A member dissolves into its consumer when that consumer is a
+        # same-flavour node using it once, uncomplemented; chain heads
+        # are the flavoured nodes nobody absorbs.
+        absorbed = set()
+        for node_id, (flavour, operands) in flavours.items():
+            for operand in operands:
+                if absorbable(operand, flavour):
+                    absorbed.add(node_of(operand))
+        heads = {}
+        for node_id, (flavour, operands) in flavours.items():
+            if node_id in absorbed:
+                continue  # a chain member; its head will absorb it
+            chain_leaves = []
+            for operand in operands:
+                chain_leaves.extend(leaves(operand, flavour))
+            if len(chain_leaves) >= 3:
+                heads[node_id] = (flavour, chain_leaves)
+
+        new = MIG(mig.name)
+        literal_map = {0: CONST0}
+
+        def mapped(literal):
+            return literal_map[node_of(literal)] ^ (literal & 1)
+
+        def balanced(flavour, operand_literals):
+            """Combine shallowest-first; returns the tree's root literal."""
+            queue = sorted(
+                ((new.level(l), index, l) for index, l in
+                 enumerate(operand_literals))
+            )
+            counter = len(queue)
+            while len(queue) > 1:
+                (_, _, x), (_, _, y), *rest = queue
+                queue = rest
+                if flavour == "X":
+                    combined = new.xor(x, y)
+                elif flavour == "A":
+                    combined = new.and_(x, y)
+                else:
+                    combined = new.or_(x, y)
+                queue.append((new.level(combined), counter, combined))
+                counter += 1
+                queue.sort()
+            return queue[0][2]
+
+        for node_id, node in enumerate(nodes):
+            if node.kind == "const":
+                continue
+            if node.kind == "input":
+                literal_map[node_id] = new.add_input(node.name)
+                continue
+            if node_id in heads:
+                flavour, chain_leaves = heads[node_id]
+                mapped_leaves = [mapped(l) for l in chain_leaves]
+                # Predict the balanced depth; rebuild only on a strict
+                # improvement over the straight copy.
+                depths = sorted(new.level(l) for l in mapped_leaves)
+                while len(depths) > 1:
+                    x, y, *rest = depths
+                    depths = sorted(rest + [max(x, y) + 1])
+                copied_depth = 1 + max(
+                    new.level(mapped(f)) for f in node.fanin
+                )
+                if depths[0] < copied_depth:
+                    literal_map[node_id] = balanced(flavour, mapped_leaves)
+                    rewrites += 1
+                    continue
+            fanin = tuple(mapped(f) for f in node.fanin)
+            literal_map[node_id] = (
+                new.maj(*fanin) if node.kind == "MAJ" else new.xor(*fanin)
+            )
+        for name, literal in mig.outputs.items():
+            new.set_output(name, mapped(literal))
+        return new, rewrites
+
+
+class DeadNodeElimination(MigPass):
+    """Drop every gate unreachable from the outputs."""
+
+    name = "dead-node-elimination"
+
+    def run(self, mig):
+        before = mig.n_gates
+        new, _ = mig.rebuild(reachable_only=True)
+        return new, before - new.n_gates
+
+
+def default_passes():
+    """The standard pipeline, in application order."""
+    return [
+        ConstantPropagation(),
+        InverterPush(),
+        StructuralHashing(),
+        AssociativityRebalance(),
+        DeadNodeElimination(),
+    ]
+
+
+def optimize(mig, passes=None, max_rounds=8):
+    """Run ``passes`` over ``mig`` to a fixpoint or a round budget.
+
+    Returns ``(optimized_mig, [PassStats, ...])``.  A round applies
+    every pass once; the loop stops as soon as a full round leaves the
+    graph unchanged (no rewrites, same gate count, same depth) or after
+    ``max_rounds`` rounds.
+    """
+    if max_rounds < 1:
+        raise SynthesisError(f"max_rounds must be >= 1, got {max_rounds!r}")
+    passes = list(passes) if passes is not None else default_passes()
+    stats = []
+    for round_index in range(1, max_rounds + 1):
+        round_changed = False
+        for pipeline_pass in passes:
+            gates_before = mig.n_gates
+            depth_before = mig.depth()
+            started = time.perf_counter()
+            mig, rewrites = pipeline_pass.run(mig)
+            elapsed = time.perf_counter() - started
+            record = PassStats(
+                name=pipeline_pass.name,
+                round=round_index,
+                gates_before=gates_before,
+                gates_after=mig.n_gates,
+                depth_before=depth_before,
+                depth_after=mig.depth(),
+                rewrites=rewrites,
+                elapsed=elapsed,
+            )
+            stats.append(record)
+            round_changed |= record.changed
+        if not round_changed:
+            break
+    return mig, stats

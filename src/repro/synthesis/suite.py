@@ -1,0 +1,203 @@
+"""The synthesis benchmark-circuit suite.
+
+Each entry is a deliberately *naive* specification -- operator chains,
+repeated subexpressions, textbook minterm expansions -- written exactly
+the way a front end would emit it, so the optimization pipeline has
+honest work to do: structural hashing finds the shared subexpressions,
+the rebalancer collapses the chains, and the mapper then shows a
+measurable physical gain over mapping the naive graph directly.  Every
+entry carries an independent Python ``reference`` implementation (not
+derived from the MIG) that the verification layer checks both mappings
+against.
+
+>>> circuit = get_circuit("parity8")
+>>> mig = circuit.build()
+>>> mig.depth()  # naive XOR chain: one level per operand
+7
+>>> assignment = {f"x{i}": (1 if i in (0, 3, 5) else 0) for i in range(8)}
+>>> mig.evaluate(assignment) == circuit.reference(assignment)
+True
+"""
+
+from dataclasses import dataclass
+
+from repro.errors import SynthesisError
+from repro.synthesis.mig import MIG
+from repro.synthesis.parse import parse_into
+
+
+@dataclass(frozen=True)
+class SuiteCircuit:
+    """One benchmark entry: a builder plus its independent reference."""
+
+    name: str
+    description: str
+    build: object  # () -> MIG
+    reference: object  # (assignments) -> {output: bit}
+
+
+def _parity8():
+    """8-input parity as a straight XOR chain (depth 7 naive)."""
+    mig = MIG("parity8")
+    literals = [mig.add_input(f"x{i}") for i in range(8)]
+    accumulator = literals[0]
+    for literal in literals[1:]:
+        accumulator = mig.xor(accumulator, literal)
+    mig.set_output("parity", accumulator)
+    return mig
+
+
+def _parity8_reference(assignments):
+    bits = [assignments[f"x{i}"] for i in range(8)]
+    return {"parity": sum(bits) % 2}
+
+
+def _comparator4():
+    """4-bit equality: per-bit XNOR, then a straight AND chain."""
+    mig = MIG("comparator4")
+    equal_bits = []
+    for i in range(4):
+        a = mig.add_input(f"a{i}")
+        b = mig.add_input(f"b{i}")
+        equal_bits.append(mig.xnor(a, b))
+    accumulator = equal_bits[0]
+    for bit in equal_bits[1:]:
+        accumulator = mig.and_(accumulator, bit)
+    mig.set_output("eq", accumulator)
+    return mig
+
+
+def _comparator4_reference(assignments):
+    a = [assignments[f"a{i}"] for i in range(4)]
+    b = [assignments[f"b{i}"] for i in range(4)]
+    return {"eq": int(a == b)}
+
+
+def _mux4():
+    """4:1 multiplexer as its textbook minterm OR chain.
+
+    Written fully expanded -- four 3-term AND minterms OR-chained, with
+    the select complements spelled out per minterm -- so hashing and
+    rebalancing both bite.
+    """
+    mig = MIG("mux4")
+    expression = (
+        "(d0 & ~s1 & ~s0) | (d1 & ~s1 & s0) | (d2 & s1 & ~s0) "
+        "| (d3 & s1 & s0)"
+    )
+    mig.set_output("y", parse_into(mig, expression))
+    return mig
+
+
+def _mux4_reference(assignments):
+    select = assignments["s1"] * 2 + assignments["s0"]
+    return {"y": assignments[f"d{select}"]}
+
+
+def _alu_slice():
+    """1-bit ALU slice: AND / OR / XOR / ADD selected by two op bits.
+
+    The add result recomputes ``a ^ b`` instead of reusing the XOR
+    row's node (front-end style), and the op-select one-hot minterms
+    repeat the select complements -- shared subexpressions on a plate.
+    """
+    mig = MIG("alu_slice")
+    result = parse_into(
+        mig,
+        "((a & b) & ~op1 & ~op0) | ((a | b) & ~op1 & op0) "
+        "| ((a ^ b) & op1 & ~op0) | (((a ^ b) ^ cin) & op1 & op0)",
+    )
+    carry = parse_into(mig, "maj(a, b, cin) & op1 & op0")
+    mig.set_output("result", result)
+    mig.set_output("cout", carry)
+    return mig
+
+
+def _alu_slice_reference(assignments):
+    a, b, cin = assignments["a"], assignments["b"], assignments["cin"]
+    op = assignments["op1"] * 2 + assignments["op0"]
+    if op == 0:
+        result, carry = a & b, 0
+    elif op == 1:
+        result, carry = a | b, 0
+    elif op == 2:
+        result, carry = a ^ b, 0
+    else:
+        total = a + b + cin
+        result, carry = total & 1, total >> 1
+    return {"result": result, "cout": carry}
+
+
+def _popcount5():
+    """Population count of 5 bits via naive compressor chains."""
+    mig = MIG("popcount5")
+    x = [mig.add_input(f"x{i}") for i in range(5)]
+    # 3:2 compressor on x0..x2 and a half adder on x3, x4 -- sums and
+    # carries written as independent expressions (no sharing).
+    sum_low = mig.xor(mig.xor(x[0], x[1]), x[2])
+    carry_low = mig.maj(x[0], x[1], x[2])
+    sum_high = mig.xor(x[3], x[4])
+    carry_high = mig.and_(x[3], x[4])
+    bit0 = mig.xor(sum_low, sum_high)
+    carry_mid = mig.and_(sum_low, sum_high)
+    bit1 = mig.xor(mig.xor(carry_low, carry_high), carry_mid)
+    bit2 = mig.maj(carry_low, carry_high, carry_mid)
+    mig.set_output("c0", bit0)
+    mig.set_output("c1", bit1)
+    mig.set_output("c2", bit2)
+    return mig
+
+
+def _popcount5_reference(assignments):
+    total = sum(assignments[f"x{i}"] for i in range(5))
+    return {"c0": total & 1, "c1": (total >> 1) & 1, "c2": (total >> 2) & 1}
+
+
+SUITE = (
+    SuiteCircuit(
+        "parity8",
+        "8-input parity tree (naive XOR chain)",
+        _parity8,
+        _parity8_reference,
+    ),
+    SuiteCircuit(
+        "comparator4",
+        "4-bit equality comparator (XNOR bits, AND chain)",
+        _comparator4,
+        _comparator4_reference,
+    ),
+    SuiteCircuit(
+        "mux4",
+        "4:1 multiplexer (expanded minterm OR chain)",
+        _mux4,
+        _mux4_reference,
+    ),
+    SuiteCircuit(
+        "alu_slice",
+        "1-bit ALU slice: AND/OR/XOR/ADD with carry, op-select muxing",
+        _alu_slice,
+        _alu_slice_reference,
+    ),
+    SuiteCircuit(
+        "popcount5",
+        "5-input population count (compressor chains)",
+        _popcount5,
+        _popcount5_reference,
+    ),
+)
+
+
+def suite():
+    """All benchmark circuits, in canonical order."""
+    return list(SUITE)
+
+
+def get_circuit(name):
+    """The :class:`SuiteCircuit` called ``name``; raises when unknown."""
+    for circuit in SUITE:
+        if circuit.name == name:
+            return circuit
+    available = ", ".join(c.name for c in SUITE)
+    raise SynthesisError(
+        f"unknown suite circuit {name!r}; available: {available}"
+    )

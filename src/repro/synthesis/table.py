@@ -1,0 +1,119 @@
+"""Truth-table ingestion: arbitrary Boolean functions into the MIG.
+
+A function of ``n`` inputs is given as its output column over all
+``2**n`` assignments, indexed little-endian (row ``i`` assigns input
+``k`` the bit ``(i >> k) & 1`` -- the convention of
+:func:`repro.core.encoding.int_to_bits`).  Construction is a memoised
+Shannon decomposition: each cofactor pair merges through a majority-form
+multiplexer on the split variable, constants terminate the recursion,
+and equal cofactors skip their variable entirely.  The emitted graph is
+*structurally* naive (each distinct cofactor builds once, but no
+cross-output sharing beyond the memo) -- the optimization passes take it
+from there.
+
+>>> mig = from_truth_table("01101001", inputs=("a", "b", "c"))  # parity
+>>> mig.evaluate({"a": 1, "b": 1, "c": 0})
+{'f': 0}
+>>> mig.evaluate({"a": 1, "b": 1, "c": 1})
+{'f': 1}
+>>> from_truth_table([0, 1, 1, 1], inputs=("x", "y")).evaluate(
+...     {"x": 1, "y": 0})
+{'f': 1}
+"""
+
+from repro.errors import SynthesisError
+from repro.synthesis.mig import MIG
+
+
+def _normalise_column(column):
+    if isinstance(column, str):
+        column = [c for c in column.strip()]
+    bits = []
+    for value in column:
+        if value in (0, 1):
+            bits.append(int(value))
+        elif value in ("0", "1"):
+            bits.append(int(value))
+        else:
+            raise SynthesisError(
+                f"truth-table entries must be 0/1, got {value!r}"
+            )
+    return tuple(bits)
+
+
+def from_truth_table(column, inputs=None, output="f", mig=None, name=None):
+    """Build (or extend) a MIG computing one truth-table column.
+
+    Parameters
+    ----------
+    column:
+        ``2**n`` output bits as a sequence or a '0'/'1' string, row ``i``
+        little-endian over the inputs.
+    inputs:
+        Input names; default ``x0..x{n-1}``.  When ``mig`` is given,
+        names that already exist are reused.
+    output:
+        Output name to register.
+    mig:
+        Optional existing MIG to extend (multi-output specs).
+    """
+    bits = _normalise_column(column)
+    n_rows = len(bits)
+    if n_rows == 0 or n_rows & (n_rows - 1):
+        raise SynthesisError(
+            f"truth table must have a power-of-two length, got {n_rows}"
+        )
+    n_inputs = n_rows.bit_length() - 1
+    if inputs is None:
+        inputs = [f"x{i}" for i in range(n_inputs)]
+    else:
+        inputs = list(inputs)
+    if len(inputs) != n_inputs:
+        raise SynthesisError(
+            f"{n_rows}-row table needs {n_inputs} inputs, got {len(inputs)}"
+        )
+    if mig is None:
+        mig = MIG(name if name is not None else output)
+    existing = mig.input_literals()
+    literals = [
+        existing[name] if name in existing else mig.add_input(name)
+        for name in inputs
+    ]
+
+    memo = {}
+
+    def build(bits):
+        if all(b == 0 for b in bits):
+            return mig.const(0)
+        if all(b == 1 for b in bits):
+            return mig.const(1)
+        if bits in memo:
+            return memo[bits]
+        # Split on the highest variable: low half assigns it 0.
+        half = len(bits) // 2
+        variable = literals[half.bit_length() - 1]
+        low = build(bits[:half])
+        high = build(bits[half:])
+        literal = low if low == high else mig.mux(variable, low, high)
+        memo[bits] = literal
+        return literal
+
+    mig.set_output(output, build(bits))
+    return mig
+
+
+def truth_table_of(evaluator, input_names, output):
+    """The output column of ``evaluator`` over all assignments.
+
+    ``evaluator(assignments) -> {output name: bit}``; rows are indexed
+    little-endian over ``input_names`` -- the inverse of
+    :func:`from_truth_table`, useful for round-trip checks.
+    """
+    input_names = list(input_names)
+    column = []
+    for index in range(2 ** len(input_names)):
+        assignment = {
+            name: (index >> k) & 1 for k, name in enumerate(input_names)
+        }
+        column.append(int(evaluator(assignment)[output]))
+    return column

@@ -1,0 +1,197 @@
+"""Equivalence checking and physical confirmation of mappings.
+
+Every synthesis result is checked twice:
+
+* **Boolean** -- :func:`verify_equivalence` compares a mapped netlist
+  against its specification (a MIG, another netlist, or a plain
+  callable) through the vectorised evaluators, exhaustively up to
+  :data:`MAX_EXHAUSTIVE_INPUTS` primary inputs and by seeded random
+  sampling above that;
+* **physical** -- :func:`verify_physical` executes the netlist on
+  :class:`~repro.circuits.engine.CircuitEngine` (steady-state phasor
+  and, optionally, full time-domain trace semantics) and checks the
+  decoded words against the Boolean reference, reporting the worst
+  per-level decode margin seen.
+"""
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SynthesisError
+
+#: Input counts up to this verify over all 2**n assignments.
+MAX_EXHAUSTIVE_INPUTS = 12
+
+
+@dataclass(frozen=True)
+class EquivalenceReport:
+    """Outcome of one Boolean equivalence check."""
+
+    equivalent: bool
+    n_vectors: int
+    exhaustive: bool
+    counterexample: dict = None  # first mismatching assignment
+    mismatched_outputs: tuple = ()
+
+    def describe(self):
+        """One-line verdict for reports."""
+        coverage = (
+            "exhaustive" if self.exhaustive
+            else f"{self.n_vectors} sampled vectors"
+        )
+        if self.equivalent:
+            return f"equivalent ({coverage})"
+        return (
+            f"NOT equivalent ({coverage}): outputs "
+            f"{sorted(self.mismatched_outputs)} differ on "
+            f"{self.counterexample}"
+        )
+
+
+def input_vectors(input_names, max_exhaustive=MAX_EXHAUSTIVE_INPUTS,
+                  n_samples=256, seed=0):
+    """Assignment batch: exhaustive when small, seeded sampling above.
+
+    Returns ``(batch, exhaustive)``.
+    """
+    input_names = list(input_names)
+    if not input_names:
+        raise SynthesisError("specification has no inputs")
+    n = len(input_names)
+    if n <= max_exhaustive:
+        batch = [
+            dict(zip(input_names, bits))
+            for bits in itertools.product((0, 1), repeat=n)
+        ]
+        return batch, True
+    rng = np.random.default_rng(seed)
+    columns = rng.integers(0, 2, size=(int(n_samples), n))
+    batch = [
+        {name: int(row[k]) for k, name in enumerate(input_names)}
+        for row in columns
+    ]
+    return batch, False
+
+
+def random_input_batch(input_names, n_entries, rng=None, seed=0):
+    """``n_entries`` seeded-random assignments over ``input_names``.
+
+    The shared batch builder of :func:`verify_physical`, the
+    ``synthesis-gain`` experiment and the synthesis benchmarks -- one
+    place to change if assignment sampling ever becomes stratified.
+    """
+    input_names = list(input_names)
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    return [
+        {name: int(rng.integers(2)) for name in input_names}
+        for _ in range(int(n_entries))
+    ]
+
+
+def _evaluate_reference(reference, batch):
+    """{output: bits} from a MIG / Netlist / callable specification."""
+    evaluate_batch = getattr(reference, "evaluate_batch", None)
+    if callable(evaluate_batch):
+        return evaluate_batch(batch)
+    if callable(reference):
+        outputs = {}
+        for assignment in batch:
+            result = reference(assignment)
+            for name, bit in result.items():
+                outputs.setdefault(name, []).append(int(bit))
+        return outputs
+    raise SynthesisError(
+        f"reference {reference!r} is neither evaluable nor callable"
+    )
+
+
+def verify_equivalence(netlist, reference, max_exhaustive=None,
+                       n_samples=256, seed=0):
+    """Check ``netlist`` against ``reference`` on a shared vector set.
+
+    ``reference`` may be a :class:`~repro.synthesis.mig.MIG`, another
+    :class:`~repro.circuits.netlist.Netlist`, or a callable mapping one
+    assignment dict to an output dict.  Output name sets must match
+    exactly.  Returns an :class:`EquivalenceReport`.
+    """
+    if max_exhaustive is None:
+        max_exhaustive = MAX_EXHAUSTIVE_INPUTS
+    batch, exhaustive = input_vectors(
+        netlist.inputs, max_exhaustive=max_exhaustive,
+        n_samples=n_samples, seed=seed,
+    )
+    got = netlist.evaluate_batch(batch)
+    want = _evaluate_reference(reference, batch)
+    if set(got) != set(want):
+        raise SynthesisError(
+            f"output sets differ: netlist {sorted(got)} vs "
+            f"reference {sorted(want)}"
+        )
+    mismatched = []
+    counterexample = None
+    for name in got:
+        for index, (a, b) in enumerate(zip(got[name], want[name])):
+            if a != b:
+                mismatched.append(name)
+                if counterexample is None:
+                    counterexample = dict(batch[index])
+                break
+    return EquivalenceReport(
+        equivalent=not mismatched,
+        n_vectors=len(batch),
+        exhaustive=exhaustive,
+        counterexample=counterexample,
+        mismatched_outputs=tuple(mismatched),
+    )
+
+
+@dataclass(frozen=True)
+class PhysicalReport:
+    """Outcome of executing a mapping on the circuit engine."""
+
+    mode: str
+    correct: bool
+    n_entries: int
+    word_errors: int
+    min_margin: float = None
+
+    def describe(self):
+        """One-line verdict for reports."""
+        margin = (
+            "-" if self.min_margin is None else f"{self.min_margin:.3f}"
+        )
+        verdict = "physics matches logic" if self.correct else (
+            f"{self.word_errors}/{self.n_entries} word errors"
+        )
+        return f"{self.mode}: {verdict}, min margin {margin}"
+
+
+def verify_physical(netlist, n_bits=4, n_entries=None, modes=("phasor",),
+                    seed=0, engine=None, **engine_kwargs):
+    """Run ``netlist`` on the physical engine; one report per mode.
+
+    ``n_entries`` defaults to one word group (``n_bits`` assignments);
+    assignments are seeded-random over the primary inputs.  Returns
+    ``{mode: PhysicalReport}``.
+    """
+    from repro.circuits.engine import CircuitEngine
+
+    if engine is None:
+        engine = CircuitEngine(netlist, n_bits=n_bits, **engine_kwargs)
+    if n_entries is None:
+        n_entries = engine.n_bits
+    batch = random_input_batch(netlist.inputs, n_entries, seed=seed)
+    reports = {}
+    for mode in modes:
+        result = engine.run(batch, strict=False, mode=mode)
+        reports[mode] = PhysicalReport(
+            mode=mode,
+            correct=result.correct,
+            n_entries=result.n_entries,
+            word_errors=result.word_errors,
+            min_margin=result.min_margin,
+        )
+    return reports

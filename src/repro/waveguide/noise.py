@@ -123,3 +123,21 @@ class NoiseModel:
         rng = self.rng() if rng is None else rng
         trace = np.asarray(trace, dtype=float)
         return trace + rng.normal(0.0, self.trace_sigma, size=trace.shape)
+
+    def trace_perturbation(self, n_samples, rng=None):
+        """The additive noise row :meth:`perturb_trace` would draw.
+
+        Returns the ``(n_samples,)`` realisation a fresh generator adds
+        to a 1-D trace of that length -- bit-identical to
+        :meth:`perturb_trace` with ``rng=None``, which re-seeds per call,
+        so every trace perturbed under one model sees the *same* row.
+        Batched decoders exploit exactly that: one draw per distinct
+        noise model perturbs a whole ``(n_traces, n_samples)`` block,
+        keeping the vectorised lock-in path available when
+        ``trace_sigma > 0`` (pinned against the scalar decode in
+        ``tests/test_phasor_equivalence.py``).
+        """
+        if self.trace_sigma == 0:
+            return np.zeros(int(n_samples))
+        rng = self.rng() if rng is None else rng
+        return rng.normal(0.0, self.trace_sigma, size=int(n_samples))

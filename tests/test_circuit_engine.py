@@ -302,6 +302,20 @@ class TestTraceMode:
         assert scalar.mode == "trace"
         assert_margins_equal(batched, scalar)
 
+    def test_trace_noise_on_traces_stays_vectorised_and_pins(self):
+        """``trace_sigma > 0`` rides the batched lock-in (ROADMAP PR 4
+        follow-up (b)): per-level decode no longer drops to the scalar
+        per-entry measurement, yet pins to it at <= 1e-12."""
+        netlist, _, _ = full_adder()
+        engine = CircuitEngine(netlist, n_bits=2)
+        batch = exhaustive_batch(netlist)[:4]
+        noise = NoiseModel(trace_sigma=0.03, phase_sigma=0.05, seed=31)
+        batched = engine.run_trace_batch(batch, noise=noise, strict=False)
+        scalar = engine.run_scalar(
+            batch, noise=noise, strict=False, mode="trace"
+        )
+        assert_margins_equal(batched, scalar)
+
     def test_trace_placement_noise_falls_back_and_pins(self):
         """Per-entry position jitter takes the per-source trace path."""
         netlist, _, _ = full_adder()

@@ -104,6 +104,79 @@ class TestCommands:
         assert "physics matches logic" in out
         assert "min margin" in out
 
+    def test_synth_list(self, capsys):
+        assert main(["synth", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "parity8" in out and "alu_slice" in out
+
+    def test_synth_suite_circuit(self, capsys):
+        assert main(["synth", "comparator4", "--bits", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "optimization pipeline" in out
+        assert "naive:" in out and "optimized:" in out
+        assert "equivalent (exhaustive)" in out
+        assert "physics matches logic" in out
+
+    def test_synth_expression(self, capsys):
+        assert (
+            main(
+                [
+                    "synth", "--expr", "maj(a, b, c) ^ a",
+                    "--output", "g", "--bits", "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "synthesis of 'g'" in out
+        assert "physics matches logic" in out
+
+    def test_synth_no_run_skips_physics(self, capsys):
+        assert main(["synth", "parity8", "--no-run"]) == 0
+        out = capsys.readouterr().out
+        assert "physical execution" not in out
+
+    def test_synth_trace_mode(self, capsys):
+        assert (
+            main(
+                ["synth", "--expr", "a ^ b", "--bits", "2",
+                 "--mode", "trace"]
+            )
+            == 0
+        )
+        assert "trace mode" in capsys.readouterr().out
+
+    def test_synth_without_circuit_errors(self, capsys):
+        assert main(["synth"]) == 2
+        assert "--list" in capsys.readouterr().out
+
+    def test_synth_circuit_and_expr_conflict(self, capsys):
+        assert main(["synth", "parity8", "--expr", "a & b"]) == 2
+        assert "not both" in capsys.readouterr().out
+
+    def test_synth_unknown_circuit_clean_error(self, capsys):
+        assert main(["synth", "parity9"]) == 2
+        assert "unknown suite circuit" in capsys.readouterr().out
+
+    def test_synth_malformed_expression_clean_error(self, capsys):
+        assert main(["synth", "--expr", "a &"]) == 2
+        assert "synth:" in capsys.readouterr().out
+
+    def test_synth_degenerate_spec_clean_error(self, capsys):
+        """Parseable but inputless specs exit 2, not a traceback."""
+        assert main(["synth", "--expr", "maj(0, 1, 1)"]) == 2
+        assert "no inputs" in capsys.readouterr().out
+
+    def test_run_synthesis_gain(self, capsys):
+        assert main(["run", "synthesis-gain"]) == 0
+        out = capsys.readouterr().out
+        assert "Physical gain of logic optimization" in out
+        assert "trace-mode confirmation" in out
+
+    def test_list_includes_synthesis_gain(self, capsys):
+        assert main(["list"]) == 0
+        assert "synthesis-gain" in capsys.readouterr().out
+
     def test_design_default(self, capsys):
         assert main(["design", "--bits", "4"]) == 0
         out = capsys.readouterr().out

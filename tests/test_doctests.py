@@ -4,11 +4,17 @@ import doctest
 
 import pytest
 
+import importlib
+
 import repro.analysis.ascii_plot
 import repro.circuits.engine
 import repro.circuits.netlist
 import repro.core.encoding
 import repro.mm.mesh
+import repro.synthesis.mig
+import repro.synthesis.parse
+import repro.synthesis.passes
+import repro.synthesis.table
 import repro.units
 import repro.waveguide.sources
 
@@ -20,6 +26,13 @@ MODULES = [
     repro.waveguide.sources,
     repro.circuits.engine,
     repro.circuits.netlist,
+    repro.synthesis.mig,
+    repro.synthesis.parse,
+    repro.synthesis.table,
+    repro.synthesis.passes,
+    # The package re-exports its suite() entry point under the
+    # submodule's name, so resolve the module object explicitly.
+    importlib.import_module("repro.synthesis.suite"),
 ]
 
 

@@ -1,0 +1,136 @@
+"""Dedicated tests for circuit-level cost estimation (circuits/estimate).
+
+The estimate layer had only indirect coverage through the area-table
+experiment; these tests pin ``circuit_cost`` aggregation, the
+``CircuitCost.per_word`` amortisation arithmetic, the scalar-versus-
+data-parallel contrast on the 4-bit ripple-carry adder (the
+circuit-level generalisation of the paper's 4.16x gate result), and the
+error paths.
+"""
+
+import pytest
+
+from repro.circuits import (
+    CellLibrary,
+    CellSpec,
+    default_library,
+    ripple_carry_adder,
+)
+from repro.circuits.estimate import (
+    CircuitCost,
+    circuit_cost,
+    parallel_vs_scalar,
+)
+from repro.circuits.synth import full_adder
+from repro.errors import NetlistError
+
+
+@pytest.fixture(scope="module")
+def unit_library():
+    """Hand-priced cells so aggregate figures are exactly checkable."""
+    return CellLibrary(
+        [
+            CellSpec("MAJ3", area=3.0, delay=0.5, energy=7.0),
+            CellSpec("XOR2", area=2.0, delay=0.25, energy=5.0),
+            CellSpec("INV", area=0.0, delay=0.0, energy=0.0),
+            CellSpec("BUF", area=0.0, delay=0.0, energy=0.0),
+        ]
+    )
+
+
+class TestCircuitCost:
+    def test_full_adder_aggregation(self, unit_library):
+        netlist, _, _ = full_adder()
+        cost = circuit_cost(netlist, unit_library)
+        # 1 MAJ3 (carry) + 2 XOR2 (sum chain).
+        assert cost.n_cells == 3
+        assert cost.area == pytest.approx(3.0 + 2 * 2.0)
+        assert cost.energy == pytest.approx(7.0 + 2 * 5.0)
+        # Critical path: the two chained XORs.
+        assert cost.delay == pytest.approx(2 * 0.25)
+
+    def test_delay_follows_critical_path_not_cell_sum(self, unit_library):
+        netlist = ripple_carry_adder(2)
+        cost = circuit_cost(netlist, unit_library)
+        assert cost.n_cells == 6  # 2 full adders
+        path = netlist.critical_path()
+        expected_delay = sum(
+            unit_library.get(netlist.node(name).kind).delay
+            for name in path
+            if netlist.node(name).kind not in ("input", "const0", "const1")
+        )
+        assert cost.delay == pytest.approx(expected_delay)
+        assert cost.delay < 6 * 0.5  # far below the every-cell sum
+
+    def test_free_cells_cost_nothing(self, unit_library):
+        netlist, _, _ = full_adder()
+        netlist.add_cell("fa_inv", "INV", ("fa_sum",))
+        netlist.mark_output("fa_inv")
+        with_inv = circuit_cost(netlist, unit_library)
+        assert with_inv.n_cells == 4  # counted as a cell...
+        assert with_inv.area == pytest.approx(7.0)  # ...but free
+
+    def test_unknown_kind_raises(self, unit_library):
+        netlist, _, _ = full_adder()
+        bare = CellLibrary([CellSpec("MAJ3", 1.0, 1.0, 1.0)])
+        with pytest.raises(NetlistError, match="XOR2.*not in library"):
+            circuit_cost(netlist, bare)
+
+
+class TestPerWord:
+    def test_amortisation_arithmetic(self):
+        cost = CircuitCost(area=8.0, delay=0.5, energy=16.0, n_cells=4)
+        per_word = cost.per_word(8)
+        assert per_word.area == pytest.approx(1.0)
+        assert per_word.energy == pytest.approx(2.0)
+        assert per_word.delay == cost.delay  # latency does not divide
+        assert per_word.n_cells == cost.n_cells
+
+    def test_single_word_is_identity(self):
+        cost = CircuitCost(area=8.0, delay=0.5, energy=16.0, n_cells=4)
+        assert cost.per_word(1) == cost
+
+    def test_invalid_word_count_raises(self):
+        cost = CircuitCost(area=1.0, delay=1.0, energy=1.0, n_cells=1)
+        with pytest.raises(NetlistError, match="n_words"):
+            cost.per_word(0)
+
+
+class TestParallelVsScalar:
+    @pytest.fixture(scope="class")
+    def rca4_comparison(self):
+        return parallel_vs_scalar(ripple_carry_adder(4), n_words=8)
+
+    def test_area_and_energy_favour_parallel(self, rca4_comparison):
+        """One 8-bit circuit beats eight scalar copies (Section V.B)."""
+        assert rca4_comparison.n_words == 8
+        # ~3.2x circuit-level area saving from the shared waveguides.
+        assert rca4_comparison.area_ratio > 3.0
+        # Energy scales per channel in the cost model: break-even, never
+        # worse than the scalar farm.
+        assert rca4_comparison.energy_ratio == pytest.approx(1.0)
+
+    def test_scalar_total_scales_linearly(self, rca4_comparison):
+        scalar_one = circuit_cost(ripple_carry_adder(4), default_library(1))
+        total = rca4_comparison.scalar_total
+        assert total.area == pytest.approx(8 * scalar_one.area)
+        assert total.energy == pytest.approx(8 * scalar_one.energy)
+        assert total.n_cells == 8 * scalar_one.n_cells
+        assert total.delay == pytest.approx(scalar_one.delay)
+
+    def test_parallel_total_is_one_wide_circuit(self, rca4_comparison):
+        parallel_one = circuit_cost(
+            ripple_carry_adder(4), default_library(8)
+        )
+        assert rca4_comparison.parallel_total == parallel_one
+
+    def test_delay_ratio_reflects_longer_parallel_gates(
+        self, rca4_comparison
+    ):
+        # Multi-frequency gates are physically longer, so the parallel
+        # implementation trades some latency for its area/energy win.
+        assert 0.0 < rca4_comparison.delay_ratio <= 1.0
+
+    def test_invalid_word_count_raises(self):
+        with pytest.raises(NetlistError, match="n_words"):
+            parallel_vs_scalar(ripple_carry_adder(2), n_words=0)

@@ -1,0 +1,58 @@
+"""Smoke tests executing every example script in-process.
+
+Each ``examples/*.py`` module is imported by path and its ``main()``
+runs with tiny parameters (fewer Monte-Carlo trials, one LLG input
+combination, a shorter spectroscopy film) inside a temporary working
+directory, so the scripts cannot silently rot as the library evolves
+and never litter the repository with output files.  The parametrized
+test ids double as the coverage list: adding an example without a
+``main()`` entry point fails loudly here.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+#: Tiny-parameter overrides keeping the quick lane quick; scripts not
+#: listed here are cheap enough to run with their defaults.
+TINY_KWARGS = {
+    "dispersion_spectroscopy": {
+        "length": 0.8e-6,
+        "duration": 0.6e-9,
+    },
+    "llg_crosscheck": {
+        "combos": [(1, 0, 0)],
+        "dt": 0.2e-12,
+    },
+    "tmr_voter": {"trials": 4},
+    "logic_synthesis": {"n_bits": 2},
+}
+
+EXAMPLES = sorted(path.stem for path in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_every_example_collected():
+    """The glob really sees the example scripts (guards against moves)."""
+    assert len(EXAMPLES) >= 10
+    assert "quickstart" in EXAMPLES
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)  # exports land in the sandbox
+    spec = importlib.util.spec_from_file_location(
+        f"examples_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    monkeypatch.setitem(sys.modules, spec.name, module)
+    spec.loader.exec_module(module)
+    assert hasattr(module, "main"), f"example {name} lacks a main()"
+    module.main(**TINY_KWARGS.get(name, {}))
+    out = capsys.readouterr().out
+    assert out.strip(), f"example {name} printed nothing"
+    assert "WRONG" not in out, f"example {name} reported a failure"
+    assert "MISMATCH" not in out, f"example {name} reported a mismatch"

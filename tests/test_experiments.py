@@ -198,6 +198,7 @@ class TestRunner:
             "drive",
             "circuit-faults",
             "circuit-noise",
+            "synthesis-gain",
         }
         assert set(EXPERIMENTS) == paper_ids | extension_ids
 

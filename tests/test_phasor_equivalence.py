@@ -450,6 +450,55 @@ class TestTraceGeometryBranches:
                     batch.traces[channel], trace, rtol=0, atol=1e-9
                 )
 
+    @pytest.mark.parametrize(
+        "kind,n_bits,inverted",
+        [
+            (GateKind.MAJORITY, 2, (False, True)),
+            (GateKind.XOR, 2, (False, False)),
+        ],
+    )
+    def test_trace_noise_batch_matches_scalar(self, kind, n_bits, inverted):
+        """trace_sigma > 0 stays on the vectorised lock-in (ROADMAP PR 4
+        follow-up (b)): one draw per distinct model perturbs the channel
+        blocks, reproducing the scalar per-trace decode at <= 1e-12."""
+        gate = make_gate(kind, n_bits, inverted)
+        simulator = GateSimulator(gate)
+        patterns = gate.exhaustive_patterns()[:4]
+        noises = [
+            NoiseModel(trace_sigma=0.05, seed=3),
+            None,
+            NoiseModel(trace_sigma=0.02, phase_sigma=0.05, seed=9),
+            NoiseModel(trace_sigma=0.05, seed=3),  # shares entry 0's draw
+        ]
+        batched = simulator.run_batch(patterns, noises=noises)
+        saved = simulator.noise
+        reference = []
+        try:
+            for words, noise in zip(patterns, noises):
+                simulator.noise = noise
+                reference.append(simulator.run(words))
+        finally:
+            simulator.noise = saved
+        assert_runs_equivalent(batched, reference)
+        for batch, serial in zip(batched, reference):
+            for channel, trace in serial.traces.items():
+                np.testing.assert_allclose(
+                    batch.traces[channel], trace, rtol=0, atol=1e-9
+                )
+
+    def test_trace_perturbation_matches_perturb_trace(self):
+        """The vectorised draw equals the per-trace realisation exactly."""
+        noise = NoiseModel(trace_sigma=0.1, seed=21)
+        trace = np.linspace(-1.0, 1.0, 257)
+        np.testing.assert_array_equal(
+            noise.perturb_trace(trace),
+            trace + noise.trace_perturbation(trace.size),
+        )
+        silent = NoiseModel(seed=21)
+        np.testing.assert_array_equal(
+            silent.trace_perturbation(5), np.zeros(5)
+        )
+
     def test_bank_accepted_by_batched_model_entry_points(self):
         """A SourceBank passes anywhere source set lists do."""
         model = self._model()

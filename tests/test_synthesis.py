@@ -1,0 +1,627 @@
+"""Tests for the logic-synthesis front end (repro.synthesis).
+
+Covers the four layers -- MIG ingestion (builder, parser, truth
+tables), the optimization passes (function preservation on randomized
+graphs, per-pass behaviour, fixpoint), technology mapping onto the
+physical library, and verification -- plus the acceptance criteria of
+the benchmark suite: optimized mappings are equivalent, never deeper
+and never larger than naive ones, with strict reductions confirmed
+physically on the circuit engine in both execution modes.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.circuits.engine import CircuitEngine
+from repro.circuits.library import default_library
+from repro.errors import SynthesisError
+from repro.synthesis import (
+    CONST0,
+    CONST1,
+    MIG,
+    AssociativityRebalance,
+    ConstantPropagation,
+    DeadNodeElimination,
+    InverterPush,
+    StructuralHashing,
+    from_truth_table,
+    input_vectors,
+    mapping_report,
+    optimize,
+    parse_expression,
+    parse_spec,
+    physical_cell_count,
+    physical_depth,
+    suite,
+    synthesize,
+    to_netlist,
+    truth_table_of,
+    verify_equivalence,
+    verify_physical,
+)
+
+
+def exhaustive_batch(input_names):
+    return [
+        dict(zip(input_names, bits))
+        for bits in itertools.product((0, 1), repeat=len(input_names))
+    ]
+
+
+def random_mig(seed, n_inputs=4, n_gates=12, n_outputs=2):
+    """A seeded random MIG mixing every operator and edge polarity."""
+    rng = random.Random(seed)
+    mig = MIG(f"rand{seed}")
+    literals = [mig.add_input(f"x{i}") for i in range(n_inputs)]
+    literals += [CONST0, CONST1]
+
+    def pick():
+        return rng.choice(literals) ^ rng.randint(0, 1)
+
+    for _ in range(n_gates):
+        operator = rng.choice(("maj", "xor", "and", "or"))
+        if operator == "maj":
+            literals.append(mig.maj(pick(), pick(), pick()))
+        elif operator == "xor":
+            literals.append(mig.xor(pick(), pick()))
+        elif operator == "and":
+            literals.append(mig.and_(pick(), pick()))
+        else:
+            literals.append(mig.or_(pick(), pick()))
+    for index in range(n_outputs):
+        mig.set_output(f"y{index}", literals[-(index + 1)] ^ (index & 1))
+    return mig
+
+
+# ----------------------------------------------------------------------
+# MIG construction and evaluation
+# ----------------------------------------------------------------------
+class TestMig:
+    def test_full_adder_semantics(self):
+        mig = MIG("fa")
+        a, b, c = (mig.add_input(x) for x in "abc")
+        mig.set_output("carry", mig.maj(a, b, c))
+        mig.set_output("sum", mig.xor(mig.xor(a, b), c))
+        for bits in itertools.product((0, 1), repeat=3):
+            assignment = dict(zip("abc", bits))
+            outputs = mig.evaluate(assignment)
+            assert outputs["carry"] == int(sum(bits) >= 2)
+            assert outputs["sum"] == sum(bits) % 2
+
+    def test_derived_operators(self):
+        mig = MIG()
+        a, b = mig.add_input("a"), mig.add_input("b")
+        mig.set_output("and", mig.and_(a, b))
+        mig.set_output("or", mig.or_(a, b))
+        mig.set_output("xnor", mig.xnor(a, b))
+        mig.set_output("mux", mig.mux(a, b, mig.inv(b)))
+        for bits in itertools.product((0, 1), repeat=2):
+            va, vb = bits
+            outputs = mig.evaluate({"a": va, "b": vb})
+            assert outputs["and"] == (va & vb)
+            assert outputs["or"] == (va | vb)
+            assert outputs["xnor"] == 1 - (va ^ vb)
+            assert outputs["mux"] == ((1 - vb) if va else vb)
+
+    def test_evaluate_batch_matches_scalar(self):
+        mig = random_mig(3)
+        batch = exhaustive_batch(mig.inputs)
+        vectorised = mig.evaluate_batch(batch)
+        for index, assignment in enumerate(batch):
+            scalar = mig.evaluate(assignment)
+            for name, bits in vectorised.items():
+                assert bits[index] == scalar[name]
+
+    def test_depth_and_levels(self):
+        mig = MIG()
+        a, b, c = (mig.add_input(x) for x in "abc")
+        first = mig.xor(a, b)
+        second = mig.xor(first, c)
+        mig.set_output("p", second)
+        assert mig.level(a) == 0
+        assert mig.level(first) == 1
+        assert mig.level(mig.inv(second)) == 2  # inverters are free
+        assert mig.depth() == 2
+
+    def test_reachable_and_fanout(self):
+        mig = MIG()
+        a, b = mig.add_input("a"), mig.add_input("b")
+        kept = mig.and_(a, b)
+        mig.or_(a, b)  # dead
+        mig.set_output("y", kept)
+        reachable = mig.reachable()
+        assert node_ids(mig, kept) <= reachable
+        assert len(reachable) == 4  # const, a, b, kept
+        fanout = mig.fanout_counts()
+        assert fanout[kept >> 1] == 1
+
+    def test_errors(self):
+        mig = MIG()
+        a = mig.add_input("a")
+        with pytest.raises(SynthesisError, match="already exists"):
+            mig.add_input("a")
+        with pytest.raises(SynthesisError, match="does not exist"):
+            mig.maj(a, a, 999)
+        with pytest.raises(SynthesisError, match="must be 0 or 1"):
+            mig.const(2)
+        with pytest.raises(SynthesisError, match="collides"):
+            mig.set_output("a", a)
+        mig.set_output("y", a)
+        with pytest.raises(SynthesisError, match="no value supplied"):
+            mig.evaluate({})
+        with pytest.raises(SynthesisError, match="0 or 1"):
+            mig.evaluate({"a": 2})
+        with pytest.raises(SynthesisError, match="no assignments"):
+            mig.evaluate_batch([])
+
+
+def node_ids(mig, *literals):
+    return {literal >> 1 for literal in literals}
+
+
+# ----------------------------------------------------------------------
+# Expression parser
+# ----------------------------------------------------------------------
+class TestParser:
+    @pytest.mark.parametrize(
+        "text,function",
+        [
+            ("a & b", lambda a, b, c: a & b),
+            ("a | b ^ c", lambda a, b, c: a | (b ^ c)),
+            ("a ^ b & c", lambda a, b, c: a ^ (b & c)),
+            ("~(a | b) & c", lambda a, b, c: (1 - (a | b)) & c),
+            ("maj(a, b, c)", lambda a, b, c: int(a + b + c >= 2)),
+            ("maj(a, ~b, 1) ^ ~c", lambda a, b, c:
+                int(a + (1 - b) + 1 >= 2) ^ (1 - c)),
+            ("(a | b) & (a | c) & (b | c)", lambda a, b, c:
+                (a | b) & (a | c) & (b | c)),
+            ("~~a ^ 0", lambda a, b, c: a),
+        ],
+    )
+    def test_expression_semantics(self, text, function):
+        mig = parse_expression(text)
+        for bits in itertools.product((0, 1), repeat=3):
+            assignment = dict(zip("abc", bits))
+            present = {
+                name: value for name, value in assignment.items()
+                if name in mig.inputs
+            }
+            assert mig.evaluate(present)["out"] == function(*bits), text
+
+    def test_spec_shares_inputs(self):
+        mig = parse_spec({"s": "a ^ b", "c": "a & b"})
+        assert mig.inputs == ["a", "b"]
+        outputs = mig.evaluate({"a": 1, "b": 1})
+        assert outputs == {"s": 0, "c": 1}
+
+    @pytest.mark.parametrize(
+        "text",
+        ["", "a &", "a $ b", "maj(a, b)", "(a | b", "a b", "~", "   "],
+    )
+    def test_malformed_expressions_raise(self, text):
+        with pytest.raises(SynthesisError):
+            parse_expression(text)
+
+    def test_trailing_whitespace_tolerated(self):
+        mig = parse_expression("a ^ b ")
+        assert mig.evaluate({"a": 1, "b": 0})["out"] == 1
+
+    def test_expression_referencing_prior_output_rejected(self):
+        """Outputs are not signals: a later expression naming one must
+        fail loudly instead of minting a shadow input."""
+        with pytest.raises(SynthesisError, match="collides"):
+            parse_spec({"f": "a & b", "g": "f | a"})
+
+
+# ----------------------------------------------------------------------
+# Truth-table ingestion
+# ----------------------------------------------------------------------
+class TestTruthTable:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_round_trip(self, seed):
+        rng = random.Random(seed)
+        n = rng.choice((2, 3, 4))
+        column = [rng.randint(0, 1) for _ in range(2 ** n)]
+        mig = from_truth_table(column)
+        assert truth_table_of(mig.evaluate, mig.inputs, "f") == column
+
+    def test_string_column_and_names(self):
+        mig = from_truth_table("0111", inputs=("x", "y"), output="or2")
+        assert mig.inputs == ["x", "y"]
+        assert mig.evaluate({"x": 1, "y": 0}) == {"or2": 1}
+
+    def test_constant_functions(self):
+        always = from_truth_table([1, 1, 1, 1])
+        assert always.n_gates == 0
+        assert always.evaluate({"x0": 0, "x1": 1}) == {"f": 1}
+
+    def test_extends_existing_mig(self):
+        mig = from_truth_table("0110", inputs=("a", "b"), output="xor")
+        from_truth_table("1000", inputs=("a", "b"), output="nor", mig=mig)
+        assert mig.inputs == ["a", "b"]  # shared, not duplicated
+        assert mig.evaluate({"a": 0, "b": 0}) == {"xor": 0, "nor": 1}
+
+    def test_errors(self):
+        with pytest.raises(SynthesisError, match="power-of-two"):
+            from_truth_table([0, 1, 1])
+        with pytest.raises(SynthesisError, match="0/1"):
+            from_truth_table([0, 2])
+        with pytest.raises(SynthesisError, match="needs 2 inputs"):
+            from_truth_table([0, 1, 1, 0], inputs=("a",))
+
+
+# ----------------------------------------------------------------------
+# Optimization passes
+# ----------------------------------------------------------------------
+ALL_PASSES = [
+    ConstantPropagation,
+    InverterPush,
+    StructuralHashing,
+    AssociativityRebalance,
+    DeadNodeElimination,
+]
+
+
+class TestPasses:
+    @pytest.mark.parametrize("pass_class", ALL_PASSES,
+                             ids=lambda c: c.__name__)
+    @pytest.mark.parametrize("seed", range(8))
+    def test_each_pass_preserves_function(self, pass_class, seed):
+        mig = random_mig(seed)
+        batch = exhaustive_batch(mig.inputs)
+        want = mig.evaluate_batch(batch)
+        rewritten, _ = pass_class().run(mig)
+        assert rewritten.evaluate_batch(batch) == want
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_pipeline_preserves_function(self, seed):
+        mig = random_mig(seed, n_gates=20)
+        batch = exhaustive_batch(mig.inputs)
+        want = mig.evaluate_batch(batch)
+        optimized, stats = optimize(mig)
+        assert optimized.evaluate_batch(batch) == want
+        assert optimized.n_gates <= mig.n_gates
+        assert optimized.depth() <= mig.depth()
+        assert stats  # at least one round recorded
+
+    def test_constant_propagation_folds(self):
+        mig = parse_expression("(a & 0) | (a & ~a) | (b & 1 & b)")
+        optimized, _ = optimize(mig)
+        # The whole expression collapses to b.
+        assert optimized.n_gates == 0
+        for va, vb in itertools.product((0, 1), repeat=2):
+            assert optimized.evaluate({"a": va, "b": vb})["out"] == vb
+
+    def test_structural_hashing_shares(self):
+        mig = parse_expression("(a & b) ^ (a & b)")
+        hashed, _ = StructuralHashing().run(mig)
+        folded, _ = ConstantPropagation().run(hashed)
+        cleaned, _ = DeadNodeElimination().run(folded)
+        assert cleaned.n_gates == 0  # x ^ x = 0 once the ANDs merge
+
+    def test_structural_hashing_is_commutative(self):
+        mig = MIG()
+        a, b, c = (mig.add_input(x) for x in "abc")
+        mig.set_output("p", mig.maj(a, b, c))
+        mig.set_output("q", mig.maj(c, a, b))
+        hashed, _ = StructuralHashing().run(mig)
+        cleaned, _ = DeadNodeElimination().run(hashed)
+        assert cleaned.n_gates == 1
+
+    def test_inverter_push_reduces_inv_cells(self):
+        mig = parse_expression("~a & ~b & ~c")
+        naive_cells = to_netlist(mig).cell_counts()
+        pushed, _ = InverterPush().run(mig)
+        pushed_cells = to_netlist(pushed).cell_counts()
+        assert pushed_cells.get("INV", 0) < naive_cells.get("INV", 0)
+
+    def test_rebalance_collapses_chain_depth(self):
+        mig = MIG()
+        literals = [mig.add_input(f"x{i}") for i in range(8)]
+        accumulator = literals[0]
+        for literal in literals[1:]:
+            accumulator = mig.xor(accumulator, literal)
+        mig.set_output("p", accumulator)
+        rebalanced, rewrites = AssociativityRebalance().run(mig)
+        assert rewrites == 1
+        assert rebalanced.depth() == 3  # log2(8)
+        batch = exhaustive_batch(mig.inputs)
+        assert rebalanced.evaluate_batch(batch) == mig.evaluate_batch(batch)
+
+    def test_rebalance_respects_fanout(self):
+        """A chain member consumed twice must not be duplicated away."""
+        mig = MIG()
+        a, b, c = (mig.add_input(x) for x in "abc")
+        inner = mig.and_(a, b)
+        outer = mig.and_(inner, c)
+        mig.set_output("y", outer)
+        mig.set_output("inner", inner)  # second consumer
+        rebalanced, rewrites = AssociativityRebalance().run(mig)
+        assert rewrites == 0  # two-leaf heads stay as written
+        batch = exhaustive_batch(mig.inputs)
+        assert rebalanced.evaluate_batch(batch) == mig.evaluate_batch(batch)
+
+    def test_dead_node_elimination(self):
+        mig = MIG()
+        a, b = mig.add_input("a"), mig.add_input("b")
+        mig.set_output("y", mig.and_(a, b))
+        mig.or_(a, b)  # dead
+        cleaned, dropped = DeadNodeElimination().run(mig)
+        assert dropped == 1
+        assert cleaned.n_gates == 1
+        assert cleaned.inputs == ["a", "b"]  # interface preserved
+
+    def test_optimize_reaches_fixpoint(self):
+        mig = suite()[0].build()  # parity8 chain
+        optimized, _ = optimize(mig)
+        again, stats = optimize(optimized)
+        assert again.n_gates == optimized.n_gates
+        assert again.depth() == optimized.depth()
+        # A single round suffices to detect the fixpoint.
+        assert max(record.round for record in stats) == 1
+        assert not any(record.changed for record in stats)
+
+    def test_pass_stats_describe(self):
+        _, stats = optimize(suite()[0].build())
+        record = stats[0]
+        assert record.name in [cls().name for cls in ALL_PASSES]
+        assert "gates" in record.describe()
+        with pytest.raises(SynthesisError, match="max_rounds"):
+            optimize(MIG(), max_rounds=0)
+
+
+# ----------------------------------------------------------------------
+# Technology mapping
+# ----------------------------------------------------------------------
+class TestMapping:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_mapping_is_equivalent(self, seed):
+        mig = random_mig(seed)
+        netlist = to_netlist(mig)
+        batch = exhaustive_batch(mig.inputs)
+        assert netlist.evaluate_batch(batch) == mig.evaluate_batch(batch)
+
+    def test_output_names_and_polarity_cells(self):
+        mig = parse_spec({"plain": "a & b", "inverted": "~(a & b)"})
+        netlist = to_netlist(mig)
+        assert netlist.outputs == ["plain", "inverted"]
+        assert netlist.node("plain").kind == "BUF"
+        assert netlist.node("inverted").kind == "INV"
+
+    def test_shared_inverter_cell(self):
+        """Every complemented use of one node shares one INV cell."""
+        mig = MIG()
+        a, b, c = (mig.add_input(x) for x in "abc")
+        shared = mig.xor(a, b)
+        inverted = mig.inv(shared)
+        mig.set_output("p", mig.and_(inverted, c))
+        mig.set_output("q", mig.or_(inverted, c))
+        netlist = to_netlist(mig)
+        assert netlist.cell_counts()["INV"] == 1
+
+    def test_physical_depth_ignores_free_cells(self):
+        mig = parse_expression("~(~a & ~b)")
+        netlist = to_netlist(mig)
+        assert physical_depth(netlist) == 1
+        assert netlist.depth() > 1  # INV/output cells schedule as levels
+        assert physical_cell_count(netlist) == 1
+
+    def test_constant_outputs_and_inputs(self):
+        mig = MIG()
+        a = mig.add_input("a")
+        mig.set_output("zero", CONST0)
+        mig.set_output("one", CONST1)
+        mig.set_output("nota", mig.inv(a))
+        netlist = to_netlist(mig)
+        outputs = netlist.evaluate({"a": 1})
+        assert outputs == {"zero": 0, "one": 1, "nota": 0}
+
+    def test_mapping_report_with_library(self):
+        library = default_library(1)
+        mig = parse_expression("maj(a, b, c) ^ a")
+        report = mapping_report(to_netlist(mig), library=library)
+        assert report.n_physical == 2
+        assert report.cost is not None
+        assert report.cost.area > 0
+        assert "physical cells" in report.describe()
+
+    def test_unmapped_specs_rejected(self):
+        with pytest.raises(SynthesisError, match="without outputs"):
+            to_netlist(MIG())
+
+    def test_name_collisions_freshened(self):
+        """Internal cell names never collide with hostile input names."""
+        mig = MIG()
+        a = mig.add_input("n1")  # the mapper's candidate for node 1
+        b = mig.add_input("c0")  # the mapper's constant-0 name
+        mig.set_output("y", mig.and_(mig.and_(a, b), CONST1))
+        netlist = to_netlist(mig)
+        assert set(netlist.inputs) == {"n1", "c0"}  # names kept verbatim
+        batch = exhaustive_batch(["n1", "c0"])
+        assert netlist.evaluate_batch(batch) == mig.evaluate_batch(batch)
+
+    def test_late_input_shadowing_a_generated_cell_name(self):
+        """An input declared *after* gate nodes keeps its name even when
+        a generated internal name ('n<id>') would otherwise take it."""
+        mig = parse_spec({"y": "a & b & c", "z": "n3 ^ a"})
+        netlist = to_netlist(mig)
+        assert "n3" in netlist.inputs
+        batch = exhaustive_batch(mig.inputs)
+        assert netlist.evaluate_batch(batch) == mig.evaluate_batch(batch)
+
+
+# ----------------------------------------------------------------------
+# Verification
+# ----------------------------------------------------------------------
+class TestVerification:
+    def test_exhaustive_below_threshold(self):
+        batch, exhaustive = input_vectors(["a", "b", "c"])
+        assert exhaustive and len(batch) == 8
+
+    def test_sampled_above_threshold(self):
+        names = [f"x{i}" for i in range(20)]
+        batch, exhaustive = input_vectors(names, n_samples=64, seed=1)
+        assert not exhaustive and len(batch) == 64
+        repeat, _ = input_vectors(names, n_samples=64, seed=1)
+        assert batch == repeat  # seeded determinism
+
+    def test_catches_wrong_netlist(self):
+        mig = parse_expression("a & b")
+        wrong = to_netlist(parse_expression("a | b"))
+        report = verify_equivalence(wrong, mig)
+        assert not report.equivalent
+        assert report.counterexample is not None
+        assert "NOT equivalent" in report.describe()
+        # The counterexample really distinguishes the two.
+        assignment = report.counterexample
+        assert (
+            wrong.evaluate(assignment)["out"]
+            != mig.evaluate(assignment)["out"]
+        )
+
+    def test_output_set_mismatch_raises(self):
+        mig = parse_spec({"y": "a & b"})
+        other = to_netlist(parse_spec({"z": "a & b"}))
+        with pytest.raises(SynthesisError, match="output sets differ"):
+            verify_equivalence(other, mig)
+
+    def test_callable_reference(self):
+        mig = parse_expression("maj(a, b, c)")
+        report = verify_equivalence(
+            to_netlist(mig),
+            lambda assignment: {
+                "out": int(sum(assignment.values()) >= 2)
+            },
+        )
+        assert report.equivalent and report.exhaustive
+
+    def test_sampled_verification_of_wide_spec(self):
+        mig = MIG("wide")
+        literals = [mig.add_input(f"x{i}") for i in range(14)]
+        accumulator = literals[0]
+        for literal in literals[1:]:
+            accumulator = mig.xor(accumulator, literal)
+        mig.set_output("parity", accumulator)
+        report = verify_equivalence(
+            to_netlist(mig), mig, n_samples=64, seed=3
+        )
+        assert report.equivalent and not report.exhaustive
+        assert report.n_vectors == 64
+
+    def test_unsound_pass_is_caught_by_synthesize(self):
+        class BreakEverything(ConstantPropagation):
+            name = "break-everything"
+
+            def rewrite(self, new, kind, fanin):
+                return CONST0  # constant-0 everything
+
+        mig = parse_expression("a & b")
+        with pytest.raises(SynthesisError, match="not equivalent"):
+            synthesize(mig, passes=[BreakEverything()])
+
+
+# ----------------------------------------------------------------------
+# The benchmark suite: acceptance criteria
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def suite_results():
+    return {
+        circuit.name: (
+            circuit,
+            synthesize(circuit.build(), reference=circuit.reference),
+        )
+        for circuit in suite()
+    }
+
+
+class TestSuiteAcceptance:
+    def test_every_circuit_verified_against_reference(self, suite_results):
+        for name, (circuit, result) in suite_results.items():
+            assert result.verified, name
+            for report in result.equivalence.values():
+                assert report.exhaustive, name  # all suite specs <= 12 in
+
+    def test_never_deeper_never_larger(self, suite_results):
+        for name, (_, result) in suite_results.items():
+            assert result.optimized.depth <= result.naive.depth, name
+            assert (
+                result.optimized.physical_depth
+                <= result.naive.physical_depth
+            ), name
+            assert result.optimized.n_physical <= result.naive.n_physical, name
+            assert result.optimized.n_cells <= result.naive.n_cells, name
+
+    def test_strict_reductions_exist(self, suite_results):
+        depth_wins = [
+            name for name, (_, result) in suite_results.items()
+            if result.optimized.physical_depth < result.naive.physical_depth
+        ]
+        cell_wins = [
+            name for name, (_, result) in suite_results.items()
+            if result.optimized.n_physical < result.naive.n_physical
+        ]
+        assert len(depth_wins) >= 3  # parity8, comparator4, mux4, alu_slice
+        assert cell_wins  # alu_slice shares its a^b node
+
+    def test_parity8_depth_gain(self, suite_results):
+        _, result = suite_results["parity8"]
+        assert result.naive.physical_depth == 7
+        assert result.optimized.physical_depth == 3
+
+    def test_suite_lookup(self):
+        from repro.synthesis import get_circuit
+
+        assert get_circuit("mux4").name == "mux4"
+        with pytest.raises(SynthesisError, match="unknown suite circuit"):
+            get_circuit("nope")
+
+
+class TestPhysicalConfirmation:
+    def test_optimized_mapping_runs_physically(self, suite_results):
+        """The strict comparator4 win survives the phasor engine."""
+        _, result = suite_results["comparator4"]
+        for report in (result.naive, result.optimized):
+            physical = verify_physical(
+                report.netlist, n_bits=2, modes=("phasor",), seed=5
+            )["phasor"]
+            assert physical.correct
+            assert physical.min_margin > 0.2
+
+    def test_optimized_mapping_survives_trace_mode(self, suite_results):
+        """Waveform physics agrees with phasor decodes post-optimization."""
+        _, result = suite_results["popcount5"]
+        engine = CircuitEngine(result.optimized.netlist, n_bits=2)
+        batch = [
+            {name: (seed >> k) & 1
+             for k, name in enumerate(result.optimized.netlist.inputs)}
+            for seed in (0, 9, 21, 31)
+        ]
+        phasor = engine.run(batch)
+        trace = engine.run(batch, mode="trace")
+        assert phasor.correct and trace.correct
+        assert trace.outputs == phasor.outputs
+
+    def test_synthesis_gain_experiment_registered(self):
+        from repro.experiments.runner import EXPERIMENTS
+
+        assert "synthesis-gain" in EXPERIMENTS
+
+    def test_synthesis_gain_runs_and_reports(self):
+        from repro.experiments import synthesis_gain
+        from repro.synthesis import get_circuit
+
+        results = synthesis_gain.run(
+            circuits=[get_circuit("comparator4")], n_bits=2, n_groups=1
+        )
+        assert len(results["rows"]) == 1
+        row = results["rows"][0]
+        assert row["verified"]
+        assert (
+            row["optimized"]["physical_depth"]
+            < row["naive"]["physical_depth"]
+        )
+        text = synthesis_gain.report(results)
+        assert "comparator4" in text
+        assert "trace-mode confirmation" in text
