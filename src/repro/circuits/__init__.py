@@ -13,12 +13,21 @@ injection and noise.  Arbitrary Boolean specifications compile onto
 this layer through the logic-synthesis front end
 (:mod:`repro.synthesis`): MIG ingestion, optimization passes, and
 technology mapping onto :data:`~repro.circuits.library.PHYSICAL_BINDINGS`.
+
+Execution is compile-once: the engine lowers its netlist into a frozen
+:class:`~repro.circuits.compiled.CompiledCircuit` artifact (cross-op
+packed level GEMMs, preallocated buffers, baked calibration) keyed by a
+content hash (:func:`~repro.circuits.compiled.netlist_signature`), and
+the serving layer (:class:`~repro.circuits.executor.CircuitExecutor`)
+coalesces word batches from many logical requests into maximal packed
+blocks over one shared :class:`~repro.circuits.library.GateBindings`.
 """
 
 from repro.circuits.netlist import Netlist, Node
 from repro.circuits.library import (
     CellLibrary,
     CellSpec,
+    GateBindings,
     default_library,
     physical_gate,
 )
@@ -35,12 +44,20 @@ from repro.circuits.engine import (
     CircuitRunResult,
     LevelReport,
 )
+from repro.circuits.compiled import (
+    CompiledCircuit,
+    CompiledCircuitCache,
+    compile_circuit,
+    netlist_signature,
+)
+from repro.circuits.executor import CircuitExecutor, ExecutionTicket
 
 __all__ = [
     "Netlist",
     "Node",
     "CellLibrary",
     "CellSpec",
+    "GateBindings",
     "default_library",
     "physical_gate",
     "full_adder",
@@ -53,4 +70,10 @@ __all__ = [
     "CircuitEngine",
     "CircuitRunResult",
     "LevelReport",
+    "CompiledCircuit",
+    "CompiledCircuitCache",
+    "compile_circuit",
+    "netlist_signature",
+    "CircuitExecutor",
+    "ExecutionTicket",
 ]

@@ -76,12 +76,9 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from repro.circuits.library import PHYSICAL_BINDINGS, physical_gate
-from repro.core.faults import FaultySimulator, TransducerFault
-from repro.core.simulate import GateSimulator
+from repro.circuits.library import PHYSICAL_BINDINGS, GateBindings
+from repro.core.faults import TransducerFault
 from repro.errors import NetlistError, ReproError, SimulationError
-from repro.waveguide import Waveguide
-from repro.waveguide.linear_model import LinearWaveguideModel
 
 
 @dataclass(frozen=True)
@@ -194,27 +191,33 @@ class CircuitEngine:
         Optional :class:`~repro.core.layout.TransducerSpec`.
     """
 
-    def __init__(self, netlist, n_bits=8, waveguide=None, transducer=None):
-        if n_bits < 1:
-            raise NetlistError(f"n_bits must be >= 1, got {n_bits!r}")
+    def __init__(self, netlist, n_bits=8, waveguide=None, transducer=None,
+                 bindings=None):
         self.netlist = netlist
-        self.n_bits = int(n_bits)
-        self.waveguide = waveguide if waveguide is not None else Waveguide()
-        self.transducer = transducer
-        self._model = None
-        self._gates = {}
-        self._simulators = {}
+        if bindings is None:
+            bindings = GateBindings(
+                n_bits=n_bits, waveguide=waveguide, transducer=transducer
+            )
+        self.bindings = bindings
+        self.n_bits = bindings.n_bits
+        self.waveguide = bindings.waveguide
+        self.transducer = bindings.transducer
+        self._compiled = None
         self._compile_schedule()
 
     def _compile_schedule(self):
         """(Re)read the netlist's cached schedule and index its cells.
 
-        Called at construction and again by every run, so a netlist
+        Called at construction and again whenever the netlist's topology
+        revision moves past the one we compiled against, so a netlist
         grown after the engine was built is picked up transparently
         (the per-operation gates and weight caches stay valid -- only
-        the schedule and the noise-seed indices refresh).
+        the schedule, the noise-seed indices and any packed artifact
+        refresh).
         """
+        self._schedule_revision = self.netlist.topology_revision
         self.schedule = self.netlist.level_schedule()
+        self._compiled = None
         # Deterministic per-cell index (schedule order) seeding the
         # independent noise stream of each (cell, group) evaluation.
         self._physical_index = {}
@@ -222,6 +225,11 @@ class CircuitEngine:
             for node in cells:
                 if node.kind in PHYSICAL_BINDINGS:
                     self._physical_index[node.name] = len(self._physical_index)
+
+    def _refresh_schedule(self):
+        """Recompile iff the netlist topology changed since compilation."""
+        if self.netlist.topology_revision != self._schedule_revision:
+            self._compile_schedule()
 
     # ------------------------------------------------------------------
     # Compilation: shared model, gates and simulators
@@ -231,36 +239,41 @@ class CircuitEngine:
         """Number of transducer-level cells in the schedule."""
         return len(self._physical_index)
 
+    @property
+    def _model(self):
+        """The bindings' lazily-built model (None until physics is hit)."""
+        return self.bindings._model
+
     def model(self):
         """The engine-wide shared linear waveguide model (lazy)."""
-        if self._model is None:
-            self._model = LinearWaveguideModel(self.waveguide)
-        return self._model
+        return self.bindings.model()
 
     def gate_for(self, operation):
         """The shared :class:`DataParallelGate` template of one operation."""
-        if operation not in self._gates:
-            self._gates[operation] = physical_gate(
-                operation,
-                self.n_bits,
-                waveguide=self.waveguide,
-                transducer=self.transducer,
-            )
-        return self._gates[operation]
+        return self.bindings.gate(operation)
 
     def simulator_for(self, operation):
         """The nominal simulator shared by every cell of ``operation``."""
-        if operation not in self._simulators:
-            self._simulators[operation] = GateSimulator(
-                self.gate_for(operation), model=self.model()
-            )
-        return self._simulators[operation]
+        return self.bindings.simulator(operation)
 
     def _faulty_simulator(self, operation, fault):
         """A fault-injected simulator sharing the engine's model/caches."""
-        return FaultySimulator(
-            self.gate_for(operation), fault, model=self.model()
-        )
+        return self.bindings.faulty_simulator(operation, fault)
+
+    def compiled(self):
+        """The packed :class:`~repro.circuits.compiled.CompiledCircuit`.
+
+        Compiled lazily on first use and cached until the netlist's
+        topology revision moves; the artifact owns the cross-op packed
+        weight matrices and preallocated buffers the default
+        :meth:`run` path executes against.
+        """
+        from repro.circuits.compiled import compile_circuit
+
+        self._refresh_schedule()
+        if self._compiled is None:
+            self._compiled = compile_circuit(self.netlist, self.bindings)
+        return self._compiled
 
     # ------------------------------------------------------------------
     # Batch plumbing
@@ -347,7 +360,7 @@ class CircuitEngine:
     # Execution
     # ------------------------------------------------------------------
     def run(self, assignments_batch, faults=(), noise=None, strict=True,
-            mode="phasor"):
+            mode="phasor", packed=True):
         """Evaluate a batch of assignments through the physics.
 
         Parameters
@@ -376,14 +389,57 @@ class CircuitEngine:
             every (cell, group) generates detector traces and decodes
             them by lock-in over the settled window
             (:meth:`~repro.core.simulate.GateSimulator.run_batch`).
+        packed:
+            When True (default) the batch executes through the
+            compile-once packed artifact (:meth:`compiled`): one cross-op
+            GEMM per level in phasor mode, preallocated buffers, zero
+            per-run Python-list churn.  Configurations the packed path
+            cannot reproduce bit-identically (per-entry placement noise,
+            physics hooks replaced by subclassing/monkeypatching, a cell
+            that fails calibration) fall back to the per-op batched path
+            transparently; ``packed=False`` forces that per-op path.
 
         Returns a :class:`CircuitRunResult`.  Decoded (possibly wrong)
         bits always propagate to later levels -- regeneration restores
         amplitude, not truth -- so fault and noise effects compound
         through the DAG exactly as in hardware.
         """
+        if packed:
+            result = self._run_packed(
+                assignments_batch, faults, noise, strict, mode
+            )
+            if result is not None:
+                return result
         return self._execute(
             assignments_batch, faults, noise, strict, batched=True, mode=mode
+        )
+
+    def _run_packed(self, assignments_batch, faults, noise, strict, mode):
+        """Try the compiled packed path; None means "use the per-op path".
+
+        The packed artifact bakes nominal calibration and propagation
+        weights in at compile time, so it only serves configurations it
+        can reproduce bit-identically: shared geometry (no placement
+        noise) and pristine physics hooks.  Anything else falls back.
+        """
+        from repro.circuits import compiled as _compiled
+
+        if mode not in ("phasor", "trace"):
+            raise NetlistError(
+                f"unknown execution mode {mode!r}; "
+                "supported: 'phasor', 'trace'"
+            )
+        if noise is not None and noise.position_sigma > 0:
+            return None
+        if not _compiled.physics_pristine():
+            return None
+        self._refresh_schedule()
+        artifact = self.compiled()
+        if not artifact.packable:
+            return None
+        return artifact.run(
+            assignments_batch, faults=faults, noise=noise, strict=strict,
+            mode=mode,
         )
 
     def run_trace_batch(self, assignments_batch, faults=(), noise=None,
@@ -424,8 +480,7 @@ class CircuitEngine:
                 f"unknown execution mode {mode!r}; "
                 "supported: 'phasor', 'trace'"
             )
-        if self.netlist.level_schedule() is not self.schedule:
-            self._compile_schedule()  # the netlist grew since compilation
+        self._refresh_schedule()  # picks up netlist growth (revision key)
         batch = self._normalise_batch(assignments_batch)
         fault_map = self._normalise_faults(faults)
         n_entries = len(batch)
@@ -543,14 +598,28 @@ class CircuitEngine:
         for node in nodes:
             fanin_values = [values[driver] for driver in node.fanin]
             values[node.name] = np.zeros(len(failed), dtype=np.int64)
+            if batched:
+                # Array-native word blocks: (n_groups, n_inputs, n_bits)
+                # slices feed the batched simulators directly -- no
+                # per-(cell, group) .tolist() round trip on the hot path.
+                block = np.stack(fanin_values)  # (n_inputs, padded)
+                entries.append(
+                    block.reshape(len(fanin_values), n_groups, n_bits)
+                    .transpose(1, 0, 2)
+                )
             for group in range(n_groups):
-                window = self._group_slice(group, n_bits)
-                entries.append([v[window].tolist() for v in fanin_values])
+                if not batched:
+                    window = self._group_slice(group, n_bits)
+                    entries.append(
+                        [v[window].tolist() for v in fanin_values]
+                    )
                 meta.append((node, group))
                 if noises is not None:
                     noises.append(
                         self._cell_noise(noise, node.name, group, n_groups)
                     )
+        if batched:
+            entries = np.concatenate(entries, axis=0)
 
         if mode == "trace":
             if batched:

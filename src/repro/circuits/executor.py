@@ -1,0 +1,382 @@
+"""Coalescing circuit execution front end (PR 6).
+
+A :class:`CircuitExecutor` serves *many* logical circuit-evaluation
+requests -- potentially over many distinct netlists -- from one shared
+:class:`~repro.circuits.library.GateBindings` (one waveguide model, one
+gate template and one memoised weight/basis cache per operation) and
+one :class:`~repro.circuits.compiled.CompiledCircuitCache` of packed
+artifacts.
+
+Requests enter through :meth:`CircuitExecutor.submit`, which returns an
+:class:`ExecutionTicket` immediately; the executor **coalesces** queued
+requests that share a coalescing key -- netlist *signature* (content
+hash, so structurally equal netlists coalesce even as distinct objects),
+execution mode and strictness -- into maximal padded word blocks, and
+executes each block through one packed artifact pass: one cross-op GEMM
+per level covers every queued request's word groups at once.  Per-group
+noise contexts and fault maps keep each request's realisations
+bit-identical to a standalone :meth:`CircuitEngine.run` call (pinned by
+``tests/test_circuit_conformance.py``).
+
+Flush policy: a queue flushes when its pending word count reaches
+``max_block``, when the oldest queued request exceeds ``max_latency``
+seconds (checked on every submit), on an explicit :meth:`flush`, or
+when any ticket's :meth:`~ExecutionTicket.result` is forced.
+Configurations the packed path cannot reproduce (placement noise,
+replaced physics hooks, uncalibratable cells) fall back per request to
+a per-op :class:`~repro.circuits.engine.CircuitEngine` sharing the same
+bindings.
+
+>>> from repro.circuits.netlist import Netlist
+>>> netlist = Netlist("demo")
+>>> _ = netlist.add_input("a")
+>>> _ = netlist.add_input("b")
+>>> _ = netlist.add_cell("s", "XOR2", ("a", "b"))
+>>> _ = netlist.mark_output("s")
+>>> executor = CircuitExecutor(n_bits=2)
+>>> t1 = executor.submit(netlist, [{"a": 0, "b": 1}])
+>>> t2 = executor.submit(netlist, [{"a": 1, "b": 1}])
+>>> (t1.result().outputs["s"], t2.result().outputs["s"])
+([1], [0])
+>>> executor.stats["blocks"]  # both requests rode one packed block
+1
+"""
+
+import time
+
+import numpy as np
+
+from repro.circuits.compiled import (
+    CompiledCircuitCache,
+    _normalise_faults,
+    netlist_signature,
+    physics_pristine,
+)
+from repro.circuits.library import GateBindings, physical_arity
+from repro.errors import EncodingError, NetlistError, ReproError
+
+
+class ExecutionTicket:
+    """Handle on one submitted request; resolves when its block runs."""
+
+    __slots__ = ("_executor", "_done", "_result", "_error")
+
+    def __init__(self, executor):
+        self._executor = executor
+        self._done = False
+        self._result = None
+        self._error = None
+
+    def _resolve(self, result=None, error=None):
+        self._done = True
+        self._result = result
+        self._error = error
+
+    @property
+    def done(self):
+        """True once the request's block has executed."""
+        return self._done
+
+    def result(self):
+        """The request's :class:`CircuitRunResult`, flushing if needed.
+
+        Raises whatever a standalone strict run would have raised (the
+        error is captured per request, so one failing request never
+        poisons the rest of its coalesced block).
+        """
+        if not self._done:
+            self._executor.flush()
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+
+class _Request:
+    """One queued submission plus its pre-validated input columns."""
+
+    __slots__ = (
+        "netlist", "batch", "faults", "fault_map", "noise", "strict",
+        "ticket", "n_entries", "n_groups", "input_columns",
+    )
+
+
+class CircuitExecutor:
+    """Coalesces circuit requests into maximal packed GEMM blocks.
+
+    Parameters
+    ----------
+    n_bits, waveguide, transducer:
+        Forwarded to a fresh :class:`~repro.circuits.library.GateBindings`
+        when ``bindings`` is not supplied -- every circuit this executor
+        serves shares that one physics configuration (and therefore its
+        memoised propagation weights and trace bases).
+    bindings:
+        An existing bindings object to share (e.g. with engines built
+        elsewhere).
+    max_block:
+        Word-count high-water mark per coalescing queue: submitting the
+        request that reaches it flushes the queue immediately.
+    max_latency:
+        Optional seconds the oldest queued request may wait; checked on
+        every submit (the executor is synchronous -- no background
+        thread -- so latency-based flushes piggyback on traffic).
+    cache_size:
+        LRU capacity of the compile cache (distinct netlist signatures).
+    """
+
+    def __init__(self, n_bits=8, waveguide=None, transducer=None,
+                 bindings=None, max_block=64, max_latency=None,
+                 cache_size=16):
+        if bindings is None:
+            bindings = GateBindings(
+                n_bits=n_bits, waveguide=waveguide, transducer=transducer
+            )
+        self.bindings = bindings
+        self.n_bits = bindings.n_bits
+        if max_block < 1:
+            raise NetlistError(
+                f"max_block must be >= 1 word, got {max_block!r}"
+            )
+        self.max_block = int(max_block)
+        self.max_latency = None if max_latency is None else float(max_latency)
+        self.cache = CompiledCircuitCache(max_entries=cache_size)
+        self._queues = {}       # key -> list of _Request
+        self._queue_words = {}  # key -> pending word count
+        self._queue_born = {}   # key -> monotonic time of oldest request
+        self._engines = {}      # signature -> fallback CircuitEngine
+        self.stats = {
+            "requests": 0,
+            "words": 0,
+            "blocks": 0,
+            "coalesced_requests": 0,
+            "fallbacks": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, netlist, assignments_batch, faults=(), noise=None,
+               strict=True, mode="phasor"):
+        """Queue one evaluation request; returns its ticket.
+
+        Validation that a standalone run performs up front (mode, empty
+        batch, fault plumbing, input presence and 0/1 values) raises
+        here, at the call site that caused it; physics-level failures
+        surface later through the ticket.
+        """
+        if mode not in ("phasor", "trace"):
+            raise NetlistError(
+                f"unknown execution mode {mode!r}; "
+                "supported: 'phasor', 'trace'"
+            )
+        batch = list(assignments_batch)
+        if not batch:
+            raise NetlistError("no assignments supplied")
+        request = _Request()
+        request.netlist = netlist
+        request.batch = batch
+        request.faults = list(faults)
+        request.fault_map = _normalise_faults(netlist, request.faults)
+        for cell, fault in request.fault_map.items():
+            # Mirror FaultySimulator's range validation here so a bad
+            # fault raises at its own call site instead of surfacing
+            # mid-flush and failing the whole coalesced block.
+            if not 0 <= fault.channel < self.n_bits:
+                raise EncodingError(
+                    f"fault channel {fault.channel} out of range"
+                )
+            arity = physical_arity(netlist.node(cell).kind)
+            if not 0 <= fault.input_index < arity:
+                raise EncodingError(
+                    f"fault input index {fault.input_index} out of range"
+                )
+        request.noise = noise
+        request.strict = strict
+        request.ticket = ExecutionTicket(self)
+        request.n_entries = len(batch)
+        request.n_groups = -(-request.n_entries // self.n_bits)
+        request.input_columns = self._input_columns(netlist, batch)
+        self.stats["requests"] += 1
+        self.stats["words"] += request.n_entries
+
+        if (noise is not None and noise.position_sigma > 0) or (
+            not physics_pristine()
+        ):
+            # Packed execution cannot reproduce this configuration;
+            # serve it immediately through the per-op engine path.
+            self._run_fallback(request, mode)
+            return request.ticket
+
+        key = (netlist_signature(netlist), mode, strict)
+        self._queues.setdefault(key, []).append(request)
+        self._queue_words[key] = (
+            self._queue_words.get(key, 0) + request.n_entries
+        )
+        self._queue_born.setdefault(key, time.monotonic())
+        if self._queue_words[key] >= self.max_block:
+            self._flush_queue(key)
+        elif self.max_latency is not None:
+            now = time.monotonic()
+            for stale in [
+                k for k, born in self._queue_born.items()
+                if now - born >= self.max_latency
+            ]:
+                self._flush_queue(stale)
+        return request.ticket
+
+    def run(self, netlist, assignments_batch, faults=(), noise=None,
+            strict=True, mode="phasor"):
+        """Submit + resolve in one call (no cross-request coalescing
+        beyond whatever is already queued under the same key)."""
+        return self.submit(
+            netlist, assignments_batch, faults=faults, noise=noise,
+            strict=strict, mode=mode,
+        ).result()
+
+    def _input_columns(self, netlist, batch):
+        """Pre-validated {input name: (n_entries,) int64 column}.
+
+        Mirrors the engine's ``_input_values`` semantics (including its
+        integer truncation of float values) so submit-time validation
+        matches what a standalone run would have raised.
+        """
+        columns = {}
+        n_entries = len(batch)
+        for name in netlist.inputs:
+            try:
+                column = [a[name] for a in batch]
+            except KeyError:
+                raise NetlistError(
+                    f"no value supplied for input {name!r}"
+                ) from None
+            array = np.asarray(column, dtype=np.int64)
+            if array.shape != (n_entries,) or not np.isin(
+                array, (0, 1)
+            ).all():
+                raise NetlistError("logic values must all be 0 or 1")
+            columns[name] = array
+        return columns
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def flush(self):
+        """Execute every pending queue (in submission order of keys)."""
+        for key in list(self._queues):
+            self._flush_queue(key)
+
+    @property
+    def pending_words(self):
+        """Words currently queued and not yet executed."""
+        return sum(self._queue_words.values())
+
+    def _flush_queue(self, key):
+        requests = self._queues.pop(key, None)
+        self._queue_words.pop(key, None)
+        self._queue_born.pop(key, None)
+        if not requests:
+            return
+        _, mode, _ = key
+        artifact = self.cache.get_or_compile(
+            requests[0].netlist, self.bindings
+        )
+        if not artifact.packable:
+            for request in requests:
+                self._run_fallback(request, mode)
+            return
+        n_bits = self.n_bits
+        total_groups = sum(r.n_groups for r in requests)
+        padded = total_groups * n_bits
+        buf, failed = artifact._buffers(padded)
+        contexts = []
+        group_faults = []
+        n_valid = []
+        spans = []
+        group_cursor = 0
+        for request in requests:
+            start = group_cursor * n_bits
+            end = (group_cursor + request.n_groups) * n_bits
+            for name, column in request.input_columns.items():
+                row = buf[artifact._slots[name]]
+                row[start + request.n_entries : end] = 0
+                row[start : start + request.n_entries] = column
+            for group in range(request.n_groups):
+                contexts.append((request.noise, request.n_groups, group))
+                group_faults.append(request.fault_map)
+                n_valid.append(
+                    min(request.n_entries - group * n_bits, n_bits)
+                )
+            spans.append(
+                (request, group_cursor, group_cursor + request.n_groups)
+            )
+            group_cursor += request.n_groups
+        try:
+            packed = artifact._execute_padded(
+                buf, failed, total_groups, n_valid, contexts, group_faults,
+                mode,
+            )
+        except ReproError as exc:
+            # Should be unreachable after submit-time validation, but a
+            # block-level physics failure must still resolve every
+            # ticket rather than strand them pending.
+            for request in requests:
+                request.ticket._resolve(error=exc)
+            return
+        self.stats["blocks"] += 1
+        if len(requests) > 1:
+            self.stats["coalesced_requests"] += len(requests)
+        for request, group_start, group_end in spans:
+            try:
+                if request.strict:
+                    error = artifact._first_dead(
+                        packed, group_start, group_end
+                    )
+                    if error is not None:
+                        raise error
+                expected = request.netlist.evaluate_batch(request.batch)
+                result = artifact._build_result(
+                    packed, request.netlist, group_start, group_end,
+                    request.n_entries, expected, request.faults, mode,
+                )
+            except ReproError as exc:
+                request.ticket._resolve(error=exc)
+            else:
+                request.ticket._resolve(result=result)
+
+    def _run_fallback(self, request, mode):
+        """Serve one request through the per-op engine path."""
+        from repro.circuits.engine import CircuitEngine
+
+        self.stats["fallbacks"] += 1
+        signature = netlist_signature(request.netlist)
+        engine = self._engines.get(signature)
+        if engine is None:
+            engine = CircuitEngine(request.netlist, bindings=self.bindings)
+            self._engines[signature] = engine
+        try:
+            result = engine.run(
+                request.batch,
+                faults=request.faults,
+                noise=request.noise,
+                strict=request.strict,
+                mode=mode,
+                packed=False,
+            )
+        except ReproError as exc:
+            request.ticket._resolve(error=exc)
+        else:
+            request.ticket._resolve(result=result)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def describe(self):
+        """One-line serving summary for CLI reports."""
+        stats = self.stats
+        return (
+            f"{stats['requests']} requests ({stats['words']} words) in "
+            f"{stats['blocks']} packed blocks; "
+            f"{stats['coalesced_requests']} coalesced, "
+            f"{stats['fallbacks']} fallbacks; compile cache "
+            f"{self.cache.hits} hits / {self.cache.misses} misses"
+        )

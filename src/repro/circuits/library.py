@@ -77,6 +77,69 @@ def physical_gate(operation, n_bits=1, waveguide=None, plan=None, transducer=Non
     return DataParallelGate(layout, kind=GateKind(kind))
 
 
+class GateBindings:
+    """Shared physical bindings: one model, gate and simulator per op.
+
+    The lazily-built state every circuit-execution front end needs --
+    the engine-wide :class:`~repro.waveguide.LinearWaveguideModel`
+    (whose weight/basis caches make repeated evaluation cheap), one
+    laid-out :class:`~repro.core.gate.DataParallelGate` template per
+    physical operation, and one nominal
+    :class:`~repro.core.simulate.GateSimulator` per operation.  A
+    :class:`~repro.circuits.engine.CircuitEngine` owns one by default;
+    the :class:`~repro.circuits.executor.CircuitExecutor` shares a
+    single instance across *many* circuits so memoised propagation
+    weights and trace bases amortise over every netlist it serves.
+    """
+
+    def __init__(self, n_bits=8, waveguide=None, transducer=None):
+        from repro.waveguide import Waveguide
+
+        if n_bits < 1:
+            raise NetlistError(f"n_bits must be >= 1, got {n_bits!r}")
+        self.n_bits = int(n_bits)
+        self.waveguide = waveguide if waveguide is not None else Waveguide()
+        self.transducer = transducer
+        self._model = None
+        self._gates = {}
+        self._simulators = {}
+
+    def model(self):
+        """The shared linear waveguide model (lazy)."""
+        if self._model is None:
+            from repro.waveguide.linear_model import LinearWaveguideModel
+
+            self._model = LinearWaveguideModel(self.waveguide)
+        return self._model
+
+    def gate(self, operation):
+        """The shared laid-out gate template of one operation."""
+        if operation not in self._gates:
+            self._gates[operation] = physical_gate(
+                operation,
+                self.n_bits,
+                waveguide=self.waveguide,
+                transducer=self.transducer,
+            )
+        return self._gates[operation]
+
+    def simulator(self, operation):
+        """The nominal simulator shared by every cell of ``operation``."""
+        if operation not in self._simulators:
+            from repro.core.simulate import GateSimulator
+
+            self._simulators[operation] = GateSimulator(
+                self.gate(operation), model=self.model()
+            )
+        return self._simulators[operation]
+
+    def faulty_simulator(self, operation, fault):
+        """A fault-injected simulator sharing the model and its caches."""
+        from repro.core.faults import FaultySimulator
+
+        return FaultySimulator(self.gate(operation), fault, model=self.model())
+
+
 @dataclass(frozen=True)
 class CellSpec:
     """Area [m^2], delay [s] and energy [J] of one library cell."""

@@ -83,6 +83,11 @@ class Netlist:
         # (order, levels, parents, schedule) -- rebuilt lazily after any
         # topology change (see _topology).
         self._topology_cache = None
+        # Monotonic counter bumped by every topology change; consumers
+        # (the circuit engine, the compile cache) key compiled artifacts
+        # on it instead of on schedule identity, so pickling or cache
+        # round-trips never force spurious recompiles.
+        self._revision = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -96,6 +101,7 @@ class Netlist:
         self._check_fresh(name)
         self._graph.add_node(name, node=Node(name, "input"))
         self._topology_cache = None
+        self._revision += 1
         return name
 
     def add_const(self, name, value):
@@ -104,6 +110,7 @@ class Netlist:
         value = validate_bit(value)
         self._graph.add_node(name, node=Node(name, f"const{value}"))
         self._topology_cache = None
+        self._revision += 1
         return name
 
     def add_cell(self, name, operation, fanin):
@@ -132,6 +139,7 @@ class Netlist:
                 f"adding {name!r} would create a combinational loop"
             )
         self._topology_cache = None
+        self._revision += 1
         return name
 
     def mark_output(self, name):
@@ -139,10 +147,11 @@ class Netlist:
 
         Re-registering an already-marked output is a no-op (outputs keep
         their first registration order).  Output edits never touch the
-        topology cache: the cached order/levels/schedule describe the
-        DAG alone, and callers holding a schedule reference (the circuit
-        engine uses identity to detect growth) must keep seeing the same
-        object -- only ``add_*`` calls may swap it.  Detector-placement
+        topology cache or bump :attr:`topology_revision`: the cached
+        order/levels/schedule describe the DAG alone, and consumers
+        keying compiled artifacts on the revision (the circuit engine,
+        the compile cache) must not recompile for an output edit --
+        only ``add_*`` calls invalidate.  Detector-placement
         inversion is likewise *not* a netlist edit: the engine resolves
         INV/BUF cells at the regeneration boundary, so flipping an
         output's polarity means adding an ``INV`` cell (which does
@@ -157,6 +166,18 @@ class Netlist:
     # ------------------------------------------------------------------
     # Inspection
     # ------------------------------------------------------------------
+    @property
+    def topology_revision(self):
+        """Monotonic topology revision: bumps on every ``add_*`` call.
+
+        Output bookkeeping (:meth:`mark_output`) does not bump it.  Two
+        reads returning the same value guarantee the DAG (and therefore
+        the cached level schedule) is unchanged -- a robust staleness
+        key for compiled execution artifacts that survives pickling and
+        cache round-trips, unlike object identity of the schedule tuple.
+        """
+        return self._revision
+
     @property
     def inputs(self):
         """Primary input names in insertion order."""

@@ -121,7 +121,18 @@ def _cmd_circuit(args):
         assignment[f"a{i}"] = bit
     for i, bit in enumerate(int_to_bits(b, width)):
         assignment[f"b{i}"] = bit
-    result = engine.run([assignment], mode=args.mode)
+    executor = None
+    if args.packed:
+        # Serve the evaluation through the coalescing executor: the
+        # compile-once artifact and cache stats make the compile/reuse
+        # split visible from the command line.
+        from repro.circuits import CircuitExecutor
+
+        executor = CircuitExecutor(bindings=engine.bindings)
+        ticket = executor.submit(netlist, [assignment], mode=args.mode)
+        result = ticket.result()
+    else:
+        result = engine.run([assignment], mode=args.mode)
     # Outputs are registered sum-bit order first, carry-out last.
     output_names = netlist.outputs
     total = 0
@@ -148,6 +159,8 @@ def _cmd_circuit(args):
             f"  level {report.level}: {report.n_physical} physical / "
             f"{report.n_cells} cells, min margin {margin}"
         )
+    if executor is not None:
+        print(f"  packed serving: {executor.describe()}")
     return 0 if result.correct and total == a + b else 1
 
 
@@ -341,6 +354,12 @@ def build_parser():
         choices=["phasor", "trace"],
         help="execution semantics: steady-state phasor (fast) or "
         "time-domain waveform traces with lock-in decode",
+    )
+    circuit_parser.add_argument(
+        "--packed",
+        action="store_true",
+        help="serve the run through the compile-once coalescing "
+        "executor and report its compile-cache statistics",
     )
     circuit_parser.set_defaults(func=_cmd_circuit)
 

@@ -90,8 +90,32 @@ def words_to_bit_array(words_batch, n_words=None, width=None):
     every word of every batch entry: the same values are accepted (ints,
     bools and exact floats 0/1) and the same :class:`EncodingError`
     conditions raise, but the whole batch is checked with a handful of
-    numpy operations instead of one Python call per bit.
+    numpy operations instead of one Python call per bit.  An integer
+    ndarray passes through the shape/value checks without the float
+    round-trip -- the zero-copy fast path of array-native circuit
+    execution.
     """
+    if (
+        isinstance(words_batch, np.ndarray)
+        and words_batch.ndim == 3
+        and issubclass(words_batch.dtype.type, np.integer)
+    ):
+        if n_words is not None and words_batch.shape[1] != n_words:
+            raise EncodingError(
+                f"expected {n_words} input words, got {words_batch.shape[1]}"
+            )
+        if width is not None and words_batch.shape[2] != width:
+            raise EncodingError(
+                f"word has {words_batch.shape[2]} bits, expected {width}"
+            )
+        bits = (
+            words_batch
+            if words_batch.dtype == np.int64
+            else words_batch.astype(np.int64)
+        )
+        if not np.isin(bits, (0, 1)).all():
+            raise EncodingError("logic values must all be 0 or 1")
+        return bits
     try:
         arr = np.asarray(words_batch)
     except ValueError:

@@ -322,10 +322,14 @@ class GateSimulator:
         """Normalise a non-empty batch and its per-entry noise list.
 
         Idempotent: applying it to its own output is a no-op, so nested
-        entry points may each normalise their inputs.
+        entry points may each normalise their inputs.  Accepts an
+        ``(n_sets, n_words, width)`` integer ndarray in place of nested
+        word lists -- the array-native form batched circuit execution
+        feeds -- and passes it through without per-entry conversion.
         """
-        words_batch = list(words_batch)
-        if not words_batch:
+        if not isinstance(words_batch, np.ndarray):
+            words_batch = list(words_batch)
+        if len(words_batch) == 0:
             raise SimulationError("no source sets supplied")
         if noises is None:
             noises = [self.noise] * len(words_batch)
@@ -452,6 +456,11 @@ class GateSimulator:
         """
         words_batch, noises = self._resolve_noises(words_batch, noises)
         if self._scalar_sources_customised():
+            if isinstance(words_batch, np.ndarray):
+                # Scalar-only source customisation runs per-word Python
+                # code (validate_bit rejects numpy scalars): hand it
+                # plain nested lists.
+                words_batch = words_batch.tolist()
             return self._scalar_source_bank(words_batch, noises)
         return self._bank_from_bits(
             self.gate.physical_input_bit_array(words_batch), noises
@@ -527,6 +536,11 @@ class GateSimulator:
         batch shape.
         """
         words_batch, noises, bank = self._batch_sources(words_batch, noises)
+        if isinstance(words_batch, np.ndarray):
+            # The bank is already built from the array; the remaining
+            # per-entry work (golden outputs, result records) runs
+            # per-word Python code, so convert once in bulk here.
+            words_batch = words_batch.tolist()
         detectors = [
             Detector(position=p, label=str(i))
             for i, p in enumerate(self.layout.detector_positions)
@@ -646,24 +660,43 @@ class GateSimulator:
         """
         weights = None
         if self._bank_is_nominal(bank):
-            if self._nominal_weights is None:
-                # Nominal layout geometry recurs across simulators
-                # sharing this model: memoise on the model too.
-                position, frequency = self._nominal_source_geometry()
-                self._nominal_weights = self.model.phasor_weights(
-                    position,
-                    frequency,
-                    self.layout.detector_positions,
-                    self.layout.plan.frequencies,
-                    cache=True,
-                )
-            weights = self._nominal_weights
+            weights = self.nominal_weights()
         return self.model.steady_state_phasor_block(
             bank,
             self.layout.detector_positions,
             self.layout.plan.frequencies,
             weights=weights,
         )
+
+    def nominal_weights(self):
+        """The ``(n_sources, n_bits)`` nominal propagation-weight matrix.
+
+        Built on demand and memoised both here and on the shared model
+        (the nominal layout geometry recurs across simulators sharing
+        one model).  This is the per-operation block the compile-once
+        circuit layer (:mod:`repro.circuits.compiled`) block-stacks into
+        cross-operation level matrices.
+        """
+        if self._nominal_weights is None:
+            position, frequency = self._nominal_source_geometry()
+            self._nominal_weights = self.model.phasor_weights(
+                position,
+                frequency,
+                self.layout.detector_positions,
+                self.layout.plan.frequencies,
+                cache=True,
+            )
+        return self._nominal_weights
+
+    def calibration_arrays(self):
+        """Calibration as ``(reference_phases, reference_amplitudes)``
+        float arrays -- the vectorised view of :meth:`calibration` that
+        :func:`~repro.core.readout.decode_phasor_block` and the packed
+        circuit decoder consume directly."""
+        calibration = self.calibration()
+        phases = np.array([phase for phase, _ in calibration])
+        amplitudes = np.array([amplitude for _, amplitude in calibration])
+        return phases, amplitudes
 
     def run_phasor_batch(self, words_batch, noises=None, strict=True):
         """Steady-state evaluation of many input words in one batch.
@@ -722,6 +755,10 @@ class GateSimulator:
         amplitudes = amplitudes.tolist()
         margins = margins.tolist()
         n_bits = self.gate.n_bits
+        if isinstance(words_batch, np.ndarray):
+            # One bulk conversion for the result records (the physics
+            # above consumed the array directly).
+            words_batch = words_batch.tolist()
         results = []
         for entry, words in enumerate(words_batch):
             if dead_entries[entry]:

@@ -20,7 +20,7 @@ worst per-level decode margin are reported.
 import numpy as np
 
 from repro.analysis.tables import render_table
-from repro.circuits.engine import CircuitEngine
+from repro.circuits.executor import CircuitExecutor
 from repro.circuits.synth import full_adder, majority_tree, ripple_carry_adder
 from repro.errors import NetlistError
 from repro.waveguide import NoiseModel
@@ -54,9 +54,14 @@ def run(blocks=None, sigmas=DEFAULT_SIGMAS, n_trials=16, n_bits=4, seed=11,
         raise NetlistError(f"n_trials must be >= 1, got {n_trials!r}")
     blocks = list(blocks) if blocks is not None else default_blocks()
     rng = np.random.default_rng(seed)
+    # One executor serves every block: all circuits share one bindings
+    # object (memoised weights/bases) and one compile cache, so each
+    # netlist is lowered to its packed artifact exactly once across the
+    # whole sigma sweep.
+    executor = CircuitExecutor(n_bits=n_bits)
     rows = []
     for netlist in blocks:
-        engine = CircuitEngine(netlist, n_bits=n_bits)
+        artifact = executor.cache.get_or_compile(netlist, executor.bindings)
         batch = _random_batch(netlist, n_trials, rng)
         error_rates = []
         min_margins = []
@@ -66,14 +71,16 @@ def run(blocks=None, sigmas=DEFAULT_SIGMAS, n_trials=16, n_bits=4, seed=11,
                 if sigma > 0
                 else None
             )
-            result = engine.run(batch, noise=noise, strict=False, mode=mode)
+            result = executor.run(
+                netlist, batch, noise=noise, strict=False, mode=mode
+            )
             error_rates.append(result.word_errors / result.n_entries)
             min_margins.append(result.min_margin)
         rows.append(
             {
                 "circuit": netlist.name,
                 "depth": netlist.depth(),
-                "n_cells": engine.n_physical_cells,
+                "n_cells": artifact.n_physical_cells,
                 "error_rates": error_rates,
                 "min_margins": min_margins,
             }
@@ -84,6 +91,7 @@ def run(blocks=None, sigmas=DEFAULT_SIGMAS, n_trials=16, n_bits=4, seed=11,
         "n_trials": n_trials,
         "n_bits": n_bits,
         "mode": mode,
+        "serving": executor.describe(),
     }
 
 
@@ -127,4 +135,7 @@ def report(results):
         "(cell, level) rolls independent jitter: deeper/wider blocks "
         "fail first, and a flipped carry corrupts all downstream sums.",
     ]
+    serving = results.get("serving")
+    if serving is not None:
+        footer.append(f"packed serving: {serving}")
     return table + "\n\n" + margin_table + "\n" + "\n".join(footer)

@@ -424,6 +424,40 @@ class LinearWaveguideModel:
             self._weights_cache[key] = weights
         return weights
 
+    @staticmethod
+    def block_stack_weights(blocks):
+        """Block-diagonal stack of per-operation propagation weights.
+
+        ``blocks`` is a sequence of ``(n_sources_i, n_detectors_i)``
+        complex matrices (one per operation sharing a level); the result
+        is a ``(sum n_sources, sum n_detectors)`` complex matrix with
+        each block on the diagonal and exact zeros elsewhere.  The zeros
+        are *structural*: operations sharing one frequency plan would
+        otherwise couple through frequency matching, so cross-operation
+        packing must place foreign segments at exactly 0.0 -- which this
+        layout guarantees -- to keep every packed phasor bit-identical
+        to its per-operation evaluation.  The compile-once circuit layer
+        (:mod:`repro.circuits.compiled`) builds one such matrix per
+        level so all same-layout cells of the level -- MAJ3 and XOR2
+        alike -- evaluate as a single complex GEMM.  The returned array
+        is frozen; derive, don't mutate.
+        """
+        blocks = [np.asarray(b) for b in blocks]
+        if not blocks:
+            raise SimulationError("no weight blocks supplied")
+        n_rows = sum(b.shape[0] for b in blocks)
+        n_cols = sum(b.shape[1] for b in blocks)
+        stacked = np.zeros((n_rows, n_cols), dtype=complex)
+        row = col = 0
+        for block in blocks:
+            stacked[row : row + block.shape[0], col : col + block.shape[1]] = (
+                block
+            )
+            row += block.shape[0]
+            col += block.shape[1]
+        stacked.setflags(write=False)
+        return stacked
+
     def steady_state_phasor_block(
         self, source_sets, positions, frequencies, tol=1e-12, weights=None
     ):

@@ -26,7 +26,12 @@ import random
 import numpy as np
 import pytest
 
-from repro.circuits import CellFault, CircuitEngine, random_netlist
+from repro.circuits import (
+    CellFault,
+    CircuitEngine,
+    CircuitExecutor,
+    random_netlist,
+)
 from repro.circuits.library import PHYSICAL_BINDINGS, physical_arity
 from repro.core.faults import TransducerFault
 from repro.core.simulate import GateSimulator
@@ -199,6 +204,100 @@ class TestConformanceFast:
             ),
         ]
         cross_check(engine, random_batch(netlist, seed), faults=faults)
+
+
+# ----------------------------------------------------------------------
+# Coalesced serving: many requests in one packed block pin to standalone
+# ----------------------------------------------------------------------
+class TestCoalescedConformance:
+    """Coalesced executor blocks reproduce uncoalesced runs <= 1e-12.
+
+    Three requests -- nominal, noisy and faulty -- are queued against
+    structurally equal netlists (distinct objects, same content hash)
+    and executed as ONE packed block; every ticket must pin to the
+    per-op, uncoalesced ``CircuitEngine.run(packed=False)`` reference.
+    """
+
+    @pytest.mark.parametrize("mode", ["phasor", "trace"])
+    def test_coalesced_block_matches_standalone(self, mode):
+        seed = FAST_SEEDS[0]
+        netlist = random_netlist(seed)
+        twin = random_netlist(seed)  # same signature, different object
+        engine = CircuitEngine(netlist, n_bits=N_BITS)
+        executor = CircuitExecutor(n_bits=N_BITS, max_block=1024)
+        noise = NoiseModel(
+            amplitude_sigma=0.03, phase_sigma=0.05, seed=70 + seed
+        )
+        fault = seeded_fault(engine, seed)
+        assert fault is not None
+        configs = [
+            (random_batch(netlist, seed), (), None),
+            (random_batch(netlist, seed + 1), (), noise),
+            (random_batch(netlist, seed + 2), (fault,), None),
+        ]
+        tickets = [
+            executor.submit(
+                twin if index % 2 else netlist,
+                batch,
+                faults=faults,
+                noise=noise_model,
+                strict=False,
+                mode=mode,
+            )
+            for index, (batch, faults, noise_model) in enumerate(configs)
+        ]
+        assert executor.pending_words == sum(
+            len(batch) for batch, _, _ in configs
+        )
+        executor.flush()
+        assert executor.stats["blocks"] == 1
+        assert executor.stats["coalesced_requests"] == len(configs)
+        assert executor.stats["fallbacks"] == 0
+        for ticket, (batch, faults, noise_model) in zip(tickets, configs):
+            assert ticket.done
+            reference = engine.run(
+                batch,
+                faults=faults,
+                noise=noise_model,
+                strict=False,
+                mode=mode,
+                packed=False,
+            )
+            assert_pinned(ticket.result(), reference)
+
+    def test_auto_flush_at_max_block(self):
+        seed = FAST_SEEDS[1]
+        netlist = random_netlist(seed)
+        batch = random_batch(netlist, seed, n_entries=4)
+        executor = CircuitExecutor(n_bits=N_BITS, max_block=8)
+        first = executor.submit(netlist, batch, strict=False)
+        assert not first.done and executor.pending_words == 4
+        second = executor.submit(netlist, batch, strict=False)
+        # The second submission reached the high-water mark: both ran.
+        assert first.done and second.done
+        assert executor.pending_words == 0
+        assert executor.stats["blocks"] == 1
+        assert_pinned(
+            second.result(), CircuitEngine(netlist, n_bits=N_BITS).run(
+                batch, strict=False, packed=False
+            )
+        )
+
+    def test_position_noise_falls_back_per_request(self):
+        seed = FAST_SEEDS[2]
+        netlist = random_netlist(seed)
+        batch = random_batch(netlist, seed, n_entries=4)
+        executor = CircuitExecutor(n_bits=N_BITS, max_block=1024)
+        noise = NoiseModel(position_sigma=1e-9, seed=90 + seed)
+        ticket = executor.submit(netlist, batch, noise=noise, strict=False)
+        # Placement jitter cannot ride the packed block: served eagerly.
+        assert ticket.done
+        assert executor.stats["fallbacks"] == 1
+        assert executor.stats["blocks"] == 0
+        reference = CircuitEngine(netlist, n_bits=N_BITS).run(
+            batch, noise=noise, strict=False, packed=False
+        )
+        assert_pinned(ticket.result(), reference)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,188 @@
+"""Compile-once execution layer: signatures, caches, executor serving.
+
+The conformance harness (:mod:`tests.test_circuit_conformance`) pins the
+*numerics* of packed and coalesced execution; this module pins the
+*lifecycle*: content-hash signatures of structurally equal netlists,
+LRU hit/miss/invalidate behaviour of the compile cache, recompilation
+when a netlist grows, and the executor's validation and bookkeeping.
+"""
+
+import pytest
+
+from repro.circuits import (
+    CellFault,
+    CircuitEngine,
+    CircuitExecutor,
+    CompiledCircuitCache,
+    GateBindings,
+    compile_circuit,
+    netlist_signature,
+    ripple_carry_adder,
+)
+from repro.circuits.netlist import Netlist
+from repro.core.faults import TransducerFault
+from repro.errors import EncodingError, NetlistError
+
+N_BITS = 2
+
+
+def xor_pair(title):
+    """A tiny two-XOR netlist; structure is identical for any title."""
+    netlist = Netlist(title)
+    netlist.add_input("a")
+    netlist.add_input("b")
+    netlist.add_input("c")
+    netlist.add_cell("x", "XOR2", ("a", "b"))
+    netlist.add_cell("y", "XOR2", ("x", "c"))
+    netlist.mark_output("y")
+    return netlist
+
+
+BATCH = [
+    {"a": 0, "b": 1, "c": 1},
+    {"a": 1, "b": 1, "c": 0},
+    {"a": 1, "b": 0, "c": 1},
+]
+
+
+class TestNetlistSignature:
+    def test_structural_equality_ignores_object_and_title(self):
+        assert netlist_signature(xor_pair("one")) == netlist_signature(
+            xor_pair("two")
+        )
+
+    def test_topology_edit_changes_signature(self):
+        netlist = xor_pair("grow")
+        before = netlist_signature(netlist)
+        netlist.add_cell("z", "XOR2", ("x", "y"))
+        netlist.mark_output("z")
+        assert netlist_signature(netlist) != before
+
+    def test_output_marking_changes_signature(self):
+        netlist = xor_pair("outputs")
+        before = netlist_signature(netlist)
+        netlist.mark_output("x")  # same DAG, different observed set
+        assert netlist_signature(netlist) != before
+
+
+class TestCompileCache:
+    def test_hit_on_structurally_equal_netlist(self):
+        bindings = GateBindings(n_bits=N_BITS)
+        cache = CompiledCircuitCache(max_entries=4)
+        first = cache.get_or_compile(xor_pair("a"), bindings)
+        second = cache.get_or_compile(xor_pair("b"), bindings)
+        assert second is first
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert len(cache) == 1
+
+    def test_miss_after_mutation(self):
+        bindings = GateBindings(n_bits=N_BITS)
+        cache = CompiledCircuitCache(max_entries=4)
+        netlist = xor_pair("mutate")
+        first = cache.get_or_compile(netlist, bindings)
+        netlist.add_cell("z", "XOR2", ("x", "y"))
+        netlist.mark_output("z")
+        second = cache.get_or_compile(netlist, bindings)
+        assert second is not first
+        assert cache.misses == 2
+        assert len(cache) == 2
+
+    def test_lru_eviction(self):
+        bindings = GateBindings(n_bits=N_BITS)
+        cache = CompiledCircuitCache(max_entries=1)
+        small = xor_pair("small")
+        cache.get_or_compile(small, bindings)
+        cache.get_or_compile(ripple_carry_adder(2), bindings)
+        assert len(cache) == 1
+        cache.get_or_compile(small, bindings)  # evicted -> recompiles
+        assert cache.misses == 3
+        assert cache.hits == 0
+
+    def test_engine_recompiles_after_growth(self):
+        netlist = xor_pair("engine")
+        engine = CircuitEngine(netlist, n_bits=N_BITS)
+        artifact = engine.compiled()
+        assert engine.compiled() is artifact  # stable while unchanged
+        assert artifact.topology_revision == netlist.topology_revision
+        netlist.add_cell("z", "XOR2", ("x", "y"))
+        netlist.mark_output("z")
+        regrown = engine.compiled()
+        assert regrown is not artifact
+        assert regrown.topology_revision == netlist.topology_revision
+        result = engine.run(BATCH)
+        assert result.outputs == netlist.evaluate_batch(BATCH)
+
+    def test_artifact_runs_standalone(self):
+        netlist = xor_pair("direct")
+        bindings = GateBindings(n_bits=N_BITS)
+        artifact = compile_circuit(netlist, bindings)
+        assert artifact.packable
+        assert artifact.n_physical_cells == 2
+        result = artifact.run(BATCH)
+        assert result.outputs == netlist.evaluate_batch(BATCH)
+
+
+class TestExecutorValidation:
+    def test_unknown_mode_rejected(self):
+        executor = CircuitExecutor(n_bits=N_BITS)
+        with pytest.raises(NetlistError, match="unknown execution mode"):
+            executor.submit(xor_pair("m"), BATCH, mode="spice")
+
+    def test_empty_batch_rejected(self):
+        executor = CircuitExecutor(n_bits=N_BITS)
+        with pytest.raises(NetlistError, match="no assignments"):
+            executor.submit(xor_pair("e"), [])
+
+    def test_missing_input_rejected_at_submit(self):
+        executor = CircuitExecutor(n_bits=N_BITS)
+        with pytest.raises(NetlistError, match="no value supplied"):
+            executor.submit(xor_pair("i"), [{"a": 0, "b": 1}])
+
+    def test_fault_range_rejected_at_submit(self):
+        """Bad fault coordinates raise at submit, not mid-flush."""
+        executor = CircuitExecutor(n_bits=N_BITS)
+        fault = CellFault(
+            "x", TransducerFault("dead-source", channel=N_BITS, input_index=0)
+        )
+        with pytest.raises(EncodingError, match="out of range"):
+            executor.submit(xor_pair("f"), BATCH, faults=[fault])
+        assert executor.pending_words == 0
+
+    def test_max_block_validated(self):
+        with pytest.raises(NetlistError, match="max_block"):
+            CircuitExecutor(n_bits=N_BITS, max_block=0)
+
+
+class TestExecutorServing:
+    def test_result_forces_flush(self):
+        executor = CircuitExecutor(n_bits=N_BITS, max_block=1024)
+        netlist = xor_pair("lazy")
+        ticket = executor.submit(netlist, BATCH)
+        assert not ticket.done
+        result = ticket.result()  # forces the pending queue to execute
+        assert ticket.done
+        assert result.outputs == netlist.evaluate_batch(BATCH)
+
+    def test_twins_share_one_compile(self):
+        executor = CircuitExecutor(n_bits=N_BITS, max_block=1024)
+        first = executor.submit(xor_pair("t1"), BATCH)
+        second = executor.submit(xor_pair("t2"), BATCH)
+        executor.flush()
+        assert first.result().outputs == second.result().outputs
+        assert executor.cache.misses == 1
+        assert executor.stats["blocks"] == 1
+        assert executor.stats["coalesced_requests"] == 2
+
+    def test_strict_failure_is_per_ticket(self):
+        """A strict error resolves through its own ticket only."""
+        executor = CircuitExecutor(n_bits=N_BITS, max_block=1024)
+        netlist = xor_pair("strict")
+        healthy = executor.submit(netlist, BATCH, strict=True)
+        assert healthy.result().correct
+
+    def test_describe_mentions_cache_counters(self):
+        executor = CircuitExecutor(n_bits=N_BITS)
+        executor.run(xor_pair("d"), BATCH)
+        text = executor.describe()
+        assert "packed blocks" in text
+        assert "compile cache" in text
