@@ -562,11 +562,16 @@ class CompiledCircuit:
                             contexts[group], physical_index
                         )
                         if noise is not None and noise.perturbs_sources:
-                            if noise not in draws:
-                                draws[noise] = noise.source_perturbations(
-                                    n_sources
+                            # Keyed by arity too: derived seeds can
+                            # collide across coalesced requests with
+                            # different group counts, and a colliding
+                            # draw must still match this op's width.
+                            draw_key = (noise, n_sources)
+                            if draw_key not in draws:
+                                draws[draw_key] = (
+                                    noise.source_perturbations(n_sources)
                                 )
-                            factor, phase_offset, _ = draws[noise]
+                            factor, phase_offset, _ = draws[draw_key]
                             amplitude[row] *= factor
                             phase[row] += phase_offset
                         fault = group_faults[group].get(name)

@@ -53,7 +53,12 @@ from repro.circuits.compiled import (
     physics_pristine,
 )
 from repro.circuits.library import GateBindings, physical_arity
-from repro.errors import EncodingError, NetlistError, ReproError
+from repro.errors import (
+    EncodingError,
+    NetlistError,
+    ReproError,
+    SimulationError,
+)
 
 
 class ExecutionTicket:
@@ -86,6 +91,11 @@ class ExecutionTicket:
         """
         if not self._done:
             self._executor.flush()
+        if not self._done:
+            raise SimulationError(
+                "request was never executed: its queue was dropped "
+                "before this ticket resolved"
+            )
         if self._error is not None:
             raise self._error
         return self._result
@@ -96,7 +106,7 @@ class _Request:
 
     __slots__ = (
         "netlist", "batch", "faults", "fault_map", "noise", "strict",
-        "ticket", "n_entries", "n_groups", "input_columns",
+        "ticket", "n_entries", "n_groups", "input_columns", "signature",
     )
 
 
@@ -196,6 +206,7 @@ class CircuitExecutor:
         request.n_entries = len(batch)
         request.n_groups = -(-request.n_entries // self.n_bits)
         request.input_columns = self._input_columns(netlist, batch)
+        request.signature = netlist_signature(netlist)
         self.stats["requests"] += 1
         self.stats["words"] += request.n_entries
 
@@ -207,7 +218,7 @@ class CircuitExecutor:
             self._run_fallback(request, mode)
             return request.ticket
 
-        key = (netlist_signature(netlist), mode, strict)
+        key = (request.signature, mode, strict)
         self._queues.setdefault(key, []).append(request)
         self._queue_words[key] = (
             self._queue_words.get(key, 0) + request.n_entries
@@ -276,7 +287,23 @@ class CircuitExecutor:
         self._queue_born.pop(key, None)
         if not requests:
             return
-        _, mode, _ = key
+        signature, mode, _ = key
+        live = []
+        for request in requests:
+            # The queue was keyed on the submit-time signature; a
+            # netlist mutated since then must not execute against a
+            # stale artifact (or, worse, silently against the new
+            # topology while its neighbours expect the old one).
+            if netlist_signature(request.netlist) != signature:
+                request.ticket._resolve(error=NetlistError(
+                    f"netlist {request.netlist.name!r} was mutated "
+                    "between submit and flush; re-submit the request"
+                ))
+                continue
+            live.append(request)
+        requests = live
+        if not requests:
+            return
         artifact = self.cache.get_or_compile(
             requests[0].netlist, self.bindings
         )
@@ -315,10 +342,11 @@ class CircuitExecutor:
                 buf, failed, total_groups, n_valid, contexts, group_faults,
                 mode,
             )
-        except ReproError as exc:
-            # Should be unreachable after submit-time validation, but a
-            # block-level physics failure must still resolve every
-            # ticket rather than strand them pending.
+        except Exception as exc:
+            # Should be unreachable after submit-time validation, but
+            # any block-level failure -- physics ReproError or an
+            # unexpected bug -- must still resolve every ticket rather
+            # than strand them pending.
             for request in requests:
                 request.ticket._resolve(error=exc)
             return
@@ -338,7 +366,7 @@ class CircuitExecutor:
                     packed, request.netlist, group_start, group_end,
                     request.n_entries, expected, request.faults, mode,
                 )
-            except ReproError as exc:
+            except Exception as exc:
                 request.ticket._resolve(error=exc)
             else:
                 request.ticket._resolve(result=result)

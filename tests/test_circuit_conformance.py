@@ -33,10 +33,11 @@ from repro.circuits import (
     random_netlist,
 )
 from repro.circuits.library import PHYSICAL_BINDINGS, physical_arity
+from repro.circuits.netlist import Netlist
 from repro.core.faults import TransducerFault
 from repro.core.simulate import GateSimulator
 from repro.circuits.library import physical_gate
-from repro.errors import SimulationError
+from repro.errors import NetlistError, SimulationError
 from repro.waveguide import NoiseModel
 
 TOL = 1e-12
@@ -282,6 +283,97 @@ class TestCoalescedConformance:
                 batch, strict=False, packed=False
             )
         )
+
+    def test_mixed_arity_noise_coalescing(self):
+        """Colliding derived noise seeds across group counts stay arity-safe.
+
+        Two noisy requests with different group counts derive *equal*
+        per-(cell, group) NoiseModels for different physical cells, so
+        the block's perturbation-draw cache sees one seed at two source
+        arities (XOR2 vs MAJ3); each row must still receive a draw of
+        its own width (regression: a reused XOR2-width array raised a
+        broadcast ValueError that aborted the whole block).
+        """
+        netlist = Netlist("mixed")
+        for name in ("a", "b", "c"):
+            netlist.add_input(name)
+        netlist.add_cell("x", "XOR2", ("a", "b"))
+        netlist.add_cell("m", "MAJ3", ("a", "b", "c"))
+        netlist.mark_output("x")
+        netlist.mark_output("m")
+        noise = NoiseModel(amplitude_sigma=0.03, phase_sigma=0.05, seed=7)
+        rng = random.Random(7)
+        batches = [
+            [
+                {name: rng.randint(0, 1) for name in netlist.inputs}
+                for _ in range(n_entries)
+            ]
+            for n_entries in (4, 2)  # 2 groups vs 1 group at n_bits=2
+        ]
+        executor = CircuitExecutor(n_bits=N_BITS, max_block=1024)
+        tickets = [
+            executor.submit(netlist, batch, noise=noise, strict=False)
+            for batch in batches
+        ]
+        executor.flush()
+        assert executor.stats["blocks"] == 1
+        engine = CircuitEngine(netlist, n_bits=N_BITS)
+        for ticket, batch in zip(tickets, batches):
+            reference = engine.run(
+                batch, noise=noise, strict=False, packed=False
+            )
+            assert_pinned(ticket.result(), reference)
+
+    def test_block_failure_resolves_every_ticket(self, monkeypatch):
+        """Non-ReproError block failures surface through every ticket.
+
+        A failure inside the packed pass must resolve all coalesced
+        tickets with the error -- ``result()`` re-raises it instead of
+        silently returning None for stranded requests.
+        """
+        seed = FAST_SEEDS[0]
+        netlist = random_netlist(seed)
+        batch = random_batch(netlist, seed, n_entries=2)
+        executor = CircuitExecutor(n_bits=N_BITS, max_block=1024)
+        tickets = [
+            executor.submit(netlist, batch, strict=False) for _ in range(2)
+        ]
+        artifact = executor.cache.get_or_compile(netlist, executor.bindings)
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("kernel exploded")
+
+        monkeypatch.setattr(artifact, "_execute_padded", boom)
+        executor.flush()
+        for ticket in tickets:
+            assert ticket.done
+            with pytest.raises(RuntimeError, match="kernel exploded"):
+                ticket.result()
+
+    def test_mutation_after_submit_fails_only_its_own_ticket(self):
+        """A netlist mutated between submit and flush fails loudly.
+
+        The mutated request's ticket raises a clear NetlistError; its
+        unmutated coalesced neighbour still executes and pins to the
+        standalone reference.
+        """
+        seed = FAST_SEEDS[1]
+        netlist = random_netlist(seed)
+        twin = random_netlist(seed)  # same submit-time signature
+        batch = random_batch(netlist, seed, n_entries=2)
+        executor = CircuitExecutor(n_bits=N_BITS, max_block=1024)
+        healthy = executor.submit(twin, batch, strict=False)
+        doomed = executor.submit(netlist, batch, strict=False)
+        netlist.add_cell("late_inv", "INV", (netlist.inputs[0],))
+        netlist.mark_output("late_inv")
+        executor.flush()
+        assert doomed.done
+        with pytest.raises(NetlistError, match="mutated"):
+            doomed.result()
+        reference = CircuitEngine(twin, n_bits=N_BITS).run(
+            batch, strict=False, packed=False
+        )
+        assert_pinned(healthy.result(), reference)
 
     def test_position_noise_falls_back_per_request(self):
         seed = FAST_SEEDS[2]
