@@ -80,6 +80,7 @@ def _record(benchmark, engine, netlist, batch, mode):
     benchmark.extra_info["n_bits"] = engine.n_bits
     benchmark.extra_info["batch_size"] = len(batch)
     benchmark.extra_info["mode"] = mode
+    benchmark.extra_info["backend"] = engine.bindings.backend.tag
     mean = benchmark.stats.stats.mean
     benchmark.extra_info["words_per_second"] = len(batch) / mean
 
@@ -168,6 +169,7 @@ def test_engine_trace_scalar_throughput(benchmark, trace_setup):
 
 def test_engine_fault_sweep_throughput(benchmark, adder_setup):
     """One full-adder fault-universe sweep (the circuit-faults inner loop)."""
+    from repro.backends import get_backend
     from repro.experiments.circuit_faults import run as run_faults
 
     results = benchmark(run_faults, width=1, n_bits=4)
@@ -176,3 +178,33 @@ def test_engine_fault_sweep_throughput(benchmark, adder_setup):
     benchmark.extra_info["depth"] = results["depth"]
     benchmark.extra_info["n_faults"] = results["n_faults"]
     benchmark.extra_info["mode"] = "fault-sweep"
+    benchmark.extra_info["backend"] = get_backend().tag
+
+
+@pytest.fixture(scope="module")
+def adder_setup_float32():
+    """The rca4 sweep again, compiled for the single-precision backend."""
+    from repro.backends import NumpyBackend
+    from repro.circuits.library import GateBindings
+
+    netlist = ripple_carry_adder(4)
+    bindings = GateBindings(n_bits=N_BITS, backend=NumpyBackend("single"))
+    engine = CircuitEngine(netlist, bindings=bindings)
+    batch = _adder_batch(4, N_GROUPS * N_BITS)
+    engine.run(batch[: N_BITS])
+    return engine, netlist, batch
+
+
+def test_engine_packed_float32_throughput(benchmark, adder_setup_float32):
+    """Packed serving on the float32 backend: the precision speedup row.
+
+    Identical circuit, batch and steady-state packed path as
+    ``test_engine_packed_throughput``; the only difference is the
+    backend, so the ratio of the two rows is the measured single-
+    precision throughput gain (the GEMMs run in complex64 against
+    half-size weight matrices).
+    """
+    engine, netlist, batch = adder_setup_float32
+    result = benchmark(engine.run, batch)
+    assert result.correct
+    _record(benchmark, engine, netlist, batch, "packed")

@@ -44,24 +44,36 @@ def committed_snapshot(name, ref):
 
 
 def throughput(record):
-    """(metric value, metric name) of one bench record, higher-is-better."""
+    """(metric value, metric name) of one bench record, higher-is-better.
+
+    Tolerates malformed records (wrong types, non-numeric values) by
+    returning ``(None, None)`` instead of raising -- a corrupt row in
+    one snapshot must not take the whole comparison down.
+    """
+    if not isinstance(record, dict):
+        return None, None
     extra = record.get("extra_info", {})
-    if "words_per_second" in extra:
-        return float(extra["words_per_second"]), "words/s"
-    if "ops" in record:
-        return float(record["ops"]), "ops/s"
-    mean = record.get("mean")
-    return (1.0 / float(mean), "runs/s") if mean else (None, None)
+    try:
+        if isinstance(extra, dict) and "words_per_second" in extra:
+            return float(extra["words_per_second"]), "words/s"
+        if "ops" in record:
+            return float(record["ops"]), "ops/s"
+        mean = record.get("mean")
+        return (1.0 / float(mean), "runs/s") if mean else (None, None)
+    except (TypeError, ValueError, ZeroDivisionError):
+        return None, None
 
 
-def compare_module(path, ref, threshold, lines):
-    """Compare one snapshot file; returns the regression count."""
-    fresh = json.loads(path.read_text())
-    baseline = committed_snapshot(path.name, ref)
-    lines.append(f"{path.name} (baseline: {ref})")
-    if baseline is None:
-        lines.append(f"  no committed baseline at {ref}: new snapshot")
-        return 0
+def diff_records(fresh, baseline, threshold):
+    """Diff two snapshot dicts; returns ``(lines, regression_count)``.
+
+    Rows present only in ``fresh`` (e.g. a bench just added, or an
+    existing bench re-tagged for a new compute backend) are reported as
+    informational "new bench" lines and never gate; rows present only
+    in ``baseline`` are reported as removed.  Only rows common to both
+    snapshots can count as regressions.
+    """
+    lines = []
     regressions = 0
     for name in sorted(set(fresh) | set(baseline)):
         if name not in fresh:
@@ -86,6 +98,19 @@ def compare_module(path, ref, threshold, lines):
             f"  {name}: {old:,.1f} -> {new:,.1f} {unit} "
             f"({delta:+.1%}){tag}"
         )
+    return lines, regressions
+
+
+def compare_module(path, ref, threshold, lines):
+    """Compare one snapshot file; returns the regression count."""
+    fresh = json.loads(path.read_text())
+    baseline = committed_snapshot(path.name, ref)
+    lines.append(f"{path.name} (baseline: {ref})")
+    if baseline is None:
+        lines.append(f"  no committed baseline at {ref}: new snapshot")
+        return 0
+    diff_lines, regressions = diff_records(fresh, baseline, threshold)
+    lines.extend(diff_lines)
     return regressions
 
 

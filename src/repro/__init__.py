@@ -17,6 +17,14 @@ Quickstart::
     print(result.decoded)                        # bitwise MAJ3(a, b, c)
 """
 
+from repro.backends import (
+    Backend,
+    NumpyBackend,
+    ScipyFFTBackend,
+    available_backends,
+    get_backend,
+    set_backend,
+)
 from repro.materials import FECOB_PMA, YIG, PERMALLOY, Material, get_material
 from repro.physics import (
     FvmswDispersion,
@@ -49,6 +57,12 @@ from repro.core import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "Backend",
+    "NumpyBackend",
+    "ScipyFFTBackend",
+    "available_backends",
+    "get_backend",
+    "set_backend",
     "Material",
     "FECOB_PMA",
     "YIG",

@@ -1,0 +1,282 @@
+"""Pluggable compute backends: precision, FFT engine and thread knobs.
+
+Every hot path in this library used to hardcode float64 NumPy and
+``np.fft``.  This module factors that choice into a qibo-style
+:class:`Backend` object -- a (real, complex) dtype pair plus the array
+constructors, casts, GEMM and real-FFT entry points the kernels consume
+-- so the same code drives
+
+* :class:`NumpyBackend` ``("double")`` -- the default, pinned as ground
+  truth: every cast is a no-op (``asarray`` returns the input object for
+  matching dtypes) and the FFT calls delegate to ``np.fft`` with
+  preallocated ``out=`` buffers, so results are **bit-identical** to the
+  historical float64 path (the <=1e-12 equivalence harnesses in
+  ``tests/test_kernels.py`` / ``tests/test_phasor_equivalence.py`` /
+  ``tests/test_circuit_conformance.py`` pin this);
+* :class:`NumpyBackend` ``("single")`` -- the float32 precision variant:
+  weight matrices, carrier bases, excitation blocks and LLG workspace
+  buffers are held and multiplied in float32/complex64 (half the memory
+  bandwidth of every packed GEMM).  Accuracy: single-precision results
+  track the float64 ground truth to **~1e-5 relative** on weights,
+  phasors and field kernels (float32 eps ~1.2e-7, accumulated over the
+  packed GEMM k-dimension), which leaves decode margins (~0.1-1.0 rad)
+  untouched; use it for throughput sweeps, not for calibrating new
+  physics;
+* :class:`ScipyFFTBackend` -- ``scipy.fft`` with its internally cached
+  plans and a ``workers=`` thread pool driving the
+  :class:`~repro.mm.fields.demag.DemagField` convolution (both
+  precisions).  ``scipy.fft`` has no ``out=`` support, so the demag
+  workspaces copy its results into the preallocated buffers -- the win
+  is plan reuse and multi-threaded transforms on larger meshes, not
+  allocation-freeness.
+
+**Dtype discipline.**  Geometry, frequencies and time grids deliberately
+stay float64 on every backend: a 10 GHz carrier has float32 spacing
+~1 kHz, which would break the exact frequency matching
+(``tol=1e-12``) that :meth:`~repro.waveguide.LinearWaveguideModel.
+phasor_weights` and the steady-state skip rely on.  Only the *bulk
+linear-algebra operands* follow the backend dtype; values are computed
+in float64 and cast once at the GEMM/FFT boundary (`"compute double,
+store backend"`), exactly like qibo re-casts its cached matrices per
+precision.
+
+Selection: pass ``backend=`` to the entry points
+(:class:`~repro.circuits.library.GateBindings`,
+:class:`~repro.circuits.executor.CircuitExecutor`,
+:class:`~repro.waveguide.LinearWaveguideModel`,
+:class:`~repro.mm.kernels.LLGWorkspace`,
+:class:`~repro.mm.fields.demag.DemagField`) or install a process-wide
+default with :func:`set_backend`.  ``set_backend`` affects *newly
+constructed* objects only -- existing workspaces, models and compiled
+artifacts keep the backend they were built with (their buffers and
+caches are already allocated in its dtype), and compiled-circuit caches
+key on :attr:`Backend.key` so a precision flip never serves a
+stale-dtype artifact.
+"""
+
+import numpy as np
+
+from repro.errors import BackendError
+
+_PRECISIONS = {
+    "double": (np.dtype(np.float64), np.dtype(np.complex128)),
+    "single": (np.dtype(np.float32), np.dtype(np.complex64)),
+}
+
+
+class Backend:
+    """Abstract compute backend: one (real, complex) dtype pair + kernels.
+
+    Subclasses set :attr:`name` and implement the FFT pair; everything
+    else has NumPy-generic defaults.  Two backends with equal
+    :attr:`key` produce interchangeable artifacts (same dtypes, same
+    numerics), so ``key`` is what caches -- e.g.
+    :class:`~repro.circuits.compiled.CompiledCircuitCache` -- embed in
+    their keys, while :attr:`tag` is the short human label benchmark
+    rows carry in ``extra_info``.
+    """
+
+    name = "abstract"
+
+    def __init__(self, precision="double", threads=None):
+        try:
+            self.real_dtype, self.complex_dtype = _PRECISIONS[precision]
+        except KeyError:
+            raise BackendError(
+                f"unknown precision {precision!r} "
+                f"(supported: {sorted(_PRECISIONS)})"
+            ) from None
+        self.precision = precision
+        self.threads = None
+        if threads is not None:
+            self.set_threads(threads)
+
+    # -- identity ------------------------------------------------------
+    @property
+    def key(self):
+        """Hashable identity: equal keys -> interchangeable numerics."""
+        return (self.name, self.precision)
+
+    @property
+    def tag(self):
+        """Short label for benchmark rows, e.g. ``"numpy64"``."""
+        bits = "64" if self.precision == "double" else "32"
+        return f"{self.name}{bits}"
+
+    def __repr__(self):
+        return f"{type(self).__name__}({self.precision!r})"
+
+    def __eq__(self, other):
+        return isinstance(other, Backend) and self.key == other.key
+
+    def __hash__(self):
+        return hash(self.key)
+
+    # -- knobs ---------------------------------------------------------
+    def set_threads(self, threads):
+        """Record the worker-thread count; returns self.
+
+        NumPy's BLAS threading is controlled by the environment
+        (``OMP_NUM_THREADS`` and friends) before import, so the base
+        backend only records the knob; :class:`ScipyFFTBackend` feeds it
+        to ``scipy.fft``'s ``workers=``.
+        """
+        threads = int(threads)
+        if threads < 1:
+            raise BackendError(f"threads must be >= 1, got {threads!r}")
+        self.threads = threads
+        return self
+
+    # -- dtype helpers -------------------------------------------------
+    def _dtype(self, kind):
+        if kind == "real":
+            return self.real_dtype
+        if kind == "complex":
+            return self.complex_dtype
+        raise BackendError(f"unknown dtype kind {kind!r}")
+
+    def zeros(self, shape, kind="real"):
+        """Zero-filled backend-dtype array."""
+        return np.zeros(shape, dtype=self._dtype(kind))
+
+    def empty(self, shape, kind="real"):
+        """Uninitialised backend-dtype array."""
+        return np.empty(shape, dtype=self._dtype(kind))
+
+    def asarray(self, array, kind="real"):
+        """``array`` in the backend dtype; the *same object* when it
+        already matches (so the double-precision default never copies,
+        keeping the float64 path bit-identical and cache-friendly)."""
+        return np.asarray(array, dtype=self._dtype(kind))
+
+    # ``cast`` is the qibo-flavoured alias used at GEMM boundaries.
+    cast = asarray
+
+    # -- kernels -------------------------------------------------------
+    def matmul(self, a, b, out=None):
+        """Matrix product in whatever dtype the operands carry."""
+        return np.matmul(a, b, out=out)
+
+    def rfftn(self, array, s, axes, out=None):
+        raise NotImplementedError
+
+    def irfftn(self, array, s, axes, out=None):
+        raise NotImplementedError
+
+
+class NumpyBackend(Backend):
+    """Plain NumPy arrays + ``np.fft`` with ``out=`` buffer reuse.
+
+    ``NumpyBackend("double")`` is the library default and the pinned
+    ground truth; ``NumpyBackend("single")`` is the float32 throughput
+    variant (see the module docstring for its documented ~1e-5
+    tolerance).
+    """
+
+    name = "numpy"
+
+    def rfftn(self, array, s, axes, out=None):
+        """Forward real FFT; ``out=`` reuses a preallocated spectral
+        buffer (bit-identical to the allocating call)."""
+        return np.fft.rfftn(array, s=s, axes=axes, out=out)
+
+    def irfftn(self, array, s, axes, out=None):
+        """Inverse real FFT with the same ``out=`` contract."""
+        return np.fft.irfftn(array, s=s, axes=axes, out=out)
+
+
+class ScipyFFTBackend(Backend):
+    """``scipy.fft`` transforms: cached plans + ``workers`` threading.
+
+    ``scipy.fft`` preserves float32 inputs (unlike the historical
+    ``np.fft``-under-float32 concern) and parallelises multi-axis
+    transforms across ``workers`` threads, but offers no ``out=``; when
+    a buffer is supplied the result is copied into it so callers keep
+    one stable array identity either way.
+    """
+
+    name = "scipy-fft"
+
+    def __init__(self, precision="double", threads=None):
+        try:
+            import scipy.fft as _scipy_fft
+        except ImportError:  # pragma: no cover - scipy ships in the env
+            raise BackendError(
+                "the scipy-fft backend requires scipy, which is not "
+                "importable in this environment"
+            ) from None
+        self._fft = _scipy_fft
+        super().__init__(precision=precision, threads=threads)
+
+    def _workers(self):
+        return self.threads if self.threads is not None else -1
+
+    def rfftn(self, array, s, axes, out=None):
+        result = self._fft.rfftn(array, s=s, axes=axes,
+                                 workers=self._workers())
+        if out is None:
+            return result
+        out[...] = result
+        return out
+
+    def irfftn(self, array, s, axes, out=None):
+        result = self._fft.irfftn(array, s=s, axes=axes,
+                                  workers=self._workers())
+        if out is None:
+            return result
+        out[...] = result
+        return out
+
+
+#: Registry of constructible backends by name (aliases included).
+_REGISTRY = {
+    "numpy": lambda: NumpyBackend("double"),
+    "numpy64": lambda: NumpyBackend("double"),
+    "numpy32": lambda: NumpyBackend("single"),
+    "scipy-fft": lambda: ScipyFFTBackend("double"),
+    "scipy-fft64": lambda: ScipyFFTBackend("double"),
+    "scipy-fft32": lambda: ScipyFFTBackend("single"),
+}
+
+_default_backend = NumpyBackend("double")
+
+
+def available_backends():
+    """Sorted names accepted by :func:`set_backend`."""
+    return sorted(_REGISTRY)
+
+
+def construct_backend(name):
+    """A fresh :class:`Backend` instance for a registry ``name``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise BackendError(
+            f"unknown backend {name!r} "
+            f"(available: {available_backends()})"
+        ) from None
+    return factory()
+
+
+def get_backend():
+    """The process-wide default backend (NumPy/float64 unless changed)."""
+    return _default_backend
+
+
+def set_backend(backend):
+    """Install the process-wide default backend; returns it.
+
+    Accepts a :class:`Backend` instance or a registry name
+    (:func:`available_backends`).  Only objects constructed *after* the
+    call pick it up -- live workspaces, models and compiled artifacts
+    keep the backend their buffers were allocated in.
+    """
+    global _default_backend
+    if isinstance(backend, str):
+        backend = construct_backend(backend)
+    if not isinstance(backend, Backend):
+        raise BackendError(
+            f"expected a Backend instance or name, got {backend!r}"
+        )
+    _default_backend = backend
+    return backend

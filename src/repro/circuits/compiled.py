@@ -359,7 +359,8 @@ class CompiledCircuit:
                 key = tuple(op.operation for op in plan.ops)
                 if key not in stack_memo:
                     stack_memo[key] = LinearWaveguideModel.block_stack_weights(
-                        [op.weights for op in plan.ops]
+                        [op.weights for op in plan.ops],
+                        backend=self.bindings.backend,
                     )
                 plan.weights = stack_memo[key]
 
@@ -397,7 +398,9 @@ class CompiledCircuit:
         excite = self._excite_buffers.get(key)
         if excite is None:
             rows = sum(op.n_cells for op in plan.ops) * n_groups
-            excite = np.zeros((rows, plan.n_sources), dtype=complex)
+            excite = self.bindings.backend.zeros(
+                (rows, plan.n_sources), kind="complex"
+            )
             self._excite_buffers[key] = excite
         return excite
 
@@ -934,8 +937,14 @@ class CompiledCircuitCache:
         return len(self._entries)
 
     def get_or_compile(self, netlist, bindings):
-        """The cached artifact of ``netlist``, compiling on first sight."""
-        key = (netlist_signature(netlist), bindings.n_bits)
+        """The cached artifact of ``netlist``, compiling on first sight.
+
+        The key includes the bindings' backend identity: artifacts bake
+        weights and buffers in the backend dtype, so a float32 artifact
+        must never be served to a float64 caller (or vice versa).
+        """
+        key = (netlist_signature(netlist), bindings.n_bits,
+               bindings.backend.key)
         artifact = self._entries.get(key)
         if artifact is not None:
             self._entries.move_to_end(key)

@@ -136,10 +136,11 @@ class CircuitExecutor:
 
     def __init__(self, n_bits=8, waveguide=None, transducer=None,
                  bindings=None, max_block=64, max_latency=None,
-                 cache_size=16):
+                 cache_size=16, backend=None):
         if bindings is None:
             bindings = GateBindings(
-                n_bits=n_bits, waveguide=waveguide, transducer=transducer
+                n_bits=n_bits, waveguide=waveguide, transducer=transducer,
+                backend=backend,
             )
         self.bindings = bindings
         self.n_bits = bindings.n_bits
@@ -218,7 +219,10 @@ class CircuitExecutor:
             self._run_fallback(request, mode)
             return request.ticket
 
-        key = (request.signature, mode, strict)
+        # Backend identity is part of the coalescing signature: requests
+        # may only share a packed block when their artifacts were
+        # compiled for the same precision / FFT engine.
+        key = (request.signature, mode, strict, self.bindings.backend.key)
         self._queues.setdefault(key, []).append(request)
         self._queue_words[key] = (
             self._queue_words.get(key, 0) + request.n_entries
@@ -287,7 +291,7 @@ class CircuitExecutor:
         self._queue_born.pop(key, None)
         if not requests:
             return
-        signature, mode, _ = key
+        signature, mode = key[0], key[1]
         live = []
         for request in requests:
             # The queue was keyed on the submit-time signature; a

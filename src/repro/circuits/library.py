@@ -92,7 +92,8 @@ class GateBindings:
     weights and trace bases amortise over every netlist it serves.
     """
 
-    def __init__(self, n_bits=8, waveguide=None, transducer=None):
+    def __init__(self, n_bits=8, waveguide=None, transducer=None, backend=None):
+        from repro.backends import get_backend
         from repro.waveguide import Waveguide
 
         if n_bits < 1:
@@ -100,6 +101,7 @@ class GateBindings:
         self.n_bits = int(n_bits)
         self.waveguide = waveguide if waveguide is not None else Waveguide()
         self.transducer = transducer
+        self.backend = backend if backend is not None else get_backend()
         self._model = None
         self._gates = {}
         self._simulators = {}
@@ -109,7 +111,9 @@ class GateBindings:
         if self._model is None:
             from repro.waveguide.linear_model import LinearWaveguideModel
 
-            self._model = LinearWaveguideModel(self.waveguide)
+            self._model = LinearWaveguideModel(
+                self.waveguide, backend=self.backend
+            )
         return self._model
 
     def gate(self, operation):

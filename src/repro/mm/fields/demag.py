@@ -8,8 +8,11 @@ N_zz = 1), adequate for laterally extended ultrathin films and orders of
 magnitude cheaper; the ablation benchmark quantifies the difference.
 """
 
+import warnings
+
 import numpy as np
 
+from repro.backends import get_backend
 from repro.mm.fields.base import FieldTerm
 from repro.mm.fields.newell import demag_tensor
 
@@ -19,46 +22,76 @@ class DemagField(FieldTerm):
 
     The tensor FFTs are precomputed at construction for a given mesh, so
     each field evaluation costs 3 forward and 3 inverse real FFTs.
+
+    ``backend`` (default :func:`repro.backends.get_backend`) supplies
+    the FFT engine and the working dtype: the Newell tensor spectra are
+    always computed in float64 and then cast, while the padded input,
+    spectral and inverse-transform buffers are preallocated once in the
+    backend dtype and reused through the backend's ``out=``-style FFT
+    calls -- on the default NumPy backend a field evaluation performs
+    no heap allocation at all.
     """
 
     _TENSOR_ROWS = (("xx", "xy", "xz"), ("xy", "yy", "yz"), ("xz", "yz", "zz"))
 
-    def __init__(self, mesh):
+    def __init__(self, mesh, backend=None):
         self.mesh = mesh
+        self.backend = backend if backend is not None else get_backend()
         self._padded = tuple(2 * n if n > 1 else 1 for n in mesh.shape)
         tensor = demag_tensor(mesh, self._padded)
         self._axes = (0, 1, 2)
+        # Tensor spectra: compute double, store backend (the cast is a
+        # no-op on the default backend).
         self._n_hat = {
-            key: np.fft.rfftn(component, s=self._padded, axes=self._axes)
+            key: self.backend.cast(
+                np.fft.rfftn(component, s=self._padded, axes=self._axes),
+                kind="complex",
+            )
             for key, component in tensor.items()
         }
-        # Reusable FFT input / spectral accumulation buffers: the zero
-        # padding of ``_pad`` is written once here and never touched
-        # again (field evaluations only overwrite the [:nx,:ny,:nz]
-        # corner), so each call performs no allocation beyond what
-        # ``np.fft`` itself returns.
+        # Reusable FFT workspaces: the zero padding of ``_pad`` is
+        # written once here and never touched again (field evaluations
+        # only overwrite the [:nx,:ny,:nz] corner); the magnetisation
+        # spectra, the accumulators and the inverse-transform output all
+        # live in preallocated buffers the backend FFTs fill in place.
         spectral_shape = self._n_hat["xx"].shape
-        self._pad = np.zeros(self._padded, dtype=float)
-        self._m_hat = [None, None, None]
-        self._acc = np.empty(spectral_shape, dtype=complex)
-        self._spec_tmp = np.empty(spectral_shape, dtype=complex)
+        self._pad = self.backend.zeros(self._padded, kind="real")
+        self._m_hat = [
+            self.backend.empty(spectral_shape, kind="complex")
+            for _ in range(3)
+        ]
+        self._acc = self.backend.empty(spectral_shape, kind="complex")
+        self._spec_tmp = self.backend.empty(spectral_shape, kind="complex")
+        self._full = self.backend.empty(self._padded, kind="real")
 
     def _check_state(self, state):
-        if state.mesh.shape != self.mesh.shape:
+        mesh = state.mesh
+        if mesh.shape != self.mesh.shape or (
+            (mesh.dx, mesh.dy, mesh.dz)
+            != (self.mesh.dx, self.mesh.dy, self.mesh.dz)
+        ):
+            # Cell geometry matters as much as shape: the precomputed
+            # Newell tensor encodes dx/dy/dz, so a same-shape mesh with
+            # different cells would silently convolve against the wrong
+            # tensor.
             raise ValueError(
-                f"state mesh {state.mesh.shape} does not match the mesh this "
-                f"DemagField was built for {self.mesh.shape}"
+                f"state mesh (shape {mesh.shape}, cell "
+                f"({mesh.dx!r}, {mesh.dy!r}, {mesh.dz!r})) does not match "
+                f"the mesh this DemagField was built for (shape "
+                f"{self.mesh.shape}, cell ({self.mesh.dx!r}, "
+                f"{self.mesh.dy!r}, {self.mesh.dz!r}))"
             )
 
     def _spectra(self, state):
-        """Forward FFTs of Ms*m, reusing the padded input buffer."""
+        """Forward FFTs of Ms*m into the preallocated spectral buffers."""
         nx, ny, nz = self.mesh.shape
         ms = state.material.ms
         corner = self._pad[:nx, :ny, :nz]
         for comp in range(3):
             np.multiply(state.m[..., comp], ms, out=corner)
-            self._m_hat[comp] = np.fft.rfftn(
-                self._pad, s=self._padded, axes=self._axes
+            self._m_hat[comp] = self.backend.rfftn(
+                self._pad, s=self._padded, axes=self._axes,
+                out=self._m_hat[comp],
             )
         return self._m_hat
 
@@ -70,9 +103,11 @@ class DemagField(FieldTerm):
     def add_field_into(self, state, out, t=0.0):
         """Accumulate the FFT-convolution demag field into ``out``.
 
-        The padded real input buffer and the spectral accumulators are
-        reused across calls; the tensor contraction runs through in-place
-        ufuncs so only the unavoidable ``np.fft`` outputs allocate.
+        The padded real input buffer, the spectral accumulators and the
+        inverse-transform output are all reused across calls; the tensor
+        contraction runs through in-place ufuncs, so on backends with
+        ``out=`` FFT support (the NumPy default) the whole evaluation is
+        allocation-free.
         """
         self._check_state(state)
         m_hat = self._spectra(state)
@@ -84,7 +119,9 @@ class DemagField(FieldTerm):
             acc += tmp
             np.multiply(self._n_hat[row[2]], m_hat[2], out=tmp)
             acc += tmp
-            full = np.fft.irfftn(acc, s=self._padded, axes=self._axes)
+            full = self.backend.irfftn(
+                acc, s=self._padded, axes=self._axes, out=self._full
+            )
             out[..., comp] -= full[:nx, :ny, :nz]
         return out
 
@@ -96,7 +133,9 @@ class ThinFilmDemagField(FieldTerm):
     1 nm x 50 nm cross-section waveguides it captures the dominant
     perpendicular shape anisotropy at negligible cost.  A general
     diagonal factor tuple ``(n_x, n_y, n_z)`` may be supplied for other
-    shapes (it should sum to 1).
+    shapes; the factors must sum to ~1 (the demag tensor's trace), and
+    clearly unphysical sums (<= 0 or > 1.5, e.g. a transposed or typo'd
+    tuple) are rejected outright while mild deviations only warn.
     """
 
     def __init__(self, factors=(0.0, 0.0, 1.0)):
@@ -105,6 +144,19 @@ class ThinFilmDemagField(FieldTerm):
             raise ValueError(f"need 3 demag factors, got {factors!r}")
         if any(f < 0 for f in factors):
             raise ValueError(f"demag factors must be non-negative: {factors!r}")
+        total = sum(factors)
+        if total <= 0.0 or total > 1.5:
+            raise ValueError(
+                f"demag factors should sum to ~1 (tensor trace), got sum "
+                f"{total!r} from {factors!r}"
+            )
+        if abs(total - 1.0) > 1e-6:
+            warnings.warn(
+                f"demag factors {factors!r} sum to {total!r}, not 1; the "
+                "diagonal approximation then violates the demag tensor's "
+                "trace and skews the anisotropy fusion",
+                stacklevel=2,
+            )
         self.factors = factors
 
     def field(self, state, t=0.0):

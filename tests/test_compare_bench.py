@@ -1,0 +1,115 @@
+"""Unit tests for the benchmark snapshot differ (benchmarks/compare_bench).
+
+The differ gates bench-refresh commits, so its failure modes matter:
+a snapshot row that exists only in the fresh file -- a bench just
+added, or an existing bench re-run under a new compute-backend tag --
+must be reported informationally and never crash or gate, and corrupt
+rows must degrade to "not comparable" instead of taking the whole
+comparison down.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load():
+    spec = importlib.util.spec_from_file_location(
+        "compare_bench", ROOT / "benchmarks" / "compare_bench.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("compare_bench", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+compare_bench = _load()
+
+
+def _row(words_per_second):
+    return {"extra_info": {"words_per_second": words_per_second}}
+
+
+class TestThroughput:
+    def test_words_per_second_preferred(self):
+        assert compare_bench.throughput(_row(1000.0)) == (1000.0, "words/s")
+
+    def test_ops_fallback(self):
+        assert compare_bench.throughput({"ops": 50.0}) == (50.0, "ops/s")
+
+    def test_mean_fallback(self):
+        value, unit = compare_bench.throughput({"mean": 0.25})
+        assert (value, unit) == (4.0, "runs/s")
+
+    def test_malformed_records_return_none(self):
+        assert compare_bench.throughput(None) == (None, None)
+        assert compare_bench.throughput("junk") == (None, None)
+        assert compare_bench.throughput({"mean": "fast"}) == (None, None)
+        assert compare_bench.throughput({"mean": 0.0}) == (None, None)
+        assert compare_bench.throughput(
+            {"extra_info": {"words_per_second": None}}
+        ) == (None, None)
+
+
+class TestDiffRecords:
+    def test_common_rows_compared_and_gated(self):
+        fresh = {"bench_a": _row(500.0), "bench_b": _row(1000.0)}
+        baseline = {"bench_a": _row(1000.0), "bench_b": _row(1000.0)}
+        lines, regressions = compare_bench.diff_records(
+            fresh, baseline, threshold=0.25
+        )
+        assert regressions == 1
+        assert any("REGRESSION" in line and "bench_a" in line
+                   for line in lines)
+
+    def test_new_backend_tag_rows_informational(self):
+        """A fresh snapshot gaining rows for a new backend tag (e.g. a
+        float32 variant of an existing bench) must not crash or gate
+        when the committed baseline has no matching rows."""
+        fresh = {
+            "test_packed": _row(1000.0),
+            "test_packed_float32": _row(2000.0),
+        }
+        baseline = {"test_packed": _row(1000.0)}
+        lines, regressions = compare_bench.diff_records(
+            fresh, baseline, threshold=0.25
+        )
+        assert regressions == 0
+        new_lines = [line for line in lines if "new bench" in line]
+        assert len(new_lines) == 1
+        assert "test_packed_float32" in new_lines[0]
+        assert "2,000.0 words/s" in new_lines[0]
+
+    def test_removed_rows_reported_not_gated(self):
+        lines, regressions = compare_bench.diff_records(
+            {}, {"gone": _row(10.0)}, threshold=0.25
+        )
+        assert regressions == 0
+        assert lines == ["  gone: REMOVED (was in baseline)"]
+
+    def test_malformed_baseline_row_tolerated(self):
+        fresh = {"bench": _row(100.0)}
+        baseline = {"bench": {"extra_info": {"words_per_second": "NaN?"}}}
+        lines, regressions = compare_bench.diff_records(
+            fresh, baseline, threshold=0.25
+        )
+        assert regressions == 0
+        assert lines == ["  bench: metrics not comparable"]
+
+    def test_unit_mismatch_not_comparable(self):
+        fresh = {"bench": {"ops": 10.0}}
+        baseline = {"bench": _row(10.0)}
+        lines, regressions = compare_bench.diff_records(
+            fresh, baseline, threshold=0.25
+        )
+        assert regressions == 0
+        assert "not comparable" in lines[0]
+
+    def test_improvement_never_gates(self):
+        lines, regressions = compare_bench.diff_records(
+            {"bench": _row(4000.0)}, {"bench": _row(1000.0)}, threshold=0.25
+        )
+        assert regressions == 0
+        assert "+300.0%" in lines[0]

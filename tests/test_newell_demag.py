@@ -161,6 +161,21 @@ class TestDemagField:
         with pytest.raises(ValueError):
             term.field(state)
 
+    def test_cell_geometry_mismatch_rejected(self):
+        # Same shape, different cell size: the precomputed Newell tensor
+        # encodes dx/dy/dz, so this must be rejected, not silently
+        # convolved against the wrong tensor.
+        mesh_a = Mesh(4, 4, 1, 2e-9, 2e-9, 1e-9)
+        mesh_b = Mesh(4, 4, 1, 5e-9, 2e-9, 1e-9)
+        term = DemagField(mesh_a)
+        state = State.uniform(mesh_b, FECOB_PMA)
+        with pytest.raises(ValueError, match="cell"):
+            term.field(state)
+        # Both geometries appear in the message so the mismatch is
+        # diagnosable from the traceback alone.
+        with pytest.raises(ValueError, match="5e-09"):
+            term.field(state)
+
     def test_matches_thin_film_approximation(self):
         # For a laterally large ultrathin film the full solver and the
         # local N_z=1 approximation agree in the interior.
@@ -195,3 +210,24 @@ class TestThinFilmDemag:
             ThinFilmDemagField(factors=(1.0, 0.0))
         with pytest.raises(ValueError):
             ThinFilmDemagField(factors=(-0.1, 0.5, 0.6))
+
+    def test_factor_sum_clearly_unphysical_rejected(self):
+        # The demag tensor's trace is 1; a zero or wildly large sum is a
+        # transposed/typo'd tuple, not a physical shape.
+        with pytest.raises(ValueError, match="sum"):
+            ThinFilmDemagField(factors=(0.0, 0.0, 0.0))
+        with pytest.raises(ValueError, match="sum"):
+            ThinFilmDemagField(factors=(1.0, 1.0, 1.0))
+
+    def test_factor_sum_mild_deviation_warns(self):
+        with pytest.warns(UserWarning, match="sum to"):
+            term = ThinFilmDemagField(factors=(0.0, 0.0, 0.5))
+        assert term.factors == (0.0, 0.0, 0.5)
+
+    def test_factor_sum_of_one_is_silent(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            ThinFilmDemagField(factors=(0.5, 0.25, 0.25))
+            ThinFilmDemagField()
