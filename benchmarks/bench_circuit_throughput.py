@@ -85,12 +85,42 @@ def _record(benchmark, engine, netlist, batch, mode):
     benchmark.extra_info["words_per_second"] = len(batch) / mean
 
 
+def _with_hit_rates(metrics):
+    """Derive ``<cache>.hit_rate`` entries from hits/misses counters."""
+    for name in [n for n in metrics if n.endswith(".hits")]:
+        base = name[: -len(".hits")]
+        hits = metrics[name]
+        misses = metrics.get(base + ".misses", 0)
+        if hits + misses:
+            metrics[base + ".hit_rate"] = hits / (hits + misses)
+    return metrics
+
+
+def _run_metrics(fn):
+    """Efficiency counters (GEMM counts, cache hit rates) for one run.
+
+    Routes the library's obs instrumentation into a fresh registry for
+    one execution of ``fn``, so the ``metrics`` sub-dict in the bench
+    JSON reflects exactly one steady-state run --
+    ``benchmarks/compare_bench.py`` diffs it across PRs.
+    """
+    from repro import obs
+
+    registry = obs.MetricsRegistry(enabled=False)
+    with obs.use_registry(registry):
+        fn()
+    return _with_hit_rates(dict(registry.snapshot()["counters"]))
+
+
 def test_engine_packed_throughput(benchmark, adder_setup):
     """Steady-state packed serving: the compiled-reuse acceptance row."""
     engine, netlist, batch = adder_setup
     result = benchmark(engine.run, batch)
     assert result.correct
     _record(benchmark, engine, netlist, batch, "packed")
+    benchmark.extra_info["metrics"] = _run_metrics(
+        lambda: engine.run(batch)
+    )
 
 
 def test_engine_per_op_throughput(benchmark, adder_setup):
@@ -123,6 +153,85 @@ def test_engine_scalar_cascade_throughput(benchmark, adder_setup):
     result = benchmark(engine.run_scalar, batch)
     assert result.correct
     _record(benchmark, engine, netlist, batch, "scalar")
+
+
+def test_executor_coalesced_throughput(benchmark, adder_setup):
+    """Coalesced serving: the batch split into per-group requests.
+
+    Every round submits ``N_GROUPS`` independent requests that the
+    executor coalesces into one packed block, so this row carries the
+    serving-efficiency metrics (compile-cache hit rate, coalescing
+    counters, queue latency) that ``compare_bench.py`` watches for
+    regressions.
+    """
+    from repro.circuits import CircuitExecutor
+
+    engine, netlist, batch = adder_setup
+    executor = CircuitExecutor(bindings=engine.bindings)
+    requests = [
+        batch[i * N_BITS : (i + 1) * N_BITS] for i in range(N_GROUPS)
+    ]
+    executor.submit(netlist, requests[0]).result()  # warm the compile
+
+    def serve():
+        tickets = [executor.submit(netlist, r) for r in requests]
+        return [t.result() for t in tickets]
+
+    results = benchmark(serve)
+    assert all(r.correct for r in results)
+    _record(benchmark, engine, netlist, batch, "coalesced")
+    benchmark.extra_info["metrics"] = _with_hit_rates(
+        dict(executor.obs.snapshot()["counters"])
+    )
+
+
+def test_obs_disabled_overhead(benchmark, adder_setup):
+    """Disabled instrumentation must cost <2% of a packed rca4 run.
+
+    The benchmarked callable is the disabled fast path itself (one
+    ``enabled`` attribute check plus the shared no-op context manager);
+    the assertion amortises its measured per-call cost over the number
+    of gated instrumentation calls one packed run actually makes.
+    """
+    import time as _time
+
+    from repro import obs
+
+    engine, netlist, batch = adder_setup
+
+    # Count the gated instrumentation calls in one packed run.
+    probe = obs.MetricsRegistry(enabled=True)
+    with obs.use_registry(probe):
+        engine.run(batch)
+
+    def span_count(nodes):
+        return sum(n["count"] + span_count(n["children"]) for n in nodes)
+
+    spans_per_run = span_count(probe.snapshot()["spans"])
+    assert spans_per_run > 0  # the run is instrumented
+
+    disabled = obs.MetricsRegistry(enabled=False)
+    n_calls = 100_000
+
+    def noop_spans():
+        span = disabled.span
+        for _ in range(n_calls):
+            with span("x"):
+                pass
+
+    benchmark(noop_spans)
+    per_call = benchmark.stats.stats.mean / n_calls
+
+    started = _time.perf_counter()
+    engine.run(batch)
+    run_elapsed = _time.perf_counter() - started
+    overhead = spans_per_run * per_call / run_elapsed
+    benchmark.extra_info["mode"] = "obs-overhead"
+    benchmark.extra_info["backend"] = engine.bindings.backend.tag
+    benchmark.extra_info["spans_per_run"] = spans_per_run
+    benchmark.extra_info["noop_span_ns"] = per_call * 1e9
+    benchmark.extra_info["overhead_fraction"] = overhead
+    assert overhead < 0.02
 
 
 @pytest.fixture(scope="module")

@@ -64,6 +64,53 @@ def throughput(record):
         return None, None
 
 
+#: Relative drop in a ``*.hit_rate`` metric (in rate points, 0-1 scale)
+#: that triggers an efficiency warning.
+HIT_RATE_DROP = 0.10
+
+
+def bench_metrics(record):
+    """The efficiency ``metrics`` sub-dict of one bench record, or {}.
+
+    Tolerates malformed records the same way :func:`throughput` does:
+    anything that is not a dict of metrics reads as empty.
+    """
+    if not isinstance(record, dict):
+        return {}
+    extra = record.get("extra_info", {})
+    if not isinstance(extra, dict):
+        return {}
+    metrics = extra.get("metrics", {})
+    return metrics if isinstance(metrics, dict) else {}
+
+
+def diff_metrics(name, fresh_record, baseline_record):
+    """Efficiency-warning lines for one bench's ``metrics`` sub-dict.
+
+    Warns (never gates) on cache hit-rate collapses: any ``*.hit_rate``
+    metric present in both snapshots that dropped by more than
+    ``HIT_RATE_DROP`` points -- a compile-cache that stopped hitting is
+    an efficiency regression even when throughput hasn't (yet) moved.
+    """
+    fresh = bench_metrics(fresh_record)
+    baseline = bench_metrics(baseline_record)
+    lines = []
+    for key in sorted(set(fresh) & set(baseline)):
+        if not key.endswith(".hit_rate"):
+            continue
+        try:
+            new, old = float(fresh[key]), float(baseline[key])
+        except (TypeError, ValueError):
+            continue
+        if old - new > HIT_RATE_DROP:
+            lines.append(
+                f"    WARNING {name}: {key} dropped "
+                f"{old:.1%} -> {new:.1%} "
+                f"(>{HIT_RATE_DROP:.0%} points)"
+            )
+    return lines
+
+
 def diff_records(fresh, baseline, threshold):
     """Diff two snapshot dicts; returns ``(lines, regression_count)``.
 
@@ -71,7 +118,9 @@ def diff_records(fresh, baseline, threshold):
     existing bench re-tagged for a new compute backend) are reported as
     informational "new bench" lines and never gate; rows present only
     in ``baseline`` are reported as removed.  Only rows common to both
-    snapshots can count as regressions.
+    snapshots can count as regressions.  Efficiency warnings from the
+    ``metrics`` sub-dict (cache hit-rate collapses) are appended per
+    row but never count as regressions.
     """
     lines = []
     regressions = 0
@@ -88,6 +137,7 @@ def diff_records(fresh, baseline, threshold):
         old, old_unit = throughput(baseline[name])
         if new is None or old is None or unit != old_unit or old == 0:
             lines.append(f"  {name}: metrics not comparable")
+            lines.extend(diff_metrics(name, fresh[name], baseline[name]))
             continue
         delta = (new - old) / old
         tag = ""
@@ -98,6 +148,7 @@ def diff_records(fresh, baseline, threshold):
             f"  {name}: {old:,.1f} -> {new:,.1f} {unit} "
             f"({delta:+.1%}){tag}"
         )
+        lines.extend(diff_metrics(name, fresh[name], baseline[name]))
     return lines, regressions
 
 

@@ -17,6 +17,7 @@ Quickstart::
     print(result.decoded)                        # bitwise MAJ3(a, b, c)
 """
 
+from repro import obs
 from repro.backends import (
     Backend,
     NumpyBackend,
@@ -25,6 +26,7 @@ from repro.backends import (
     get_backend,
     set_backend,
 )
+from repro.obs import MetricsRegistry
 from repro.materials import FECOB_PMA, YIG, PERMALLOY, Material, get_material
 from repro.physics import (
     FvmswDispersion,
@@ -57,6 +59,8 @@ from repro.core import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "obs",
+    "MetricsRegistry",
     "Backend",
     "NumpyBackend",
     "ScipyFFTBackend",

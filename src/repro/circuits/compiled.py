@@ -49,6 +49,7 @@ from dataclasses import replace
 
 import numpy as np
 
+from repro import obs
 from repro.circuits.engine import (
     CellFault,
     CellRecord,
@@ -214,10 +215,17 @@ class CompiledCircuit:
         self.topology_revision = netlist.topology_revision
         self.packable = True
         self.unpackable_reason = None
-        self._stage_levelise()
-        self._stage_allocate_slots()
-        self._stage_pack_levels()
-        self._stage_calibrate()
+        registry = obs.get_registry()
+        with registry.span("compile_circuit"):
+            with registry.span("levelise"):
+                self._stage_levelise()
+            with registry.span("allocate"):
+                self._stage_allocate_slots()
+            with registry.span("pack"):
+                self._stage_pack_levels()
+            with registry.span("calibrate"):
+                self._stage_calibrate()
+        registry.inc("circuit.compiles")
         # Per-shape run scratch, grown lazily and reused across runs.
         self._value_buffers = {}
         self._failed_buffers = {}
@@ -496,6 +504,8 @@ class CompiledCircuit:
         level_data = []
         dead_meta = []
         draws = {}
+        registry = obs.get_registry()
+        registry.inc("circuit.packed_runs")
         for level_index, plan in enumerate(self.levels):
             if plan.v_out is not None:
                 source = buf[plan.v_src]
@@ -505,15 +515,19 @@ class CompiledCircuit:
             op_data = []
             if plan.ops:
                 if mode == "trace":
-                    self._execute_level_trace(
-                        plan, buf, failed, n_groups, n_valid, contexts,
-                        group_faults, op_data, dead_meta,
-                    )
+                    with registry.span("circuit/level/trace"):
+                        self._execute_level_trace(
+                            plan, buf, failed, n_groups, n_valid, contexts,
+                            group_faults, op_data, dead_meta,
+                        )
                 else:
-                    self._execute_level_phasor(
-                        level_index, plan, buf, failed, n_groups, n_valid,
-                        contexts, group_faults, draws, op_data, dead_meta,
-                    )
+                    registry.inc("circuit.level_gemms")
+                    with registry.span("circuit/level/phasor"):
+                        self._execute_level_phasor(
+                            level_index, plan, buf, failed, n_groups,
+                            n_valid, contexts, group_faults, draws, op_data,
+                            dead_meta,
+                        )
             level_data.append(op_data)
         return _PackedRun(
             n_groups=n_groups,
@@ -921,20 +935,48 @@ class CompiledCircuitCache:
     ``(signature, n_bits)``, so equal netlists compiled at one width
     share an artifact while the physics configuration stays implicit in
     the owner's bindings.
+
+    Hit/miss/eviction counts live on a :class:`~repro.obs.MetricsRegistry`
+    (``obs``; the executor shares its own so one snapshot covers serving
+    and compile-cache behaviour together) under ``compile_cache.*``
+    names; the historical ``hits``/``misses`` attributes remain as
+    read-only properties.
     """
 
-    def __init__(self, max_entries=16):
+    def __init__(self, max_entries=16, obs=None):
         if max_entries < 1:
             raise NetlistError(
                 f"max_entries must be >= 1, got {max_entries!r}"
             )
         self.max_entries = int(max_entries)
         self._entries = OrderedDict()
-        self.hits = 0
-        self.misses = 0
+        from repro.obs import MetricsRegistry
+
+        self.obs = obs if obs is not None else MetricsRegistry()
 
     def __len__(self):
         return len(self._entries)
+
+    @property
+    def hits(self):
+        """Lookups served from the cache (registry-backed)."""
+        return self.obs.counter("compile_cache.hits")
+
+    @property
+    def misses(self):
+        """Lookups that compiled a fresh artifact (registry-backed)."""
+        return self.obs.counter("compile_cache.misses")
+
+    @property
+    def evictions(self):
+        """Artifacts dropped by the LRU bound (registry-backed)."""
+        return self.obs.counter("compile_cache.evictions")
+
+    @property
+    def hit_rate(self):
+        """hits / (hits + misses), or None before any lookup."""
+        total = self.hits + self.misses
+        return self.hits / total if total else None
 
     def get_or_compile(self, netlist, bindings):
         """The cached artifact of ``netlist``, compiling on first sight.
@@ -948,13 +990,14 @@ class CompiledCircuitCache:
         artifact = self._entries.get(key)
         if artifact is not None:
             self._entries.move_to_end(key)
-            self.hits += 1
+            self.obs.inc("compile_cache.hits")
             return artifact
-        self.misses += 1
+        self.obs.inc("compile_cache.misses")
         artifact = compile_circuit(netlist, bindings)
         self._entries[key] = artifact
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
+            self.obs.inc("compile_cache.evictions")
         return artifact
 
     def clear(self):

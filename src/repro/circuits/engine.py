@@ -76,6 +76,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro import obs
 from repro.circuits.library import PHYSICAL_BINDINGS, GateBindings
 from repro.core.faults import TransducerFault
 from repro.errors import NetlistError, ReproError, SimulationError
@@ -509,43 +510,47 @@ class CircuitEngine:
                     bits=values[node.name][:n_entries].tolist(),
                 )
             n_physical = sum(len(nodes) for nodes in physical.values())
-            for operation in sorted(physical):
-                nominal = []
-                faulted = []
-                for node in physical[operation]:
-                    (faulted if node.name in fault_map else nominal).append(node)
-                if nominal:
-                    self._evaluate_cells(
-                        self.simulator_for(operation),
-                        nominal,
-                        values,
-                        failed,
-                        records,
-                        level_margins,
-                        noise=noise,
-                        n_entries=n_entries,
-                        n_groups=n_groups,
-                        level=level,
-                        strict=strict,
-                        batched=batched,
-                        mode=mode,
-                    )
-                for node in faulted:
-                    self._evaluate_cells(
-                        self._faulty_simulator(operation, fault_map[node.name]),
-                        [node],
-                        values,
-                        failed,
-                        records,
-                        level_margins,
-                        noise=noise,
-                        n_entries=n_entries,
-                        n_groups=n_groups,
-                        level=level,
-                        strict=strict,
-                        batched=batched,
-                        mode=mode,
-                    )
+            with obs.span(f"circuit/level/{mode}"):
+                for operation in sorted(physical):
+                    nominal = []
+                    faulted = []
+                    for node in physical[operation]:
+                        (faulted if node.name in fault_map
+                         else nominal).append(node)
+                    if nominal:
+                        self._evaluate_cells(
+                            self.simulator_for(operation),
+                            nominal,
+                            values,
+                            failed,
+                            records,
+                            level_margins,
+                            noise=noise,
+                            n_entries=n_entries,
+                            n_groups=n_groups,
+                            level=level,
+                            strict=strict,
+                            batched=batched,
+                            mode=mode,
+                        )
+                    for node in faulted:
+                        self._evaluate_cells(
+                            self._faulty_simulator(
+                                operation, fault_map[node.name]
+                            ),
+                            [node],
+                            values,
+                            failed,
+                            records,
+                            level_margins,
+                            noise=noise,
+                            n_entries=n_entries,
+                            n_groups=n_groups,
+                            level=level,
+                            strict=strict,
+                            batched=batched,
+                            mode=mode,
+                        )
             level_reports.append(
                 LevelReport(
                     level=level,

@@ -46,6 +46,7 @@ import time
 
 import numpy as np
 
+from repro import obs as _obs
 from repro.circuits.compiled import (
     CompiledCircuitCache,
     _normalise_faults,
@@ -107,6 +108,7 @@ class _Request:
     __slots__ = (
         "netlist", "batch", "faults", "fault_map", "noise", "strict",
         "ticket", "n_entries", "n_groups", "input_columns", "signature",
+        "born",
     )
 
 
@@ -132,11 +134,28 @@ class CircuitExecutor:
         thread -- so latency-based flushes piggyback on traffic).
     cache_size:
         LRU capacity of the compile cache (distinct netlist signatures).
+    obs:
+        Optional :class:`~repro.obs.MetricsRegistry` holding this
+        executor's serving metrics (and, shared onward, its compile
+        cache's counters).  Defaults to a private registry so two
+        executors in one process never mix counts; pass one explicitly
+        to aggregate serving stats into a wider scope (the CLI's
+        ``--profile`` report merges it into the process-global view).
     """
+
+    #: Counter names (under ``executor.``) surfaced by :attr:`stats`.
+    _STAT_KEYS = (
+        "requests", "words", "blocks", "coalesced_requests", "fallbacks",
+    )
+    #: Per-request failure classes counted under ``executor.errors.``:
+    #: strict decode failures, netlists mutated between submit and
+    #: flush, block-level flush exceptions, engine-fallback errors and
+    #: any other per-request failure (e.g. result construction).
+    _ERROR_KEYS = ("decode", "mutated", "flush", "fallback", "request")
 
     def __init__(self, n_bits=8, waveguide=None, transducer=None,
                  bindings=None, max_block=64, max_latency=None,
-                 cache_size=16, backend=None):
+                 cache_size=16, backend=None, obs=None):
         if bindings is None:
             bindings = GateBindings(
                 n_bits=n_bits, waveguide=waveguide, transducer=transducer,
@@ -150,18 +169,40 @@ class CircuitExecutor:
             )
         self.max_block = int(max_block)
         self.max_latency = None if max_latency is None else float(max_latency)
-        self.cache = CompiledCircuitCache(max_entries=cache_size)
+        self.obs = obs if obs is not None else _obs.MetricsRegistry()
+        self.cache = CompiledCircuitCache(
+            max_entries=cache_size, obs=self.obs
+        )
         self._queues = {}       # key -> list of _Request
         self._queue_words = {}  # key -> pending word count
         self._queue_born = {}   # key -> monotonic time of oldest request
         self._engines = {}      # signature -> fallback CircuitEngine
-        self.stats = {
-            "requests": 0,
-            "words": 0,
-            "blocks": 0,
-            "coalesced_requests": 0,
-            "fallbacks": 0,
+
+    @property
+    def stats(self):
+        """Serving counters, rendered from the metrics registry.
+
+        Same keys as the pre-obs ad-hoc dict (``requests``, ``words``,
+        ``blocks``, ``coalesced_requests``, ``fallbacks``) plus an
+        ``errors`` sub-dict of per-request failure counters.
+        """
+        stats = {
+            key: self.obs.counter(f"executor.{key}")
+            for key in self._STAT_KEYS
         }
+        stats["errors"] = {
+            key: self.obs.counter(f"executor.errors.{key}")
+            for key in self._ERROR_KEYS
+        }
+        return stats
+
+    @property
+    def error_count(self):
+        """Total requests resolved with an error instead of a result."""
+        return sum(
+            self.obs.counter(f"executor.errors.{key}")
+            for key in self._ERROR_KEYS
+        )
 
     # ------------------------------------------------------------------
     # Submission
@@ -208,8 +249,9 @@ class CircuitExecutor:
         request.n_groups = -(-request.n_entries // self.n_bits)
         request.input_columns = self._input_columns(netlist, batch)
         request.signature = netlist_signature(netlist)
-        self.stats["requests"] += 1
-        self.stats["words"] += request.n_entries
+        request.born = time.monotonic()
+        self.obs.inc("executor.requests")
+        self.obs.inc("executor.words", request.n_entries)
 
         if (noise is not None and noise.position_sigma > 0) or (
             not physics_pristine()
@@ -286,11 +328,24 @@ class CircuitExecutor:
         return sum(self._queue_words.values())
 
     def _flush_queue(self, key):
-        requests = self._queues.pop(key, None)
-        self._queue_words.pop(key, None)
-        self._queue_born.pop(key, None)
+        # Per-key queue state is cleared in the ``finally`` below: a
+        # flush that raises anywhere must never leave a stale
+        # ``_queue_born`` (or words/requests) entry behind, or the
+        # max_latency sweep would keep "flushing" a ghost key forever
+        # while real bookkeeping drifted.
+        try:
+            self._flush_requests(key, self._queues.get(key, ()))
+        finally:
+            self._queues.pop(key, None)
+            self._queue_words.pop(key, None)
+            self._queue_born.pop(key, None)
+
+    def _flush_requests(self, key, requests):
         if not requests:
             return
+        now = time.monotonic()
+        for request in requests:
+            self.obs.observe("executor.queue_latency_s", now - request.born)
         signature, mode = key[0], key[1]
         live = []
         for request in requests:
@@ -299,6 +354,7 @@ class CircuitExecutor:
             # stale artifact (or, worse, silently against the new
             # topology while its neighbours expect the old one).
             if netlist_signature(request.netlist) != signature:
+                self.obs.inc("executor.errors.mutated")
                 request.ticket._resolve(error=NetlistError(
                     f"netlist {request.netlist.name!r} was mutated "
                     "between submit and flush; re-submit the request"
@@ -308,55 +364,71 @@ class CircuitExecutor:
         requests = live
         if not requests:
             return
-        artifact = self.cache.get_or_compile(
-            requests[0].netlist, self.bindings
-        )
-        if not artifact.packable:
-            for request in requests:
-                self._run_fallback(request, mode)
-            return
-        n_bits = self.n_bits
-        total_groups = sum(r.n_groups for r in requests)
-        padded = total_groups * n_bits
-        buf, failed = artifact._buffers(padded)
-        contexts = []
-        group_faults = []
-        n_valid = []
-        spans = []
-        group_cursor = 0
-        for request in requests:
-            start = group_cursor * n_bits
-            end = (group_cursor + request.n_groups) * n_bits
-            for name, column in request.input_columns.items():
-                row = buf[artifact._slots[name]]
-                row[start + request.n_entries : end] = 0
-                row[start : start + request.n_entries] = column
-            for group in range(request.n_groups):
-                contexts.append((request.noise, request.n_groups, group))
-                group_faults.append(request.fault_map)
-                n_valid.append(
-                    min(request.n_entries - group * n_bits, n_bits)
-                )
-            spans.append(
-                (request, group_cursor, group_cursor + request.n_groups)
-            )
-            group_cursor += request.n_groups
         try:
-            packed = artifact._execute_padded(
-                buf, failed, total_groups, n_valid, contexts, group_faults,
-                mode,
-            )
+            with _obs.span("executor/flush"):
+                artifact = self.cache.get_or_compile(
+                    requests[0].netlist, self.bindings
+                )
+                if not artifact.packable:
+                    for request in requests:
+                        self._run_fallback(request, mode)
+                    return
+                n_bits = self.n_bits
+                total_groups = sum(r.n_groups for r in requests)
+                padded = total_groups * n_bits
+                buf, failed = artifact._buffers(padded)
+                contexts = []
+                group_faults = []
+                n_valid = []
+                spans = []
+                group_cursor = 0
+                for request in requests:
+                    start = group_cursor * n_bits
+                    end = (group_cursor + request.n_groups) * n_bits
+                    for name, column in request.input_columns.items():
+                        row = buf[artifact._slots[name]]
+                        row[start + request.n_entries : end] = 0
+                        row[start : start + request.n_entries] = column
+                    for group in range(request.n_groups):
+                        contexts.append(
+                            (request.noise, request.n_groups, group)
+                        )
+                        group_faults.append(request.fault_map)
+                        n_valid.append(
+                            min(request.n_entries - group * n_bits, n_bits)
+                        )
+                    spans.append(
+                        (request, group_cursor,
+                         group_cursor + request.n_groups)
+                    )
+                    group_cursor += request.n_groups
+                packed = artifact._execute_padded(
+                    buf, failed, total_groups, n_valid, contexts,
+                    group_faults, mode,
+                )
         except Exception as exc:
             # Should be unreachable after submit-time validation, but
-            # any block-level failure -- physics ReproError or an
-            # unexpected bug -- must still resolve every ticket rather
-            # than strand them pending.
+            # any block-level failure -- a compile error, physics
+            # ReproError or an unexpected bug -- must still resolve
+            # every ticket rather than strand them pending.
             for request in requests:
-                request.ticket._resolve(error=exc)
+                if not request.ticket.done:
+                    self.obs.inc("executor.errors.flush")
+                    request.ticket._resolve(error=exc)
             return
-        self.stats["blocks"] += 1
+        self.obs.inc("executor.blocks")
+        self.obs.observe(
+            "executor.block_occupancy",
+            sum(r.n_entries for r in requests) / padded,
+            bounds=(0.25, 0.5, 0.75, 1.0),
+        )
+        self.obs.observe(
+            "executor.block_words",
+            sum(r.n_entries for r in requests),
+            bounds=(1, 8, 16, 32, 64, 128, 256),
+        )
         if len(requests) > 1:
-            self.stats["coalesced_requests"] += len(requests)
+            self.obs.inc("executor.coalesced_requests", len(requests))
         for request, group_start, group_end in spans:
             try:
                 if request.strict:
@@ -364,13 +436,16 @@ class CircuitExecutor:
                         packed, group_start, group_end
                     )
                     if error is not None:
-                        raise error
+                        self.obs.inc("executor.errors.decode")
+                        request.ticket._resolve(error=error)
+                        continue
                 expected = request.netlist.evaluate_batch(request.batch)
                 result = artifact._build_result(
                     packed, request.netlist, group_start, group_end,
                     request.n_entries, expected, request.faults, mode,
                 )
             except Exception as exc:
+                self.obs.inc("executor.errors.request")
                 request.ticket._resolve(error=exc)
             else:
                 request.ticket._resolve(result=result)
@@ -379,7 +454,7 @@ class CircuitExecutor:
         """Serve one request through the per-op engine path."""
         from repro.circuits.engine import CircuitEngine
 
-        self.stats["fallbacks"] += 1
+        self.obs.inc("executor.fallbacks")
         signature = netlist_signature(request.netlist)
         engine = self._engines.get(signature)
         if engine is None:
@@ -395,6 +470,7 @@ class CircuitExecutor:
                 packed=False,
             )
         except ReproError as exc:
+            self.obs.inc("executor.errors.fallback")
             request.ticket._resolve(error=exc)
         else:
             request.ticket._resolve(result=result)
@@ -405,10 +481,22 @@ class CircuitExecutor:
     def describe(self):
         """One-line serving summary for CLI reports."""
         stats = self.stats
-        return (
+        errors = self.error_count
+        requests = stats["requests"]
+        rate = f"{errors / requests:.1%}" if requests else "0.0%"
+        line = (
             f"{stats['requests']} requests ({stats['words']} words) in "
             f"{stats['blocks']} packed blocks; "
             f"{stats['coalesced_requests']} coalesced, "
-            f"{stats['fallbacks']} fallbacks; compile cache "
+            f"{stats['fallbacks']} fallbacks, "
+            f"{errors} errors ({rate} error rate); compile cache "
             f"{self.cache.hits} hits / {self.cache.misses} misses"
         )
+        latency = self.obs.histogram("executor.queue_latency_s")
+        if latency is not None and latency["count"]:
+            line += (
+                f"; queue latency mean "
+                f"{latency['mean'] * 1e3:.3f} ms over {latency['count']} "
+                f"requests"
+            )
+        return line

@@ -17,6 +17,24 @@ import sys
 from repro.core.encoding import bits_to_int, int_to_bits
 
 
+def _start_profile(args):
+    """Enable timing instrumentation when ``--profile`` was passed."""
+    if getattr(args, "profile", False):
+        from repro import obs
+
+        obs.enable()
+        return True
+    return False
+
+
+def _print_profile(extra=None):
+    """Print the span-tree profile and merged metrics table."""
+    from repro import obs
+
+    print()
+    print(obs.report(extra=extra))
+
+
 def _cmd_list(args):
     from repro.experiments.runner import EXPERIMENTS
 
@@ -29,14 +47,17 @@ def _cmd_list(args):
 def _cmd_run(args):
     from repro.experiments.runner import EXPERIMENTS, run_experiment
 
+    profiled = _start_profile(args)
     if args.experiment == "all":
         names = [n for n in sorted(EXPERIMENTS) if n != "llg-x"]
     else:
         names = [args.experiment]
     for name in names:
-        _, text = run_experiment(name)
+        _, text = run_experiment(name, metrics=profiled or None)
         print(text)
         print()
+    if profiled:
+        _print_profile()
     return 0
 
 
@@ -111,6 +132,7 @@ def _cmd_adder(args):
 def _cmd_circuit(args):
     from repro.circuits import CircuitEngine, ripple_carry_adder
 
+    profiled = _start_profile(args)
     a = _parse_word(args.a)
     b = _parse_word(args.b)
     width = args.width
@@ -161,6 +183,10 @@ def _cmd_circuit(args):
         )
     if executor is not None:
         print(f"  packed serving: {executor.describe()}")
+    if profiled:
+        _print_profile(
+            extra=[executor.obs] if executor is not None else None
+        )
     return 0 if result.correct and total == a + b else 1
 
 
@@ -178,6 +204,8 @@ def _cmd_synth(args):
             print(f"{circuit.name:12s} {circuit.description}")
         return 0
     from repro.errors import SynthesisError
+
+    profiled = _start_profile(args)
 
     try:
         if args.expr:
@@ -208,6 +236,8 @@ def _cmd_synth(args):
             print(f"  round {stats.round} {stats.describe()}")
     print(result.describe())
     if args.no_run:
+        if profiled:
+            _print_profile()
         return 0
     print()
     print(f"physical execution ({args.bits}-bit cells, {args.mode} mode):")
@@ -220,6 +250,8 @@ def _cmd_synth(args):
         )[args.mode]
         correct &= physical.correct
         print(f"  {label:9s} {physical.describe()}")
+    if profiled:
+        _print_profile()
     return 0 if correct else 1
 
 
@@ -296,6 +328,11 @@ def build_parser():
     run_parser.add_argument(
         "experiment", help="experiment id from 'swgate list', or 'all'"
     )
+    run_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a span-tree profile and metrics table afterwards",
+    )
     run_parser.set_defaults(func=_cmd_run)
 
     maj_parser = sub.add_parser(
@@ -361,6 +398,12 @@ def build_parser():
         help="serve the run through the compile-once coalescing "
         "executor and report its compile-cache statistics",
     )
+    circuit_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a span-tree profile (compile stages, per-level "
+        "timings) and metrics table afterwards",
+    )
     circuit_parser.set_defaults(func=_cmd_circuit)
 
     synth_parser = sub.add_parser(
@@ -404,6 +447,12 @@ def build_parser():
         "--list",
         action="store_true",
         help="list the benchmark-circuit suite",
+    )
+    synth_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a span-tree profile (per-pass timings) and metrics "
+        "table afterwards",
     )
     synth_parser.set_defaults(func=_cmd_synth)
 

@@ -1,5 +1,6 @@
 """Registry and uniform driver for the experiment modules."""
 
+from repro import obs
 from repro.errors import ReproError
 from repro.experiments import (
     area_table,
@@ -47,8 +48,16 @@ EXPERIMENTS = {
 }
 
 
-def run_experiment(name, **kwargs):
-    """Run experiment ``name``; returns ``(results, report_text)``."""
+def run_experiment(name, metrics=None, **kwargs):
+    """Run experiment ``name``; returns ``(results, report_text)``.
+
+    ``metrics`` opts into observability: ``True`` records timing
+    instrumentation on the process-global registry for the duration of
+    the run, while a :class:`~repro.obs.MetricsRegistry` routes the
+    run's library instrumentation into that registry instead.  Either
+    way the registry's :meth:`~repro.obs.MetricsRegistry.snapshot` is
+    attached to dict results under ``results["metrics"]``.
+    """
     try:
         module, _ = EXPERIMENTS[name]
     except KeyError:
@@ -56,5 +65,28 @@ def run_experiment(name, **kwargs):
         raise ReproError(
             f"unknown experiment {name!r}; available: {available}"
         ) from None
-    results = module.run(**kwargs)
-    return results, module.report(results)
+    if not metrics:
+        results = module.run(**kwargs)
+        return results, module.report(results)
+    if isinstance(metrics, obs.MetricsRegistry):
+        registry = metrics
+        registry.enable()
+        with obs.use_registry(registry):
+            with registry.span(f"experiment/{name}"):
+                results = module.run(**kwargs)
+    else:
+        registry = obs.get_registry()
+        was_profiling = obs.profiling()
+        obs.enable()
+        try:
+            with registry.span(f"experiment/{name}"):
+                results = module.run(**kwargs)
+        finally:
+            if not was_profiling:
+                obs.disable()
+    # Render the report before attaching the snapshot so report()
+    # implementations never see the extra key.
+    text = module.report(results)
+    if isinstance(results, dict):
+        results["metrics"] = registry.snapshot()
+    return results, text

@@ -12,6 +12,7 @@ import warnings
 
 import numpy as np
 
+from repro import obs
 from repro.backends import get_backend
 from repro.mm.fields.base import FieldTerm
 from repro.mm.fields.newell import demag_tensor
@@ -110,19 +111,20 @@ class DemagField(FieldTerm):
         allocation-free.
         """
         self._check_state(state)
-        m_hat = self._spectra(state)
-        nx, ny, nz = self.mesh.shape
-        acc, tmp = self._acc, self._spec_tmp
-        for comp, row in enumerate(self._TENSOR_ROWS):
-            np.multiply(self._n_hat[row[0]], m_hat[0], out=acc)
-            np.multiply(self._n_hat[row[1]], m_hat[1], out=tmp)
-            acc += tmp
-            np.multiply(self._n_hat[row[2]], m_hat[2], out=tmp)
-            acc += tmp
-            full = self.backend.irfftn(
-                acc, s=self._padded, axes=self._axes, out=self._full
-            )
-            out[..., comp] -= full[:nx, :ny, :nz]
+        with obs.span("mm/demag_fft"):
+            m_hat = self._spectra(state)
+            nx, ny, nz = self.mesh.shape
+            acc, tmp = self._acc, self._spec_tmp
+            for comp, row in enumerate(self._TENSOR_ROWS):
+                np.multiply(self._n_hat[row[0]], m_hat[0], out=acc)
+                np.multiply(self._n_hat[row[1]], m_hat[1], out=tmp)
+                acc += tmp
+                np.multiply(self._n_hat[row[2]], m_hat[2], out=tmp)
+                acc += tmp
+                full = self.backend.irfftn(
+                    acc, s=self._padded, axes=self._axes, out=self._full
+                )
+                out[..., comp] -= full[:nx, :ny, :nz]
         return out
 
 

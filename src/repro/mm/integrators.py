@@ -21,6 +21,7 @@ compare against.
 
 import numpy as np
 
+from repro import obs
 from repro.errors import SimulationError
 
 # Runge-Kutta-Fehlberg 4(5) Butcher tableau.
@@ -203,31 +204,41 @@ def integrate(
     t, y = t0, y0
     steps = 0
     rejections = 0
-    while t < t_end:
-        if steps >= max_steps:
-            raise SimulationError(
-                f"integration exceeded max_steps={max_steps} "
-                f"({rejections} rejected; t={t:.4g} of {t_end:.4g})"
-            )
-        step = min(dt, t_end - t)
-        if adaptive:
-            y_new, error = rkf45_step(rhs, t, y, step)
-            scale = max(error / tol, 1e-10)
-            if error > tol and step > dt_min:
-                # Reject and retry with a smaller step; the attempt still
-                # consumes budget so a stuck step cannot loop forever.
-                dt = max(0.9 * step * scale ** (-0.25), dt_min)
-                steps += 1
-                rejections += 1
-                continue
-            t, y = t + step, y_new
-            dt = min(max(0.9 * step * scale ** (-0.2), dt_min), dt_max)
-        else:
-            y = rk4_step(rhs, t, y, step)
-            t = t + step
-        steps += 1
-        if callback is not None:
-            callback(t, y)
+    # Step/rejection counters flush to the obs registry once per call
+    # (in the ``finally``), never per step -- the hot loop stays free of
+    # locking.
+    try:
+        while t < t_end:
+            if steps >= max_steps:
+                raise SimulationError(
+                    f"integration exceeded max_steps={max_steps} "
+                    f"({rejections} rejected; t={t:.4g} of {t_end:.4g})"
+                )
+            step = min(dt, t_end - t)
+            if adaptive:
+                y_new, error = rkf45_step(rhs, t, y, step)
+                scale = max(error / tol, 1e-10)
+                if error > tol and step > dt_min:
+                    # Reject and retry with a smaller step; the attempt
+                    # still consumes budget so a stuck step cannot loop
+                    # forever.
+                    dt = max(0.9 * step * scale ** (-0.25), dt_min)
+                    steps += 1
+                    rejections += 1
+                    continue
+                t, y = t + step, y_new
+                dt = min(max(0.9 * step * scale ** (-0.2), dt_min), dt_max)
+            else:
+                y = rk4_step(rhs, t, y, step)
+                t = t + step
+            steps += 1
+            if callback is not None:
+                callback(t, y)
+    finally:
+        if steps:
+            obs.inc("llg.steps", steps)
+        if rejections:
+            obs.inc("llg.rejected", rejections)
     return t, y
 
 
@@ -262,28 +273,34 @@ def integrate_into(
     t = t0
     steps = 0
     rejections = 0
-    while t < t_end:
-        if steps >= max_steps:
-            raise SimulationError(
-                f"integration exceeded max_steps={max_steps} "
-                f"({rejections} rejected; t={t:.4g} of {t_end:.4g})"
-            )
-        step = min(dt, t_end - t)
-        if adaptive:
-            out, error = rkf45_step_into(rhs_into, t, y, step, work)
-            scale = max(error / tol, 1e-10)
-            if error > tol and step > dt_min:
-                dt = max(0.9 * step * scale ** (-0.25), dt_min)
-                steps += 1
-                rejections += 1
-                continue
-            y[...] = out
-            t = t + step
-            dt = min(max(0.9 * step * scale ** (-0.2), dt_min), dt_max)
-        else:
-            y[...] = rk4_step_into(rhs_into, t, y, step, work)
-            t = t + step
-        steps += 1
-        if callback is not None:
-            callback(t, y)
+    try:
+        while t < t_end:
+            if steps >= max_steps:
+                raise SimulationError(
+                    f"integration exceeded max_steps={max_steps} "
+                    f"({rejections} rejected; t={t:.4g} of {t_end:.4g})"
+                )
+            step = min(dt, t_end - t)
+            if adaptive:
+                out, error = rkf45_step_into(rhs_into, t, y, step, work)
+                scale = max(error / tol, 1e-10)
+                if error > tol and step > dt_min:
+                    dt = max(0.9 * step * scale ** (-0.25), dt_min)
+                    steps += 1
+                    rejections += 1
+                    continue
+                y[...] = out
+                t = t + step
+                dt = min(max(0.9 * step * scale ** (-0.2), dt_min), dt_max)
+            else:
+                y[...] = rk4_step_into(rhs_into, t, y, step, work)
+                t = t + step
+            steps += 1
+            if callback is not None:
+                callback(t, y)
+    finally:
+        if steps:
+            obs.inc("llg.steps", steps)
+        if rejections:
+            obs.inc("llg.rejected", rejections)
     return t, y

@@ -13,6 +13,7 @@ and the benchmark suite snapshots it across PRs.
 import time
 from dataclasses import dataclass
 
+from repro import obs
 from repro.errors import SynthesisError
 from repro.synthesis.mapping import mapping_report, to_netlist
 from repro.synthesis.passes import optimize
@@ -98,25 +99,28 @@ def synthesize(mig, name=None, passes=None, max_rounds=8, library=None,
         raise SynthesisError("specification has no outputs")
     name = name if name is not None else mig.name
     started = time.perf_counter()
-    optimized_mig, pass_stats = optimize(
-        mig, passes=passes, max_rounds=max_rounds
-    )
+    with obs.span("synth/optimize"):
+        optimized_mig, pass_stats = optimize(
+            mig, passes=passes, max_rounds=max_rounds
+        )
     optimize_elapsed = time.perf_counter() - started
 
-    naive_netlist = to_netlist(mig, name=f"{name}_naive")
-    optimized_netlist = to_netlist(optimized_mig, name=name)
-    naive = mapping_report(naive_netlist, library=library)
-    optimized = mapping_report(optimized_netlist, library=library)
+    with obs.span("synth/map"):
+        naive_netlist = to_netlist(mig, name=f"{name}_naive")
+        optimized_netlist = to_netlist(optimized_mig, name=name)
+        naive = mapping_report(naive_netlist, library=library)
+        optimized = mapping_report(optimized_netlist, library=library)
 
     equivalence = {}
     if verify:
         spec = reference if reference is not None else mig
-        for label, netlist in (
-            ("naive", naive_netlist), ("optimized", optimized_netlist)
-        ):
-            equivalence[label] = verify_equivalence(
-                netlist, spec, n_samples=n_samples, seed=seed
-            )
+        with obs.span("synth/verify"):
+            for label, netlist in (
+                ("naive", naive_netlist), ("optimized", optimized_netlist)
+            ):
+                equivalence[label] = verify_equivalence(
+                    netlist, spec, n_samples=n_samples, seed=seed
+                )
         failed = [l for l, r in equivalence.items() if not r.equivalent]
         if failed:
             details = "; ".join(

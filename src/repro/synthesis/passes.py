@@ -47,6 +47,7 @@ True
 import time
 from dataclasses import dataclass
 
+from repro import obs
 from repro.errors import SynthesisError
 from repro.synthesis.mig import (
     CONST0,
@@ -371,6 +372,10 @@ def optimize(mig, passes=None, max_rounds=8):
             started = time.perf_counter()
             mig, rewrites = pipeline_pass.run(mig)
             elapsed = time.perf_counter() - started
+            # Mirror the hand-measured duration into the obs span tree
+            # (``swgate synth --profile`` renders it); PassStats keeps
+            # its own ``elapsed`` for the stats return shape.
+            obs.record(f"synth/pass/{pipeline_pass.name}", elapsed)
             record = PassStats(
                 name=pipeline_pass.name,
                 round=round_index,

@@ -39,6 +39,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.backends import get_backend
 from repro.errors import SimulationError
 from repro.physics.damping import attenuation_length
@@ -256,7 +257,9 @@ class LinearWaveguideModel:
             )
             cached = self._basis_cache.get(key)
             if cached is not None:
+                obs.inc("waveguide.basis_cache.hits")
                 return cached
+            obs.inc("waveguide.basis_cache.misses")
         k, v_g, length = self._wave_parameter_arrays(frequency)
         distance = np.abs(detector_position - position)
         arrival = t_on + distance / v_g
@@ -424,7 +427,9 @@ class LinearWaveguideModel:
             )
             cached = self._weights_cache.get(key)
             if cached is not None:
+                obs.inc("waveguide.weights_cache.hits")
                 return cached
+            obs.inc("waveguide.weights_cache.misses")
         k, _, length = self._wave_parameter_arrays(frequency)
         weights = np.zeros((position.size, len(positions)), dtype=complex)
         for d, (x_d, f_d) in enumerate(zip(positions, frequencies)):

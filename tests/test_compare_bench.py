@@ -113,3 +113,115 @@ class TestDiffRecords:
         )
         assert regressions == 0
         assert "+300.0%" in lines[0]
+
+
+def _metrics_row(words_per_second, metrics):
+    return {
+        "extra_info": {
+            "words_per_second": words_per_second,
+            "metrics": metrics,
+        }
+    }
+
+
+class TestDiffMetrics:
+    def test_hit_rate_collapse_warns(self):
+        fresh = {
+            "bench": _metrics_row(
+                1000.0, {"compile_cache.hit_rate": 0.50}
+            )
+        }
+        baseline = {
+            "bench": _metrics_row(
+                1000.0, {"compile_cache.hit_rate": 0.95}
+            )
+        }
+        lines, regressions = compare_bench.diff_records(
+            fresh, baseline, threshold=0.25
+        )
+        assert regressions == 0  # warnings never gate
+        warnings = [line for line in lines if "WARNING" in line]
+        assert len(warnings) == 1
+        assert "compile_cache.hit_rate" in warnings[0]
+        assert "95.0%" in warnings[0] and "50.0%" in warnings[0]
+
+    def test_small_hit_rate_drop_silent(self):
+        fresh = {
+            "bench": _metrics_row(
+                1000.0, {"compile_cache.hit_rate": 0.90}
+            )
+        }
+        baseline = {
+            "bench": _metrics_row(
+                1000.0, {"compile_cache.hit_rate": 0.95}
+            )
+        }
+        lines, _ = compare_bench.diff_records(
+            fresh, baseline, threshold=0.25
+        )
+        assert not any("WARNING" in line for line in lines)
+
+    def test_hit_rate_improvement_silent(self):
+        fresh = {
+            "bench": _metrics_row(1000.0, {"c.hit_rate": 1.0})
+        }
+        baseline = {
+            "bench": _metrics_row(1000.0, {"c.hit_rate": 0.5})
+        }
+        lines, _ = compare_bench.diff_records(
+            fresh, baseline, threshold=0.25
+        )
+        assert not any("WARNING" in line for line in lines)
+
+    def test_non_rate_metrics_ignored(self):
+        fresh = {
+            "bench": _metrics_row(
+                1000.0, {"circuit.level_gemms": 4, "llg.steps": 100}
+            )
+        }
+        baseline = {
+            "bench": _metrics_row(
+                1000.0, {"circuit.level_gemms": 400, "llg.steps": 1}
+            )
+        }
+        lines, _ = compare_bench.diff_records(
+            fresh, baseline, threshold=0.25
+        )
+        assert not any("WARNING" in line for line in lines)
+
+    def test_missing_or_malformed_metrics_tolerated(self):
+        assert compare_bench.bench_metrics(None) == {}
+        assert compare_bench.bench_metrics({"extra_info": "junk"}) == {}
+        assert compare_bench.bench_metrics(
+            {"extra_info": {"metrics": [1, 2]}}
+        ) == {}
+        fresh = {
+            "bench": _metrics_row(1000.0, {"c.hit_rate": "broken"})
+        }
+        baseline = {
+            "bench": _metrics_row(1000.0, {"c.hit_rate": 0.9})
+        }
+        lines, regressions = compare_bench.diff_records(
+            fresh, baseline, threshold=0.25
+        )
+        assert regressions == 0
+        assert not any("WARNING" in line for line in lines)
+
+    def test_warning_rides_not_comparable_rows(self):
+        """Hit-rate collapses surface even when throughput can't diff."""
+        fresh = {
+            "bench": {
+                "extra_info": {
+                    "words_per_second": None,
+                    "metrics": {"c.hit_rate": 0.1},
+                }
+            }
+        }
+        baseline = {
+            "bench": _metrics_row(1000.0, {"c.hit_rate": 0.9})
+        }
+        lines, regressions = compare_bench.diff_records(
+            fresh, baseline, threshold=0.25
+        )
+        assert regressions == 0
+        assert any("WARNING" in line for line in lines)

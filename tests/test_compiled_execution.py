@@ -210,3 +210,118 @@ class TestExecutorServing:
         text = executor.describe()
         assert "packed blocks" in text
         assert "compile cache" in text
+
+
+class TestExecutorFailureBookkeeping:
+    """Failed flushes must leave no queue residue and count errors.
+
+    Regression class for the ``_queue_born`` audit: a flush that raises
+    mid-queue (e.g. out of the compile step) previously could strand
+    per-key state, so the latency sweep kept chasing a ghost key.  All
+    per-key bookkeeping now clears in a ``finally`` and every failure
+    class lands in a distinct ``executor.errors.*`` counter.
+    """
+
+    def test_failed_flush_leaves_no_residue(self, monkeypatch):
+        executor = CircuitExecutor(n_bits=N_BITS, max_block=1024)
+        netlist = xor_pair("boom")
+        ticket = executor.submit(netlist, BATCH)
+
+        def explode(netlist, bindings):
+            raise RuntimeError("compile exploded")
+
+        monkeypatch.setattr(executor.cache, "get_or_compile", explode)
+        executor.flush()
+        assert executor._queues == {}
+        assert executor._queue_words == {}
+        assert executor._queue_born == {}
+        assert executor.pending_words == 0
+        assert ticket.done
+        with pytest.raises(RuntimeError, match="compile exploded"):
+            ticket.result()
+        assert executor.stats["errors"]["flush"] == 1
+        assert executor.error_count == 1
+
+    def test_max_latency_still_triggers_after_failed_flush(
+        self, monkeypatch
+    ):
+        executor = CircuitExecutor(
+            n_bits=N_BITS, max_block=1024, max_latency=0.0
+        )
+        netlist = xor_pair("flaky")
+        real = executor.cache.get_or_compile
+        calls = []
+
+        def flaky(*args, **kwargs):
+            calls.append(1)
+            if len(calls) == 1:
+                raise RuntimeError("transient compile failure")
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(executor.cache, "get_or_compile", flaky)
+        # max_latency=0 flushes on the submit itself; the flush fails.
+        first = executor.submit(netlist, BATCH)
+        assert first.done
+        with pytest.raises(RuntimeError, match="transient"):
+            first.result()
+        # No residue survived, so the latency sweep fires again for
+        # fresh traffic instead of chasing a stale key.
+        second = executor.submit(netlist, BATCH)
+        assert second.done
+        assert second.result().outputs == netlist.evaluate_batch(BATCH)
+        assert executor.stats["errors"]["flush"] == 1
+
+    def test_mutated_netlist_counted(self):
+        executor = CircuitExecutor(n_bits=N_BITS, max_block=1024)
+        netlist = xor_pair("mutant")
+        ticket = executor.submit(netlist, BATCH)
+        netlist.add_cell("z", "XOR2", ("x", "y"))
+        netlist.mark_output("z")
+        executor.flush()
+        with pytest.raises(NetlistError, match="mutated"):
+            ticket.result()
+        assert executor.stats["errors"]["mutated"] == 1
+        assert executor.error_count == 1
+
+    def test_strict_decode_error_counted(self, monkeypatch):
+        """A dead strict decode lands in errors.decode, per ticket."""
+        from repro.circuits import compiled as compiled_mod
+        from repro.errors import SimulationError
+
+        executor = CircuitExecutor(n_bits=N_BITS, max_block=1024)
+        netlist = xor_pair("dead")
+        ticket = executor.submit(netlist, BATCH, strict=True)
+        monkeypatch.setattr(
+            compiled_mod.CompiledCircuit,
+            "_first_dead",
+            lambda self, packed, start, end: SimulationError(
+                "decode of cell 'y' is dead"
+            ),
+        )
+        executor.flush()
+        assert ticket.done
+        with pytest.raises(SimulationError, match="dead"):
+            ticket.result()
+        assert executor.stats["errors"]["decode"] == 1
+        assert executor.error_count == 1
+
+    def test_healthy_traffic_counts_no_errors(self):
+        executor = CircuitExecutor(n_bits=N_BITS, max_block=1024)
+        executor.run(xor_pair("clean"), BATCH)
+        assert executor.error_count == 0
+        assert all(
+            count == 0 for count in executor.stats["errors"].values()
+        )
+
+    def test_describe_reports_error_rate(self):
+        executor = CircuitExecutor(n_bits=N_BITS, max_block=1024)
+        netlist = xor_pair("rate")
+        ticket = executor.submit(netlist, BATCH)
+        netlist.add_cell("z", "XOR2", ("x", "y"))
+        netlist.mark_output("z")
+        executor.flush()
+        with pytest.raises(NetlistError):
+            ticket.result()
+        text = executor.describe()
+        assert "error rate" in text
+        assert "1 errors" in text

@@ -11,6 +11,7 @@ import repro.circuits.engine
 import repro.circuits.netlist
 import repro.core.encoding
 import repro.mm.mesh
+import repro.obs
 import repro.synthesis.mig
 import repro.synthesis.parse
 import repro.synthesis.passes
@@ -20,6 +21,7 @@ import repro.waveguide.sources
 
 MODULES = [
     repro.units,
+    repro.obs,
     repro.core.encoding,
     repro.mm.mesh,
     repro.analysis.ascii_plot,

@@ -210,3 +210,45 @@ class TestRunner:
     def test_unknown_experiment(self):
         with pytest.raises(ReproError, match="available"):
             run_experiment("fig99")
+
+    def test_unknown_experiment_error_names_it_and_lists_available(self):
+        with pytest.raises(
+            ReproError, match="unknown experiment 'fig99'"
+        ):
+            run_experiment("fig99")
+
+    def test_every_registration_maps_to_callables(self):
+        """Registry integrity: a typo'd registration fails here."""
+        for name, entry in EXPERIMENTS.items():
+            assert isinstance(entry, tuple) and len(entry) == 2, name
+            module, description = entry
+            assert callable(getattr(module, "run", None)), (
+                f"experiment {name!r} has no callable run()"
+            )
+            assert callable(getattr(module, "report", None)), (
+                f"experiment {name!r} has no callable report()"
+            )
+            assert isinstance(description, str) and description, name
+
+    def test_metrics_true_attaches_snapshot(self):
+        from repro import obs
+
+        assert not obs.profiling()
+        results, text = run_experiment("table-dist", metrics=True)
+        assert not obs.profiling()  # switch restored afterwards
+        obs.get_registry().reset()
+        snapshot = results["metrics"]
+        assert "counters" in snapshot and "spans" in snapshot
+        names = {node["name"] for node in snapshot["spans"]}
+        assert "experiment/table-dist" in names
+        assert isinstance(text, str) and text
+
+    def test_metrics_registry_routes_instrumentation(self):
+        from repro import obs
+
+        registry = obs.MetricsRegistry(enabled=False)
+        results, _ = run_experiment("table-dist", metrics=registry)
+        assert registry.enabled  # opted in by the run
+        assert results["metrics"] == registry.snapshot()
+        # The process-global registry was restored and stayed clean.
+        assert obs.get_registry() is not registry

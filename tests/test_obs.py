@@ -1,0 +1,375 @@
+"""Tests for the ``repro.obs`` metrics + tracing layer (PR 8).
+
+Pins the registry contract (thread-safe counters, span nesting,
+JSON-pure snapshot round-trips, the disabled no-op fast path) and --
+the load-bearing guarantee -- that instrumenting the circuit stack
+changed no physics: packed, trace and coalesced runs remain
+bit-identical with profiling enabled.
+"""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.circuits import CircuitEngine, CircuitExecutor, full_adder
+from repro.obs import DEFAULT_TIME_BUCKETS, MetricsRegistry
+
+
+# ----------------------------------------------------------------------
+# Counters, gauges, histograms
+# ----------------------------------------------------------------------
+def test_counter_increments():
+    registry = MetricsRegistry(enabled=True)
+    registry.inc("a")
+    registry.inc("a", 4)
+    assert registry.counter("a") == 5
+    assert registry.counter("never") == 0
+
+
+def test_gauge_last_write_wins():
+    registry = MetricsRegistry(enabled=True)
+    registry.gauge("depth", 3)
+    registry.gauge("depth", 7)
+    assert registry.snapshot()["gauges"]["depth"] == 7
+
+
+def test_histogram_buckets_and_stats():
+    registry = MetricsRegistry(enabled=True)
+    for value in (0.5, 1.5, 2.5, 10.0):
+        registry.observe("latency", value, bounds=(1.0, 2.0, 4.0))
+    h = registry.histogram("latency")
+    assert h["count"] == 4
+    assert h["counts"] == [1, 1, 1, 1]  # one per bucket + overflow
+    assert h["min"] == 0.5
+    assert h["max"] == 10.0
+    assert h["mean"] == pytest.approx(3.625)
+
+
+def test_histogram_rejects_unsorted_bounds():
+    registry = MetricsRegistry(enabled=True)
+    with pytest.raises(ValueError):
+        registry.observe("bad", 1.0, bounds=(2.0, 1.0))
+
+
+def test_counters_record_even_when_disabled():
+    # Counters are serving statistics (executor stats, cache hits) --
+    # the ``enabled`` switch gates only timing instrumentation.
+    registry = MetricsRegistry(enabled=False)
+    registry.inc("requests")
+    registry.observe("occupancy", 0.5, bounds=(0.5, 1.0))
+    assert registry.counter("requests") == 1
+    assert registry.histogram("occupancy")["count"] == 1
+
+
+def test_thread_safety_concurrent_increments():
+    registry = MetricsRegistry(enabled=True)
+    n_threads, n_increments = 8, 2_000
+
+    def worker():
+        for _ in range(n_increments):
+            registry.inc("shared")
+            registry.observe("value", 1.0)
+            with registry.span("work"):
+                pass
+
+    threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    total = n_threads * n_increments
+    assert registry.counter("shared") == total
+    assert registry.histogram("value")["count"] == total
+    snapshot = registry.snapshot()
+    (work,) = snapshot["spans"]
+    assert work["name"] == "work"
+    assert work["count"] == total
+
+
+# ----------------------------------------------------------------------
+# Spans
+# ----------------------------------------------------------------------
+def test_span_nesting_builds_tree():
+    registry = MetricsRegistry(enabled=True)
+    with registry.span("outer"):
+        with registry.span("inner"):
+            pass
+        with registry.span("inner"):
+            pass
+    (outer,) = registry.snapshot()["spans"]
+    assert outer["name"] == "outer"
+    assert outer["count"] == 1
+    (inner,) = outer["children"]
+    assert inner["name"] == "inner"
+    assert inner["count"] == 2  # same-path spans aggregate
+    assert outer["total"] >= inner["total"]
+
+
+def test_span_exposes_elapsed():
+    registry = MetricsRegistry(enabled=True)
+    with registry.span("timed") as span:
+        pass
+    assert span.elapsed >= 0.0
+
+
+def test_span_records_on_exception():
+    registry = MetricsRegistry(enabled=True)
+    with pytest.raises(RuntimeError):
+        with registry.span("failing"):
+            raise RuntimeError("boom")
+    (node,) = registry.snapshot()["spans"]
+    assert node["name"] == "failing"
+    assert node["count"] == 1
+    # The stack unwound: a later span is a root, not a child.
+    with registry.span("after"):
+        pass
+    assert {n["name"] for n in registry.snapshot()["spans"]} == {
+        "failing", "after",
+    }
+
+
+def test_record_inserts_leaf_span():
+    registry = MetricsRegistry(enabled=True)
+    with registry.span("parent"):
+        registry.record("premeasured", 0.25)
+    (parent,) = registry.snapshot()["spans"]
+    (leaf,) = parent["children"]
+    assert leaf["name"] == "premeasured"
+    assert leaf["total"] == pytest.approx(0.25)
+
+
+def test_timed_decorator():
+    registry = MetricsRegistry(enabled=True)
+
+    @registry.timed("compute")
+    def compute(x):
+        return x * 2
+
+    assert compute(21) == 42
+    (node,) = registry.snapshot()["spans"]
+    assert node["name"] == "compute"
+
+
+def test_timer_observes_histogram():
+    registry = MetricsRegistry(enabled=True)
+    with registry.timer("step"):
+        pass
+    h = registry.histogram("step")
+    assert h["count"] == 1
+    assert h["bounds"] == list(DEFAULT_TIME_BUCKETS)
+
+
+# ----------------------------------------------------------------------
+# Disabled fast path
+# ----------------------------------------------------------------------
+def test_disabled_span_is_shared_noop():
+    registry = MetricsRegistry(enabled=False)
+    first = registry.span("a")
+    second = registry.span("b")
+    assert first is second  # one shared object: no per-call allocation
+    with first as span:
+        pass
+    assert span.elapsed == 0.0
+    assert registry.snapshot()["spans"] == []
+
+
+def test_disabled_timer_and_record_are_noops():
+    registry = MetricsRegistry(enabled=False)
+    with registry.timer("t"):
+        pass
+    registry.record("r", 1.0)
+    snapshot = registry.snapshot()
+    assert snapshot["histograms"] == {}
+    assert snapshot["spans"] == []
+
+
+def test_enable_disable_toggle():
+    registry = MetricsRegistry(enabled=False)
+    registry.enable()
+    with registry.span("on"):
+        pass
+    registry.disable()
+    with registry.span("off"):
+        pass
+    assert [n["name"] for n in registry.snapshot()["spans"]] == ["on"]
+
+
+def test_global_enable_flips_default_inheritance():
+    assert not obs.profiling()
+    try:
+        obs.enable()
+        assert obs.profiling()
+        assert MetricsRegistry().enabled  # enabled=None inherits
+        assert obs.get_registry().enabled
+    finally:
+        obs.disable()
+        obs.get_registry().reset()
+    assert not MetricsRegistry().enabled
+
+
+def test_use_registry_swaps_and_restores():
+    private = MetricsRegistry(enabled=True)
+    original = obs.get_registry()
+    with obs.use_registry(private) as active:
+        assert active is private
+        assert obs.get_registry() is private
+        obs.inc("routed")
+    assert obs.get_registry() is original
+    assert private.counter("routed") == 1
+    assert original.counter("routed") == 0
+
+
+# ----------------------------------------------------------------------
+# Snapshot / export
+# ----------------------------------------------------------------------
+def test_snapshot_round_trips_through_json():
+    registry = MetricsRegistry(enabled=True)
+    registry.inc("count", 3)
+    registry.gauge("level", 2.5)
+    registry.observe("hist", 0.01)
+    with registry.span("root"):
+        with registry.span("child"):
+            pass
+    snapshot = registry.snapshot()
+    assert json.loads(registry.to_json()) == snapshot
+
+
+def test_snapshot_is_detached():
+    registry = MetricsRegistry(enabled=True)
+    registry.inc("n")
+    snapshot = registry.snapshot()
+    registry.inc("n")
+    assert snapshot["counters"]["n"] == 1
+
+
+def test_reset_clears_everything():
+    registry = MetricsRegistry(enabled=True)
+    registry.inc("c")
+    registry.gauge("g", 1)
+    registry.observe("h", 1.0)
+    with registry.span("s"):
+        pass
+    registry.reset()
+    snapshot = registry.snapshot()
+    assert snapshot["counters"] == {}
+    assert snapshot["gauges"] == {}
+    assert snapshot["histograms"] == {}
+    assert snapshot["spans"] == []
+
+
+def test_render_spans_and_metrics():
+    registry = MetricsRegistry(enabled=True)
+    registry.inc("requests", 2)
+    registry.observe("latency", 0.001)
+    with registry.span("flush"):
+        pass
+    spans = registry.render_spans()
+    assert "flush" in spans
+    metrics = registry.render_metrics()
+    assert "requests" in metrics
+    assert "latency" in metrics
+
+
+def test_render_metrics_merges_snapshots():
+    a = MetricsRegistry(enabled=True)
+    b = MetricsRegistry(enabled=True)
+    a.inc("shared", 2)
+    b.inc("shared", 3)
+    a.observe("lat", 1.0)
+    b.observe("lat", 3.0)
+    text = obs.render_metrics([a.snapshot(), b.snapshot()])
+    assert "shared" in text
+    assert "5" in text  # counters sum across registries
+    assert "n=2" in text  # histogram counts merge
+
+
+def test_report_includes_extra_registries():
+    private = MetricsRegistry(enabled=True)
+    private.inc("executor.requests", 7)
+    text = obs.report(extra=[private])
+    assert "executor.requests" in text
+    assert "span tree" in text
+
+
+# ----------------------------------------------------------------------
+# Instrumentation changes no physics
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def adder_case():
+    netlist, _, _ = full_adder()
+    batch = [
+        {"a": 1, "b": 0, "cin": 1},
+        {"a": 1, "b": 1, "cin": 1},
+        {"a": 0, "b": 0, "cin": 0},
+        {"a": 0, "b": 1, "cin": 0},
+    ]
+    return netlist, batch
+
+
+def _margins(result):
+    return np.array(
+        [r.min_margin for r in result.levels if r.min_margin is not None]
+    )
+
+
+@pytest.mark.parametrize("mode", ["phasor", "trace"])
+def test_profiled_run_is_bit_identical(adder_case, mode):
+    netlist, batch = adder_case
+    engine = CircuitEngine(netlist, n_bits=4)
+    baseline = engine.run(batch, mode=mode)
+    assert not obs.profiling()
+    try:
+        obs.enable()
+        profiled = engine.run(batch, mode=mode)
+    finally:
+        obs.disable()
+        obs.get_registry().reset()
+    assert profiled.outputs == baseline.outputs
+    assert profiled.failed == baseline.failed
+    np.testing.assert_allclose(
+        _margins(profiled), _margins(baseline), atol=1e-12
+    )
+
+
+def test_profiled_coalesced_run_is_bit_identical(adder_case):
+    netlist, batch = adder_case
+
+    def serve():
+        executor = CircuitExecutor(n_bits=4)
+        tickets = [executor.submit(netlist, [a]) for a in batch]
+        return [t.result() for t in tickets]
+
+    baseline = serve()
+    try:
+        obs.enable()
+        profiled = serve()
+    finally:
+        obs.disable()
+        obs.get_registry().reset()
+    for base, prof in zip(baseline, profiled):
+        assert prof.outputs == base.outputs
+        np.testing.assert_allclose(
+            _margins(prof), _margins(base), atol=1e-12
+        )
+
+
+def test_profiled_run_populates_span_tree(adder_case):
+    netlist, batch = adder_case
+    registry = MetricsRegistry(enabled=True)
+    with obs.use_registry(registry):
+        engine = CircuitEngine(netlist, n_bits=4)
+        result = engine.run(batch)
+    assert result.correct
+    snapshot = registry.snapshot()
+    names = {node["name"] for node in snapshot["spans"]}
+    assert "compile_circuit" in names
+    compile_node = next(
+        n for n in snapshot["spans"] if n["name"] == "compile_circuit"
+    )
+    stages = {child["name"] for child in compile_node["children"]}
+    assert stages == {"levelise", "allocate", "pack", "calibrate"}
+    assert "circuit/level/phasor" in names
+    assert snapshot["counters"]["circuit.packed_runs"] == 1
