@@ -44,6 +44,7 @@ hooks still fire.
 
 import hashlib
 import math
+import pickle
 from collections import OrderedDict
 from dataclasses import replace
 
@@ -60,7 +61,7 @@ from repro.circuits.library import PHYSICAL_BINDINGS, physical_arity
 from repro.core.faults import FaultySimulator
 from repro.core.readout import decode_phasor_block
 from repro.core.simulate import GateSimulator
-from repro.errors import NetlistError, SimulationError
+from repro.errors import ArtifactError, NetlistError, SimulationError
 from repro.waveguide.linear_model import LinearWaveguideModel
 
 # ----------------------------------------------------------------------
@@ -916,6 +917,118 @@ class CompiledCircuit:
             mode,
         )
 
+    # ------------------------------------------------------------------
+    # Artifact serialization
+    # ------------------------------------------------------------------
+    def save(self, path):
+        """Serialise the frozen artifact to ``path`` (pickle payload).
+
+        Only the compile-time product is written -- the netlist, level
+        schedule, slot tables, packed weights and baked calibration --
+        plus the identity envelope a loader verifies (format version,
+        content-hash signature, ``n_bits``, backend key).  Per-process
+        runtime state (the bindings, lazily-grown buffers and faulty
+        simulators) is deliberately excluded: :meth:`load` re-attaches
+        fresh bindings and rebuilds scratch lazily.  This is the fleet
+        warm-start path: workers load artifacts instead of paying
+        compile + calibration (:meth:`CompiledCircuitCache.warm`).
+        """
+        state = {
+            "format": ARTIFACT_FORMAT,
+            "signature": self.signature,
+            "n_bits": self.n_bits,
+            "backend_key": tuple(self.bindings.backend.key),
+            "attrs": {
+                name: value for name, value in self.__dict__.items()
+                if name not in _RUNTIME_ATTRS
+            },
+        }
+        with open(path, "wb") as handle:
+            pickle.dump(state, handle)
+        obs.get_registry().inc("circuit.artifact_saves")
+        return path
+
+    @classmethod
+    def load(cls, path, bindings):
+        """Load a saved artifact and attach it to ``bindings``.
+
+        Refuses -- with :class:`~repro.errors.ArtifactError` -- anything
+        that cannot be served safely: an unknown format version, a
+        backend/precision mismatch (the artifact bakes weights in its
+        backend's dtype), a data-width mismatch, and a stale or
+        tampered topology (the embedded netlist's recomputed content
+        hash must equal the signature the artifact was saved under).
+        """
+        try:
+            with open(path, "rb") as handle:
+                state = pickle.load(handle)
+        except ArtifactError:
+            raise
+        except Exception as exc:
+            raise ArtifactError(
+                f"cannot read compiled artifact {str(path)!r}: {exc}"
+            ) from exc
+        if not isinstance(state, dict) or "attrs" not in state:
+            raise ArtifactError(
+                f"{str(path)!r} is not a compiled-circuit artifact"
+            )
+        if state.get("format") != ARTIFACT_FORMAT:
+            raise ArtifactError(
+                f"artifact {str(path)!r} has format "
+                f"{state.get('format')!r}; this build reads format "
+                f"{ARTIFACT_FORMAT}"
+            )
+        backend_key = tuple(state.get("backend_key", ()))
+        if backend_key != tuple(bindings.backend.key):
+            raise ArtifactError(
+                f"artifact {str(path)!r} was compiled for backend "
+                f"{backend_key!r} but these bindings use "
+                f"{tuple(bindings.backend.key)!r}; a wrong-precision "
+                "artifact must never be served"
+            )
+        if state.get("n_bits") != bindings.n_bits:
+            raise ArtifactError(
+                f"artifact {str(path)!r} was compiled at n_bits="
+                f"{state.get('n_bits')!r}, bindings have "
+                f"n_bits={bindings.n_bits}"
+            )
+        attrs = state["attrs"]
+        netlist = attrs.get("netlist")
+        signature = state.get("signature")
+        if (
+            netlist is None
+            or attrs.get("signature") != signature
+            or netlist_signature(netlist) != signature
+        ):
+            raise ArtifactError(
+                f"artifact {str(path)!r} failed content-hash "
+                "verification: its topology is stale or the payload "
+                "was tampered with -- recompile instead of loading"
+            )
+        artifact = cls.__new__(cls)
+        artifact.__dict__.update(attrs)
+        artifact.bindings = bindings
+        artifact._value_buffers = {}
+        artifact._failed_buffers = {}
+        artifact._excite_buffers = {}
+        artifact._faulty_sims = {}
+        artifact._faulty_cal = {}
+        obs.get_registry().inc("circuit.artifact_loads")
+        return artifact
+
+
+#: On-disk artifact format version; :meth:`CompiledCircuit.load`
+#: refuses snapshots written by an incompatible layout.
+ARTIFACT_FORMAT = 1
+
+#: Per-process runtime state excluded from saved artifacts: bindings
+#: are re-attached on load, scratch buffers and faulty-simulator
+#: caches regrow lazily.
+_RUNTIME_ATTRS = frozenset((
+    "bindings", "_value_buffers", "_failed_buffers", "_excite_buffers",
+    "_faulty_sims", "_faulty_cal",
+))
+
 
 def compile_circuit(netlist, bindings):
     """Compile ``netlist`` onto ``bindings`` into a :class:`CompiledCircuit`.
@@ -999,6 +1112,32 @@ class CompiledCircuitCache:
             self._entries.popitem(last=False)
             self.obs.inc("compile_cache.evictions")
         return artifact
+
+    def warm(self, paths, bindings):
+        """Preload saved artifacts so first requests hit, not compile.
+
+        Each path loads through :meth:`CompiledCircuit.load` (which
+        verifies format, content hash, width and backend key against
+        ``bindings``) and enters the LRU under its own signature --
+        afterwards :meth:`get_or_compile` serves those netlists with
+        zero misses, the fleet warm-start contract.  Loads count under
+        ``compile_cache.warmed`` (not as hits or misses); a failing
+        path raises :class:`~repro.errors.ArtifactError` and leaves
+        already-loaded artifacts cached.  Returns the loaded artifacts.
+        """
+        artifacts = []
+        for path in paths:
+            artifact = CompiledCircuit.load(path, bindings)
+            key = (artifact.signature, artifact.n_bits,
+                   bindings.backend.key)
+            self._entries[key] = artifact
+            self._entries.move_to_end(key)
+            self.obs.inc("compile_cache.warmed")
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.obs.inc("compile_cache.evictions")
+            artifacts.append(artifact)
+        return artifacts
 
     def clear(self):
         """Drop every cached artifact (hit/miss counters persist)."""

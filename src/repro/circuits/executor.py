@@ -20,12 +20,21 @@ bit-identical to a standalone :meth:`CircuitEngine.run` call (pinned by
 
 Flush policy: a queue flushes when its pending word count reaches
 ``max_block``, when the oldest queued request exceeds ``max_latency``
-seconds (checked on every submit), on an explicit :meth:`flush`, or
-when any ticket's :meth:`~ExecutionTicket.result` is forced.
+seconds (every submit sweeps *all* queues, whatever else it triggered),
+on an explicit :meth:`flush` or :meth:`sweep`, or when any ticket's
+:meth:`~ExecutionTicket.result` is forced.  The executor itself runs no
+threads -- a long-lived front end (``repro.serve``'s daemon) calls
+:meth:`sweep` from a background flush thread so ``max_latency`` bounds
+queue wait even without fresh traffic.  Submission, flushing and
+fallback execution are serialised by one internal lock, so many
+threads may submit concurrently; tickets resolve through a
+``threading.Event`` and can be awaited without forcing a flush
+(:meth:`ExecutionTicket.result` with ``timeout``).
 Configurations the packed path cannot reproduce (placement noise,
 replaced physics hooks, uncalibratable cells) fall back per request to
 a per-op :class:`~repro.circuits.engine.CircuitEngine` sharing the same
-bindings.
+bindings; the fallback engine map is LRU-bounded to ``cache_size``
+entries, like the compile cache.
 
 >>> from repro.circuits.netlist import Netlist
 >>> netlist = Netlist("demo")
@@ -42,7 +51,9 @@ bindings.
 1
 """
 
+import threading
 import time
+from collections import OrderedDict
 
 import numpy as np
 
@@ -57,7 +68,6 @@ from repro.circuits.library import GateBindings, physical_arity
 from repro.errors import (
     EncodingError,
     NetlistError,
-    ReproError,
     SimulationError,
 )
 
@@ -65,31 +75,50 @@ from repro.errors import (
 class ExecutionTicket:
     """Handle on one submitted request; resolves when its block runs."""
 
-    __slots__ = ("_executor", "_done", "_result", "_error")
+    __slots__ = ("_executor", "_done", "_result", "_error", "_event")
 
     def __init__(self, executor):
         self._executor = executor
         self._done = False
         self._result = None
         self._error = None
+        self._event = threading.Event()
 
     def _resolve(self, result=None, error=None):
-        self._done = True
         self._result = result
         self._error = error
+        self._done = True
+        self._event.set()
 
     @property
     def done(self):
         """True once the request's block has executed."""
         return self._done
 
-    def result(self):
+    def wait(self, timeout=None):
+        """Block until the ticket resolves (or ``timeout`` seconds pass)
+        without forcing a flush; returns :attr:`done`.
+
+        This is how a serving front end waits for the executor's own
+        flush policy (block high-water mark, latency sweep) to resolve
+        the request, keeping coalescing opportunities alive instead of
+        flushing a near-empty block immediately.
+        """
+        self._event.wait(timeout)
+        return self._done
+
+    def result(self, timeout=None):
         """The request's :class:`CircuitRunResult`, flushing if needed.
 
-        Raises whatever a standalone strict run would have raised (the
-        error is captured per request, so one failing request never
-        poisons the rest of its coalesced block).
+        With ``timeout`` the call first waits that many seconds for the
+        executor's own flush policy to resolve the ticket (see
+        :meth:`wait`); unresolved tickets then force a :meth:`flush`
+        either way.  Raises whatever a standalone strict run would have
+        raised (the error is captured per request, so one failing
+        request never poisons the rest of its coalesced block).
         """
+        if timeout is not None:
+            self._event.wait(timeout)
         if not self._done:
             self._executor.flush()
         if not self._done:
@@ -129,11 +158,14 @@ class CircuitExecutor:
         Word-count high-water mark per coalescing queue: submitting the
         request that reaches it flushes the queue immediately.
     max_latency:
-        Optional seconds the oldest queued request may wait; checked on
-        every submit (the executor is synchronous -- no background
-        thread -- so latency-based flushes piggyback on traffic).
+        Optional seconds the oldest queued request may wait; every
+        submit sweeps *all* queues against it (the executor starts no
+        threads itself -- a daemon front end such as ``repro.serve``
+        calls :meth:`sweep` periodically so the bound holds without
+        fresh traffic).
     cache_size:
-        LRU capacity of the compile cache (distinct netlist signatures).
+        LRU capacity of the compile cache (distinct netlist signatures)
+        and of the fallback engine map.
     obs:
         Optional :class:`~repro.obs.MetricsRegistry` holding this
         executor's serving metrics (and, shared onward, its compile
@@ -173,10 +205,18 @@ class CircuitExecutor:
         self.cache = CompiledCircuitCache(
             max_entries=cache_size, obs=self.obs
         )
+        # One lock serialises queue mutation, flushing and fallback
+        # execution: many threads may submit/flush concurrently (the
+        # serving daemon does), coalescing still sees a consistent
+        # queue.  RLock because a submit-triggered flush re-enters.
+        self._lock = threading.RLock()
         self._queues = {}       # key -> list of _Request
         self._queue_words = {}  # key -> pending word count
         self._queue_born = {}   # key -> monotonic time of oldest request
-        self._engines = {}      # signature -> fallback CircuitEngine
+        # signature -> fallback CircuitEngine, LRU-bounded to cache_size
+        # (a long-lived executor serving many distinct netlists through
+        # the fallback path must not accumulate engines forever).
+        self._engines = OrderedDict()
 
     @property
     def stats(self):
@@ -265,20 +305,19 @@ class CircuitExecutor:
         # may only share a packed block when their artifacts were
         # compiled for the same precision / FFT engine.
         key = (request.signature, mode, strict, self.bindings.backend.key)
-        self._queues.setdefault(key, []).append(request)
-        self._queue_words[key] = (
-            self._queue_words.get(key, 0) + request.n_entries
-        )
-        self._queue_born.setdefault(key, time.monotonic())
-        if self._queue_words[key] >= self.max_block:
-            self._flush_queue(key)
-        elif self.max_latency is not None:
-            now = time.monotonic()
-            for stale in [
-                k for k, born in self._queue_born.items()
-                if now - born >= self.max_latency
-            ]:
-                self._flush_queue(stale)
+        with self._lock:
+            self._queues.setdefault(key, []).append(request)
+            self._queue_words[key] = (
+                self._queue_words.get(key, 0) + request.n_entries
+            )
+            self._queue_born.setdefault(key, time.monotonic())
+            if self._queue_words[key] >= self.max_block:
+                self._flush_queue(key)
+            # The latency sweep runs unconditionally: a submit that
+            # triggered a max_block flush must still bound *other*
+            # keys' oldest requests, or mixed traffic lets them wait
+            # past max_latency indefinitely.
+            self._sweep_stale()
         return request.ticket
 
     def run(self, netlist, assignments_batch, faults=(), noise=None,
@@ -319,13 +358,39 @@ class CircuitExecutor:
     # ------------------------------------------------------------------
     def flush(self):
         """Execute every pending queue (in submission order of keys)."""
-        for key in list(self._queues):
+        with self._lock:
+            for key in list(self._queues):
+                self._flush_queue(key)
+
+    def sweep(self):
+        """Flush every queue whose oldest request exceeds ``max_latency``.
+
+        Safe to call from any thread at any time (no-op without a
+        ``max_latency`` bound or pending traffic); the serving daemon's
+        background flush thread drives this so the latency bound holds
+        even when no new submits arrive.  Returns the number of queues
+        flushed.
+        """
+        with self._lock:
+            return self._sweep_stale()
+
+    def _sweep_stale(self):
+        if self.max_latency is None:
+            return 0
+        now = time.monotonic()
+        stale = [
+            k for k, born in self._queue_born.items()
+            if now - born >= self.max_latency
+        ]
+        for key in stale:
             self._flush_queue(key)
+        return len(stale)
 
     @property
     def pending_words(self):
         """Words currently queued and not yet executed."""
-        return sum(self._queue_words.values())
+        with self._lock:
+            return sum(self._queue_words.values())
 
     def _flush_queue(self, key):
         # Per-key queue state is cleared in the ``finally`` below: a
@@ -456,24 +521,48 @@ class CircuitExecutor:
 
         self.obs.inc("executor.fallbacks")
         signature = netlist_signature(request.netlist)
-        engine = self._engines.get(signature)
-        if engine is None:
-            engine = CircuitEngine(request.netlist, bindings=self.bindings)
-            self._engines[signature] = engine
-        try:
-            result = engine.run(
-                request.batch,
-                faults=request.faults,
-                noise=request.noise,
-                strict=request.strict,
-                mode=mode,
-                packed=False,
-            )
-        except ReproError as exc:
-            self.obs.inc("executor.errors.fallback")
-            request.ticket._resolve(error=exc)
-        else:
-            request.ticket._resolve(result=result)
+        with self._lock:
+            engine = self._engines.get(signature)
+            if engine is None:
+                engine = CircuitEngine(
+                    request.netlist, bindings=self.bindings
+                )
+                self._engines[signature] = engine
+                while len(self._engines) > self.cache.max_entries:
+                    self._engines.popitem(last=False)
+                    self.obs.inc("executor.engine_evictions")
+            else:
+                self._engines.move_to_end(signature)
+            try:
+                result = engine.run(
+                    request.batch,
+                    faults=request.faults,
+                    noise=request.noise,
+                    strict=request.strict,
+                    mode=mode,
+                    packed=False,
+                )
+            except Exception as exc:
+                # Mirror _flush_requests: *any* failure -- a physics
+                # ReproError or e.g. a TypeError out of a replaced hook
+                # -- must resolve the ticket and land in the error
+                # counters, or submit() leaks the exception with the
+                # request already counted as served.
+                self.obs.inc("executor.errors.fallback")
+                request.ticket._resolve(error=exc)
+            else:
+                request.ticket._resolve(result=result)
+
+    # ------------------------------------------------------------------
+    # Warm start
+    # ------------------------------------------------------------------
+    def warm(self, paths):
+        """Preload saved :class:`CompiledCircuit` artifacts (see
+        :meth:`CompiledCircuitCache.warm`): a worker started from
+        artifacts serves its first requests with zero compile misses.
+        Returns the loaded artifacts."""
+        with self._lock:
+            return self.cache.warm(paths, self.bindings)
 
     # ------------------------------------------------------------------
     # Introspection

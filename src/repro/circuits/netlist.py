@@ -355,3 +355,76 @@ class Netlist:
     def graph(self):
         """A copy of the underlying networkx DiGraph."""
         return self._graph.copy()
+
+    # ------------------------------------------------------------------
+    # Wire format
+    # ------------------------------------------------------------------
+    def to_dict(self):
+        """JSON-pure dict of the netlist (nodes in insertion order).
+
+        The wire format of the serving layer (:mod:`repro.serve`):
+        node insertion order is preserved, so :meth:`from_dict` rebuilds
+        a netlist whose content hash
+        (:func:`~repro.circuits.compiled.netlist_signature`) -- and
+        therefore compile-cache and coalescing behaviour -- matches the
+        original exactly.
+
+        >>> netlist = Netlist("wire")
+        >>> _ = netlist.add_input("a")
+        >>> _ = netlist.add_cell("na", "INV", ("a",))
+        >>> _ = netlist.mark_output("na")
+        >>> clone = Netlist.from_dict(netlist.to_dict())
+        >>> clone.evaluate({"a": 0})
+        {'na': 1}
+        """
+        nodes = []
+        for name in self._graph.nodes:
+            node = self._graph.nodes[name]["node"]
+            nodes.append({
+                "name": node.name,
+                "kind": node.kind,
+                "fanin": list(node.fanin),
+            })
+        return {
+            "name": self.name,
+            "nodes": nodes,
+            "outputs": list(self._outputs),
+        }
+
+    @classmethod
+    def from_dict(cls, payload):
+        """Rebuild a netlist from :meth:`to_dict` output.
+
+        Every node re-enters through the validating ``add_*``
+        constructors, so malformed payloads (unknown kinds, missing
+        fanin, cycles) raise :class:`~repro.errors.NetlistError` rather
+        than building a corrupt DAG.
+        """
+        if not isinstance(payload, dict):
+            raise NetlistError(
+                f"netlist payload must be a dict, got {type(payload).__name__}"
+            )
+        netlist = cls(str(payload.get("name", "netlist")))
+        nodes = payload.get("nodes")
+        if not isinstance(nodes, list):
+            raise NetlistError("netlist payload needs a 'nodes' list")
+        for entry in nodes:
+            if not isinstance(entry, dict) or "name" not in entry:
+                raise NetlistError(
+                    f"malformed netlist node entry {entry!r}"
+                )
+            name = entry["name"]
+            kind = entry.get("kind")
+            if kind == "input":
+                netlist.add_input(name)
+            elif kind in ("const0", "const1"):
+                netlist.add_const(name, int(kind[-1]))
+            elif kind in _OPERATIONS:
+                netlist.add_cell(name, kind, tuple(entry.get("fanin", ())))
+            else:
+                raise NetlistError(
+                    f"unknown node kind {kind!r} for node {name!r}"
+                )
+        for name in payload.get("outputs", ()):
+            netlist.mark_output(name)
+        return netlist

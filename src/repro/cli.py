@@ -7,6 +7,8 @@ Subcommands::
     swgate run all                   # every fast experiment
     swgate majority 0xA5 0x3C 0x0F   # evaluate the byte MAJ gate on words
     swgate circuit 0x9 0x6           # physical adder via the circuit engine
+    swgate serve --port 8077         # JSON-over-HTTP circuit daemon
+    swgate serve --send 0x9 0x6      # evaluate an adder on a running daemon
     swgate layout                    # print the byte gate placement
     swgate export-mif out.mif        # OOMMF MIF 2.1 export
 """
@@ -129,6 +131,29 @@ def _cmd_adder(args):
     return 0 if total == a + b else 1
 
 
+def _adder_assignment(a, b, width):
+    """{input name: bit} of one (a, b) pair for a width-bit adder."""
+    assignment = {}
+    for i, bit in enumerate(int_to_bits(a, width)):
+        assignment[f"a{i}"] = bit
+    for i, bit in enumerate(int_to_bits(b, width)):
+        assignment[f"b{i}"] = bit
+    return assignment
+
+
+def _adder_total(netlist, result, width):
+    """Recompose the integer sum from an adder run's output columns.
+
+    Outputs are registered sum-bit order first, carry-out last.
+    """
+    output_names = netlist.outputs
+    total = 0
+    for i, name in enumerate(output_names[:width]):
+        total |= result.outputs[name][0] << i
+    total |= result.outputs[output_names[-1]][0] << width
+    return total
+
+
 def _cmd_circuit(args):
     from repro.circuits import CircuitEngine, ripple_carry_adder
 
@@ -138,11 +163,7 @@ def _cmd_circuit(args):
     width = args.width
     netlist = ripple_carry_adder(width)
     engine = CircuitEngine(netlist, n_bits=args.bits)
-    assignment = {}
-    for i, bit in enumerate(int_to_bits(a, width)):
-        assignment[f"a{i}"] = bit
-    for i, bit in enumerate(int_to_bits(b, width)):
-        assignment[f"b{i}"] = bit
+    assignment = _adder_assignment(a, b, width)
     executor = None
     if args.packed:
         # Serve the evaluation through the coalescing executor: the
@@ -155,12 +176,18 @@ def _cmd_circuit(args):
         result = ticket.result()
     else:
         result = engine.run([assignment], mode=args.mode)
-    # Outputs are registered sum-bit order first, carry-out last.
-    output_names = netlist.outputs
-    total = 0
-    for i, name in enumerate(output_names[:width]):
-        total |= result.outputs[name][0] << i
-    total |= result.outputs[output_names[-1]][0] << width
+    if args.save_artifact:
+        # Persist the compiled artifact so a serving fleet warm-starts
+        # from it (swgate serve --warm) instead of recompiling.
+        if executor is not None:
+            artifact = executor.cache.get_or_compile(
+                netlist, engine.bindings
+            )
+        else:
+            artifact = engine.compiled()
+        artifact.save(args.save_artifact)
+        print(f"saved compiled artifact to {args.save_artifact}")
+    total = _adder_total(netlist, result, width)
     backend = (
         "time-domain waveform" if result.mode == "trace"
         else "steady-state phasor"
@@ -188,6 +215,63 @@ def _cmd_circuit(args):
             extra=[executor.obs] if executor is not None else None
         )
     return 0 if result.correct and total == a + b else 1
+
+
+def _cmd_serve(args):
+    from repro.serve import CircuitServer, ServeClient
+
+    if args.send:
+        # Client mode: evaluate one ripple-carry addition on a running
+        # daemon through repro.serve.client and report its verdict.
+        from repro.circuits import ripple_carry_adder
+
+        a, b = (_parse_word(w) for w in args.send)
+        width = args.width
+        netlist = ripple_carry_adder(width)
+        client = ServeClient(args.url)
+        result = client.run(
+            netlist, [_adder_assignment(a, b, width)], mode=args.mode
+        )
+        total = _adder_total(netlist, result, width)
+        print(
+            f"{width}-bit adder via {args.url}: "
+            f"0x{a:X} + 0x{b:X} = 0x{total:X} "
+            f"({'physics matches logic' if result.correct else 'WRONG'}, "
+            f"{result.mode} mode)"
+        )
+        print(f"  server: {client.stats()['describe']}")
+        return 0 if result.correct and total == a + b else 1
+
+    server = CircuitServer(
+        host=args.host,
+        port=args.port,
+        n_bits=args.bits,
+        max_block=args.max_block,
+        max_latency=args.max_latency,
+        cache_size=args.cache_size,
+    )
+    if args.warm:
+        artifacts = server.warm(args.warm)
+        print(
+            f"warm-started {len(artifacts)} compiled artifact(s): "
+            + ", ".join(a.netlist.name for a in artifacts)
+        )
+    latency = (
+        "no latency bound" if server.executor.max_latency is None
+        else f"max_latency {server.executor.max_latency * 1e3:g} ms"
+    )
+    print(
+        f"swgate serve: listening on {server.url} "
+        f"({server.executor.n_bits}-bit cells, "
+        f"max_block {server.executor.max_block} words, {latency}); "
+        "endpoints: POST /v1/run, GET /healthz /metrics /stats"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("swgate serve: shutting down")
+        server.close()
+    return 0
 
 
 def _cmd_synth(args):
@@ -404,7 +488,80 @@ def build_parser():
         help="print a span-tree profile (compile stages, per-level "
         "timings) and metrics table afterwards",
     )
+    circuit_parser.add_argument(
+        "--save-artifact",
+        default=None,
+        metavar="PATH",
+        help="persist the compiled circuit artifact to PATH so "
+        "'swgate serve --warm PATH' starts with a hot compile cache",
+    )
     circuit_parser.set_defaults(func=_cmd_circuit)
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the JSON-over-HTTP circuit-serving daemon "
+        "(or, with --send, talk to one)",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=8077, help="bind port (0 = ephemeral)"
+    )
+    serve_parser.add_argument(
+        "--bits",
+        type=int,
+        default=8,
+        help="data-parallel width of each physical cell",
+    )
+    serve_parser.add_argument(
+        "--max-block",
+        type=int,
+        default=64,
+        help="executor high-water mark: flush a queue at this many words",
+    )
+    serve_parser.add_argument(
+        "--max-latency",
+        type=float,
+        default=0.005,
+        help="seconds a queued word may wait before the background "
+        "flush thread sweeps it out",
+    )
+    serve_parser.add_argument(
+        "--cache-size",
+        type=int,
+        default=16,
+        help="compiled-circuit cache capacity (distinct netlists)",
+    )
+    serve_parser.add_argument(
+        "--warm",
+        nargs="*",
+        metavar="PATH",
+        help="saved compiled-circuit artifacts (swgate circuit "
+        "--save-artifact) to preload before serving",
+    )
+    serve_parser.add_argument(
+        "--send",
+        nargs=2,
+        metavar=("A", "B"),
+        help="client mode: send one ripple-carry addition of A and B "
+        "to a running daemon instead of starting one",
+    )
+    serve_parser.add_argument(
+        "--url",
+        default="http://127.0.0.1:8077",
+        help="daemon URL for --send",
+    )
+    serve_parser.add_argument(
+        "--width", type=int, default=4, help="adder width for --send"
+    )
+    serve_parser.add_argument(
+        "--mode",
+        default="phasor",
+        choices=["phasor", "trace"],
+        help="execution semantics for --send",
+    )
+    serve_parser.set_defaults(func=_cmd_serve)
 
     synth_parser = sub.add_parser(
         "synth",

@@ -1,0 +1,91 @@
+"""Stdlib HTTP client for the ``swgate serve`` daemon.
+
+:class:`ServeClient` mirrors the in-process
+:meth:`~repro.circuits.executor.CircuitExecutor.run` contract over the
+wire: :meth:`ServeClient.run` takes the same netlist / assignments /
+faults / noise / strict / mode arguments, returns a reconstructed
+:class:`~repro.circuits.engine.CircuitRunResult`, and raises the same
+:mod:`repro.errors` classes a local strict run would (rebuilt from the
+daemon's error payloads, see :mod:`repro.serve.protocol`).  Used by the
+``swgate serve --send`` CLI path, the serve tests and the serving
+benchmark; ``urllib`` only, no third-party HTTP stack.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+from repro.serve import protocol
+
+
+class ServeClient:
+    """Talks to one daemon at ``url`` (e.g. ``http://127.0.0.1:8077``)."""
+
+    def __init__(self, url, timeout=30.0):
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------
+    def _request(self, method, path, payload=None):
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.url + path, data=data, headers=headers, method=method,
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return response.status, response.read()
+        except urllib.error.HTTPError as error:
+            # Daemon error payloads ride on non-2xx statuses; read the
+            # body so the caller can rebuild the typed exception.
+            return error.code, error.read()
+
+    def _json(self, method, path, payload=None):
+        status, body = self._request(method, path, payload)
+        try:
+            decoded = json.loads(body)
+        except ValueError:
+            decoded = {}
+        if status != 200:
+            raise protocol.error_from_wire(decoded, status)
+        return decoded
+
+    # -- endpoints -----------------------------------------------------
+    def run(self, netlist, assignments, faults=(), noise=None,
+            strict=True, mode="phasor", cells=False):
+        """Evaluate ``assignments`` on ``netlist`` through the daemon.
+
+        Same contract as ``CircuitExecutor.run``; ``cells=True``
+        additionally fetches the per-cell decode records.
+        """
+        payload = protocol.encode_run_request(
+            netlist, assignments, faults=faults, noise=noise,
+            strict=strict, mode=mode, cells=cells,
+        )
+        return protocol.result_from_wire(
+            self._json("POST", "/v1/run", payload)
+        )
+
+    def healthz(self):
+        """The daemon's liveness dict (status, uptime, queue depth)."""
+        return self._json("GET", "/healthz")
+
+    def stats(self):
+        """Structured serving stats (executor counters, compile cache)."""
+        return self._json("GET", "/stats")
+
+    def metrics(self, format="text"):
+        """The ``/metrics`` export: rendered table, or the registry
+        ``snapshot()`` dict with ``format="json"``."""
+        if format == "json":
+            return self._json("GET", "/metrics?format=json")
+        status, body = self._request("GET", "/metrics")
+        text = body.decode("utf-8")
+        if status != 200:
+            raise RuntimeError(f"/metrics returned HTTP {status}: {text}")
+        return text

@@ -1,0 +1,305 @@
+"""``swgate serve`` -- the JSON-over-HTTP circuit-serving daemon.
+
+:class:`CircuitServer` is a thin, observable network front end on the
+coalescing :class:`~repro.circuits.executor.CircuitExecutor`: a
+stdlib-only ``ThreadingHTTPServer`` whose handler threads submit
+requests and *wait* on their tickets instead of forcing a flush, so
+concurrent clients' word batches coalesce into shared packed GEMM
+blocks exactly as in-process submitters' do.  A background **flush
+thread** calls :meth:`CircuitExecutor.sweep` every
+``flush_interval`` seconds, so the executor's ``max_latency`` bound
+holds even when no fresh traffic arrives to piggyback on -- the
+daemon's end of the executor's lifecycle contract.
+
+Endpoints::
+
+    POST /v1/run        netlist + assignments (+ faults/noise/mode/
+                        strict) -> CircuitRunResult wire dict
+    GET  /healthz       liveness + uptime + pending queue depth
+    GET  /metrics       merged metrics table (text);
+                        ?format=json -> registry snapshot() dict
+    GET  /stats         executor describe() line + structured stats
+
+Strict failures map onto HTTP statuses per
+:data:`repro.serve.protocol.ERROR_STATUS` (request errors 400, physics
+errors 422, bugs 500) and carry the exception class over the wire, so
+remote callers re-raise exactly what in-process callers catch.
+
+Workers start hot by loading saved :class:`CompiledCircuit` artifacts
+(``warm=`` paths, or :meth:`CircuitServer.warm` later): the first
+request then hits the compile cache instead of paying compile +
+calibration.
+"""
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro import obs as _obs
+from repro.circuits.executor import CircuitExecutor
+from repro.serve import protocol
+
+#: Fallback handler-side wait bound (seconds) when the executor has no
+#: ``max_latency`` (tickets then resolve via max_block or this force).
+_DEFAULT_WAIT = 0.05
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes HTTP verbs onto the owning :class:`CircuitServer`."""
+
+    server_version = "swgate-serve"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        # Access logging lands in the metrics registry, not stderr.
+        pass
+
+    def _send(self, status, payload, content_type="application/json"):
+        body = (
+            payload if isinstance(payload, bytes)
+            else json.dumps(payload).encode("utf-8")
+        )
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self):
+        app = self.server.app
+        path, _, query = self.path.partition("?")
+        if path == "/healthz":
+            self._send(200, app.healthz())
+        elif path == "/metrics":
+            if "format=json" in query:
+                self._send(200, app.metrics_snapshot())
+            else:
+                self._send(
+                    200, app.metrics_text().encode("utf-8") + b"\n",
+                    content_type="text/plain; charset=utf-8",
+                )
+        elif path == "/stats":
+            self._send(200, app.stats())
+        else:
+            self._send(404, {"error": {
+                "type": "NotFound", "message": f"no route {path!r}",
+            }})
+
+    def do_POST(self):
+        app = self.server.app
+        path = self.path.partition("?")[0]
+        if path != "/v1/run":
+            self._send(404, {"error": {
+                "type": "NotFound", "message": f"no route {path!r}",
+            }})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            payload = json.loads(self.rfile.read(length) or b"null")
+        except (ValueError, TypeError) as exc:
+            self._send(400, {"error": {
+                "type": "NetlistError",
+                "message": f"request body is not valid JSON: {exc}",
+            }})
+            return
+        status, wire = app.handle_run(payload)
+        self._send(status, wire)
+
+
+class CircuitServer:
+    """One serving daemon: HTTP front end + flush thread + executor.
+
+    Parameters
+    ----------
+    executor:
+        An existing :class:`CircuitExecutor` to serve (its ``obs``
+        registry backs ``/metrics``); by default the server builds its
+        own from the remaining keyword arguments.
+    host, port:
+        Bind address; port 0 (the default) picks an ephemeral port,
+        read back from :attr:`port` / :attr:`url`.
+    n_bits, bindings, backend, max_block, max_latency, cache_size, obs:
+        Forwarded to the internally-built executor when ``executor`` is
+        not supplied.
+    warm:
+        Paths of saved :class:`CompiledCircuit` artifacts to preload
+        into the compile cache before serving.
+    flush_interval:
+        Seconds between background :meth:`CircuitExecutor.sweep` calls;
+        defaults to half the executor's ``max_latency`` (no thread when
+        the executor has no latency bound -- tickets then resolve via
+        ``max_block`` or the handler's own wait deadline).
+    """
+
+    def __init__(self, executor=None, host="127.0.0.1", port=0, *,
+                 n_bits=8, bindings=None, backend=None, max_block=64,
+                 max_latency=0.005, cache_size=16, obs=None, warm=(),
+                 flush_interval=None):
+        if executor is None:
+            executor = CircuitExecutor(
+                n_bits=n_bits, bindings=bindings, backend=backend,
+                max_block=max_block, max_latency=max_latency,
+                cache_size=cache_size, obs=obs,
+            )
+        self.executor = executor
+        self.obs = executor.obs
+        if warm:
+            self.warm(warm)
+        if flush_interval is None and executor.max_latency is not None:
+            flush_interval = max(executor.max_latency / 2.0, 0.001)
+        self.flush_interval = flush_interval
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.app = self
+        self._started = time.monotonic()
+        self._stop = threading.Event()
+        self._flush_thread = None
+        self._serve_thread = None
+
+    # -- address -------------------------------------------------------
+    @property
+    def host(self):
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self):
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self):
+        """Base URL clients talk to, e.g. ``http://127.0.0.1:8077``."""
+        return f"http://{self.host}:{self.port}"
+
+    # -- lifecycle -----------------------------------------------------
+    def warm(self, paths):
+        """Preload saved artifacts; returns the loaded artifacts."""
+        return self.executor.warm(paths)
+
+    def _flush_loop(self):
+        while not self._stop.wait(self.flush_interval):
+            self.executor.sweep()
+        # Final sweep so no ticket is stranded past shutdown.
+        self.executor.flush()
+
+    def _start_flush_thread(self):
+        if self.flush_interval is None or self._flush_thread is not None:
+            return
+        self._flush_thread = threading.Thread(
+            target=self._flush_loop, name="swgate-serve-flush", daemon=True,
+        )
+        self._flush_thread.start()
+
+    def start(self):
+        """Serve in background threads; returns the base URL."""
+        self._start_flush_thread()
+        if self._serve_thread is None:
+            self._serve_thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="swgate-serve-http", daemon=True,
+            )
+            self._serve_thread.start()
+        return self.url
+
+    def serve_forever(self):
+        """Serve in the calling thread (the CLI foreground mode)."""
+        self._start_flush_thread()
+        try:
+            self._httpd.serve_forever()
+        finally:
+            self.close()
+
+    def close(self):
+        """Stop serving, join the flush thread, release the socket."""
+        self._stop.set()
+        if self._serve_thread is not None:
+            self._httpd.shutdown()
+            self._serve_thread.join(timeout=5.0)
+            self._serve_thread = None
+        if self._flush_thread is not None:
+            self._flush_thread.join(timeout=5.0)
+            self._flush_thread = None
+        self._httpd.server_close()
+
+    def __enter__(self):
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    # -- request handling ----------------------------------------------
+    def _wait_timeout(self):
+        """How long a handler waits for the flush policy before forcing.
+
+        Twice the latency bound plus two sweep intervals comfortably
+        covers the worst-case sweep phase; the force after the deadline
+        is a latency fallback, never a correctness requirement.
+        """
+        if self.executor.max_latency is None or self.flush_interval is None:
+            return _DEFAULT_WAIT
+        return 2.0 * self.executor.max_latency + 2.0 * self.flush_interval
+
+    def handle_run(self, payload):
+        """Decode, submit, await and encode one ``/v1/run`` request."""
+        started = time.perf_counter()
+        self.obs.inc("serve.requests")
+        try:
+            request = protocol.decode_run_request(payload)
+            ticket = self.executor.submit(
+                request.netlist,
+                request.assignments,
+                faults=request.faults,
+                noise=request.noise,
+                strict=request.strict,
+                mode=request.mode,
+            )
+            result = ticket.result(timeout=self._wait_timeout())
+            status = 200
+            wire = protocol.result_to_wire(
+                result, include_cells=request.cells
+            )
+        except Exception as exc:
+            status, wire = protocol.error_to_wire(exc)
+            self.obs.inc(f"serve.errors.{status}")
+        self.obs.observe("serve.request_s", time.perf_counter() - started)
+        return status, wire
+
+    # -- introspection endpoints ---------------------------------------
+    def healthz(self):
+        """Liveness payload: protocol, uptime, queue depth."""
+        return {
+            "status": "ok",
+            "protocol": protocol.PROTOCOL_VERSION,
+            "uptime_s": time.monotonic() - self._started,
+            "pending_words": self.executor.pending_words,
+            "n_bits": self.executor.n_bits,
+            "backend": self.executor.bindings.backend.tag,
+        }
+
+    def metrics_snapshot(self):
+        """The executor registry ``snapshot()`` (JSON-pure dict)."""
+        return self.obs.snapshot()
+
+    def metrics_text(self):
+        """Merged metrics table: executor registry + process-global."""
+        return _obs.render_metrics(
+            [self.obs.snapshot(), _obs.get_registry().snapshot()]
+        )
+
+    def stats(self):
+        """Structured serving stats + the executor's describe() line."""
+        executor = self.executor
+        return {
+            "describe": executor.describe(),
+            "stats": executor.stats,
+            "pending_words": executor.pending_words,
+            "compile_cache": {
+                "entries": len(executor.cache),
+                "max_entries": executor.cache.max_entries,
+                "hits": executor.cache.hits,
+                "misses": executor.cache.misses,
+                "evictions": executor.cache.evictions,
+                "warmed": executor.obs.counter("compile_cache.warmed"),
+            },
+        }

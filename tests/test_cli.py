@@ -104,6 +104,58 @@ class TestCommands:
         assert "physics matches logic" in out
         assert "min margin" in out
 
+    def test_circuit_save_artifact(self, tmp_path, capsys):
+        target = tmp_path / "adder.ccz"
+        assert (
+            main(
+                [
+                    "circuit", "0x3", "0x2",
+                    "--width", "2", "--bits", "2",
+                    "--save-artifact", str(target),
+                ]
+            )
+            == 0
+        )
+        assert target.exists()
+        assert "saved compiled artifact" in capsys.readouterr().out
+
+    def test_serve_send_round_trip(self, tmp_path, capsys):
+        """`swgate circuit --save-artifact` -> `swgate serve --warm` ->
+        `swgate serve --send`: the whole CLI serving workflow."""
+        from repro.serve import CircuitServer
+
+        artifact = tmp_path / "rca2.ccz"
+        assert (
+            main(
+                [
+                    "circuit", "0x1", "0x2",
+                    "--width", "2", "--bits", "2", "--packed",
+                    "--save-artifact", str(artifact),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        with CircuitServer(
+            port=0, n_bits=2, max_latency=0.002, warm=[str(artifact)]
+        ) as daemon:
+            assert (
+                main(
+                    [
+                        "serve", "--send", "0x1", "0x2",
+                        "--width", "2", "--url", daemon.url,
+                    ]
+                )
+                == 0
+            )
+            out = capsys.readouterr().out
+            assert "0x1 + 0x2 = 0x3" in out
+            assert "physics matches logic" in out
+            assert "server:" in out
+            # The warm artifact served it: no compile miss.
+            assert daemon.executor.cache.misses == 0
+            assert daemon.executor.cache.hits == 1
+
     def test_synth_list(self, capsys):
         assert main(["synth", "--list"]) == 0
         out = capsys.readouterr().out

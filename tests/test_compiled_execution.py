@@ -313,6 +313,43 @@ class TestExecutorFailureBookkeeping:
             count == 0 for count in executor.stats["errors"].values()
         )
 
+    def test_sweep_runs_even_when_submit_flushes_another_key(self):
+        """Regression: the latency sweep used to live in an ``elif``
+        after the max_block check, so a submit that flushed its *own*
+        queue skipped the sweep and left other keys' stale requests
+        waiting past ``max_latency`` for as long as mixed traffic kept
+        hitting the high-water branch."""
+        import time as _time
+
+        executor = CircuitExecutor(
+            n_bits=N_BITS, max_block=3, max_latency=0.01
+        )
+        netlist = xor_pair("stale")
+        slow = executor.submit(netlist, BATCH[:1])  # 1 word: below mark
+        _time.sleep(0.03)  # now older than max_latency
+        # A different key (trace mode) whose submit reaches max_block.
+        fast = executor.submit(netlist, BATCH, mode="trace")
+        assert fast.done  # flushed by its own high-water mark
+        assert slow.done  # swept by the same submit, despite the flush
+        assert slow.result().outputs == netlist.evaluate_batch(BATCH[:1])
+
+    def test_sweep_method_bounds_latency_without_traffic(self):
+        """``sweep()`` (the daemon flush thread's entry point) flushes
+        stale queues with no new submit to piggyback on."""
+        import time as _time
+
+        executor = CircuitExecutor(
+            n_bits=N_BITS, max_block=1024, max_latency=0.005
+        )
+        netlist = xor_pair("idle")
+        ticket = executor.submit(netlist, BATCH)
+        assert not ticket.done  # young queue: submit-time sweep skipped it
+        assert executor.sweep() == 0
+        _time.sleep(0.02)
+        assert executor.sweep() == 1
+        assert ticket.done
+        assert ticket.result().outputs == netlist.evaluate_batch(BATCH)
+
     def test_describe_reports_error_rate(self):
         executor = CircuitExecutor(n_bits=N_BITS, max_block=1024)
         netlist = xor_pair("rate")
@@ -325,3 +362,106 @@ class TestExecutorFailureBookkeeping:
         text = executor.describe()
         assert "error rate" in text
         assert "1 errors" in text
+
+
+def inv_chain(length):
+    """Netlists of distinct lengths have distinct content hashes."""
+    netlist = Netlist(f"chain{length}")
+    netlist.add_input("a")
+    previous = "a"
+    for index in range(length):
+        name = f"n{index}"
+        netlist.add_cell(name, "INV", (previous,))
+        previous = name
+    netlist.mark_output(previous)
+    return netlist
+
+
+class TestFallbackEngineLifecycle:
+    """The per-op fallback path's engine map and error handling.
+
+    Regression class for two leaks: the engine map grew without bound
+    (one entry per distinct netlist a long-lived executor ever served
+    through the fallback path), and a non-``ReproError`` out of the
+    engine escaped :meth:`_run_fallback` with the ticket stranded
+    unresolved and the request already counted as served.
+    """
+
+    #: Placement noise forces the fallback path (packed execution
+    #: cannot reproduce per-cell geometry perturbation).
+    @staticmethod
+    def _noise():
+        from repro.waveguide.noise import NoiseModel
+
+        return NoiseModel(position_sigma=5e-9, seed=7)
+
+    def test_fallback_engine_map_is_lru_bounded(self):
+        executor = CircuitExecutor(n_bits=N_BITS, cache_size=2)
+        noise = self._noise()
+        for length in (1, 2, 3, 4):
+            ticket = executor.submit(
+                inv_chain(length), [{"a": 1}], noise=noise
+            )
+            assert ticket.done  # fallback serves immediately
+            assert ticket.result().correct
+        assert executor.stats["fallbacks"] == 4
+        assert len(executor._engines) == 2
+        assert executor.obs.counter("executor.engine_evictions") == 2
+
+    def test_fallback_engine_reuse_refreshes_lru_order(self):
+        executor = CircuitExecutor(n_bits=N_BITS, cache_size=2)
+        noise = self._noise()
+        executor.submit(inv_chain(1), [{"a": 1}], noise=noise)
+        executor.submit(inv_chain(2), [{"a": 1}], noise=noise)
+        engines = dict(executor._engines)
+        # Touch chain1 again: it becomes most-recent, so chain3's
+        # arrival must evict chain2, not chain1.
+        executor.submit(inv_chain(1), [{"a": 0}], noise=noise)
+        assert dict(executor._engines) == engines  # reused, not rebuilt
+        executor.submit(inv_chain(3), [{"a": 1}], noise=noise)
+        kept = set(executor._engines)
+        assert netlist_signature(inv_chain(1)) in kept
+        assert netlist_signature(inv_chain(2)) not in kept
+
+    def test_fallback_resolves_ticket_on_non_repro_error(
+        self, monkeypatch
+    ):
+        """A ``TypeError`` out of the engine (e.g. a broken replaced
+        hook) must resolve the ticket and count as a fallback error,
+        not escape ``submit`` with the ticket stranded."""
+        from repro.circuits import engine as engine_mod
+
+        executor = CircuitExecutor(n_bits=N_BITS)
+
+        def broken_run(self, *args, **kwargs):
+            raise TypeError("hook returned the wrong shape")
+
+        monkeypatch.setattr(engine_mod.CircuitEngine, "run", broken_run)
+        ticket = executor.submit(
+            xor_pair("broken"), BATCH, noise=self._noise()
+        )
+        assert ticket.done
+        with pytest.raises(TypeError, match="wrong shape"):
+            ticket.result()
+        assert executor.stats["errors"]["fallback"] == 1
+        assert executor.error_count == 1
+
+    def test_fallback_repro_error_still_counted(self, monkeypatch):
+        """The pre-fix behaviour (ReproError handling) is preserved:
+        strict physics failures resolve through the ticket."""
+        from repro.circuits import engine as engine_mod
+        from repro.errors import SimulationError
+
+        executor = CircuitExecutor(n_bits=N_BITS)
+
+        def dead_run(self, *args, **kwargs):
+            raise SimulationError("decode of cell 'y' is dead")
+
+        monkeypatch.setattr(engine_mod.CircuitEngine, "run", dead_run)
+        ticket = executor.submit(
+            xor_pair("sick"), BATCH, noise=self._noise(), strict=True
+        )
+        assert ticket.done
+        with pytest.raises(SimulationError, match="dead"):
+            ticket.result()
+        assert executor.stats["errors"]["fallback"] == 1

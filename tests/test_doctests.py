@@ -12,6 +12,7 @@ import repro.circuits.netlist
 import repro.core.encoding
 import repro.mm.mesh
 import repro.obs
+import repro.serve.protocol
 import repro.synthesis.mig
 import repro.synthesis.parse
 import repro.synthesis.passes
@@ -28,6 +29,7 @@ MODULES = [
     repro.waveguide.sources,
     repro.circuits.engine,
     repro.circuits.netlist,
+    repro.serve.protocol,
     repro.synthesis.mig,
     repro.synthesis.parse,
     repro.synthesis.table,

@@ -1,0 +1,328 @@
+"""The serving daemon: HTTP round-trips pinned against in-process runs.
+
+The conformance bar for ``repro.serve``: everything a client receives
+over the wire -- output bits, expected bits, failure flags, per-level
+margins, fault echoes, error classes -- must match what the same
+request served through an in-process :class:`CircuitExecutor` yields,
+to <= 1e-12 on margins and bit-identically on logic.  Also covers the
+daemon's introspection endpoints, its error -> HTTP status mapping,
+warm start over the executor, and concurrent clients exercising the
+executor's submit/flush lock.
+"""
+
+import json
+import math
+import threading
+
+import pytest
+
+from repro.circuits import (
+    CellFault,
+    CircuitExecutor,
+    GateBindings,
+    compile_circuit,
+    ripple_carry_adder,
+)
+from repro.circuits.netlist import Netlist
+from repro.core.faults import TransducerFault
+from repro.errors import NetlistError, SimulationError
+from repro.serve import CircuitServer, ServeClient
+from repro.waveguide.noise import NoiseModel
+
+N_BITS = 2
+
+PIN = 1e-12
+
+
+def xor_pair(title):
+    netlist = Netlist(title)
+    netlist.add_input("a")
+    netlist.add_input("b")
+    netlist.add_input("c")
+    netlist.add_cell("x", "XOR2", ("a", "b"))
+    netlist.add_cell("y", "XOR2", ("x", "c"))
+    netlist.mark_output("y")
+    return netlist
+
+
+BATCH = [
+    {"a": 0, "b": 1, "c": 1},
+    {"a": 1, "b": 1, "c": 0},
+    {"a": 1, "b": 0, "c": 1},
+]
+
+
+@pytest.fixture()
+def server():
+    with CircuitServer(n_bits=N_BITS, max_latency=0.002) as daemon:
+        yield daemon
+
+
+@pytest.fixture()
+def client(server):
+    return ServeClient(server.url)
+
+
+def reference_run(**kwargs):
+    """The same request served by a fresh in-process executor."""
+    executor = CircuitExecutor(n_bits=N_BITS)
+    return executor.run(**kwargs)
+
+
+def assert_pinned(remote, local):
+    """Remote result == in-process result (bits exact, margins <= PIN)."""
+    assert remote.outputs == local.outputs
+    assert remote.expected == local.expected
+    assert list(remote.failed) == list(local.failed)
+    assert remote.n_entries == local.n_entries
+    assert remote.mode == local.mode
+    assert remote.correct == local.correct
+    assert len(remote.levels) == len(local.levels)
+    for mine, theirs in zip(remote.levels, local.levels):
+        assert mine.level == theirs.level
+        assert mine.n_cells == theirs.n_cells
+        if theirs.min_margin is None or math.isnan(theirs.min_margin):
+            assert mine.min_margin is None or math.isnan(mine.min_margin)
+        else:
+            assert abs(mine.min_margin - theirs.min_margin) <= PIN
+
+
+class TestRunRoundTrips:
+    def test_phasor_pinned_to_in_process(self, client):
+        remote = client.run(xor_pair("wire"), BATCH)
+        local = reference_run(
+            netlist=xor_pair("wire"), assignments_batch=BATCH
+        )
+        assert_pinned(remote, local)
+
+    def test_trace_pinned_to_in_process(self, client):
+        remote = client.run(xor_pair("wire"), BATCH, mode="trace")
+        local = reference_run(
+            netlist=xor_pair("wire"), assignments_batch=BATCH,
+            mode="trace",
+        )
+        assert_pinned(remote, local)
+
+    def test_faults_and_noise_pinned(self, client):
+        """Seeded noise + an injected fault realise identically on both
+        sides of the wire (the executor derives per-(cell, group) noise
+        from the seed, so transport cannot perturb it)."""
+        faults = [
+            CellFault("x", TransducerFault(
+                "dead-source", channel=1, input_index=0, severity=0.6,
+            ))
+        ]
+        noise = NoiseModel(amplitude_sigma=0.03, phase_sigma=0.02, seed=11)
+        remote = client.run(
+            xor_pair("noisy"), BATCH, faults=faults, noise=noise,
+            strict=False,
+        )
+        local = reference_run(
+            netlist=xor_pair("noisy"), assignments_batch=BATCH,
+            faults=faults, noise=noise, strict=False,
+        )
+        assert_pinned(remote, local)
+        assert [f.cell for f in remote.faults] == ["x"]
+
+    def test_position_noise_rides_the_fallback_path(self, client, server):
+        noise = NoiseModel(position_sigma=5e-9, seed=3)
+        remote = client.run(
+            xor_pair("placed"), BATCH, noise=noise, strict=False
+        )
+        local = reference_run(
+            netlist=xor_pair("placed"), assignments_batch=BATCH,
+            noise=noise, strict=False,
+        )
+        assert_pinned(remote, local)
+        assert server.executor.stats["fallbacks"] == 1
+
+    def test_adder_round_trip(self, client):
+        netlist = ripple_carry_adder(3)
+        batch = [{"a0": 1, "a1": 1, "a2": 0, "b0": 1, "b1": 0, "b2": 1}]
+        remote = client.run(netlist, batch)
+        local = reference_run(netlist=netlist, assignments_batch=batch)
+        assert_pinned(remote, local)
+
+    def test_cells_opt_in(self, client):
+        lean = client.run(xor_pair("lean"), BATCH)
+        assert lean.cells == {}
+        full = client.run(xor_pair("full"), BATCH, cells=True)
+        assert set(full.cells) == {"x", "y"}
+        local = reference_run(
+            netlist=xor_pair("full"), assignments_batch=BATCH
+        )
+        assert full.cells["y"].bits == local.cells["y"].bits
+
+
+class TestErrorMapping:
+    def test_missing_input_raises_netlist_error(self, client):
+        with pytest.raises(NetlistError, match="no value supplied"):
+            client.run(xor_pair("m"), [{"a": 0, "b": 1}])
+
+    def test_unknown_mode_raises_netlist_error(self, client):
+        with pytest.raises(NetlistError, match="unknown execution mode"):
+            client.run(xor_pair("m"), BATCH, mode="spice")
+
+    def test_validation_errors_are_http_400(self, client):
+        from repro.serve import protocol
+
+        payload = protocol.encode_run_request(
+            xor_pair("status"), [{"a": 0, "b": 1}]  # missing input c
+        )
+        status, body = client._request("POST", "/v1/run", payload)
+        assert status == 400
+        assert json.loads(body)["error"]["type"] == "NetlistError"
+
+    def test_strict_decode_failure_is_http_422(self, client, monkeypatch):
+        from repro.circuits import compiled as compiled_mod
+
+        monkeypatch.setattr(
+            compiled_mod.CompiledCircuit,
+            "_first_dead",
+            lambda self, packed, start, end: SimulationError(
+                "decode of cell 'y' is dead"
+            ),
+        )
+        from repro.serve import protocol
+
+        payload = protocol.encode_run_request(xor_pair("dead"), BATCH)
+        status, body = client._request("POST", "/v1/run", payload)
+        assert status == 422
+        assert json.loads(body)["error"]["type"] == "SimulationError"
+        # And the typed client re-raises the in-process class.
+        with pytest.raises(SimulationError, match="dead"):
+            client.run(xor_pair("dead"), BATCH)
+
+    def test_invalid_json_body_is_http_400(self, client):
+        import urllib.request
+
+        request = urllib.request.Request(
+            client.url + "/v1/run", data=b"{not json",
+            headers={"Content-Type": "application/json"}, method="POST",
+        )
+        try:
+            urllib.request.urlopen(request, timeout=10)
+            status = 200
+        except urllib.error.HTTPError as error:
+            status = error.code
+        assert status == 400
+
+    def test_unknown_route_is_http_404(self, client):
+        status, _ = client._request("GET", "/nope")
+        assert status == 404
+        status, _ = client._request("POST", "/v2/run", {})
+        assert status == 404
+
+
+class TestIntrospection:
+    def test_healthz(self, client, server):
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["protocol"] == 1
+        assert health["n_bits"] == N_BITS
+        assert health["uptime_s"] >= 0
+        assert health["backend"] == server.executor.bindings.backend.tag
+
+    def test_stats_expose_executor_counters(self, client):
+        client.run(xor_pair("s"), BATCH)
+        stats = client.stats()
+        assert stats["stats"]["requests"] == 1
+        assert stats["stats"]["words"] == len(BATCH)
+        assert stats["compile_cache"]["misses"] == 1
+        assert "packed blocks" in stats["describe"]
+
+    def test_metrics_text_and_json(self, client):
+        client.run(xor_pair("m"), BATCH)
+        text = client.metrics()
+        assert "executor.requests" in text
+        assert "serve.requests" in text
+        snapshot = client.metrics(format="json")
+        assert snapshot["counters"]["serve.requests"] >= 1
+        assert snapshot["counters"]["executor.requests"] == 1
+
+    def test_server_error_counters(self, client, server):
+        with pytest.raises(NetlistError):
+            client.run(xor_pair("e"), [{"a": 0}])
+        assert server.obs.counter("serve.errors.400") == 1
+
+
+class TestWarmStartOverHttp:
+    def test_first_request_hits_warm_cache(self, tmp_path):
+        bindings = GateBindings(n_bits=N_BITS)
+        path = compile_circuit(xor_pair("disk"), bindings).save(
+            tmp_path / "xor.ccz"
+        )
+        with CircuitServer(
+            n_bits=N_BITS, max_latency=0.002, warm=[path]
+        ) as daemon:
+            client = ServeClient(daemon.url)
+            result = client.run(xor_pair("fresh-title"), BATCH)
+            assert result.correct
+            cache = client.stats()["compile_cache"]
+        assert cache["warmed"] == 1
+        assert cache["misses"] == 0
+        assert cache["hits"] == 1
+
+
+class TestConcurrentClients:
+    def test_many_threads_submit_through_one_daemon(self, server):
+        """Concurrent HTTP clients exercise the executor's lock: every
+        request resolves correctly and the flush thread (not per-request
+        forced flushes) coalesces them into shared blocks."""
+        n_threads = 8
+        netlist = xor_pair("flood")
+        expected = netlist.evaluate_batch(BATCH)
+        results = [None] * n_threads
+        errors = []
+
+        def worker(index):
+            try:
+                client = ServeClient(server.url)
+                results[index] = client.run(xor_pair("flood"), BATCH)
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(index,))
+            for index in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors
+        for result in results:
+            assert result is not None
+            assert result.outputs == expected
+            assert result.correct
+        stats = server.executor.stats
+        assert stats["requests"] == n_threads
+        assert stats["words"] == n_threads * len(BATCH)
+        # One compile serves every coalesced block.
+        assert server.executor.cache.misses == 1
+
+    def test_mixed_modes_partition_into_their_own_blocks(self, server):
+        client = ServeClient(server.url)
+        barrier = threading.Barrier(2)
+        outcomes = {}
+
+        def run(mode):
+            barrier.wait(timeout=10)
+            outcomes[mode] = ServeClient(server.url).run(
+                xor_pair("mix"), BATCH, mode=mode
+            )
+
+        threads = [
+            threading.Thread(target=run, args=(mode,))
+            for mode in ("phasor", "trace")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert outcomes["phasor"].mode == "phasor"
+        assert outcomes["trace"].mode == "trace"
+        expected = xor_pair("mix").evaluate_batch(BATCH)
+        assert outcomes["phasor"].outputs == expected
+        assert outcomes["trace"].outputs == expected
+        assert server.executor.stats["blocks"] == 2
