@@ -45,6 +45,7 @@ hooks still fire.
 import hashlib
 import math
 import pickle
+import time
 from collections import OrderedDict
 from dataclasses import replace
 
@@ -208,7 +209,7 @@ class CompiledCircuit:
     the per-op path, which raises the same error lazily.
     """
 
-    def __init__(self, netlist, bindings):
+    def __init__(self, netlist, bindings, registry=None):
         self.netlist = netlist
         self.bindings = bindings
         self.n_bits = bindings.n_bits
@@ -216,7 +217,13 @@ class CompiledCircuit:
         self.topology_revision = netlist.topology_revision
         self.packable = True
         self.unpackable_reason = None
-        registry = obs.get_registry()
+        # Compile spans/counters go to the caller's registry when given
+        # (the executor's compile cache passes its private one, so
+        # handler-thread compiles never touch the process-global span
+        # stack); the registry is a local -- never stored on the
+        # artifact, which must stay picklable.
+        registry = obs.get_registry() if registry is None else registry
+        started = time.perf_counter()
         with registry.span("compile_circuit"):
             with registry.span("levelise"):
                 self._stage_levelise()
@@ -226,6 +233,10 @@ class CompiledCircuit:
                 self._stage_pack_levels()
             with registry.span("calibrate"):
                 self._stage_calibrate()
+        # Compile cost travels with the artifact (it is part of the
+        # compile-time product, pickled into saved artifacts): request
+        # traces report it so a cache-miss request explains its latency.
+        self.compile_seconds = time.perf_counter() - started
         registry.inc("circuit.compiles")
         # Per-shape run scratch, grown lazily and reused across runs.
         self._value_buffers = {}
@@ -492,7 +503,7 @@ class CompiledCircuit:
     # Padded execution (shared by run() and the coalescing executor)
     # ------------------------------------------------------------------
     def _execute_padded(self, buf, failed, n_groups, n_valid, contexts,
-                        group_faults, mode):
+                        group_faults, mode, registry=None):
         """Execute every level over ``n_groups`` padded word groups.
 
         ``contexts[g]`` is the noise context of group ``g``;
@@ -500,12 +511,14 @@ class CompiledCircuit:
         ``n_valid[g]`` how many of its bits carry real entries.  Never
         raises for dead decodes -- strict handling happens per request
         via :meth:`_first_dead` so one coalesced failure cannot poison
-        its neighbours.
+        its neighbours.  ``registry`` routes the level spans/counters
+        (the executor passes its private registry; direct callers
+        default to the process-global one).
         """
         level_data = []
         dead_meta = []
         draws = {}
-        registry = obs.get_registry()
+        registry = obs.get_registry() if registry is None else registry
         registry.inc("circuit.packed_runs")
         for level_index, plan in enumerate(self.levels):
             if plan.v_out is not None:
@@ -1007,6 +1020,9 @@ class CompiledCircuit:
             )
         artifact = cls.__new__(cls)
         artifact.__dict__.update(attrs)
+        # Artifacts saved before compile cost travelled in the payload
+        # still load; they simply report an unknown (zero) compile time.
+        artifact.__dict__.setdefault("compile_seconds", 0.0)
         artifact.bindings = bindings
         artifact._value_buffers = {}
         artifact._failed_buffers = {}
@@ -1030,14 +1046,15 @@ _RUNTIME_ATTRS = frozenset((
 ))
 
 
-def compile_circuit(netlist, bindings):
+def compile_circuit(netlist, bindings, registry=None):
     """Compile ``netlist`` onto ``bindings`` into a :class:`CompiledCircuit`.
 
     The staged pipeline (levelise -> allocate slots -> pack levels ->
     calibrate) runs eagerly; the returned artifact is reusable across
-    any number of runs and any batch shape.
+    any number of runs and any batch shape.  ``registry`` routes the
+    compile spans (defaults to the process-global registry).
     """
-    return CompiledCircuit(netlist, bindings)
+    return CompiledCircuit(netlist, bindings, registry=registry)
 
 
 class CompiledCircuitCache:
@@ -1106,7 +1123,7 @@ class CompiledCircuitCache:
             self.obs.inc("compile_cache.hits")
             return artifact
         self.obs.inc("compile_cache.misses")
-        artifact = compile_circuit(netlist, bindings)
+        artifact = compile_circuit(netlist, bindings, registry=self.obs)
         self._entries[key] = artifact
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)

@@ -137,6 +137,10 @@ class CircuitRunResult:
     carries the per-level decode-margin report; ``cells`` the per-cell
     decode detail.  ``mode`` records which execution semantics produced
     the result (``"phasor"`` steady state or ``"trace"`` waveform).
+    ``trace`` is the per-request timing breakdown
+    (:class:`~repro.circuits.executor.RequestTrace`) when the run was
+    served by a tracing :class:`~repro.circuits.executor.CircuitExecutor`
+    -- ``None`` for direct engine runs.
     """
 
     outputs: dict
@@ -147,6 +151,7 @@ class CircuitRunResult:
     n_entries: int
     faults: list = field(default_factory=list)
     mode: str = "phasor"
+    trace: object = None
 
     @property
     def correct(self):

@@ -53,7 +53,9 @@ entries, like the compile cache.
 
 import threading
 import time
+import uuid
 from collections import OrderedDict
+from dataclasses import dataclass, field, fields
 
 import numpy as np
 
@@ -72,21 +74,98 @@ from repro.errors import (
 )
 
 
+def mint_request_id():
+    """A fresh request ID (``req-`` + 12 hex chars of a UUID4)."""
+    return f"req-{uuid.uuid4().hex[:12]}"
+
+
+@dataclass
+class RequestTrace:
+    """Per-request timing breakdown of one executor submission.
+
+    Minted at :meth:`CircuitExecutor.submit` (when the executor traces
+    requests, the default) and filled in as the request moves through
+    the serving pipeline: queue wait from submit to flush, the compile
+    step (with its cache outcome), the shared packed execution of the
+    coalesced block, and this request's own strict-check + decode +
+    result construction.  The trace rides on the
+    :class:`ExecutionTicket`, is attached to the
+    :class:`~repro.circuits.engine.CircuitRunResult` it resolves with,
+    and is returned over the wire in ``/v1/run`` responses -- so a slow
+    remote request is attributable without server-side spelunking.
+
+    ``block_id`` names the coalesced block the request executed in and
+    ``coalesced_with`` lists the *other* request IDs that shared it: a
+    slow block is attributable to its tenants.  ``path`` is ``"packed"``
+    for block execution and ``"fallback"`` for configurations served by
+    the per-op engine (placement noise, replaced physics hooks,
+    uncalibratable cells).
+    """
+
+    request_id: str
+    mode: str = "phasor"
+    path: str = "packed"
+    n_entries: int = 0
+    queue_wait_s: float = 0.0
+    compile_s: float = 0.0
+    compile_cache: str = None
+    execute_s: float = 0.0
+    decode_s: float = 0.0
+    block_id: str = None
+    block_requests: int = 1
+    block_words: int = 0
+    coalesced_with: list = field(default_factory=list)
+
+    @property
+    def total_s(self):
+        """Sum of the recorded stages (the executor-side latency)."""
+        return (
+            self.queue_wait_s + self.compile_s + self.execute_s
+            + self.decode_s
+        )
+
+    def as_dict(self):
+        """JSON-pure dict (the ``/v1/run`` wire form, ``total_s`` added)."""
+        payload = {
+            f.name: getattr(self, f.name) for f in fields(self)
+        }
+        payload["coalesced_with"] = list(self.coalesced_with)
+        payload["total_s"] = self.total_s
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload):
+        """Rebuild a trace from its wire dict (unknown keys ignored)."""
+        names = {f.name for f in fields(cls)}
+        return cls(**{
+            key: value for key, value in payload.items() if key in names
+        })
+
+
 class ExecutionTicket:
     """Handle on one submitted request; resolves when its block runs."""
 
-    __slots__ = ("_executor", "_done", "_result", "_error", "_event")
+    __slots__ = (
+        "_executor", "_done", "_result", "_error", "_event", "request_id",
+        "trace",
+    )
 
-    def __init__(self, executor):
+    def __init__(self, executor, request_id=None):
         self._executor = executor
         self._done = False
         self._result = None
         self._error = None
         self._event = threading.Event()
+        self.request_id = (
+            mint_request_id() if request_id is None else str(request_id)
+        )
+        self.trace = None
 
-    def _resolve(self, result=None, error=None):
+    def _resolve(self, result=None, error=None, trace=None):
         self._result = result
         self._error = error
+        if trace is not None:
+            self.trace = trace
         self._done = True
         self._event.set()
 
@@ -137,7 +216,7 @@ class _Request:
     __slots__ = (
         "netlist", "batch", "faults", "fault_map", "noise", "strict",
         "ticket", "n_entries", "n_groups", "input_columns", "signature",
-        "born",
+        "born", "trace",
     )
 
 
@@ -173,6 +252,17 @@ class CircuitExecutor:
         executors in one process never mix counts; pass one explicitly
         to aggregate serving stats into a wider scope (the CLI's
         ``--profile`` report merges it into the process-global view).
+    trace_requests:
+        When true (the default) every submission mints a
+        :class:`RequestTrace` recording its queue wait, compile cache
+        outcome, packed execution and decode timings; the trace rides
+        on the ticket and the resolved result.  Disable to shed even
+        that bookkeeping on hot paths -- tickets then resolve with
+        ``trace=None`` exactly as before this field existed.
+    events:
+        Optional :class:`~repro.obs.EventLog`; when set, each executed
+        coalesced block emits one ``"block"`` event naming the block
+        and its participating request IDs.
     """
 
     #: Counter names (under ``executor.``) surfaced by :attr:`stats`.
@@ -187,7 +277,8 @@ class CircuitExecutor:
 
     def __init__(self, n_bits=8, waveguide=None, transducer=None,
                  bindings=None, max_block=64, max_latency=None,
-                 cache_size=16, backend=None, obs=None):
+                 cache_size=16, backend=None, obs=None,
+                 trace_requests=True, events=None):
         if bindings is None:
             bindings = GateBindings(
                 n_bits=n_bits, waveguide=waveguide, transducer=transducer,
@@ -202,9 +293,15 @@ class CircuitExecutor:
         self.max_block = int(max_block)
         self.max_latency = None if max_latency is None else float(max_latency)
         self.obs = obs if obs is not None else _obs.MetricsRegistry()
+        self.trace_requests = bool(trace_requests)
+        self.events = events
         self.cache = CompiledCircuitCache(
             max_entries=cache_size, obs=self.obs
         )
+        # Monotone coalesced-block sequence number (under self._lock);
+        # block IDs let an access log's per-request traces be grouped
+        # back into the packed blocks that actually executed them.
+        self._block_seq = 0
         # One lock serialises queue mutation, flushing and fallback
         # execution: many threads may submit/flush concurrently (the
         # serving daemon does), coalescing still sees a consistent
@@ -248,13 +345,18 @@ class CircuitExecutor:
     # Submission
     # ------------------------------------------------------------------
     def submit(self, netlist, assignments_batch, faults=(), noise=None,
-               strict=True, mode="phasor"):
+               strict=True, mode="phasor", request_id=None):
         """Queue one evaluation request; returns its ticket.
 
         Validation that a standalone run performs up front (mode, empty
         batch, fault plumbing, input presence and 0/1 values) raises
         here, at the call site that caused it; physics-level failures
         surface later through the ticket.
+
+        ``request_id`` names the request in traces, events and block
+        tenant lists (the serving daemon passes a client-supplied
+        ``X-Request-Id`` through here); omitted, a fresh
+        ``req-<hex>`` ID is minted.
         """
         if mode not in ("phasor", "trace"):
             raise NetlistError(
@@ -284,12 +386,20 @@ class CircuitExecutor:
                 )
         request.noise = noise
         request.strict = strict
-        request.ticket = ExecutionTicket(self)
+        request.ticket = ExecutionTicket(self, request_id=request_id)
         request.n_entries = len(batch)
         request.n_groups = -(-request.n_entries // self.n_bits)
         request.input_columns = self._input_columns(netlist, batch)
         request.signature = netlist_signature(netlist)
         request.born = time.monotonic()
+        if self.trace_requests:
+            request.trace = RequestTrace(
+                request_id=request.ticket.request_id, mode=mode,
+                n_entries=request.n_entries,
+            )
+            request.ticket.trace = request.trace
+        else:
+            request.trace = None
         self.obs.inc("executor.requests")
         self.obs.inc("executor.words", request.n_entries)
 
@@ -321,12 +431,12 @@ class CircuitExecutor:
         return request.ticket
 
     def run(self, netlist, assignments_batch, faults=(), noise=None,
-            strict=True, mode="phasor"):
+            strict=True, mode="phasor", request_id=None):
         """Submit + resolve in one call (no cross-request coalescing
         beyond whatever is already queued under the same key)."""
         return self.submit(
             netlist, assignments_batch, faults=faults, noise=noise,
-            strict=strict, mode=mode,
+            strict=strict, mode=mode, request_id=request_id,
         ).result()
 
     def _input_columns(self, netlist, batch):
@@ -410,7 +520,10 @@ class CircuitExecutor:
             return
         now = time.monotonic()
         for request in requests:
-            self.obs.observe("executor.queue_latency_s", now - request.born)
+            wait = now - request.born
+            self.obs.observe("executor.queue_latency_s", wait)
+            if request.trace is not None:
+                request.trace.queue_wait_s = wait
         signature, mode = key[0], key[1]
         live = []
         for request in requests:
@@ -423,17 +536,34 @@ class CircuitExecutor:
                 request.ticket._resolve(error=NetlistError(
                     f"netlist {request.netlist.name!r} was mutated "
                     "between submit and flush; re-submit the request"
-                ))
+                ), trace=request.trace)
                 continue
             live.append(request)
         requests = live
         if not requests:
             return
+        tracing = self.trace_requests
+        compile_s = execute_s = 0.0
+        compile_cache = None
         try:
-            with _obs.span("executor/flush"):
+            # Spans go to *this executor's* registry, never the
+            # process-global stack: handler threads flushing here must
+            # not interleave span trees with whatever the main thread
+            # is profiling (see tests/test_compiled_execution.py's
+            # registry-isolation regression).
+            with self.obs.span("executor/flush"):
+                if tracing:
+                    misses_before = self.cache.misses
+                    compile_started = time.perf_counter()
                 artifact = self.cache.get_or_compile(
                     requests[0].netlist, self.bindings
                 )
+                if tracing:
+                    compile_s = time.perf_counter() - compile_started
+                    compile_cache = (
+                        "miss" if self.cache.misses > misses_before
+                        else "hit"
+                    )
                 if not artifact.packable:
                     for request in requests:
                         self._run_fallback(request, mode)
@@ -467,10 +597,14 @@ class CircuitExecutor:
                          group_cursor + request.n_groups)
                     )
                     group_cursor += request.n_groups
+                if tracing:
+                    execute_started = time.perf_counter()
                 packed = artifact._execute_padded(
                     buf, failed, total_groups, n_valid, contexts,
-                    group_faults, mode,
+                    group_faults, mode, registry=self.obs,
                 )
+                if tracing:
+                    execute_s = time.perf_counter() - execute_started
         except Exception as exc:
             # Should be unreachable after submit-time validation, but
             # any block-level failure -- a compile error, physics
@@ -479,22 +613,49 @@ class CircuitExecutor:
             for request in requests:
                 if not request.ticket.done:
                     self.obs.inc("executor.errors.flush")
-                    request.ticket._resolve(error=exc)
+                    request.ticket._resolve(error=exc, trace=request.trace)
             return
+        block_words = sum(r.n_entries for r in requests)
         self.obs.inc("executor.blocks")
         self.obs.observe(
-            "executor.block_occupancy",
-            sum(r.n_entries for r in requests) / padded,
+            "executor.block_occupancy", block_words / padded,
             bounds=(0.25, 0.5, 0.75, 1.0),
         )
         self.obs.observe(
-            "executor.block_words",
-            sum(r.n_entries for r in requests),
+            "executor.block_words", block_words,
             bounds=(1, 8, 16, 32, 64, 128, 256),
         )
         if len(requests) > 1:
             self.obs.inc("executor.coalesced_requests", len(requests))
+        block_id = None
+        if tracing:
+            self._block_seq += 1
+            block_id = f"blk-{self._block_seq}"
+            tenant_ids = [r.ticket.request_id for r in requests]
+            for request in requests:
+                trace = request.trace
+                if trace is None:
+                    continue
+                trace.compile_s = compile_s
+                trace.compile_cache = compile_cache
+                trace.execute_s = execute_s
+                trace.block_id = block_id
+                trace.block_requests = len(requests)
+                trace.block_words = block_words
+                trace.coalesced_with = [
+                    rid for rid in tenant_ids
+                    if rid != request.ticket.request_id
+                ]
+            if self.events is not None:
+                self.events.emit(
+                    "block", block_id=block_id, mode=mode,
+                    n_requests=len(requests), n_words=block_words,
+                    request_ids=tenant_ids,
+                )
         for request, group_start, group_end in spans:
+            trace = request.trace
+            if trace is not None:
+                decode_started = time.perf_counter()
             try:
                 if request.strict:
                     error = artifact._first_dead(
@@ -502,7 +663,11 @@ class CircuitExecutor:
                     )
                     if error is not None:
                         self.obs.inc("executor.errors.decode")
-                        request.ticket._resolve(error=error)
+                        if trace is not None:
+                            trace.decode_s = (
+                                time.perf_counter() - decode_started
+                            )
+                        request.ticket._resolve(error=error, trace=trace)
                         continue
                 expected = request.netlist.evaluate_batch(request.batch)
                 result = artifact._build_result(
@@ -511,15 +676,23 @@ class CircuitExecutor:
                 )
             except Exception as exc:
                 self.obs.inc("executor.errors.request")
-                request.ticket._resolve(error=exc)
+                if trace is not None:
+                    trace.decode_s = time.perf_counter() - decode_started
+                request.ticket._resolve(error=exc, trace=trace)
             else:
-                request.ticket._resolve(result=result)
+                if trace is not None:
+                    trace.decode_s = time.perf_counter() - decode_started
+                    result.trace = trace
+                request.ticket._resolve(result=result, trace=trace)
 
     def _run_fallback(self, request, mode):
         """Serve one request through the per-op engine path."""
         from repro.circuits.engine import CircuitEngine
 
         self.obs.inc("executor.fallbacks")
+        trace = request.trace
+        if trace is not None:
+            trace.path = "fallback"
         signature = netlist_signature(request.netlist)
         with self._lock:
             engine = self._engines.get(signature)
@@ -533,6 +706,8 @@ class CircuitExecutor:
                     self.obs.inc("executor.engine_evictions")
             else:
                 self._engines.move_to_end(signature)
+            if trace is not None:
+                execute_started = time.perf_counter()
             try:
                 result = engine.run(
                     request.batch,
@@ -549,9 +724,14 @@ class CircuitExecutor:
                 # counters, or submit() leaks the exception with the
                 # request already counted as served.
                 self.obs.inc("executor.errors.fallback")
-                request.ticket._resolve(error=exc)
+                if trace is not None:
+                    trace.execute_s = time.perf_counter() - execute_started
+                request.ticket._resolve(error=exc, trace=trace)
             else:
-                request.ticket._resolve(result=result)
+                if trace is not None:
+                    trace.execute_s = time.perf_counter() - execute_started
+                    result.trace = trace
+                request.ticket._resolve(result=result, trace=trace)
 
     # ------------------------------------------------------------------
     # Warm start

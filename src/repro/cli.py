@@ -9,6 +9,7 @@ Subcommands::
     swgate circuit 0x9 0x6           # physical adder via the circuit engine
     swgate serve --port 8077         # JSON-over-HTTP circuit daemon
     swgate serve --send 0x9 0x6      # evaluate an adder on a running daemon
+    swgate top --url URL             # live daemon throughput monitor
     swgate layout                    # print the byte gate placement
     swgate export-mif out.mif        # OOMMF MIF 2.1 export
 """
@@ -249,6 +250,11 @@ def _cmd_serve(args):
         max_block=args.max_block,
         max_latency=args.max_latency,
         cache_size=args.cache_size,
+        trace_requests=not args.no_request_trace,
+        access_log=args.access_log,
+        log_capacity=args.log_capacity,
+        slow_request_s=args.slow_request_ms / 1e3
+        if args.slow_request_ms is not None else None,
     )
     if args.warm:
         artifacts = server.warm(args.warm)
@@ -264,13 +270,32 @@ def _cmd_serve(args):
         f"swgate serve: listening on {server.url} "
         f"({server.executor.n_bits}-bit cells, "
         f"max_block {server.executor.max_block} words, {latency}); "
-        "endpoints: POST /v1/run, GET /healthz /metrics /stats"
+        "endpoints: POST /v1/run, GET /healthz /metrics /stats /logs"
     )
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("swgate serve: shutting down")
         server.close()
+    return 0
+
+
+def _cmd_top(args):
+    from repro.errors import ServeError
+    from repro.serve.monitor import top
+
+    try:
+        top(
+            args.url,
+            interval=args.interval,
+            iterations=args.iterations,
+            clear=not args.no_clear,
+        )
+    except KeyboardInterrupt:
+        pass
+    except ServeError as exc:
+        print(f"swgate top: {exc}")
+        return 1
     return 0
 
 
@@ -561,7 +586,61 @@ def build_parser():
         choices=["phasor", "trace"],
         help="execution semantics for --send",
     )
+    serve_parser.add_argument(
+        "--access-log",
+        metavar="PATH",
+        help="mirror structured events (access, slow requests, errors, "
+        "blocks) as JSON lines to this file",
+    )
+    serve_parser.add_argument(
+        "--log-capacity",
+        type=int,
+        default=512,
+        help="in-memory event ring capacity behind GET /logs "
+        "(0 disables event logging)",
+    )
+    serve_parser.add_argument(
+        "--slow-request-ms",
+        type=float,
+        default=500.0,
+        help="capture a slow_request event (with the full trace) for "
+        "any /v1/run above this latency",
+    )
+    serve_parser.add_argument(
+        "--no-request-trace",
+        action="store_true",
+        help="skip per-request timing traces in /v1/run responses",
+    )
     serve_parser.set_defaults(func=_cmd_serve)
+
+    top_parser = sub.add_parser(
+        "top",
+        help="live throughput monitor for a running serving daemon",
+    )
+    top_parser.add_argument(
+        "--url",
+        default="http://127.0.0.1:8077",
+        help="daemon URL to poll",
+    )
+    top_parser.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between refreshes",
+    )
+    top_parser.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="stop after this many refreshes (default: until Ctrl-C)",
+    )
+    top_parser.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="append refreshes with a separator instead of clearing "
+        "the screen (for logs / dumb terminals)",
+    )
+    top_parser.set_defaults(func=_cmd_top)
 
     synth_parser = sub.add_parser(
         "synth",

@@ -61,3 +61,10 @@ class ArtifactError(ReproError):
 
 class SynthesisError(ReproError):
     """Invalid logic-synthesis request (MIG, parser, passes, mapping)."""
+
+
+class ServeError(ReproError):
+    """The serving daemon cannot be reached (connection refused, DNS
+    failure, socket timeout).  Raised by :class:`repro.serve.ServeClient`
+    in place of raw ``urllib`` transport errors; daemon-side failures
+    that *were* served still raise their own typed classes."""

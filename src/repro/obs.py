@@ -39,6 +39,16 @@ Export
     experiment result, and the ``--bench-json`` benchmarks embed
     efficiency metrics (cache hit rates, GEMM counts) that
     ``benchmarks/compare_bench.py`` diffs across PRs.
+    :func:`render_prometheus` renders merged snapshots in the
+    Prometheus text exposition format (cumulative buckets,
+    ``_sum``/``_count``, sanitized names) so the serving daemon's
+    ``/metrics?format=prometheus`` is scrapable by stock tooling.
+
+:class:`EventLog`
+    A bounded thread-safe ring of JSON-pure structured events with an
+    optional JSON-lines file sink -- the serving daemon's access log,
+    slow-request captures and per-class error events (``GET /logs``,
+    ``swgate serve --access-log PATH``).
 
 >>> registry = MetricsRegistry(enabled=True)
 >>> registry.inc("requests")
@@ -60,8 +70,10 @@ Export
 import functools
 import json
 import math
+import re
 import threading
 import time
+from collections import deque
 from contextlib import contextmanager
 
 #: Default histogram bucket upper bounds, in seconds -- log-spaced to
@@ -408,12 +420,14 @@ class MetricsRegistry:
         return render_metrics([self.snapshot()])
 
 
-def render_metrics(snapshots):
-    """Render one merged metrics table from snapshot dicts.
+def merge_snapshots(snapshots):
+    """Merge registry snapshot dicts into one counters/gauges/histograms view.
 
     Counters sum across snapshots, gauges take the last write and
-    histograms merge count/sum/min/max -- so a process-global registry
-    and a component's private registry print as one table.
+    histograms merge counts/count/sum/min/max -- so a process-global
+    registry and a component's private registry export as one surface
+    (the merged table of :func:`render_metrics` and the Prometheus
+    exposition of :func:`render_prometheus` both build on this).
     """
     counters = {}
     gauges = {}
@@ -445,6 +459,22 @@ def render_metrics(snapshots):
                     merged["sum"] / merged["count"]
                     if merged["count"] else None
                 )
+    return {
+        "counters": counters, "gauges": gauges, "histograms": histograms,
+    }
+
+
+def render_metrics(snapshots):
+    """Render one merged metrics table from snapshot dicts.
+
+    Counters sum across snapshots, gauges take the last write and
+    histograms merge count/sum/min/max -- so a process-global registry
+    and a component's private registry print as one table.
+    """
+    merged = merge_snapshots(snapshots)
+    counters = merged["counters"]
+    gauges = merged["gauges"]
+    histograms = merged["histograms"]
     lines = ["metrics:"]
     for name in sorted(counters):
         lines.append(f"  {name:44s} {counters[name]:>12}")
@@ -463,6 +493,245 @@ def render_metrics(snapshots):
     if len(lines) == 1:
         return "metrics: (none recorded)"
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Prometheus exposition
+# ----------------------------------------------------------------------
+#: Content-Type of the Prometheus text exposition format.  Stock
+#: scrapers require the ``version=0.0.4`` parameter and reject generic
+#: ``text/plain`` responses.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_PROM_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def prometheus_name(name):
+    """Sanitize a metric name into the Prometheus grammar.
+
+    Prometheus names match ``[a-zA-Z_:][a-zA-Z0-9_:]*``; the registry's
+    dotted names (``executor.queue_latency_s``) become underscore form
+    (``executor_queue_latency_s``).
+
+    >>> prometheus_name("executor.errors.decode")
+    'executor_errors_decode'
+    >>> prometheus_name("9lives")
+    '_9lives'
+    """
+    sanitized = _PROM_INVALID.sub("_", str(name))
+    if not sanitized or not (sanitized[0].isalpha() or sanitized[0] in "_:"):
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _prometheus_value(value):
+    """One sample value in Prometheus text syntax."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value)
+
+
+def render_prometheus(snapshots):
+    """Render snapshot dicts in the Prometheus text exposition format.
+
+    Counters export with the conventional ``_total`` suffix, gauges
+    verbatim (non-numeric gauge values are skipped -- Prometheus samples
+    are floats), and histograms as cumulative ``_bucket{le="..."}``
+    series closed by ``le="+Inf"`` plus the ``_sum``/``_count`` pair, so
+    ``/metrics?format=prometheus`` is scrapable by stock tooling.
+    Snapshots merge exactly as in :func:`render_metrics`
+    (:func:`merge_snapshots`).
+
+    >>> registry = MetricsRegistry()
+    >>> registry.inc("executor.requests", 3)
+    >>> registry.observe("wait", 0.5, bounds=(1.0, 2.0))
+    >>> print(render_prometheus([registry.snapshot()]))
+    # TYPE executor_requests_total counter
+    executor_requests_total 3
+    # TYPE wait histogram
+    wait_bucket{le="1"} 1
+    wait_bucket{le="2"} 1
+    wait_bucket{le="+Inf"} 1
+    wait_sum 0.5
+    wait_count 1
+    <BLANKLINE>
+    """
+    merged = merge_snapshots(snapshots)
+    lines = []
+    for name in sorted(merged["counters"]):
+        prom = prometheus_name(name) + "_total"
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {_prometheus_value(merged['counters'][name])}")
+    for name in sorted(merged["gauges"]):
+        value = merged["gauges"][name]
+        if not isinstance(value, (int, float)):
+            continue
+        prom = prometheus_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {_prometheus_value(value)}")
+    for name in sorted(merged["histograms"]):
+        h = merged["histograms"][name]
+        prom = prometheus_name(name)
+        lines.append(f"# TYPE {prom} histogram")
+        cumulative = 0
+        for bound, count in zip(h["bounds"], h["counts"]):
+            cumulative += count
+            lines.append(
+                f'{prom}_bucket{{le="{format(float(bound), "g")}"}} '
+                f"{cumulative}"
+            )
+        lines.append(f'{prom}_bucket{{le="+Inf"}} {h["count"]}')
+        lines.append(f"{prom}_sum {_prometheus_value(h['sum'])}")
+        lines.append(f"{prom}_count {h['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def histogram_quantile(histogram, q):
+    """Upper-bound quantile estimate from one histogram snapshot dict.
+
+    Walks the cumulative bucket counts and returns the upper bound of
+    the bucket containing quantile ``q`` (observations in the overflow
+    bucket report the observed ``max``).  ``None`` when the histogram is
+    missing or empty.  This is the estimator ``swgate top`` uses for
+    p50/p99 queue and request latency.
+
+    >>> h = {"bounds": [1.0, 2.0], "counts": [8, 1, 1], "count": 10,
+    ...      "max": 5.0}
+    >>> histogram_quantile(h, 0.5)
+    1.0
+    >>> histogram_quantile(h, 0.99)
+    5.0
+    """
+    if not histogram or not histogram.get("count"):
+        return None
+    target = q * histogram["count"]
+    cumulative = 0
+    for bound, count in zip(histogram["bounds"], histogram["counts"]):
+        cumulative += count
+        if cumulative >= target:
+            return float(bound)
+    return histogram.get("max")
+
+
+# ----------------------------------------------------------------------
+# Structured event log
+# ----------------------------------------------------------------------
+def _json_pure(value):
+    """Coerce ``value`` into the JSON-pure subset the event ring holds."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(k): _json_pure(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_json_pure(v) for v in value]
+    # numpy scalars (np.int64 block words, np.float64 latencies) carry
+    # their native value through .item(); anything else stringifies.
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            return _json_pure(value.item())
+        except (TypeError, ValueError):
+            pass
+    return str(value)
+
+
+class EventLog:
+    """Bounded thread-safe ring of JSON-pure structured events.
+
+    The serving daemon's access log, slow-request captures and
+    per-class error events all land here: each :meth:`emit` stamps a
+    monotone sequence number, a wall-clock timestamp and a ``kind``,
+    coerces every field into the JSON-pure subset (anything exotic
+    stringifies), appends to a fixed-capacity ring (oldest events drop,
+    counted by :attr:`dropped`) and -- when a ``sink`` is configured --
+    appends one JSON line to it (``swgate serve --access-log PATH``).
+
+    >>> log = EventLog(capacity=2)
+    >>> _ = log.emit("access", path="/healthz", status=200)
+    >>> _ = log.emit("access", path="/v1/run", status=200)
+    >>> _ = log.emit("error", path="/v1/run", status=400)
+    >>> [e["kind"] for e in log.tail()]
+    ['access', 'error']
+    >>> log.dropped
+    1
+    >>> [e["path"] for e in log.tail(kind="error")]
+    ['/v1/run']
+    """
+
+    def __init__(self, capacity=512, sink=None):
+        if capacity < 1:
+            raise ValueError(
+                f"event log capacity must be >= 1, got {capacity!r}"
+            )
+        self.capacity = int(capacity)
+        self._events = deque(maxlen=self.capacity)
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._dropped = 0
+        self._owns_sink = False
+        if sink is None or hasattr(sink, "write"):
+            self._sink = sink
+        else:
+            self._sink = open(sink, "a", encoding="utf-8")
+            self._owns_sink = True
+
+    def __len__(self):
+        with self._lock:
+            return len(self._events)
+
+    @property
+    def dropped(self):
+        """Events pushed out of the ring by the capacity bound."""
+        with self._lock:
+            return self._dropped
+
+    def emit(self, kind, **fields):
+        """Record one event; returns the stored (JSON-pure) dict."""
+        event = {"kind": str(kind)}
+        for name, value in fields.items():
+            event[name] = _json_pure(value)
+        with self._lock:
+            self._seq += 1
+            event["seq"] = self._seq
+            event["ts"] = time.time()
+            if len(self._events) == self.capacity:
+                self._dropped += 1
+            self._events.append(event)
+            if self._sink is not None:
+                self._sink.write(json.dumps(event, sort_keys=True) + "\n")
+                self._sink.flush()
+        return event
+
+    def tail(self, n=50, kind=None):
+        """The most recent ``n`` events (oldest first), optionally
+        filtered to one ``kind``; ``n=None`` returns everything held."""
+        with self._lock:
+            events = list(self._events)
+        if kind is not None:
+            events = [e for e in events if e["kind"] == kind]
+        if n is not None and n >= 0:
+            events = events[len(events) - min(n, len(events)):]
+        return events
+
+    def clear(self):
+        """Drop every held event (the sink file is left as written)."""
+        with self._lock:
+            self._events.clear()
+
+    def close(self):
+        """Flush and close a sink this log opened itself."""
+        with self._lock:
+            if self._sink is not None and self._owns_sink:
+                self._sink.close()
+            self._sink = None
+            self._owns_sink = False
 
 
 # ----------------------------------------------------------------------

@@ -9,7 +9,11 @@ the wire codecs both share (:mod:`repro.serve.protocol`).  Concurrent
 clients' word batches coalesce into shared packed GEMM blocks; a
 background flush thread enforces the executor's ``max_latency`` bound;
 ``/metrics`` and ``/stats`` export the ``repro.obs`` registry the
-executor already records into; and workers warm-start from saved
+executor already records into (``?format=prometheus`` for scrapers);
+every ``/v1/run`` returns a per-request timing trace and lands in a
+structured event log (``/logs``, ``--access-log``); ``swgate top``
+(:mod:`repro.serve.monitor`) renders live throughput from the same
+endpoints; and workers warm-start from saved
 :class:`~repro.circuits.compiled.CompiledCircuit` artifacts so a fleet
 skips compile + calibration entirely.
 """

@@ -4,49 +4,71 @@
 :meth:`~repro.circuits.executor.CircuitExecutor.run` contract over the
 wire: :meth:`ServeClient.run` takes the same netlist / assignments /
 faults / noise / strict / mode arguments, returns a reconstructed
-:class:`~repro.circuits.engine.CircuitRunResult`, and raises the same
-:mod:`repro.errors` classes a local strict run would (rebuilt from the
-daemon's error payloads, see :mod:`repro.serve.protocol`).  Used by the
-``swgate serve --send`` CLI path, the serve tests and the serving
-benchmark; ``urllib`` only, no third-party HTTP stack.
+:class:`~repro.circuits.engine.CircuitRunResult` (trace included, so
+``result.trace.queue_wait_s`` works the same remotely), and raises the
+same :mod:`repro.errors` classes a local strict run would (rebuilt from
+the daemon's error payloads, see :mod:`repro.serve.protocol`).
+Transport-level failures -- connection refused, DNS, socket timeouts --
+raise :class:`~repro.errors.ServeError` instead of leaking raw
+``urllib`` exceptions.  Used by the ``swgate serve --send`` CLI path,
+the ``swgate top`` monitor, the serve tests and the serving benchmark;
+``urllib`` only, no third-party HTTP stack.
 """
 
 import json
 import urllib.error
 import urllib.request
 
+from repro.errors import ServeError
 from repro.serve import protocol
 
 
 class ServeClient:
-    """Talks to one daemon at ``url`` (e.g. ``http://127.0.0.1:8077``)."""
+    """Talks to one daemon at ``url`` (e.g. ``http://127.0.0.1:8077``).
+
+    ``timeout`` (seconds) bounds every socket operation; per-call
+    overrides ride on the individual methods' ``timeout=`` keyword.
+    """
 
     def __init__(self, url, timeout=30.0):
         self.url = url.rstrip("/")
         self.timeout = timeout
 
     # -- transport -----------------------------------------------------
-    def _request(self, method, path, payload=None):
+    def _request(self, method, path, payload=None, headers=None,
+                 timeout=None):
         data = None
-        headers = {"Accept": "application/json"}
+        all_headers = {"Accept": "application/json"}
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
-            headers["Content-Type"] = "application/json"
+            all_headers["Content-Type"] = "application/json"
+        if headers:
+            all_headers.update(headers)
         request = urllib.request.Request(
-            self.url + path, data=data, headers=headers, method=method,
+            self.url + path, data=data, headers=all_headers, method=method,
         )
         try:
             with urllib.request.urlopen(
-                request, timeout=self.timeout
+                request, timeout=self.timeout if timeout is None else timeout
             ) as response:
                 return response.status, response.read()
         except urllib.error.HTTPError as error:
             # Daemon error payloads ride on non-2xx statuses; read the
             # body so the caller can rebuild the typed exception.
             return error.code, error.read()
+        except OSError as error:
+            # URLError subclasses OSError, so this covers connection
+            # refused, DNS failures and socket timeouts in one typed
+            # class instead of leaking urllib internals.
+            raise ServeError(
+                f"cannot reach serving daemon at {self.url}: {error}"
+            ) from error
 
-    def _json(self, method, path, payload=None):
-        status, body = self._request(method, path, payload)
+    def _json(self, method, path, payload=None, headers=None,
+              timeout=None):
+        status, body = self._request(
+            method, path, payload, headers=headers, timeout=timeout
+        )
         try:
             decoded = json.loads(body)
         except ValueError:
@@ -57,19 +79,27 @@ class ServeClient:
 
     # -- endpoints -----------------------------------------------------
     def run(self, netlist, assignments, faults=(), noise=None,
-            strict=True, mode="phasor", cells=False):
+            strict=True, mode="phasor", cells=False, request_id=None,
+            timeout=None):
         """Evaluate ``assignments`` on ``netlist`` through the daemon.
 
         Same contract as ``CircuitExecutor.run``; ``cells=True``
         additionally fetches the per-cell decode records.
+        ``request_id`` rides as the ``X-Request-Id`` header and names
+        this request in the daemon's traces and access log (omitted,
+        the daemon mints one -- read it from ``result.trace``).
         """
         payload = protocol.encode_run_request(
             netlist, assignments, faults=faults, noise=noise,
             strict=strict, mode=mode, cells=cells,
         )
-        return protocol.result_from_wire(
-            self._json("POST", "/v1/run", payload)
+        headers = (
+            {"X-Request-Id": str(request_id)}
+            if request_id is not None else None
         )
+        return protocol.result_from_wire(self._json(
+            "POST", "/v1/run", payload, headers=headers, timeout=timeout,
+        ))
 
     def healthz(self):
         """The daemon's liveness dict (status, uptime, queue depth)."""
@@ -79,12 +109,24 @@ class ServeClient:
         """Structured serving stats (executor counters, compile cache)."""
         return self._json("GET", "/stats")
 
+    def logs(self, n=50, kind=None):
+        """Recent structured events (access log, slow requests, errors,
+        executor blocks), oldest first."""
+        path = f"/logs?n={int(n)}"
+        if kind is not None:
+            path += f"&kind={kind}"
+        return self._json("GET", path)
+
     def metrics(self, format="text"):
-        """The ``/metrics`` export: rendered table, or the registry
-        ``snapshot()`` dict with ``format="json"``."""
+        """The ``/metrics`` export: rendered table (``"text"``), the
+        registry ``snapshot()`` dict (``"json"``), or the Prometheus
+        text exposition (``"prometheus"``)."""
         if format == "json":
             return self._json("GET", "/metrics?format=json")
-        status, body = self._request("GET", "/metrics")
+        path = "/metrics"
+        if format == "prometheus":
+            path += "?format=prometheus"
+        status, body = self._request("GET", path)
         text = body.decode("utf-8")
         if status != 200:
             raise RuntimeError(f"/metrics returned HTTP {status}: {text}")

@@ -14,11 +14,24 @@ daemon's end of the executor's lifecycle contract.
 Endpoints::
 
     POST /v1/run        netlist + assignments (+ faults/noise/mode/
-                        strict) -> CircuitRunResult wire dict
+                        strict) -> CircuitRunResult wire dict, with a
+                        per-request executor timing ``trace``
     GET  /healthz       liveness + uptime + pending queue depth
     GET  /metrics       merged metrics table (text);
-                        ?format=json -> registry snapshot() dict
+                        ?format=json -> registry snapshot() dict;
+                        ?format=prometheus -> Prometheus text
+                        exposition (scrapeable)
     GET  /stats         executor describe() line + structured stats
+    GET  /logs          recent structured events (?n=, ?kind=)
+
+Every ``/v1/run`` carries a request ID -- client-supplied via the
+``X-Request-Id`` header or daemon-minted -- that names the request in
+its returned trace, the access log and the coalesced block's tenant
+list, and is echoed back as a response ``X-Request-Id`` header.
+Access, slow-request (latency above ``slow_request_s``), per-class
+error and executor block events land in a bounded
+:class:`~repro.obs.EventLog` (``GET /logs``), optionally mirrored as
+JSON lines to an access-log file (``swgate serve --access-log``).
 
 Strict failures map onto HTTP statuses per
 :data:`repro.serve.protocol.ERROR_STATUS` (request errors 400, physics
@@ -35,9 +48,10 @@ import json
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs
 
 from repro import obs as _obs
-from repro.circuits.executor import CircuitExecutor
+from repro.circuits.executor import CircuitExecutor, mint_request_id
 from repro.serve import protocol
 
 #: Fallback handler-side wait bound (seconds) when the executor has no
@@ -55,7 +69,8 @@ class _Handler(BaseHTTPRequestHandler):
         # Access logging lands in the metrics registry, not stderr.
         pass
 
-    def _send(self, status, payload, content_type="application/json"):
+    def _send(self, status, payload, content_type="application/json",
+              headers=()):
         body = (
             payload if isinstance(payload, bytes)
             else json.dumps(payload).encode("utf-8")
@@ -63,37 +78,67 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in headers:
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
     def do_GET(self):
         app = self.server.app
+        started = time.perf_counter()
         path, _, query = self.path.partition("?")
+        params = parse_qs(query)
+        fmt = params.get("format", [""])[-1]
         if path == "/healthz":
-            self._send(200, app.healthz())
+            status = 200
+            self._send(status, app.healthz())
         elif path == "/metrics":
-            if "format=json" in query:
-                self._send(200, app.metrics_snapshot())
+            status = 200
+            if fmt == "json":
+                self._send(status, app.metrics_snapshot())
+            elif fmt == "prometheus":
+                self._send(
+                    status, app.metrics_prometheus().encode("utf-8"),
+                    content_type=_obs.PROMETHEUS_CONTENT_TYPE,
+                )
             else:
                 self._send(
-                    200, app.metrics_text().encode("utf-8") + b"\n",
-                    content_type="text/plain; charset=utf-8",
+                    status, app.metrics_text().encode("utf-8") + b"\n",
+                    content_type=_obs.PROMETHEUS_CONTENT_TYPE,
                 )
         elif path == "/stats":
-            self._send(200, app.stats())
+            status = 200
+            self._send(status, app.stats())
+        elif path == "/logs":
+            status = 200
+            try:
+                n = int(params.get("n", ["50"])[-1])
+            except ValueError:
+                n = 50
+            kind = params.get("kind", [None])[-1]
+            self._send(status, app.logs(n=n, kind=kind))
         else:
-            self._send(404, {"error": {
+            status = 404
+            self._send(status, {"error": {
                 "type": "NotFound", "message": f"no route {path!r}",
             }})
+        app.log_access(
+            "GET", path, status, time.perf_counter() - started
+        )
 
     def do_POST(self):
         app = self.server.app
+        started = time.perf_counter()
         path = self.path.partition("?")[0]
         if path != "/v1/run":
             self._send(404, {"error": {
                 "type": "NotFound", "message": f"no route {path!r}",
             }})
+            app.log_access(
+                "POST", path, 404, time.perf_counter() - started
+            )
             return
+        request_id = self.headers.get("X-Request-Id") or None
         try:
             length = int(self.headers.get("Content-Length", 0))
             payload = json.loads(self.rfile.read(length) or b"null")
@@ -102,9 +147,17 @@ class _Handler(BaseHTTPRequestHandler):
                 "type": "NetlistError",
                 "message": f"request body is not valid JSON: {exc}",
             }})
+            app.log_access(
+                "POST", path, 400, time.perf_counter() - started,
+                request_id=request_id,
+            )
             return
-        status, wire = app.handle_run(payload)
-        self._send(status, wire)
+        status, wire, request_id = app.handle_run(
+            payload, request_id=request_id
+        )
+        self._send(
+            status, wire, headers=(("X-Request-Id", request_id),)
+        )
 
 
 class CircuitServer:
@@ -130,18 +183,48 @@ class CircuitServer:
         defaults to half the executor's ``max_latency`` (no thread when
         the executor has no latency bound -- tickets then resolve via
         ``max_block`` or the handler's own wait deadline).
+    trace_requests:
+        Forwarded to the internally-built executor: when true (the
+        default) every ``/v1/run`` response carries its per-request
+        timing ``trace``.
+    events:
+        An existing :class:`~repro.obs.EventLog` to record into; by
+        default the server builds one of ``log_capacity`` events
+        (``log_capacity=0`` disables event logging entirely).
+    access_log:
+        Optional path (or file-like object) the event log mirrors as
+        JSON lines, one object per event (``swgate serve
+        --access-log``).
+    log_capacity:
+        Ring capacity of the internally-built event log.
+    slow_request_s:
+        ``/v1/run`` latency (seconds) above which a ``slow_request``
+        event captures the request's full trace; ``None`` disables the
+        capture.
     """
 
     def __init__(self, executor=None, host="127.0.0.1", port=0, *,
                  n_bits=8, bindings=None, backend=None, max_block=64,
                  max_latency=0.005, cache_size=16, obs=None, warm=(),
-                 flush_interval=None):
+                 flush_interval=None, trace_requests=True, events=None,
+                 access_log=None, log_capacity=512, slow_request_s=0.5):
+        if events is None and log_capacity:
+            events = _obs.EventLog(capacity=log_capacity, sink=access_log)
+        self.events = events
+        self.slow_request_s = (
+            None if slow_request_s is None else float(slow_request_s)
+        )
         if executor is None:
             executor = CircuitExecutor(
                 n_bits=n_bits, bindings=bindings, backend=backend,
                 max_block=max_block, max_latency=max_latency,
                 cache_size=cache_size, obs=obs,
+                trace_requests=trace_requests, events=events,
             )
+        elif executor.events is None:
+            # Share the daemon's event log with a caller-supplied
+            # executor so its block events land beside the access log.
+            executor.events = events
         self.executor = executor
         self.obs = executor.obs
         if warm:
@@ -219,6 +302,10 @@ class CircuitServer:
             self._flush_thread.join(timeout=5.0)
             self._flush_thread = None
         self._httpd.server_close()
+        if self.events is not None:
+            # Closes only a sink file the event log opened itself; the
+            # in-memory ring stays readable after shutdown.
+            self.events.close()
 
     def __enter__(self):
         self.start()
@@ -240,12 +327,23 @@ class CircuitServer:
             return _DEFAULT_WAIT
         return 2.0 * self.executor.max_latency + 2.0 * self.flush_interval
 
-    def handle_run(self, payload):
-        """Decode, submit, await and encode one ``/v1/run`` request."""
+    def handle_run(self, payload, request_id=None):
+        """Decode, submit, await and encode one ``/v1/run`` request.
+
+        Returns ``(status, wire, request_id)``; the request ID is the
+        client-supplied one (``X-Request-Id``) or a daemon-minted
+        ``req-<hex>``, and names the request in its trace, the access
+        log and its block's tenant list.
+        """
         started = time.perf_counter()
         self.obs.inc("serve.requests")
+        if request_id is None:
+            request_id = mint_request_id()
+        words = 0
+        error = None
         try:
             request = protocol.decode_run_request(payload)
+            words = len(request.assignments)
             ticket = self.executor.submit(
                 request.netlist,
                 request.assignments,
@@ -253,6 +351,7 @@ class CircuitServer:
                 noise=request.noise,
                 strict=request.strict,
                 mode=request.mode,
+                request_id=request_id,
             )
             result = ticket.result(timeout=self._wait_timeout())
             status = 200
@@ -260,10 +359,34 @@ class CircuitServer:
                 result, include_cells=request.cells
             )
         except Exception as exc:
+            error = exc
             status, wire = protocol.error_to_wire(exc)
             self.obs.inc(f"serve.errors.{status}")
-        self.obs.observe("serve.request_s", time.perf_counter() - started)
-        return status, wire
+            self.obs.inc(f"serve.errors.class.{type(exc).__name__}")
+        latency = time.perf_counter() - started
+        self.obs.observe("serve.request_s", latency)
+        if self.events is not None:
+            trace = wire.get("trace") if status == 200 else None
+            self.log_access(
+                "POST", "/v1/run", status, latency,
+                request_id=request_id, words=words,
+                block_id=(trace or {}).get("block_id"),
+            )
+            if error is not None:
+                self.events.emit(
+                    "error", request_id=request_id, status=status,
+                    type=type(error).__name__, message=str(error),
+                )
+            if (
+                self.slow_request_s is not None
+                and latency >= self.slow_request_s
+            ):
+                self.events.emit(
+                    "slow_request", request_id=request_id,
+                    latency_ms=round(latency * 1e3, 3), words=words,
+                    status=status, trace=trace,
+                )
+        return status, wire, request_id
 
     # -- introspection endpoints ---------------------------------------
     def healthz(self):
@@ -277,6 +400,25 @@ class CircuitServer:
             "backend": self.executor.bindings.backend.tag,
         }
 
+    def log_access(self, method, path, status, latency_s, **fields):
+        """Record one ``access`` event (no-op without an event log)."""
+        if self.events is None:
+            return None
+        return self.events.emit(
+            "access", method=method, path=path, status=int(status),
+            latency_ms=round(latency_s * 1e3, 3), **fields,
+        )
+
+    def logs(self, n=50, kind=None):
+        """The ``GET /logs`` payload: recent events, oldest first."""
+        if self.events is None:
+            return {"events": [], "capacity": 0, "dropped": 0}
+        return {
+            "events": self.events.tail(n, kind=kind),
+            "capacity": self.events.capacity,
+            "dropped": self.events.dropped,
+        }
+
     def metrics_snapshot(self):
         """The executor registry ``snapshot()`` (JSON-pure dict)."""
         return self.obs.snapshot()
@@ -284,6 +426,13 @@ class CircuitServer:
     def metrics_text(self):
         """Merged metrics table: executor registry + process-global."""
         return _obs.render_metrics(
+            [self.obs.snapshot(), _obs.get_registry().snapshot()]
+        )
+
+    def metrics_prometheus(self):
+        """Prometheus text exposition of the merged metrics
+        (``GET /metrics?format=prometheus``, scrapeable)."""
+        return _obs.render_prometheus(
             [self.obs.snapshot(), _obs.get_registry().snapshot()]
         )
 

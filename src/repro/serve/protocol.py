@@ -54,6 +54,7 @@ from repro.circuits.engine import (
     CircuitRunResult,
     LevelReport,
 )
+from repro.circuits.executor import RequestTrace
 from repro.circuits.netlist import Netlist
 from repro.core.faults import TransducerFault
 from repro.errors import (
@@ -239,6 +240,11 @@ def result_to_wire(result, include_cells=False):
             }
             for report in result.levels
         ],
+        # Per-request executor timing breakdown (None when the serving
+        # executor runs with trace_requests=False).
+        "trace": (
+            result.trace.as_dict() if result.trace is not None else None
+        ),
     }
     if include_cells:
         wire["cells"] = {
@@ -282,6 +288,9 @@ def result_from_wire(payload):
         )
         for name, entry in payload.get("cells", {}).items()
     }
+    trace = payload.get("trace")
+    if isinstance(trace, dict):
+        trace = RequestTrace.from_dict(trace)
     return CircuitRunResult(
         outputs=payload["outputs"],
         expected=payload["expected"],
@@ -291,6 +300,7 @@ def result_from_wire(payload):
         n_entries=payload["n_entries"],
         faults=[fault_from_wire(f) for f in payload.get("faults", ())],
         mode=payload.get("mode", "phasor"),
+        trace=trace,
     )
 
 

@@ -156,6 +156,39 @@ class TestCommands:
             assert daemon.executor.cache.misses == 0
             assert daemon.executor.cache.hits == 1
 
+    def test_top_renders_live_interval(self, capsys):
+        """`swgate top --iterations 1` polls a running daemon and
+        renders one interval report."""
+        from repro.serve import CircuitServer
+
+        with CircuitServer(port=0, n_bits=2, max_latency=0.002) as daemon:
+            assert (
+                main(
+                    [
+                        "top", "--url", daemon.url,
+                        "--interval", "0.2", "--iterations", "1",
+                        "--no-clear",
+                    ]
+                )
+                == 0
+            )
+        out = capsys.readouterr().out
+        assert "swgate top" in out
+        assert "words/s" in out
+        assert "queue p50" in out
+
+    def test_top_unreachable_daemon_fails_cleanly(self, capsys):
+        assert (
+            main(
+                [
+                    "top", "--url", "http://127.0.0.1:9",
+                    "--iterations", "1",
+                ]
+            )
+            == 1
+        )
+        assert "cannot reach" in capsys.readouterr().out
+
     def test_synth_list(self, capsys):
         assert main(["synth", "--list"]) == 0
         out = capsys.readouterr().out

@@ -465,3 +465,138 @@ class TestFallbackEngineLifecycle:
         with pytest.raises(SimulationError, match="dead"):
             ticket.result()
         assert executor.stats["errors"]["fallback"] == 1
+
+
+class TestRequestTraces:
+    """Per-request tracing on the executor itself (PR 10)."""
+
+    def test_trace_rides_ticket_and_result(self):
+        executor = CircuitExecutor(n_bits=N_BITS)
+        ticket = executor.submit(xor_pair("traced"), BATCH)
+        result = ticket.result()
+        trace = result.trace
+        assert trace is ticket.trace
+        assert trace.request_id == ticket.request_id
+        assert trace.path == "packed"
+        assert trace.n_entries == len(BATCH)
+        assert trace.compile_cache == "miss"
+        assert trace.block_id == "blk-1"
+        assert trace.compile_s > 0.0
+        assert trace.execute_s > 0.0
+        assert trace.decode_s > 0.0
+
+    def test_compile_cache_hit_recorded_on_second_block(self):
+        executor = CircuitExecutor(n_bits=N_BITS)
+        first = executor.run(xor_pair("hot"), BATCH)
+        second = executor.run(xor_pair("hot"), BATCH)
+        assert first.trace.compile_cache == "miss"
+        assert second.trace.compile_cache == "hit"
+        assert second.trace.block_id == "blk-2"
+
+    def test_coalesced_tenants_listed(self):
+        executor = CircuitExecutor(n_bits=N_BITS)
+        t1 = executor.submit(xor_pair("co"), BATCH, request_id="one")
+        t2 = executor.submit(xor_pair("co"), BATCH, request_id="two")
+        executor.flush()
+        assert t1.trace.coalesced_with == ["two"]
+        assert t2.trace.coalesced_with == ["one"]
+        assert t1.trace.block_id == t2.trace.block_id
+        assert t1.trace.block_requests == 2
+        assert t1.trace.block_words == 2 * len(BATCH)
+
+    def test_trace_survives_error_resolution(self):
+        executor = CircuitExecutor(n_bits=N_BITS)
+        ticket = executor.submit(xor_pair("mut"), BATCH)
+        ticket2_netlist = xor_pair("mut")
+        ticket2 = executor.submit(ticket2_netlist, BATCH)
+        ticket2_netlist.add_input("d")  # mutate between submit and flush
+        executor.flush()
+        with pytest.raises(NetlistError, match="mutated"):
+            ticket2.result()
+        assert ticket2.trace is not None  # breakdown survives the error
+        assert ticket.result().trace.block_id == "blk-1"
+
+    def test_disabled_tracing_resolves_with_none(self):
+        executor = CircuitExecutor(n_bits=N_BITS, trace_requests=False)
+        ticket = executor.submit(xor_pair("fast"), BATCH)
+        result = ticket.result()
+        assert ticket.trace is None
+        assert result.trace is None
+        assert result.correct
+
+    def test_wire_round_trip_preserves_breakdown(self):
+        from repro.circuits.executor import RequestTrace
+
+        executor = CircuitExecutor(n_bits=N_BITS)
+        trace = executor.run(xor_pair("wire"), BATCH).trace
+        rebuilt = RequestTrace.from_dict(trace.as_dict())
+        assert rebuilt.as_dict() == trace.as_dict()
+        # Unknown wire keys (a newer server) are ignored, not fatal.
+        widened = dict(trace.as_dict(), future_field=1)
+        assert RequestTrace.from_dict(widened).request_id == (
+            trace.request_id
+        )
+
+
+class TestRegistryIsolation:
+    """An executor's private registry must never leak spans onto the
+    process-global stack, whatever thread flushes (PR 10 regression:
+    ``_flush_requests`` used the global ``obs.span`` instead of the
+    executor's own registry)."""
+
+    def test_flush_spans_land_in_executor_registry_only(self):
+        from repro import obs
+
+        global_registry = obs.MetricsRegistry(enabled=True)
+        executor = CircuitExecutor(
+            n_bits=N_BITS, obs=obs.MetricsRegistry(enabled=True)
+        )
+        with obs.use_registry(global_registry):
+            executor.run(xor_pair("iso"), BATCH)
+        global_names = {
+            node["name"] for node in global_registry.snapshot()["spans"]
+        }
+        assert "executor/flush" not in global_names
+        executor_names = {
+            node["name"] for node in executor.obs.snapshot()["spans"]
+        }
+        assert "executor/flush" in executor_names
+
+    def test_concurrent_submits_never_touch_global_span_stack(self):
+        import threading
+
+        from repro import obs
+
+        global_registry = obs.MetricsRegistry(enabled=True)
+        executor = CircuitExecutor(
+            n_bits=N_BITS, max_latency=0.001,
+            obs=obs.MetricsRegistry(enabled=True),
+        )
+        errors = []
+
+        def worker(index):
+            try:
+                ticket = executor.submit(xor_pair("conc"), BATCH)
+                ticket.result(timeout=1.0)
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        with obs.use_registry(global_registry):
+            # The main thread holds an open span while handler-style
+            # threads submit and flush: their executor spans must not
+            # appear as children of (or siblings to) this one.
+            with global_registry.span("main-work"):
+                threads = [
+                    threading.Thread(target=worker, args=(index,))
+                    for index in range(8)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join(timeout=30)
+        assert not errors
+        spans = global_registry.snapshot()["spans"]
+        assert [node["name"] for node in spans] == ["main-work"]
+        (main,) = spans
+        assert main["children"] == []
+        assert executor.obs.counter("executor.requests") == 8

@@ -295,6 +295,192 @@ def test_report_includes_extra_registries():
 
 
 # ----------------------------------------------------------------------
+# Histogram edge cases (PR 10)
+# ----------------------------------------------------------------------
+def test_histogram_value_exactly_on_bound_lands_le():
+    # Prometheus `le` semantics: a value equal to a bucket bound counts
+    # in that bucket, not the next one.
+    registry = MetricsRegistry(enabled=True)
+    for value in (1.0, 2.0, 4.0):
+        registry.observe("edge", value, bounds=(1.0, 2.0, 4.0))
+    h = registry.histogram("edge")
+    assert h["counts"] == [1, 1, 1, 0]
+
+
+def test_histogram_overflow_bucket():
+    registry = MetricsRegistry(enabled=True)
+    registry.observe("over", 100.0, bounds=(1.0, 2.0))
+    registry.observe("over", 1e9, bounds=(1.0, 2.0))
+    h = registry.histogram("over")
+    assert h["counts"] == [0, 0, 2]  # both beyond the last bound
+    assert h["count"] == 2
+    assert h["max"] == 1e9
+    # The +Inf bucket still closes the Prometheus rendering at count.
+    text = obs.render_prometheus([registry.snapshot()])
+    assert 'over_bucket{le="+Inf"} 2' in text
+
+
+def test_histogram_snapshot_races_concurrent_observe():
+    # snapshot() must always return an internally consistent histogram
+    # (count == sum of bucket counts, sum tracks count) even while
+    # other threads are observing.
+    registry = MetricsRegistry(enabled=True)
+    stop = threading.Event()
+
+    def hammer():
+        while not stop.is_set():
+            registry.observe("raced", 1.0, bounds=(0.5, 1.0, 2.0))
+
+    threads = [threading.Thread(target=hammer) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    try:
+        for _ in range(200):
+            h = registry.histogram("raced")
+            if h is None:
+                continue
+            assert h["count"] == sum(h["counts"])
+            assert h["sum"] == pytest.approx(h["count"] * 1.0)
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join()
+
+
+# ----------------------------------------------------------------------
+# Prometheus exposition (PR 10)
+# ----------------------------------------------------------------------
+def test_prometheus_name_sanitization():
+    assert obs.prometheus_name("executor.queue_latency_s") == (
+        "executor_queue_latency_s"
+    )
+    assert obs.prometheus_name("serve.errors.400") == "serve_errors_400"
+    assert obs.prometheus_name("0weird-name!") == "_0weird_name_"
+
+
+def test_render_prometheus_counters_and_gauges():
+    registry = MetricsRegistry(enabled=True)
+    registry.inc("serve.requests", 7)
+    registry.gauge("pending", 3)
+    registry.gauge("label", "text-valued")  # skipped: not a sample
+    text = obs.render_prometheus([registry.snapshot()])
+    assert "# TYPE serve_requests_total counter" in text
+    assert "serve_requests_total 7" in text
+    assert "# TYPE pending gauge" in text
+    assert "pending 3" in text
+    assert "label" not in text
+    assert text.endswith("\n")
+
+
+def test_render_prometheus_histogram_is_cumulative():
+    registry = MetricsRegistry(enabled=True)
+    for value in (0.5, 1.5, 2.5, 10.0):
+        registry.observe("lat", value, bounds=(1.0, 2.0, 4.0))
+    text = obs.render_prometheus([registry.snapshot()])
+    assert 'lat_bucket{le="1"} 1' in text
+    assert 'lat_bucket{le="2"} 2' in text
+    assert 'lat_bucket{le="4"} 3' in text
+    assert 'lat_bucket{le="+Inf"} 4' in text
+    assert "lat_count 4" in text
+    assert "lat_sum 14.5" in text
+
+
+def test_render_prometheus_merges_snapshots():
+    a = MetricsRegistry(enabled=True)
+    b = MetricsRegistry(enabled=True)
+    a.inc("shared", 2)
+    b.inc("shared", 3)
+    text = obs.render_prometheus([a.snapshot(), b.snapshot()])
+    assert "shared_total 5" in text
+
+
+def test_histogram_quantile_estimates():
+    registry = MetricsRegistry(enabled=True)
+    for value in (0.5, 0.5, 0.5, 3.0):
+        registry.observe("q", value, bounds=(1.0, 2.0))
+    h = registry.histogram("q")
+    assert obs.histogram_quantile(h, 0.5) == 1.0  # upper bucket bound
+    assert obs.histogram_quantile(h, 0.99) == 3.0  # overflow -> max
+    assert obs.histogram_quantile(None, 0.5) is None
+    assert obs.histogram_quantile({"count": 0}, 0.5) is None
+
+
+# ----------------------------------------------------------------------
+# Event log (PR 10)
+# ----------------------------------------------------------------------
+def test_event_log_ring_bound_and_dropped():
+    log = obs.EventLog(capacity=3)
+    for i in range(5):
+        log.emit("access", path=f"/{i}")
+    assert len(log) == 3
+    assert log.dropped == 2
+    assert [e["path"] for e in log.tail()] == ["/2", "/3", "/4"]
+
+
+def test_event_log_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        obs.EventLog(capacity=0)
+
+
+def test_event_log_stamps_and_filters():
+    log = obs.EventLog(capacity=10)
+    log.emit("access", status=200)
+    log.emit("error", status=400)
+    log.emit("access", status=200)
+    events = log.tail()
+    assert [e["seq"] for e in events] == [1, 2, 3]
+    assert all("ts" in e for e in events)
+    assert [e["kind"] for e in log.tail(kind="error")] == ["error"]
+    assert len(log.tail(n=1)) == 1
+
+
+def test_event_log_json_purifies_exotic_fields():
+    log = obs.EventLog(capacity=4)
+    event = log.emit(
+        "block",
+        words=np.int64(7),
+        share=np.float64(0.5),
+        ids=("a", "b"),
+        nested={"x": np.int32(1)},
+        exotic=object(),
+    )
+    json.dumps(event)  # must not raise
+    assert event["words"] == 7
+    assert event["ids"] == ["a", "b"]
+    assert isinstance(event["exotic"], str)
+
+
+def test_event_log_sink_writes_json_lines(tmp_path):
+    path = tmp_path / "access.jsonl"
+    log = obs.EventLog(capacity=4, sink=str(path))
+    log.emit("access", path="/healthz", status=200)
+    log.emit("error", status=400)
+    log.close()
+    lines = path.read_text().splitlines()
+    assert len(lines) == 2
+    decoded = [json.loads(line) for line in lines]
+    assert decoded[0]["kind"] == "access"
+    assert decoded[1]["status"] == 400
+
+
+def test_event_log_concurrent_emit_keeps_sequence_unique():
+    log = obs.EventLog(capacity=10_000)
+
+    def worker():
+        for _ in range(500):
+            log.emit("access")
+
+    threads = [threading.Thread(target=worker) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    events = log.tail(n=None)
+    assert len(events) == 2_000
+    assert len({e["seq"] for e in events}) == 2_000
+
+
+# ----------------------------------------------------------------------
 # Instrumentation changes no physics
 # ----------------------------------------------------------------------
 @pytest.fixture(scope="module")

@@ -12,6 +12,7 @@ executor's submit/flush lock.
 
 import json
 import math
+import re
 import threading
 
 import pytest
@@ -25,7 +26,7 @@ from repro.circuits import (
 )
 from repro.circuits.netlist import Netlist
 from repro.core.faults import TransducerFault
-from repro.errors import NetlistError, SimulationError
+from repro.errors import NetlistError, ServeError, SimulationError
 from repro.serve import CircuitServer, ServeClient
 from repro.waveguide.noise import NoiseModel
 
@@ -244,6 +245,373 @@ class TestIntrospection:
         with pytest.raises(NetlistError):
             client.run(xor_pair("e"), [{"a": 0}])
         assert server.obs.counter("serve.errors.400") == 1
+
+
+class TestRequestTracing:
+    def test_run_response_carries_timing_breakdown(self, client, server):
+        remote = client.run(xor_pair("traced"), BATCH)
+        trace = remote.trace
+        assert trace is not None
+        assert trace.request_id.startswith("req-")
+        assert trace.path == "packed"
+        assert trace.mode == "phasor"
+        assert trace.n_entries == len(BATCH)
+        assert trace.compile_cache == "miss"
+        assert trace.block_id == "blk-1"
+        assert trace.block_requests == 1
+        assert trace.block_words == len(BATCH)
+        assert trace.coalesced_with == []
+        # Generous bounds: the sweep thread flushes within max_latency
+        # plus scheduling slack, never anywhere near half a second.
+        assert 0.0 <= trace.queue_wait_s <= 0.5
+        assert trace.compile_s > 0.0
+        assert trace.execute_s > 0.0
+        assert trace.decode_s > 0.0
+        assert trace.total_s == pytest.approx(
+            trace.queue_wait_s + trace.compile_s + trace.execute_s
+            + trace.decode_s
+        )
+
+    def test_wire_trace_matches_in_process_ticket(self, server):
+        """The trace a remote client decodes is field-for-field the one
+        recorded on the in-process ticket the daemon waited on."""
+        client = ServeClient(server.url)
+        remote = client.run(xor_pair("pin"), BATCH, request_id="pin-1")
+        ticket_ids = [
+            event["request_ids"]
+            for event in server.events.tail(kind="block")
+        ]
+        assert ["pin-1"] in ticket_ids
+        # Same request served in-process: identical breakdown shape.
+        executor = CircuitExecutor(n_bits=N_BITS, max_latency=0.002)
+        ticket = executor.submit(
+            xor_pair("pin"), BATCH, request_id="pin-1"
+        )
+        local = ticket.result()
+        assert local.trace is ticket.trace
+        assert set(remote.trace.as_dict()) == set(local.trace.as_dict())
+        for field in ("request_id", "mode", "path", "n_entries",
+                      "block_requests", "block_words", "coalesced_with"):
+            assert getattr(remote.trace, field) == getattr(
+                local.trace, field
+            )
+
+    def test_client_request_id_rides_header_and_echoes(self, client):
+        import urllib.request
+
+        from repro.serve import protocol
+
+        remote = client.run(xor_pair("named"), BATCH, request_id="abc-9")
+        assert remote.trace.request_id == "abc-9"
+        payload = protocol.encode_run_request(xor_pair("named"), BATCH)
+        request = urllib.request.Request(
+            client.url + "/v1/run",
+            data=json.dumps(payload).encode(),
+            headers={"X-Request-Id": "hdr-7"}, method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=10) as response:
+            assert response.headers["X-Request-Id"] == "hdr-7"
+            body = json.loads(response.read())
+        assert body["trace"]["request_id"] == "hdr-7"
+
+    def test_untraced_server_returns_no_trace(self):
+        with CircuitServer(
+            n_bits=N_BITS, max_latency=0.002, trace_requests=False
+        ) as daemon:
+            client = ServeClient(daemon.url)
+            result = client.run(xor_pair("lean"), BATCH)
+        assert result.trace is None
+        assert result.correct
+
+    def test_coalesced_requests_name_each_other(self, server):
+        barrier = threading.Barrier(4)
+        traces = {}
+
+        def run(index):
+            barrier.wait(timeout=10)
+            traces[index] = ServeClient(server.url).run(
+                xor_pair("share"), BATCH, request_id=f"peer-{index}"
+            ).trace
+
+        threads = [
+            threading.Thread(target=run, args=(i,)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert len(traces) == 4
+        # Every request that shared a block lists its block peers.
+        for index, trace in traces.items():
+            peers = {
+                i for i, other in traces.items()
+                if other.block_id == trace.block_id and i != index
+            }
+            assert set(trace.coalesced_with) == {
+                f"peer-{i}" for i in peers
+            }
+            assert trace.block_requests == 1 + len(peers)
+
+
+# Minimal Prometheus text-format parser: enough grammar to verify the
+# exposition is well-formed without any third-party scraper.
+_PROM_SAMPLE = re.compile(
+    r'^([a-zA-Z_:][a-zA-Z0-9_:]*)'        # metric name
+    r'(?:\{le="([^"]*)"\})?'              # optional le label
+    r' (-?(?:\d+\.?\d*(?:e-?\d+)?|NaN|\+Inf|-Inf))$'  # value
+)
+
+
+def parse_prometheus(text):
+    """``{name: {"type": ..., "samples": [(le, value), ...]}}``."""
+    metrics = {}
+    declared = {}
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, kind = rest.split()
+            declared[name] = kind
+            continue
+        assert not line.startswith("#"), f"unknown comment {line!r}"
+        match = _PROM_SAMPLE.match(line)
+        assert match, f"malformed sample line {line!r}"
+        name, le, value = match.groups()
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        family = metrics.setdefault(
+            base if base in declared else name,
+            {"samples": []},
+        )
+        family["samples"].append((name, le, float(value)))
+    for name, kind in declared.items():
+        metrics[name]["type"] = kind
+    return metrics
+
+
+class TestPrometheusExposition:
+    def test_endpoint_round_trips_through_parser(self, client):
+        client.run(xor_pair("prom"), BATCH)
+        text = client.metrics(format="prometheus")
+        metrics = parse_prometheus(text)
+        assert metrics["serve_requests_total"]["type"] == "counter"
+        (sample,) = metrics["serve_requests_total"]["samples"]
+        assert sample[2] >= 1.0
+
+    def test_histograms_are_cumulative_and_consistent(self, client):
+        client.run(xor_pair("prom2"), BATCH)
+        metrics = parse_prometheus(client.metrics(format="prometheus"))
+        histograms = {
+            name: family for name, family in metrics.items()
+            if family.get("type") == "histogram"
+        }
+        assert "serve_request_s" in histograms
+        assert "executor_queue_latency_s" in histograms
+        for name, family in histograms.items():
+            buckets = [
+                (le, value) for sample, le, value in family["samples"]
+                if sample == f"{name}_bucket"
+            ]
+            counts = [value for _, value in buckets]
+            # Monotone non-decreasing cumulative counts, +Inf last.
+            assert counts == sorted(counts), name
+            assert buckets[-1][0] == "+Inf", name
+            total = next(
+                value for sample, _, value in family["samples"]
+                if sample == f"{name}_count"
+            )
+            assert buckets[-1][1] == total, name
+            assert any(
+                sample == f"{name}_sum" for sample, _, _ in family["samples"]
+            ), name
+
+    def test_content_type_is_versioned(self, client):
+        import urllib.request
+
+        for path in ("/metrics", "/metrics?format=prometheus"):
+            with urllib.request.urlopen(
+                client.url + path, timeout=10
+            ) as response:
+                assert response.headers["Content-Type"] == (
+                    "text/plain; version=0.0.4; charset=utf-8"
+                ), path
+
+
+class TestEventLog:
+    def test_access_events_cover_get_and_post(self, client):
+        client.run(xor_pair("logged"), BATCH, request_id="evt-1")
+        client.healthz()
+        events = client.logs(kind="access")["events"]
+        posts = [e for e in events if e["method"] == "POST"]
+        gets = [e for e in events if e["method"] == "GET"]
+        assert posts and gets
+        run_event = posts[0]
+        assert run_event["path"] == "/v1/run"
+        assert run_event["status"] == 200
+        assert run_event["request_id"] == "evt-1"
+        assert run_event["words"] == len(BATCH)
+        assert run_event["block_id"] == "blk-1"
+        assert run_event["latency_ms"] >= 0.0
+
+    def test_error_events_capture_class(self, client):
+        with pytest.raises(NetlistError):
+            client.run(xor_pair("bad"), [{"a": 0}], request_id="err-1")
+        (event,) = client.logs(kind="error")["events"]
+        assert event["type"] == "NetlistError"
+        assert event["status"] == 400
+        assert event["request_id"] == "err-1"
+
+    def test_error_class_counter(self, client, server):
+        with pytest.raises(NetlistError):
+            client.run(xor_pair("bad"), [{"a": 0}])
+        assert server.obs.counter("serve.errors.class.NetlistError") == 1
+
+    def test_slow_request_capture_includes_trace(self):
+        with CircuitServer(
+            n_bits=N_BITS, max_latency=0.002, slow_request_s=0.0
+        ) as daemon:
+            client = ServeClient(daemon.url)
+            client.run(xor_pair("slow"), BATCH, request_id="slow-1")
+            (event,) = client.logs(kind="slow_request")["events"]
+        assert event["request_id"] == "slow-1"
+        assert event["trace"]["block_id"] == "blk-1"
+        assert event["latency_ms"] >= 0.0
+
+    def test_logs_endpoint_limits_and_filters(self, client):
+        for _ in range(3):
+            client.healthz()
+        payload = client.logs(n=2, kind="access")
+        assert len(payload["events"]) == 2
+        assert payload["capacity"] == 512
+        assert all(e["kind"] == "access" for e in payload["events"])
+
+    def test_access_log_sink_mirrors_events(self, tmp_path):
+        path = tmp_path / "access.jsonl"
+        with CircuitServer(
+            n_bits=N_BITS, max_latency=0.002, access_log=str(path)
+        ) as daemon:
+            client = ServeClient(daemon.url)
+            client.run(xor_pair("sunk"), BATCH)
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        kinds = {line["kind"] for line in lines}
+        assert "access" in kinds
+        assert "block" in kinds
+
+    def test_disabled_event_log(self):
+        with CircuitServer(
+            n_bits=N_BITS, max_latency=0.002, log_capacity=0
+        ) as daemon:
+            client = ServeClient(daemon.url)
+            client.run(xor_pair("quiet"), BATCH)
+            payload = client.logs()
+        assert payload == {"events": [], "capacity": 0, "dropped": 0}
+
+
+def _monitor_sample(t, counters, histograms=None):
+    return {
+        "t": t,
+        "healthz": {
+            "backend": "numpy64", "n_bits": 2, "uptime_s": t,
+            "pending_words": 0,
+        },
+        "stats": {},
+        "metrics": {
+            "counters": counters, "histograms": histograms or {},
+        },
+    }
+
+
+class TestMonitorRendering:
+    """``swgate top``'s interval maths, pure-function tested."""
+
+    def test_render_interval_rates_and_quantiles(self):
+        from repro.serve import monitor
+
+        queue = {
+            "bounds": [0.001, 0.01], "counts": [0, 0, 0],
+            "count": 0, "sum": 0.0, "max": None,
+        }
+        queue_later = {
+            "bounds": [0.001, 0.01], "counts": [90, 8, 2],
+            "count": 100, "sum": 0.2, "max": 0.05,
+        }
+        prev = _monitor_sample(
+            10.0,
+            {"executor.words": 100, "serve.requests": 50,
+             "executor.blocks": 10, "executor.requests": 50,
+             "compile_cache.hits": 9, "compile_cache.misses": 1},
+            {"executor.queue_latency_s": queue},
+        )
+        cur = _monitor_sample(
+            12.0,
+            {"executor.words": 300, "serve.requests": 150,
+             "executor.blocks": 60, "executor.requests": 150,
+             "executor.coalesced_requests": 50,
+             "compile_cache.hits": 29, "compile_cache.misses": 1},
+            {"executor.queue_latency_s": queue_later},
+        )
+        text = monitor.render_interval(prev, cur)
+        assert "100.0 words/s" in text
+        assert "50.0 requests/s" in text
+        assert "25.0 blocks/s" in text
+        assert "4.0 words/block" in text
+        assert "50.0% of requests shared a block" in text
+        assert "100.0% cache hit rate (20 lookups)" in text
+        # Interval delta histogram: p50 in the first bucket (1ms),
+        # p99 spills into overflow -> the observed max (50ms).
+        assert "queue p50 1.00ms p99 50.00ms" in text
+
+    def test_histogram_delta_subtracts_cumulative_counts(self):
+        from repro.serve import monitor
+
+        prev = _monitor_sample(
+            0.0, {},
+            {"h": {"bounds": [1.0], "counts": [5, 1], "count": 6,
+                   "sum": 3.0, "max": 2.0}},
+        )
+        cur = _monitor_sample(
+            1.0, {},
+            {"h": {"bounds": [1.0], "counts": [8, 3], "count": 11,
+                   "sum": 9.0, "max": 4.0}},
+        )
+        delta = monitor._histogram_delta(prev, cur, "h")
+        assert delta["counts"] == [3, 2]
+        assert delta["count"] == 5
+        assert delta["sum"] == pytest.approx(6.0)
+
+    def test_render_interval_handles_idle_daemon(self):
+        from repro.serve import monitor
+
+        prev = _monitor_sample(0.0, {})
+        cur = _monitor_sample(2.0, {})
+        text = monitor.render_interval(prev, cur)
+        assert "no blocks this interval" in text
+        assert "no requests this interval" in text
+
+    def test_top_polls_live_daemon(self, server):
+        import io
+
+        from repro.serve import monitor
+
+        ServeClient(server.url).run(xor_pair("watched"), BATCH)
+        out = io.StringIO()
+        rendered = monitor.top(
+            server.url, interval=0.1, iterations=2, clear=False, out=out,
+        )
+        assert rendered == 2
+        assert out.getvalue().count("swgate top") == 2
+
+
+class TestClientTransportErrors:
+    def test_connection_refused_raises_serve_error(self):
+        client = ServeClient("http://127.0.0.1:9", timeout=0.5)
+        with pytest.raises(ServeError, match="cannot reach"):
+            client.healthz()
+
+    def test_run_raises_serve_error_on_dead_daemon(self):
+        client = ServeClient("http://127.0.0.1:9", timeout=0.5)
+        with pytest.raises(ServeError):
+            client.run(xor_pair("gone"), BATCH)
 
 
 class TestWarmStartOverHttp:
